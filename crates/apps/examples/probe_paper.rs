@@ -1,0 +1,23 @@
+use commsense_apps::{run_app, AppSpec};
+use commsense_machine::{Bucket, MachineConfig, Mechanism};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let clk = MachineConfig::alewife().clock();
+    for spec in AppSpec::paper_suite() {
+        if which != "all" && spec.name().to_lowercase() != which { continue; }
+        eprintln!("--- {} ---", spec.name());
+        for mech in Mechanism::ALL {
+            let t0 = std::time::Instant::now();
+            let r = run_app(&spec, mech, &MachineConfig::alewife());
+            let s = &r.stats;
+            eprintln!("{:8} {:>10} cyc ok={} vol={:>10}B sync={:>8.0} ovh={:>7.0} mem={:>8.0} cmp={:>8.0} ev={:>9} [{:.1}s]",
+                mech.label(), r.runtime_cycles, r.verified, s.volume.app_total(),
+                s.mean_bucket_cycles(Bucket::Sync, clk),
+                s.mean_bucket_cycles(Bucket::MsgOverhead, clk),
+                s.mean_bucket_cycles(Bucket::MemWait, clk),
+                s.mean_bucket_cycles(Bucket::Compute, clk),
+                s.events, t0.elapsed().as_secs_f32());
+        }
+    }
+}

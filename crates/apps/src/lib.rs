@@ -1,0 +1,124 @@
+//! The four irregular applications of the HPCA'98 study, each implemented
+//! under all five communication mechanisms.
+//!
+//! | App | Structure | Comm/compute | Paper section |
+//! |-----|-----------|--------------|---------------|
+//! | [`em3d`]    | bipartite red/black graph    | low compute per edge (2 FLOPs)   | §4.1 |
+//! | [`unstruc`] | undirected unstructured mesh | high compute per edge (75 FLOPs) | §4.2 |
+//! | [`iccg`]    | directed acyclic graph       | very fine-grained (2 FLOPs/edge) | §4.3 |
+//! | [`moldyn`]  | molecular pair lists (RCB)   | very high compute per pair       | §4.4 |
+//!
+//! Every variant executes the same floating-point operations as the
+//! sequential reference from `commsense-workloads`, so results are
+//! verified after each run ([`RunResult::verified`]): exactly where the
+//! accumulation order is deterministic, within a small tolerance where the
+//! parallel accumulation order differs (force accumulation, ICCG
+//! producer-computes).
+//!
+//! # Examples
+//!
+//! ```
+//! use commsense_apps::{run_app, AppSpec};
+//! use commsense_machine::{MachineConfig, Mechanism};
+//! use commsense_workloads::bipartite::Em3dParams;
+//!
+//! let mut cfg = MachineConfig::tiny();
+//! let result = run_app(&AppSpec::Em3d(Em3dParams::small()), Mechanism::MsgPoll, &cfg);
+//! assert!(result.verified);
+//! cfg = cfg.with_mechanism(Mechanism::SharedMem); // cfg is rebuilt internally anyway
+//! let sm = run_app(&AppSpec::Em3d(Em3dParams::small()), Mechanism::SharedMem, &cfg);
+//! assert!(sm.verified);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod em3d;
+pub mod iccg;
+pub mod meshforce;
+pub mod microbench;
+pub mod moldyn;
+pub mod unstruc;
+
+use commsense_machine::{MachineConfig, Mechanism, RunStats};
+use commsense_workloads::bipartite::Em3dParams;
+use commsense_workloads::moldyn::MoldynParams;
+use commsense_workloads::sparse::IccgParams;
+use commsense_workloads::unstruct::UnstrucParams;
+
+/// Which application to run, with its workload parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppSpec {
+    /// EM3D electromagnetic propagation.
+    Em3d(Em3dParams),
+    /// UNSTRUC fluid flow on an unstructured mesh.
+    Unstruc(UnstrucParams),
+    /// ICCG sparse triangular solve.
+    Iccg(IccgParams),
+    /// MOLDYN molecular dynamics.
+    Moldyn(MoldynParams),
+}
+
+impl AppSpec {
+    /// The application's short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppSpec::Em3d(_) => "EM3D",
+            AppSpec::Unstruc(_) => "UNSTRUC",
+            AppSpec::Iccg(_) => "ICCG",
+            AppSpec::Moldyn(_) => "MOLDYN",
+        }
+    }
+
+    /// All four applications at paper-flavoured scale.
+    pub fn paper_suite() -> Vec<AppSpec> {
+        vec![
+            AppSpec::Em3d(Em3dParams::paper()),
+            AppSpec::Unstruc(UnstrucParams::paper()),
+            AppSpec::Iccg(IccgParams::paper()),
+            AppSpec::Moldyn(MoldynParams::paper()),
+        ]
+    }
+
+    /// All four applications at fast-test scale.
+    pub fn small_suite() -> Vec<AppSpec> {
+        vec![
+            AppSpec::Em3d(Em3dParams::small()),
+            AppSpec::Unstruc(UnstrucParams::small()),
+            AppSpec::Iccg(IccgParams::small()),
+            AppSpec::Moldyn(MoldynParams::small()),
+        ]
+    }
+}
+
+/// Result of one application run under one mechanism.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Application name.
+    pub app: &'static str,
+    /// Mechanism used.
+    pub mechanism: Mechanism,
+    /// Total runtime in processor cycles.
+    pub runtime_cycles: u64,
+    /// Whether the computed values matched the sequential reference.
+    pub verified: bool,
+    /// Largest absolute deviation from the reference.
+    pub max_abs_err: f64,
+    /// Full machine statistics.
+    pub stats: RunStats,
+}
+
+/// Runs an application under a mechanism on the given machine
+/// configuration (receive mode and barrier style are overridden to match
+/// the mechanism) and verifies its output against the sequential
+/// reference.
+pub fn run_app(spec: &AppSpec, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
+    let cfg = cfg.clone().with_mechanism(mech);
+    match spec {
+        AppSpec::Em3d(p) => em3d::run(p, mech, &cfg),
+        AppSpec::Unstruc(p) => unstruc::run(p, mech, &cfg),
+        AppSpec::Iccg(p) => iccg::run(p, mech, &cfg),
+        AppSpec::Moldyn(p) => moldyn::run(p, mech, &cfg),
+    }
+}

@@ -1,0 +1,194 @@
+//! Criterion benches: one group per table/figure of the paper.
+//!
+//! Each group regenerates its artifact once (printed to stderr so `cargo
+//! bench` output doubles as a quick reproduction) and then times a
+//! representative scaled-down run, so the bench suite also tracks the
+//! simulator's own performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use commsense_apps::{run_app, AppSpec};
+use commsense_bench::{em3d_spec, miss_penalties, suite, Scale};
+use commsense_core::experiment::{
+    base_comparison, bisection_sweep, clock_sweep, ctx_switch_sweep, msg_len_sweep,
+};
+use commsense_core::machines::table1;
+use commsense_core::regions::{classify, crossover};
+use commsense_core::report;
+use commsense_machine::{MachineConfig, Mechanism};
+
+fn cfg() -> MachineConfig {
+    MachineConfig::alewife()
+}
+
+/// The canonical small timing target: EM3D under two mechanisms.
+fn time_small(c: &mut Criterion, group: &str) {
+    let spec = em3d_spec(Scale::Small);
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function("em3d-small-sm", |b| {
+        b.iter(|| run_app(&spec, Mechanism::SharedMem, &cfg()))
+    });
+    g.bench_function("em3d-small-mp", |b| {
+        b.iter(|| run_app(&spec, Mechanism::MsgPoll, &cfg()))
+    });
+    g.finish();
+}
+
+fn fig01_regions_bw(c: &mut Criterion) {
+    let spec = em3d_spec(Scale::Small);
+    let consumed = [0.0, 8.0, 12.0, 15.0, 16.5];
+    let sweeps =
+        bisection_sweep(&spec, &[Mechanism::SharedMem, Mechanism::MsgPoll], &cfg(), &consumed, 64);
+    let stress: Vec<f64> = consumed.iter().map(|c| 1.0 / (18.0 - c)).collect();
+    for s in &sweeps {
+        let segs = classify(s, &stress, 0.05, 1.5);
+        eprintln!("fig1 {} regions: {:?}", s.mechanism, segs.iter().map(|x| x.region.label()).collect::<Vec<_>>());
+    }
+    eprintln!("fig1 crossover (sm over mp): {:?}", crossover(&sweeps[0], &sweeps[1]));
+    time_small(c, "fig01");
+}
+
+fn fig02_regions_lat(c: &mut Criterion) {
+    let spec = em3d_spec(Scale::Small);
+    let lats = [30, 100, 200, 400];
+    let sweeps = ctx_switch_sweep(
+        &spec,
+        &[Mechanism::SharedMem, Mechanism::SharedMemPrefetch, Mechanism::MsgPoll],
+        &cfg(),
+        &lats,
+    );
+    let stress: Vec<f64> = lats.iter().map(|&l| l as f64).collect();
+    for s in &sweeps {
+        let segs = classify(s, &stress, 0.05, 1.5);
+        eprintln!("fig2 {} regions: {:?}", s.mechanism, segs.iter().map(|x| x.region.label()).collect::<Vec<_>>());
+    }
+    time_small(c, "fig02");
+}
+
+fn fig03_miss_penalties(c: &mut Criterion) {
+    let cases = miss_penalties(&cfg());
+    for m in &cases {
+        eprintln!("fig3 {:<22} paper {:>6.0}  measured {:>7.1}", m.case, m.paper_cycles, m.measured_cycles);
+    }
+    let mut g = c.benchmark_group("fig03");
+    g.sample_size(10);
+    g.bench_function("miss-penalty-probe", |b| b.iter(|| miss_penalties(&cfg())));
+    g.finish();
+}
+
+fn fig04_breakdown(c: &mut Criterion) {
+    for spec in suite(Scale::Small) {
+        let results = base_comparison(&spec, &cfg());
+        eprint!("{}", report::breakdown_table(spec.name(), &results, &cfg()));
+    }
+    time_small(c, "fig04");
+}
+
+fn fig05_volume(c: &mut Criterion) {
+    for spec in suite(Scale::Small) {
+        let results = base_comparison(&spec, &cfg());
+        eprint!("{}", report::volume_table(spec.name(), &results));
+    }
+    time_small(c, "fig05");
+}
+
+fn fig07_msglen(c: &mut Criterion) {
+    let spec = em3d_spec(Scale::Small);
+    let sweeps = msg_len_sweep(
+        &spec,
+        &[Mechanism::SharedMem, Mechanism::MsgPoll],
+        &cfg(),
+        10.0,
+        &[16, 64, 256, 512],
+    );
+    eprint!("{}", report::sweep_table("fig7: cross-traffic message length", "bytes", &sweeps));
+    time_small(c, "fig07");
+}
+
+fn fig08_bisection(c: &mut Criterion) {
+    let spec = em3d_spec(Scale::Small);
+    let sweeps = bisection_sweep(
+        &spec,
+        &[Mechanism::SharedMem, Mechanism::MsgPoll],
+        &cfg(),
+        &[0.0, 8.0, 12.0, 15.0],
+        64,
+    );
+    eprint!("{}", report::sweep_table("fig8: EM3D vs bisection", "B/cycle", &sweeps));
+    time_small(c, "fig08");
+}
+
+fn fig09_clock(c: &mut Criterion) {
+    let spec = em3d_spec(Scale::Small);
+    let sweeps = clock_sweep(
+        &spec,
+        &[Mechanism::SharedMem, Mechanism::MsgPoll],
+        &cfg(),
+        &[20.0, 17.0, 14.0],
+    );
+    eprint!("{}", report::sweep_table("fig9: EM3D vs relative latency", "cycles", &sweeps));
+    time_small(c, "fig09");
+}
+
+fn fig10_ctx_switch(c: &mut Criterion) {
+    let spec = em3d_spec(Scale::Small);
+    let sweeps = ctx_switch_sweep(
+        &spec,
+        &[Mechanism::SharedMem, Mechanism::MsgPoll],
+        &cfg(),
+        &[30, 100, 300],
+    );
+    eprint!("{}", report::sweep_table("fig10: EM3D vs emulated latency", "cycles", &sweeps));
+    time_small(c, "fig10");
+}
+
+fn tab01_02_machines(c: &mut Criterion) {
+    eprint!("{}", report::table1_text(&table1()));
+    eprint!("{}", report::table2_text(&table1()));
+    let mut g = c.benchmark_group("tab01");
+    g.bench_function("tables", |b| {
+        b.iter(|| (report::table1_text(&table1()), report::table2_text(&table1())))
+    });
+    g.finish();
+}
+
+fn harness_throughput(c: &mut Criterion) {
+    // Simulator throughput on every small app under sm and poll.
+    let mut g = c.benchmark_group("harness");
+    g.sample_size(10);
+    for spec in suite(Scale::Small) {
+        for mech in [Mechanism::SharedMem, Mechanism::MsgPoll] {
+            g.bench_function(format!("{}-{}", spec.name(), mech.label()), |b| {
+                b.iter(|| run_app(&spec, mech, &cfg()))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn quick(c: &mut Criterion) {
+    // A single end-to-end sanity target for `cargo bench -- quick`.
+    let spec = AppSpec::Em3d(commsense_workloads::bipartite::Em3dParams::small());
+    let mut g = c.benchmark_group("quick");
+    g.sample_size(10);
+    g.bench_function("em3d-poll", |b| b.iter(|| run_app(&spec, Mechanism::MsgPoll, &cfg())));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig01_regions_bw,
+    fig02_regions_lat,
+    fig03_miss_penalties,
+    fig04_breakdown,
+    fig05_volume,
+    fig07_msglen,
+    fig08_bisection,
+    fig09_clock,
+    fig10_ctx_switch,
+    tab01_02_machines,
+    harness_throughput,
+    quick,
+);
+criterion_main!(benches);

@@ -1,0 +1,506 @@
+//! Shared pieces of the benchmark harness: bench-scale workload profiles
+//! and the Figure 3 miss-penalty microbenchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+
+use commsense_apps::AppSpec;
+use commsense_cache::{Heap, LineHandle};
+use commsense_machine::program::{HandlerCtx, NodeCtx, Program, Step};
+use commsense_machine::{Machine, MachineConfig, MachineSpec};
+use commsense_workloads::bipartite::Em3dParams;
+use commsense_workloads::moldyn::MoldynParams;
+use commsense_workloads::sparse::IccgParams;
+use commsense_workloads::unstruct::UnstrucParams;
+
+/// Workload scale for the regeneration harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-figure profiles (default for `repro` and `cargo bench`).
+    Bench,
+    /// The paper's workload sizes (minutes for the full set).
+    Paper,
+    /// Unit-test sizes (used by the harness's own tests).
+    Small,
+}
+
+/// The four applications at the chosen scale.
+pub fn suite(scale: Scale) -> Vec<AppSpec> {
+    match scale {
+        Scale::Paper => AppSpec::paper_suite(),
+        Scale::Small => AppSpec::small_suite(),
+        Scale::Bench => vec![
+            AppSpec::Em3d(Em3dParams {
+                nodes: 2000,
+                degree: 10,
+                pct_nonlocal: 0.2,
+                span: 3,
+                iterations: 5,
+                seed: 0x3d,
+            }),
+            AppSpec::Unstruc(UnstrucParams {
+                nodes: 1500,
+                avg_degree: 7,
+                flops_per_edge: 75,
+                iterations: 5,
+                seed: 0x05,
+            }),
+            AppSpec::Iccg(IccgParams {
+                rows: 3000,
+                avg_band: 8,
+                far_fraction: 0.08,
+                chunk_rows: 48,
+                seed: 0x1cc6,
+            }),
+            AppSpec::Moldyn(MoldynParams {
+                molecules: 1024,
+                box_size: 16.0,
+                cutoff: 1.2,
+                iterations: 5,
+                rebuild_every: 20,
+                seed: 0x01d,
+            }),
+        ],
+    }
+}
+
+/// The EM3D spec of a suite (the paper's running example for the
+/// sensitivity sweeps).
+pub fn em3d_spec(scale: Scale) -> AppSpec {
+    suite(scale).remove(0)
+}
+
+// ---------------------------------------------------------------------
+// Figure 3: shared-memory miss penalties
+// ---------------------------------------------------------------------
+
+/// A measured miss-penalty case.
+#[derive(Debug, Clone)]
+pub struct MissPenalty {
+    /// Case name (matches the Figure 3 cost-table rows).
+    pub case: &'static str,
+    /// The paper's measured value in cycles.
+    pub paper_cycles: f64,
+    /// Our measured value in cycles.
+    pub measured_cycles: f64,
+}
+
+/// Step scripts for the penalty probe.
+struct Probe {
+    steps: Vec<Step>,
+    pc: usize,
+}
+
+impl Probe {
+    fn boxed(steps: Vec<Step>) -> Box<dyn Program> {
+        Box::new(Probe { steps, pc: 0 })
+    }
+}
+
+impl Program for Probe {
+    fn resume(&mut self, _ctx: &mut NodeCtx) -> Step {
+        let s = self.steps.get(self.pc).cloned().unwrap_or(Step::Done);
+        self.pc += 1;
+        s
+    }
+
+    fn on_message(&mut self, _h: u16, _a: &[u64], _b: &[u64], _c: &mut HandlerCtx) {}
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Runs a two-phase probe: `setup` steps per node, a barrier, then node 0
+/// performs `k` accesses built by `access(i)`. Returns total runtime in
+/// cycles.
+fn probe_runtime(
+    cfg: &MachineConfig,
+    lines: LineHandle,
+    heap: Heap,
+    setup: impl Fn(usize) -> Vec<Step>,
+    k: usize,
+    access: impl Fn(usize) -> Step,
+) -> u64 {
+    let initial = vec![0.0; heap.total_words()];
+    let programs: Vec<Box<dyn Program>> = (0..cfg.nodes)
+        .map(|p| {
+            let mut steps = setup(p);
+            steps.push(Step::Barrier);
+            if p == 0 {
+                for i in 0..k {
+                    steps.push(access(i));
+                }
+            }
+            Probe::boxed(steps)
+        })
+        .collect();
+    let _ = lines;
+    let mut m = Machine::new(cfg.clone(), MachineSpec { heap, initial, programs });
+    m.run().runtime_cycles
+}
+
+/// Measures one case by differencing runs with `k` and `2k` accesses.
+fn measure(
+    cfg: &MachineConfig,
+    build: impl Fn() -> (Heap, LineHandle),
+    setup: impl Fn(&LineHandle, usize) -> Vec<Step> + Copy,
+    access: impl Fn(&LineHandle, usize) -> Step + Copy,
+    k: usize,
+) -> f64 {
+    let run = |n: usize| {
+        let (heap, lines) = build();
+        let l2 = lines;
+        probe_runtime(cfg, lines, heap, |p| setup(&l2, p), n, |i| access(&l2, i))
+    };
+    let t1 = run(k);
+    let t2 = run(2 * k);
+    (t2 as f64 - t1 as f64) / k as f64
+}
+
+/// Regenerates the Figure 3 miss-penalty table on the live machine model.
+///
+/// Measurements come from steady-state pointer-chase probes on a 32-node
+/// machine; each case reproduces the cache/directory state named by the
+/// Figure 3 cost table before timing node 0's accesses.
+pub fn miss_penalties(cfg: &MachineConfig) -> Vec<MissPenalty> {
+    let n = 64; // lines per probe (node 0 touches each once)
+    let k = 32;
+    let mut out = Vec::new();
+
+    // Local clean read miss: node 0 reads its own uncached lines.
+    let local_clean = measure(
+        cfg,
+        || {
+            let mut heap = Heap::new(cfg.nodes);
+            let lines = heap.alloc(n, |_| 0);
+            (heap, lines)
+        },
+        |_, _| Vec::new(),
+        |l, i| Step::Load(l.word(i, 0)),
+        k,
+    );
+    out.push(MissPenalty { case: "local clean read", paper_cycles: 11.0, measured_cycles: local_clean });
+
+    // Local dirty read miss: home is node 0, but node 1 holds them dirty.
+    let local_dirty = measure(
+        cfg,
+        || {
+            let mut heap = Heap::new(cfg.nodes);
+            let lines = heap.alloc(n, |_| 0);
+            (heap, lines)
+        },
+        |l, p| {
+            if p == 1 {
+                (0..n).map(|i| Step::Store(l.word(i, 0), 1.0)).collect()
+            } else {
+                Vec::new()
+            }
+        },
+        |l, i| Step::Load(l.word(i, 0)),
+        k,
+    );
+    out.push(MissPenalty { case: "local dirty read", paper_cycles: 38.0, measured_cycles: local_dirty });
+
+    // Remote clean read miss: node 0 reads node 1's uncached lines.
+    let remote_clean = measure(
+        cfg,
+        || {
+            let mut heap = Heap::new(cfg.nodes);
+            let lines = heap.alloc(n, |_| 1);
+            (heap, lines)
+        },
+        |_, _| Vec::new(),
+        |l, i| Step::Load(l.word(i, 0)),
+        k,
+    );
+    out.push(MissPenalty { case: "remote clean read", paper_cycles: 42.0, measured_cycles: remote_clean });
+
+    // Remote dirty (two-party) read miss: home node 2, dirty at node 1.
+    let remote_dirty = measure(
+        cfg,
+        || {
+            let mut heap = Heap::new(cfg.nodes);
+            let lines = heap.alloc(n, |_| 2);
+            (heap, lines)
+        },
+        |l, p| {
+            if p == 1 {
+                (0..n).map(|i| Step::Store(l.word(i, 0), 1.0)).collect()
+            } else {
+                Vec::new()
+            }
+        },
+        |l, i| Step::Load(l.word(i, 0)),
+        k,
+    );
+    out.push(MissPenalty { case: "remote dirty read", paper_cycles: 63.0, measured_cycles: remote_dirty });
+
+    // Remote write miss (clean): node 0 writes node 1's lines.
+    let remote_write = measure(
+        cfg,
+        || {
+            let mut heap = Heap::new(cfg.nodes);
+            let lines = heap.alloc(n, |_| 1);
+            (heap, lines)
+        },
+        |_, _| Vec::new(),
+        |l, i| Step::Store(l.word(i, 0), 2.0),
+        k,
+    );
+    out.push(MissPenalty { case: "remote clean write", paper_cycles: 43.0, measured_cycles: remote_write });
+
+    // LimitLESS read: six sharers before node 0's read overflow the five
+    // hardware pointers, trapping the home into software.
+    let limitless = measure(
+        cfg,
+        || {
+            let mut heap = Heap::new(cfg.nodes);
+            let lines = heap.alloc(n, |_| 1);
+            (heap, lines)
+        },
+        |l, p| {
+            if (2..8).contains(&p) {
+                (0..n).map(|i| Step::Load(l.word(i, 0))).collect()
+            } else {
+                Vec::new()
+            }
+        },
+        |l, i| Step::Load(l.word(i, 0)),
+        k,
+    );
+    out.push(MissPenalty { case: "LimitLESS sw read", paper_cycles: 425.0, measured_cycles: limitless });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_scales() {
+        assert_eq!(suite(Scale::Bench).len(), 4);
+        assert_eq!(suite(Scale::Paper).len(), 4);
+        assert_eq!(em3d_spec(Scale::Small).name(), "EM3D");
+    }
+
+    #[test]
+    fn miss_penalties_track_figure3() {
+        let cfg = MachineConfig::alewife();
+        let cases = miss_penalties(&cfg);
+        assert_eq!(cases.len(), 6);
+        for c in &cases {
+            let ratio = c.measured_cycles / c.paper_cycles;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{}: measured {:.1} vs paper {:.1}",
+                c.case,
+                c.measured_cycles,
+                c.paper_cycles
+            );
+        }
+        // Orderings that define the cost structure.
+        let by_name = |n: &str| cases.iter().find(|c| c.case == n).unwrap().measured_cycles;
+        assert!(by_name("local clean read") < by_name("remote clean read"));
+        assert!(by_name("remote clean read") < by_name("remote dirty read"));
+        assert!(by_name("remote dirty read") < by_name("LimitLESS sw read"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §7): design-choice sensitivity studies
+// ---------------------------------------------------------------------
+
+/// One ablation measurement: a labeled parameter value and the runtime.
+#[derive(Debug, Clone)]
+pub struct AblationPoint {
+    /// Parameter setting label.
+    pub label: String,
+    /// Runtime in processor cycles.
+    pub runtime_cycles: u64,
+    /// Whether the run verified.
+    pub verified: bool,
+}
+
+fn em3d_small_spec() -> AppSpec {
+    let mut p = Em3dParams::small();
+    p.nodes = 1000;
+    p.iterations = 3;
+    AppSpec::Em3d(p)
+}
+
+/// LimitLESS directory width: hardware pointers before the software trap.
+/// Narrow directories trap constantly on shared data; wide ones never do.
+pub fn ablate_limitless(cfg: &MachineConfig) -> Vec<AblationPoint> {
+    use commsense_apps::run_app;
+    use commsense_machine::Mechanism;
+    [1usize, 2, 5, 8, 32]
+        .iter()
+        .map(|&ptrs| {
+            let mut cfg = cfg.clone();
+            cfg.proto.hw_ptrs = ptrs;
+            let r = run_app(&em3d_small_spec(), Mechanism::SharedMem, &cfg);
+            AblationPoint {
+                label: format!("{ptrs} hw pointers"),
+                runtime_cycles: r.runtime_cycles,
+                verified: r.verified,
+            }
+        })
+        .collect()
+}
+
+/// Mesh aspect ratio at a fixed 32 nodes: the bisection (and thus the
+/// shared-memory story) is set by the number of rows crossing the cut.
+pub fn ablate_topology(cfg: &MachineConfig) -> Vec<AblationPoint> {
+    use commsense_apps::run_app;
+    use commsense_machine::Mechanism;
+    let mut out = Vec::new();
+    for (w, h) in [(16u16, 2u16), (8, 4), (4, 8)] {
+        for mech in [Mechanism::SharedMem, Mechanism::MsgPoll] {
+            let mut cfg = cfg.clone().with_mechanism(mech);
+            cfg.net.width = w;
+            cfg.net.height = h;
+            let bpc = cfg.net.bisection_bytes_per_cycle(cfg.clock());
+            let r = run_app(&em3d_small_spec(), mech, &cfg);
+            out.push(AblationPoint {
+                label: format!("{w}x{h} ({bpc:.0} B/cyc) {}", mech.label()),
+                runtime_cycles: r.runtime_cycles,
+                verified: r.verified,
+            });
+        }
+    }
+    out
+}
+
+/// Interrupt entry cost: how expensive traps must get before polling's
+/// advantage dominates (ICCG, the most message-bound application).
+pub fn ablate_interrupt_cost(cfg: &MachineConfig) -> Vec<AblationPoint> {
+    use commsense_apps::run_app;
+    use commsense_machine::Mechanism;
+    let spec = AppSpec::Iccg(IccgParams::small());
+    [20u64, 40, 74, 120, 200]
+        .iter()
+        .map(|&c| {
+            let mut cfg = cfg.clone().with_mechanism(Mechanism::MsgInterrupt);
+            cfg.msg.interrupt_base = c;
+            let r = run_app(&spec, Mechanism::MsgInterrupt, &cfg);
+            AblationPoint {
+                label: format!("interrupt {c} cycles"),
+                runtime_cycles: r.runtime_cycles,
+                verified: r.verified,
+            }
+        })
+        .collect()
+}
+
+/// Prefetch (transaction) buffer depth under prefetching EM3D.
+pub fn ablate_prefetch_buffer(cfg: &MachineConfig) -> Vec<AblationPoint> {
+    use commsense_apps::run_app;
+    use commsense_machine::Mechanism;
+    [1usize, 2, 4, 16]
+        .iter()
+        .map(|&n| {
+            let mut cfg = cfg.clone().with_mechanism(Mechanism::SharedMemPrefetch);
+            cfg.proto.prefetch_entries = n;
+            let r = run_app(&em3d_small_spec(), Mechanism::SharedMemPrefetch, &cfg);
+            AblationPoint {
+                label: format!("{n} prefetch entries"),
+                runtime_cycles: r.runtime_cycles,
+                verified: r.verified,
+            }
+        })
+        .collect()
+}
+
+/// Cache associativity under capacity pressure: Alewife's full-size
+/// direct-mapped cache has no conflicts on these working sets, so the
+/// ablation shrinks the cache to 64 lines where the irregular access
+/// stream collides, then varies the ways.
+pub fn ablate_associativity(cfg: &MachineConfig) -> Vec<AblationPoint> {
+    use commsense_apps::run_app;
+    use commsense_machine::Mechanism;
+    let mut out = vec![{
+        let r = run_app(&em3d_small_spec(), Mechanism::SharedMem, cfg);
+        AblationPoint {
+            label: "4096 lines, 1-way (Alewife)".to_string(),
+            runtime_cycles: r.runtime_cycles,
+            verified: r.verified,
+        }
+    }];
+    for ways in [1usize, 2, 4] {
+        let mut cfg = cfg.clone();
+        cfg.proto.cache_lines = 64;
+        cfg.proto.cache_ways = ways;
+        let r = run_app(&em3d_small_spec(), Mechanism::SharedMem, &cfg);
+        out.push(AblationPoint {
+            label: format!("64 lines, {ways}-way"),
+            runtime_cycles: r.runtime_cycles,
+            verified: r.verified,
+        });
+    }
+    out
+}
+
+/// Relaxed writes (release consistency) vs. sequential consistency under
+/// emulated latency — the §2 latency-tolerance technique the paper
+/// contrasts with SC.
+pub fn ablate_write_buffer(cfg: &MachineConfig) -> Vec<AblationPoint> {
+    use commsense_apps::run_app;
+    use commsense_machine::{LatencyEmulation, Mechanism};
+    let mut out = Vec::new();
+    for lat in [0u64, 200] {
+        for wb in [0usize, 4] {
+            let mut cfg = cfg.clone().with_mechanism(Mechanism::SharedMem);
+            cfg.write_buffer = wb;
+            if lat > 0 {
+                cfg.latency_emulation = Some(LatencyEmulation::uniform(lat));
+            }
+            let r = run_app(&em3d_small_spec(), Mechanism::SharedMem, &cfg);
+            let model = if wb == 0 { "SC" } else { "RC(4)" };
+            let net = if lat == 0 { "base net".to_string() } else { format!("{lat}-cyc misses") };
+            out.push(AblationPoint {
+                label: format!("{model}, {net}"),
+                runtime_cycles: r.runtime_cycles,
+                verified: r.verified,
+            });
+        }
+    }
+    out
+}
+
+/// Partition strategy: blocked index ranges vs. Chaco-style graph
+/// growing, on UNSTRUC under shared memory (partition quality drives the
+/// remote fraction that everything else amplifies).
+pub fn ablate_partition(cfg: &MachineConfig) -> Vec<AblationPoint> {
+    use commsense_apps::unstruc::run_mesh;
+    use commsense_machine::Mechanism;
+    use commsense_workloads::unstruct::{PartitionStrategy, UnstrucMesh, UnstrucParams};
+    let params = UnstrucParams::small();
+    [PartitionStrategy::Blocked, PartitionStrategy::GraphGrown]
+        .iter()
+        .map(|&st| {
+            let mesh = UnstrucMesh::generate_with_partition(&params, cfg.nodes, st);
+            let r = run_mesh(&mesh, Mechanism::SharedMem, cfg);
+            AblationPoint {
+                label: format!("{st:?} (cut {:.0}%)", 100.0 * mesh.cut_fraction()),
+                runtime_cycles: r.runtime_cycles,
+                verified: r.verified,
+            }
+        })
+        .collect()
+}
+
+/// Renders an ablation as an aligned text table.
+pub fn ablation_table(title: &str, points: &[AblationPoint]) -> String {
+    let mut out = format!("{title}\n");
+    for p in points {
+        out.push_str(&format!(
+            "  {:<28} {:>10} cycles  verified={}\n",
+            p.label, p.runtime_cycles, p.verified
+        ));
+    }
+    out
+}

@@ -1,0 +1,225 @@
+//! The shared address space: 16-byte lines with per-line home nodes.
+
+/// Identifier of one 16-byte cache line in the shared address space.
+///
+/// Lines are the unit of coherence, placement, and transfer, exactly as on
+/// Alewife (16-byte lines, two double words each).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineId(pub u64);
+
+/// Identifier of one 8-byte word within the shared address space: a line
+/// plus a word offset (0 or 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Word {
+    /// The containing line.
+    pub line: LineId,
+    /// Word offset within the line (0 or 1).
+    pub offset: u8,
+}
+
+impl Word {
+    /// Creates a word address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset > 1` (lines hold two 8-byte words).
+    pub fn new(line: LineId, offset: u8) -> Self {
+        assert!(offset <= 1, "16-byte lines hold two words");
+        Word { line, offset }
+    }
+
+    /// Flat index of this word in the machine's master value store.
+    pub fn flat_index(self) -> usize {
+        (self.line.0 * 2 + self.offset as u64) as usize
+    }
+}
+
+/// A contiguous run of lines allocated by [`Heap::alloc`].
+///
+/// Applications address their data as `handle.line(i)` / `handle.word(i, w)`;
+/// the handle remembers where the run starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineHandle {
+    base: u64,
+    len: u64,
+}
+
+impl LineHandle {
+    /// Number of lines in the allocation.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the allocation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The `i`-th line of the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn line(&self, i: usize) -> LineId {
+        assert!((i as u64) < self.len, "line {i} out of allocation of {}", self.len);
+        LineId(self.base + i as u64)
+    }
+
+    /// Word `w` (0 or 1) of the `i`-th line.
+    pub fn word(&self, i: usize, w: u8) -> Word {
+        Word::new(self.line(i), w)
+    }
+}
+
+/// The shared-memory allocator and home map.
+///
+/// Every line has a *home node* that holds its directory entry and backing
+/// DRAM. Irregular applications distribute data per graph node, so homes are
+/// assigned per line at allocation time.
+///
+/// # Examples
+///
+/// ```
+/// use commsense_cache::Heap;
+///
+/// let mut heap = Heap::new(32);
+/// // One line per graph node, homed on the partition owner of the node.
+/// let owners = vec![0u16, 0, 1, 1, 2];
+/// let vals = heap.alloc(owners.len(), |i| owners[i] as usize);
+/// assert_eq!(heap.home(vals.line(2)), 1);
+/// assert_eq!(heap.total_lines(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Heap {
+    nodes: usize,
+    homes: Vec<u16>,
+}
+
+impl Heap {
+    /// Creates an empty heap for a machine of `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0` or `nodes > u16::MAX as usize`.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0 && nodes <= u16::MAX as usize, "bad node count {nodes}");
+        Heap { nodes, homes: Vec::new() }
+    }
+
+    /// Number of machine nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Total lines allocated so far.
+    pub fn total_lines(&self) -> u64 {
+        self.homes.len() as u64
+    }
+
+    /// Total 8-byte words allocated so far.
+    pub fn total_words(&self) -> usize {
+        self.homes.len() * 2
+    }
+
+    /// Allocates `lines` lines; line `i`'s home is `home_of(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any home is out of range.
+    pub fn alloc(&mut self, lines: usize, home_of: impl Fn(usize) -> usize) -> LineHandle {
+        let base = self.homes.len() as u64;
+        for i in 0..lines {
+            let h = home_of(i);
+            assert!(h < self.nodes, "home {h} out of range for line {i}");
+            self.homes.push(h as u16);
+        }
+        LineHandle { base, len: lines as u64 }
+    }
+
+    /// Allocates `lines` lines distributed block-wise across all nodes.
+    pub fn alloc_blocked(&mut self, lines: usize) -> LineHandle {
+        let n = self.nodes;
+        let per = lines.div_ceil(n).max(1);
+        self.alloc(lines, |i| (i / per).min(n - 1))
+    }
+
+    /// Home node of a line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line was never allocated.
+    pub fn home(&self, line: LineId) -> usize {
+        self.homes[line.0 as usize] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_assigns_homes_per_line() {
+        let mut h = Heap::new(4);
+        let a = h.alloc(6, |i| i % 4);
+        for i in 0..6 {
+            assert_eq!(h.home(a.line(i)), i % 4);
+        }
+    }
+
+    #[test]
+    fn allocations_are_disjoint() {
+        let mut h = Heap::new(2);
+        let a = h.alloc(3, |_| 0);
+        let b = h.alloc(2, |_| 1);
+        assert_eq!(a.line(2).0 + 1, b.line(0).0);
+        assert_eq!(h.total_lines(), 5);
+        assert_eq!(h.total_words(), 10);
+    }
+
+    #[test]
+    fn blocked_distribution_is_balanced() {
+        let mut h = Heap::new(4);
+        let a = h.alloc_blocked(8);
+        let mut counts = [0usize; 4];
+        for i in 0..8 {
+            counts[h.home(a.line(i))] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn blocked_handles_fewer_lines_than_nodes() {
+        let mut h = Heap::new(8);
+        let a = h.alloc_blocked(3);
+        for i in 0..3 {
+            assert!(h.home(a.line(i)) < 8);
+        }
+    }
+
+    #[test]
+    fn word_flat_index() {
+        let w = Word::new(LineId(3), 1);
+        assert_eq!(w.flat_index(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "two words")]
+    fn word_offset_bounds() {
+        let _ = Word::new(LineId(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of allocation")]
+    fn handle_bounds_checked() {
+        let mut h = Heap::new(2);
+        let a = h.alloc(2, |_| 0);
+        let _ = a.line(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_home_rejected() {
+        let mut h = Heap::new(2);
+        let _ = h.alloc(1, |_| 5);
+    }
+}

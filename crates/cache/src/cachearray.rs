@@ -1,0 +1,294 @@
+//! The per-node cache: direct-mapped by default (Alewife), optionally
+//! set-associative for ablation studies.
+
+use crate::addr::LineId;
+
+/// Coherence state of a cached line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Valid, read-only, possibly one of several copies.
+    Shared,
+    /// Valid, writable, the only copy; memory is stale.
+    Modified,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WayEntry {
+    line: LineId,
+    state: LineState,
+    /// LRU timestamp (monotonic access counter).
+    used: u64,
+}
+
+/// An n-way set-associative cache of 16-byte lines with LRU replacement.
+///
+/// Alewife nodes have 64 KB direct-mapped caches with 16-byte lines, i.e.
+/// 4096 lines and one way. A fill that conflicts with a full set evicts
+/// the least recently used resident; the caller is responsible for writing
+/// back `Modified` victims.
+///
+/// # Examples
+///
+/// ```
+/// use commsense_cache::{Cache, LineId, LineState};
+///
+/// let mut c = Cache::new(4096); // direct-mapped
+/// assert_eq!(c.lookup(LineId(7)), None);
+/// let evicted = c.fill(LineId(7), LineState::Shared);
+/// assert_eq!(evicted, None);
+/// assert_eq!(c.lookup(LineId(7)), Some(LineState::Shared));
+/// // A conflicting line (same set) evicts the old one.
+/// let evicted = c.fill(LineId(7 + 4096), LineState::Modified);
+/// assert_eq!(evicted, Some((LineId(7), LineState::Shared)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<WayEntry>>,
+    ways: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a direct-mapped cache with `lines` sets (a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero or not a power of two.
+    pub fn new(lines: usize) -> Self {
+        Cache::set_associative(lines, 1)
+    }
+
+    /// Creates an n-way set-associative cache holding `lines` lines total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is not a power of two, `ways` is zero, or `ways`
+    /// does not divide `lines` into a power-of-two set count.
+    pub fn set_associative(lines: usize, ways: usize) -> Self {
+        assert!(lines.is_power_of_two(), "cache size must be a power of two");
+        assert!(ways > 0 && lines.is_multiple_of(ways), "ways must divide capacity");
+        let nsets = lines / ways;
+        assert!(nsets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets: vec![Vec::with_capacity(ways); nsets],
+            ways,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The Alewife configuration: 64 KB / 16 B = 4096 lines, direct-mapped.
+    pub fn alewife() -> Self {
+        Cache::new(4096)
+    }
+
+    /// Number of ways (1 = direct-mapped).
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    fn set_of(&self, line: LineId) -> usize {
+        (line.0 as usize) & (self.sets.len() - 1)
+    }
+
+    /// Returns the line's state if resident, recording a hit or miss (and
+    /// refreshing LRU on hit).
+    pub fn access(&mut self, line: LineId) -> Option<LineState> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line);
+        for e in &mut self.sets[set] {
+            if e.line == line {
+                e.used = tick;
+                self.hits += 1;
+                return Some(e.state);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Returns the line's state if resident, without touching statistics
+    /// or LRU.
+    pub fn lookup(&self, line: LineId) -> Option<LineState> {
+        self.sets[self.set_of(line)].iter().find(|e| e.line == line).map(|e| e.state)
+    }
+
+    /// Installs a line, returning the evicted victim if the set was full
+    /// of other lines (LRU victim).
+    pub fn fill(&mut self, line: LineId, state: LineState) -> Option<(LineId, LineState)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let set = self.set_of(line);
+        let entries = &mut self.sets[set];
+        if let Some(e) = entries.iter_mut().find(|e| e.line == line) {
+            e.state = state;
+            e.used = tick;
+            return None;
+        }
+        if entries.len() < ways {
+            entries.push(WayEntry { line, state, used: tick });
+            return None;
+        }
+        // Evict the LRU way.
+        let victim_idx = entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.used)
+            .map(|(i, _)| i)
+            .expect("set is full");
+        let victim = entries[victim_idx];
+        entries[victim_idx] = WayEntry { line, state, used: tick };
+        Some((victim.line, victim.state))
+    }
+
+    /// Upgrades a resident line to `Modified`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident.
+    pub fn upgrade(&mut self, line: LineId) {
+        let set = self.set_of(line);
+        match self.sets[set].iter_mut().find(|e| e.line == line) {
+            Some(e) => e.state = LineState::Modified,
+            None => panic!("upgrade of non-resident line {line:?}"),
+        }
+    }
+
+    /// Drops a line if resident (invalidation), returning its previous
+    /// state.
+    pub fn invalidate(&mut self, line: LineId) -> Option<LineState> {
+        let set = self.set_of(line);
+        let pos = self.sets[set].iter().position(|e| e.line == line)?;
+        Some(self.sets[set].swap_remove(pos).state)
+    }
+
+    /// Downgrades a resident `Modified` line to `Shared`, returning whether
+    /// it was resident and modified.
+    pub fn downgrade(&mut self, line: LineId) -> bool {
+        let set = self.set_of(line);
+        match self.sets[set].iter_mut().find(|e| e.line == line) {
+            Some(e) if e.state == LineState::Modified => {
+                e.state = LineState::Shared;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// (hits, misses) recorded by [`Cache::access`].
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = Cache::new(16);
+        assert_eq!(c.access(LineId(1)), None);
+        c.fill(LineId(1), LineState::Shared);
+        assert_eq!(c.access(LineId(1)), Some(LineState::Shared));
+        assert_eq!(c.hit_miss(), (1, 1));
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = Cache::new(16);
+        c.fill(LineId(3), LineState::Modified);
+        // Same set: 3 + 16.
+        let victim = c.fill(LineId(19), LineState::Shared);
+        assert_eq!(victim, Some((LineId(3), LineState::Modified)));
+        assert_eq!(c.lookup(LineId(3)), None);
+        assert_eq!(c.lookup(LineId(19)), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn refill_same_line_is_not_eviction() {
+        let mut c = Cache::new(16);
+        c.fill(LineId(5), LineState::Shared);
+        assert_eq!(c.fill(LineId(5), LineState::Modified), None);
+        assert_eq!(c.lookup(LineId(5)), Some(LineState::Modified));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = Cache::new(16);
+        c.fill(LineId(2), LineState::Shared);
+        assert_eq!(c.invalidate(LineId(2)), Some(LineState::Shared));
+        assert_eq!(c.invalidate(LineId(2)), None);
+    }
+
+    #[test]
+    fn downgrade_only_affects_modified() {
+        let mut c = Cache::new(16);
+        c.fill(LineId(2), LineState::Modified);
+        assert!(c.downgrade(LineId(2)));
+        assert_eq!(c.lookup(LineId(2)), Some(LineState::Shared));
+        assert!(!c.downgrade(LineId(2)));
+    }
+
+    #[test]
+    fn upgrade_in_place() {
+        let mut c = Cache::new(16);
+        c.fill(LineId(9), LineState::Shared);
+        c.upgrade(LineId(9));
+        assert_eq!(c.lookup(LineId(9)), Some(LineState::Modified));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn upgrade_missing_panics() {
+        let mut c = Cache::new(16);
+        c.upgrade(LineId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = Cache::new(10);
+    }
+
+    #[test]
+    fn two_way_avoids_direct_conflict() {
+        let mut c = Cache::set_associative(16, 2); // 8 sets x 2 ways
+        c.fill(LineId(3), LineState::Shared);
+        // 3 + 8 maps to the same set but fits in the second way.
+        assert_eq!(c.fill(LineId(11), LineState::Shared), None);
+        assert_eq!(c.lookup(LineId(3)), Some(LineState::Shared));
+        assert_eq!(c.lookup(LineId(11)), Some(LineState::Shared));
+        // A third conflicting line evicts the LRU (LineId(3)).
+        let victim = c.fill(LineId(19), LineState::Shared);
+        assert_eq!(victim, Some((LineId(3), LineState::Shared)));
+    }
+
+    #[test]
+    fn lru_respects_access_recency() {
+        let mut c = Cache::set_associative(16, 2);
+        c.fill(LineId(3), LineState::Shared);
+        c.fill(LineId(11), LineState::Shared);
+        // Touch 3 so 11 becomes LRU.
+        assert!(c.access(LineId(3)).is_some());
+        let victim = c.fill(LineId(19), LineState::Shared);
+        assert_eq!(victim, Some((LineId(11), LineState::Shared)));
+    }
+
+    #[test]
+    fn ways_accessor() {
+        assert_eq!(Cache::new(16).ways(), 1);
+        assert_eq!(Cache::set_associative(16, 4).ways(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ways must divide")]
+    fn bad_ways_rejected() {
+        let _ = Cache::set_associative(16, 3);
+    }
+}

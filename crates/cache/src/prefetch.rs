@@ -1,0 +1,168 @@
+//! Alewife's non-binding software prefetch buffer.
+//!
+//! Prefetch instructions check whether data is local; if not they *initiate*
+//! a transaction to fetch it into a small prefetch buffer without blocking.
+//! A later reference transfers the line from the buffer into the cache.
+//! Prefetches are non-binding: an invalidation simply removes the buffered
+//! line, and the later demand reference misses as usual.
+
+use crate::addr::LineId;
+
+/// Whether a prefetch requested a read-shared or read-exclusive copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetchKind {
+    /// Read prefetch: arrives Shared.
+    Read,
+    /// Write (read-exclusive) prefetch: arrives Modified.
+    Exclusive,
+}
+
+/// A small fully-associative buffer of prefetched lines.
+///
+/// # Examples
+///
+/// ```
+/// use commsense_cache::{LineId, PrefetchBuffer, PrefetchKind};
+///
+/// let mut b = PrefetchBuffer::new(8);
+/// b.insert(LineId(5), PrefetchKind::Read);
+/// assert_eq!(b.take(LineId(5)), Some(PrefetchKind::Read));
+/// assert_eq!(b.take(LineId(5)), None, "take removes the entry");
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefetchBuffer {
+    capacity: usize,
+    entries: Vec<(LineId, PrefetchKind)>,
+    hits: u64,
+    discarded: u64,
+}
+
+impl PrefetchBuffer {
+    /// Creates a buffer holding at most `capacity` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "prefetch buffer needs capacity");
+        PrefetchBuffer { capacity, entries: Vec::new(), hits: 0, discarded: 0 }
+    }
+
+    /// Inserts a completed prefetch. If full, the oldest entry is discarded
+    /// (returned) to make room — its coherence permission is dropped.
+    pub fn insert(&mut self, line: LineId, kind: PrefetchKind) -> Option<(LineId, PrefetchKind)> {
+        let victim = if self.entries.len() == self.capacity {
+            self.discarded += 1;
+            Some(self.entries.remove(0))
+        } else {
+            None
+        };
+        self.entries.retain(|(l, _)| *l != line);
+        self.entries.push((line, kind));
+        victim
+    }
+
+    /// Looks up a line without removing it.
+    pub fn lookup(&self, line: LineId) -> Option<PrefetchKind> {
+        self.entries.iter().find(|(l, _)| *l == line).map(|&(_, k)| k)
+    }
+
+    /// Removes and returns a line on demand reference (transfer to cache).
+    pub fn take(&mut self, line: LineId) -> Option<PrefetchKind> {
+        let pos = self.entries.iter().position(|(l, _)| *l == line)?;
+        self.hits += 1;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Drops a line on invalidation; returns its kind if present.
+    pub fn invalidate(&mut self, line: LineId) -> Option<PrefetchKind> {
+        let pos = self.entries.iter().position(|(l, _)| *l == line)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Downgrades an exclusive entry to read (remote fetch of a
+    /// write-prefetched line); returns whether an entry was downgraded.
+    pub fn downgrade(&mut self, line: LineId) -> bool {
+        for (l, k) in &mut self.entries {
+            if *l == line && *k == PrefetchKind::Exclusive {
+                *k = PrefetchKind::Read;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of buffered lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// (useful prefetch hits, capacity-discarded entries).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.discarded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut b = PrefetchBuffer::new(2);
+        assert_eq!(b.insert(LineId(1), PrefetchKind::Read), None);
+        assert_eq!(b.insert(LineId(2), PrefetchKind::Read), None);
+        let victim = b.insert(LineId(3), PrefetchKind::Read);
+        assert_eq!(victim, Some((LineId(1), PrefetchKind::Read)));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.stats().1, 1);
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate() {
+        let mut b = PrefetchBuffer::new(4);
+        b.insert(LineId(1), PrefetchKind::Read);
+        b.insert(LineId(1), PrefetchKind::Exclusive);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.lookup(LineId(1)), Some(PrefetchKind::Exclusive));
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let mut b = PrefetchBuffer::new(4);
+        b.insert(LineId(9), PrefetchKind::Exclusive);
+        assert_eq!(b.invalidate(LineId(9)), Some(PrefetchKind::Exclusive));
+        assert!(b.is_empty());
+        assert_eq!(b.invalidate(LineId(9)), None);
+    }
+
+    #[test]
+    fn downgrade_only_exclusive() {
+        let mut b = PrefetchBuffer::new(4);
+        b.insert(LineId(1), PrefetchKind::Read);
+        b.insert(LineId(2), PrefetchKind::Exclusive);
+        assert!(!b.downgrade(LineId(1)));
+        assert!(b.downgrade(LineId(2)));
+        assert_eq!(b.lookup(LineId(2)), Some(PrefetchKind::Read));
+    }
+
+    #[test]
+    fn take_counts_hits() {
+        let mut b = PrefetchBuffer::new(4);
+        b.insert(LineId(1), PrefetchKind::Read);
+        assert!(b.take(LineId(1)).is_some());
+        assert!(b.take(LineId(2)).is_none());
+        assert_eq!(b.stats().0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = PrefetchBuffer::new(0);
+    }
+}

@@ -1,0 +1,290 @@
+//! The parametric experiments of §5.
+//!
+//! # Examples
+//!
+//! ```
+//! use commsense_core::experiment::bisection_sweep;
+//! use commsense_machine::{MachineConfig, Mechanism};
+//! use commsense_apps::AppSpec;
+//! use commsense_workloads::bipartite::Em3dParams;
+//!
+//! let mut p = Em3dParams::small();
+//! p.iterations = 1;
+//! let sweeps = bisection_sweep(
+//!     &AppSpec::Em3d(p),
+//!     &[Mechanism::MsgPoll],
+//!     &MachineConfig::alewife(),
+//!     &[0.0, 12.0],
+//!     64,
+//! );
+//! sweeps[0].assert_verified();
+//! assert_eq!(sweeps[0].points.len(), 2);
+//! ```
+
+use commsense_apps::{run_app, AppSpec, RunResult};
+use commsense_machine::{LatencyEmulation, MachineConfig, Mechanism};
+use commsense_mesh::CrossTrafficConfig;
+
+/// One measured point of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The swept parameter (meaning depends on the sweep).
+    pub x: f64,
+    /// The measurement.
+    pub result: RunResult,
+}
+
+/// One mechanism's curve across a sweep.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Application name.
+    pub app: &'static str,
+    /// Mechanism.
+    pub mechanism: Mechanism,
+    /// Measured points, in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl Sweep {
+    /// Runtime (cycles) at each point.
+    pub fn runtimes(&self) -> Vec<u64> {
+        self.points.iter().map(|p| p.result.runtime_cycles).collect()
+    }
+
+    /// Asserts every point verified against its reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any point failed verification.
+    pub fn assert_verified(&self) {
+        for p in &self.points {
+            assert!(
+                p.result.verified,
+                "{} {} at x={} failed verification (err {})",
+                self.app, self.mechanism, p.x, p.result.max_abs_err
+            );
+        }
+    }
+}
+
+/// Analytic one-way network latency for a `bytes`-byte packet at the mean
+/// hop distance, in processor cycles — the x-axis of Figure 9 (Table 1's
+/// "Network Latency" metric).
+pub fn one_way_latency_cycles(cfg: &MachineConfig, bytes: u32) -> f64 {
+    let mesh = commsense_mesh::Mesh::new(cfg.net.width, cfg.net.height);
+    let ps = mesh.mean_hops() * cfg.net.router_delay_ps as f64
+        + bytes as f64 * cfg.net.ps_per_byte as f64;
+    ps / cfg.clock().cycle_ps() as f64
+}
+
+/// Figure 4 / Figure 5: runs `spec` under every mechanism on the base
+/// machine, returning the five results in [`Mechanism::ALL`] order.
+pub fn base_comparison(spec: &AppSpec, cfg: &MachineConfig) -> Vec<RunResult> {
+    Mechanism::ALL.iter().map(|&m| run_app(spec, m, cfg)).collect()
+}
+
+/// Figure 8 (and Figure 1's measured analogue): sweeps emulated bisection
+/// bandwidth by consuming `consumed_bytes_per_cycle` of the base machine's
+/// bisection with cross-traffic of `msg_bytes`-byte messages.
+///
+/// `x` of each point is the *emulated* bisection in bytes per processor
+/// cycle (base bisection minus consumption), so curves read left-to-right
+/// like the paper's Figure 8.
+pub fn bisection_sweep(
+    spec: &AppSpec,
+    mechanisms: &[Mechanism],
+    cfg: &MachineConfig,
+    consumed_bytes_per_cycle: &[f64],
+    msg_bytes: u32,
+) -> Vec<Sweep> {
+    let base = cfg.net.bisection_bytes_per_cycle(cfg.clock());
+    mechanisms
+        .iter()
+        .map(|&mech| {
+            let points = consumed_bytes_per_cycle
+                .iter()
+                .map(|&c| {
+                    let mut cfg = cfg.clone().with_mechanism(mech);
+                    if c > 0.0 {
+                        cfg.cross_traffic = Some(CrossTrafficConfig::consuming(
+                            c,
+                            cfg.clock(),
+                            msg_bytes,
+                            cfg.net.height,
+                        ));
+                    }
+                    SweepPoint { x: base - c, result: run_app(spec, mech, &cfg) }
+                })
+                .collect();
+            Sweep { app: spec.name(), mechanism: mech, points }
+        })
+        .collect()
+}
+
+/// Figure 7: sensitivity to cross-traffic message length at a fixed
+/// bisection consumption. `x` is the message length in bytes.
+pub fn msg_len_sweep(
+    spec: &AppSpec,
+    mechanisms: &[Mechanism],
+    cfg: &MachineConfig,
+    consumed_bytes_per_cycle: f64,
+    msg_lens: &[u32],
+) -> Vec<Sweep> {
+    mechanisms
+        .iter()
+        .map(|&mech| {
+            let points = msg_lens
+                .iter()
+                .map(|&len| {
+                    let mut cfg = cfg.clone().with_mechanism(mech);
+                    cfg.cross_traffic = Some(CrossTrafficConfig::consuming(
+                        consumed_bytes_per_cycle,
+                        cfg.clock(),
+                        len,
+                        cfg.net.height,
+                    ));
+                    SweepPoint { x: len as f64, result: run_app(spec, mech, &cfg) }
+                })
+                .collect();
+            Sweep { app: spec.name(), mechanism: mech, points }
+        })
+        .collect()
+}
+
+/// Figure 9 (and Figure 2's measured analogue): sweeps relative network
+/// latency by scaling the processor clock against the fixed wall-clock
+/// network. `x` is the one-way 24-byte latency in processor cycles.
+pub fn clock_sweep(
+    spec: &AppSpec,
+    mechanisms: &[Mechanism],
+    cfg: &MachineConfig,
+    mhz_values: &[f64],
+) -> Vec<Sweep> {
+    mechanisms
+        .iter()
+        .map(|&mech| {
+            let points = mhz_values
+                .iter()
+                .map(|&mhz| {
+                    let cfg = cfg.clone().with_mechanism(mech).with_cpu_mhz(mhz);
+                    let x = one_way_latency_cycles(&cfg, 24);
+                    SweepPoint { x, result: run_app(spec, mech, &cfg) }
+                })
+                .collect();
+            Sweep { app: spec.name(), mechanism: mech, points }
+        })
+        .collect()
+}
+
+/// Figure 10: uniform remote-miss latency emulation on an ideal network
+/// (the paper's context-switch-to-delay-loop technique). Shared-memory
+/// mechanisms sweep `latencies` (x = emulated remote-miss cycles);
+/// message-passing mechanisms are run once at the base machine and
+/// replicated flat for reference, exactly as the paper plots them.
+pub fn ctx_switch_sweep(
+    spec: &AppSpec,
+    mechanisms: &[Mechanism],
+    cfg: &MachineConfig,
+    latencies: &[u64],
+) -> Vec<Sweep> {
+    mechanisms
+        .iter()
+        .map(|&mech| {
+            if mech.is_shared_memory() {
+                let points = latencies
+                    .iter()
+                    .map(|&lat| {
+                        let mut cfg = cfg.clone().with_mechanism(mech);
+                        cfg.latency_emulation = Some(LatencyEmulation::uniform(lat));
+                        SweepPoint { x: lat as f64, result: run_app(spec, mech, &cfg) }
+                    })
+                    .collect();
+                Sweep { app: spec.name(), mechanism: mech, points }
+            } else {
+                let result = run_app(spec, mech, &cfg.clone().with_mechanism(mech));
+                let points = latencies
+                    .iter()
+                    .map(|&lat| SweepPoint { x: lat as f64, result: result.clone() })
+                    .collect();
+                Sweep { app: spec.name(), mechanism: mech, points }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsense_workloads::bipartite::Em3dParams;
+
+    fn tiny_spec() -> AppSpec {
+        let mut p = Em3dParams::small();
+        p.iterations = 2;
+        AppSpec::Em3d(p)
+    }
+
+    #[test]
+    fn one_way_latency_matches_table1() {
+        let cfg = MachineConfig::alewife();
+        let lat = one_way_latency_cycles(&cfg, 24);
+        assert!((13.0..18.0).contains(&lat), "Alewife 24B latency {lat} cycles");
+    }
+
+    #[test]
+    fn base_comparison_covers_all_mechanisms() {
+        let results = base_comparison(&tiny_spec(), &MachineConfig::alewife());
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            assert!(r.verified);
+        }
+    }
+
+    #[test]
+    fn bisection_sweep_shapes() {
+        let cfg = MachineConfig::alewife();
+        let sweeps = bisection_sweep(
+            &tiny_spec(),
+            &[Mechanism::SharedMem, Mechanism::MsgPoll],
+            &cfg,
+            &[0.0, 12.0],
+            64,
+        );
+        assert_eq!(sweeps.len(), 2);
+        for s in &sweeps {
+            s.assert_verified();
+            assert_eq!(s.points.len(), 2);
+            assert!((s.points[0].x - 18.0).abs() < 0.1);
+            assert!((s.points[1].x - 6.0).abs() < 0.1);
+        }
+        // Shared memory must degrade as bisection shrinks.
+        let sm = &sweeps[0];
+        assert!(sm.runtimes()[1] > sm.runtimes()[0]);
+    }
+
+    #[test]
+    fn clock_sweep_scales_relative_latency() {
+        let cfg = MachineConfig::alewife();
+        let sweeps =
+            clock_sweep(&tiny_spec(), &[Mechanism::SharedMem], &cfg, &[20.0, 14.0]);
+        let s = &sweeps[0];
+        s.assert_verified();
+        // Slower clock => fewer cycles of relative network latency.
+        assert!(s.points[1].x < s.points[0].x);
+        assert!(s.runtimes()[1] < s.runtimes()[0]);
+    }
+
+    #[test]
+    fn ctx_switch_sweep_flatlines_message_passing() {
+        let cfg = MachineConfig::alewife();
+        let sweeps = ctx_switch_sweep(
+            &tiny_spec(),
+            &[Mechanism::SharedMem, Mechanism::MsgPoll],
+            &cfg,
+            &[50, 400],
+        );
+        let sm = &sweeps[0];
+        let mp = &sweeps[1];
+        assert!(sm.runtimes()[1] > sm.runtimes()[0], "sm must degrade with latency");
+        assert_eq!(mp.runtimes()[0], mp.runtimes()[1], "mp is plotted flat for reference");
+    }
+}

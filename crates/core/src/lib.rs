@@ -1,0 +1,30 @@
+//! The sensitivity-analysis framework: the paper's primary contribution as
+//! a reusable library.
+//!
+//! The paper's insight is that the *relative* performance of communication
+//! mechanisms depends on two machine ratios — bisection bandwidth per
+//! processor cycle, and network latency in processor cycles — and that a
+//! single flexible machine can be used as an emulator to sweep both. This
+//! crate packages those sweeps over the `commsense` machine emulator:
+//!
+//! * [`experiment`] — the three parametric experiments of §5: bisection
+//!   emulation via cross-traffic (Figures 7 and 8), latency emulation via
+//!   clock scaling (Figure 9), and uniform-latency emulation via
+//!   context-switching (Figure 10), plus the communication-volume study
+//!   (Figure 5) and the base-machine comparison (Figure 4).
+//! * [`machines`] — the Table 1 dataset of 32-processor machine parameters
+//!   and its Table 2 recalculation in local-cache-miss units.
+//! * [`regions`] — classification of measured curves into the paper's
+//!   Latency Hiding / Latency Dominated / Congestion Dominated regions
+//!   (Figures 1 and 2), and crossover detection between mechanisms.
+//! * [`report`] — ASCII tables and CSV output for every figure and table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod machines;
+pub mod model;
+pub mod regions;
+pub mod report;
+pub mod survey;

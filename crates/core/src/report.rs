@@ -1,0 +1,235 @@
+//! ASCII-table and CSV reporting for the experiment harness.
+
+use commsense_apps::RunResult;
+use commsense_machine::{Bucket, MachineConfig};
+use commsense_mesh::PacketClass;
+
+use crate::experiment::Sweep;
+use crate::machines::MachineRow;
+
+/// Formats an optional float to one decimal, or a placeholder.
+fn opt(v: Option<f64>, width: usize) -> String {
+    match v {
+        Some(x) => format!("{x:>width$.1}"),
+        None => format!("{:>width$}", "N/A"),
+    }
+}
+
+/// Figure 4: the per-mechanism runtime breakdown table for one app.
+pub fn breakdown_table(app: &str, results: &[RunResult], cfg: &MachineConfig) -> String {
+    let clk = cfg.clock();
+    let mut out = format!(
+        "{app}: execution time breakdown (cycles, mean per node)\n{:<8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9}\n",
+        "mech", "runtime", "sync", "msg-ovhd", "mem+NI", "compute", "verified"
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{:<8} {:>12} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>9}\n",
+            r.mechanism.label(),
+            r.runtime_cycles,
+            r.stats.mean_bucket_cycles(Bucket::Sync, clk),
+            r.stats.mean_bucket_cycles(Bucket::MsgOverhead, clk),
+            r.stats.mean_bucket_cycles(Bucket::MemWait, clk),
+            r.stats.mean_bucket_cycles(Bucket::Compute, clk),
+            r.verified,
+        ));
+    }
+    out
+}
+
+/// Figure 4 as ASCII stacked bars: one row per mechanism, scaled to the
+/// slowest, with the four buckets drawn as distinct glyphs
+/// (`s` sync, `o` msg overhead, `m` memory+NI, `#` compute).
+pub fn breakdown_bars(app: &str, results: &[RunResult], cfg: &MachineConfig, width: usize) -> String {
+    let clk = cfg.clock();
+    let max = results.iter().map(|r| r.runtime_cycles).max().unwrap_or(1).max(1) as f64;
+    let mut out = format!("{app}: relative runtime (s=sync o=overhead m=mem+NI #=compute)\n");
+    for r in results {
+        let glyphs = [
+            ('s', r.stats.mean_bucket_cycles(Bucket::Sync, clk)),
+            ('o', r.stats.mean_bucket_cycles(Bucket::MsgOverhead, clk)),
+            ('m', r.stats.mean_bucket_cycles(Bucket::MemWait, clk)),
+            ('#', r.stats.mean_bucket_cycles(Bucket::Compute, clk)),
+        ];
+        let mut bar = String::new();
+        for (g, cycles) in glyphs {
+            let n = (cycles / max * width as f64).round() as usize;
+            bar.extend(std::iter::repeat_n(g, n));
+        }
+        out.push_str(&format!("{:<8} |{:<width$}| {}\n", r.mechanism.label(), bar, r.runtime_cycles));
+    }
+    out
+}
+
+/// Figure 5: the communication-volume breakdown table for one app.
+pub fn volume_table(app: &str, results: &[RunResult]) -> String {
+    let mut out = format!(
+        "{app}: communication volume (bytes injected)\n{:<8} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+        "mech", "total", "invalidates", "requests", "headers", "data"
+    );
+    for r in results {
+        let v = &r.stats.volume;
+        out.push_str(&format!(
+            "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            r.mechanism.label(),
+            v.app_total(),
+            v.class_bytes(PacketClass::Invalidate),
+            v.class_bytes(PacketClass::Request),
+            v.class_bytes(PacketClass::Header),
+            v.class_bytes(PacketClass::Data),
+        ));
+    }
+    out
+}
+
+/// Figures 7–10: one sweep as an x/runtime series table.
+pub fn sweep_table(title: &str, x_label: &str, sweeps: &[Sweep]) -> String {
+    let mut out = format!("{title}\n{x_label:>12}");
+    for s in sweeps {
+        out.push_str(&format!(" {:>12}", s.mechanism.label()));
+    }
+    out.push('\n');
+    if let Some(first) = sweeps.first() {
+        for i in 0..first.points.len() {
+            out.push_str(&format!("{:>12.2}", first.points[i].x));
+            for s in sweeps {
+                out.push_str(&format!(" {:>12}", s.points[i].result.runtime_cycles));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// CSV form of [`sweep_table`] (for external plotting).
+pub fn sweep_csv(x_label: &str, sweeps: &[Sweep]) -> String {
+    let mut out = String::from(x_label);
+    for s in sweeps {
+        out.push(',');
+        out.push_str(s.mechanism.label());
+    }
+    out.push('\n');
+    if let Some(first) = sweeps.first() {
+        for i in 0..first.points.len() {
+            out.push_str(&format!("{}", first.points[i].x));
+            for s in sweeps {
+                out.push_str(&format!(",{}", s.points[i].result.runtime_cycles));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Table 1 rendering.
+pub fn table1_text(rows: &[MachineRow]) -> String {
+    let mut out = format!(
+        "{:<16} {:>7} {:<16} {:>10} {:>10} {:>8} {:>8} {:>7}\n",
+        "Machine", "MHz", "Topology", "Bsctn MB/s", "B/cycle", "NetLat", "Remote", "Local"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>7.1} {:<16} {} {} {} {} {:>7.0}\n",
+            format!("{}{}", r.name, if r.estimated { "*" } else { "" }),
+            r.proc_mhz,
+            r.topology,
+            opt(r.bisection_mb_s, 10),
+            opt(r.bytes_per_cycle(), 10),
+            opt(r.net_latency_cycles, 8),
+            opt(r.remote_miss_cycles, 8),
+            r.local_miss_cycles,
+        ));
+    }
+    out.push_str("* projected or simulated clock\n");
+    out
+}
+
+/// Table 2 rendering (local-miss units).
+pub fn table2_text(rows: &[MachineRow]) -> String {
+    let mut out = format!(
+        "{:<16} {:>16} {:>18}\n",
+        "Machine", "B/local-miss", "NetLat (misses)"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {} {}\n",
+            r.name,
+            opt(r.bytes_per_local_miss(), 16),
+            opt(r.latency_in_local_misses(), 18),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines::table1;
+
+    #[test]
+    fn tables_render_every_machine() {
+        let t1 = table1_text(&table1());
+        let t2 = table2_text(&table1());
+        for r in table1() {
+            assert!(t1.contains(r.name), "table 1 missing {}", r.name);
+            assert!(t2.contains(r.name), "table 2 missing {}", r.name);
+        }
+        assert!(t1.contains("18.0"), "Alewife bytes/cycle present");
+        assert!(t2.contains("198.0"), "Alewife bytes/local-miss present");
+    }
+
+    #[test]
+    fn opt_formats_missing_values() {
+        assert_eq!(opt(None, 5), "  N/A");
+        assert_eq!(opt(Some(1.25), 6), "   1.2");
+    }
+
+    #[test]
+    fn breakdown_outputs_cover_all_mechanisms() {
+        use crate::experiment::base_comparison;
+        use commsense_apps::AppSpec;
+        use commsense_machine::MachineConfig;
+        let mut p = commsense_workloads::bipartite::Em3dParams::small();
+        p.nodes = 200;
+        p.iterations = 1;
+        let cfg = MachineConfig::alewife();
+        let results = base_comparison(&AppSpec::Em3d(p), &cfg);
+        let table = breakdown_table("EM3D", &results, &cfg);
+        let bars = breakdown_bars("EM3D", &results, &cfg, 40);
+        let vols = volume_table("EM3D", &results);
+        for mech in commsense_machine::Mechanism::ALL {
+            assert!(table.contains(mech.label()), "table missing {mech}");
+            assert!(bars.contains(mech.label()), "bars missing {mech}");
+            assert!(vols.contains(mech.label()), "volumes missing {mech}");
+        }
+        // The slowest mechanism's bar reaches (close to) full width.
+        assert!(bars.lines().skip(1).any(|l| l.len() > 40));
+    }
+
+    #[test]
+    fn sweep_csv_matches_table_data() {
+        use crate::experiment::bisection_sweep;
+        use commsense_apps::AppSpec;
+        use commsense_machine::{MachineConfig, Mechanism};
+        let mut p = commsense_workloads::bipartite::Em3dParams::small();
+        p.nodes = 200;
+        p.iterations = 1;
+        let sweeps = bisection_sweep(
+            &AppSpec::Em3d(p),
+            &[Mechanism::MsgPoll],
+            &MachineConfig::alewife(),
+            &[0.0, 12.0],
+            64,
+        );
+        let csv = sweep_csv("bpc", &sweeps);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("bpc,mp-poll"));
+        let row: Vec<&str> = lines.next().expect("data row").split(',').collect();
+        assert!((row[0].parse::<f64>().unwrap() - 18.0).abs() < 0.01);
+        assert_eq!(
+            row[1].parse::<u64>().unwrap(),
+            sweeps[0].points[0].result.runtime_cycles
+        );
+        assert_eq!(csv.lines().count(), 3);
+    }
+}

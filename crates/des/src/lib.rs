@@ -1,0 +1,44 @@
+//! Deterministic discrete-event simulation substrate for the `commsense`
+//! machine emulator.
+//!
+//! This crate provides the three primitives every other simulation crate in
+//! the workspace builds on:
+//!
+//! * [`Time`] — simulated time in integer picoseconds, with conversions to
+//!   and from processor cycles at a configurable clock ([`Clock`]). Using
+//!   wall-clock picoseconds (rather than cycles) is essential to the paper's
+//!   clock-scaling experiment (§5.3): the network operates on fixed wall-clock
+//!   latencies while the processor cycle time changes.
+//! * [`EventQueue`] — a priority queue of `(Time, event)` pairs with a
+//!   deterministic total order: ties in time are broken by insertion sequence
+//!   number, so a simulation run is a pure function of its inputs and seed.
+//! * [`Rng`] — a small, fast, seedable xorshift-based generator used by the
+//!   workload generators and cross-traffic injectors, so that runs are
+//!   reproducible without pulling a heavyweight dependency into the
+//!   simulation core.
+//!
+//! # Examples
+//!
+//! ```
+//! use commsense_des::{Clock, EventQueue, Time};
+//!
+//! let clock = Clock::from_mhz(20.0); // MIT Alewife's Sparcle clock
+//! let mut q = EventQueue::new();
+//! q.schedule(clock.cycles(42), "remote clean miss done");
+//! q.schedule(clock.cycles(11), "local miss done");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "local miss done");
+//! assert_eq!(clock.cycles_at(t), 11);
+//! # let _ = t;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+mod rng;
+mod time;
+
+pub use queue::EventQueue;
+pub use rng::Rng;
+pub use time::{Clock, Time};

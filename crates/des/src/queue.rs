@@ -1,0 +1,182 @@
+//! A deterministic event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Time;
+
+/// A pending event: ordered by time, ties broken by insertion sequence.
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of timestamped events.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled, which makes whole-machine simulations reproducible:
+/// identical inputs and seeds yield identical event interleavings and thus
+/// identical cycle counts.
+///
+/// # Examples
+///
+/// ```
+/// use commsense_des::{EventQueue, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Time::from_ns(20), "b");
+/// q.schedule(Time::from_ns(10), "a");
+/// q.schedule(Time::from_ns(20), "c"); // same instant as "b", scheduled later
+/// let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+/// assert_eq!(order, ["a", "b", "c"]);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    last_popped: Time,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            last_popped: Time::ZERO,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last popped event's time:
+    /// scheduling into the past would violate causality.
+    pub fn schedule(&mut self, time: Time, event: E) {
+        assert!(
+            time >= self.last_popped,
+            "event scheduled into the past: {time} < {}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let s = self.heap.pop()?;
+        self.last_popped = s.time;
+        Some((s.time, s.event))
+    }
+
+    /// Returns the time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(30), 3);
+        q.schedule(Time::from_ns(10), 1);
+        q.schedule(Time::from_ns(20), 2);
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(got, [1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Time::from_ns(5), i);
+        }
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        let want: Vec<_> = (0..100).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(7), "x");
+        assert_eq!(q.peek_time(), Some(Time::from_ns(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(10), ());
+        q.pop();
+        q.schedule(Time::from_ns(5), ());
+    }
+
+    #[test]
+    fn scheduling_at_current_time_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(10), 1);
+        q.pop();
+        q.schedule(Time::from_ns(10), 2); // same instant: fine
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: EventQueue<()> = EventQueue::default();
+        assert!(q.is_empty());
+    }
+}

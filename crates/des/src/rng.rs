@@ -1,0 +1,204 @@
+//! A small deterministic random-number generator.
+//!
+//! The simulation core must be reproducible bit-for-bit across runs and
+//! platforms, so it uses this self-contained xorshift64* generator rather
+//! than a thread-seeded external RNG. Workload generators take a `Rng`
+//! explicitly; the same seed always produces the same graph, mesh, matrix,
+//! and molecule set.
+
+/// Deterministic xorshift64\* pseudo-random generator.
+///
+/// Not cryptographically secure — it exists to make simulations and workload
+/// generation reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use commsense_des::Rng;
+///
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let x = a.gen_range(0, 10);
+/// assert!(x < 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. A zero seed is remapped to a fixed
+    /// non-zero constant (xorshift has an all-zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        Rng { state }
+    }
+
+    /// Returns the next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64* (Vigna): xorshift followed by a multiplicative scramble.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Returns a uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        // Multiply-shift range reduction; bias is negligible for our ranges.
+        let span = hi - lo;
+        lo + (((self.next_u64() as u128 * span as u128) >> 64) as u64)
+    }
+
+    /// Returns a uniform `usize` index in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.gen_range(0, n as u64) as usize
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        // 53 high bits -> [0,1) with full double precision.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Returns an approximately standard-normal sample (Irwin–Hall sum of 12).
+    ///
+    /// Adequate for Maxwellian velocity initialization in the MOLDYN
+    /// workload; not intended for statistical work in the tails.
+    pub fn normal(&mut self) -> f64 {
+        let mut s = 0.0;
+        for _ in 0..12 {
+            s += self.f64();
+        }
+        s - 6.0
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// simulated node its own stream.
+    pub fn fork(&mut self) -> Rng {
+        Rng::new(self.next_u64() | 1)
+    }
+}
+
+impl Default for Rng {
+    /// Seeds with a fixed constant (deterministic, like everything here).
+    fn default() -> Self {
+        Rng::new(0xC0FF_EE11)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Rng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = Rng::new(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::new(4);
+        for _ in 0..1000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let mut r = Rng::new(5);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_is_roughly_standard() {
+        let mut r = Rng::new(6);
+        let n = 10_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(8);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        let want: Vec<u32> = (0..50).collect();
+        assert_eq!(sorted, want);
+        assert_ne!(xs, want, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = Rng::new(9);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = Rng::new(10);
+        let _ = r.gen_range(5, 5);
+    }
+}

@@ -1,0 +1,248 @@
+//! Simulated time and processor clocks.
+//!
+//! Time is kept in integer **picoseconds** so that a 20 MHz processor cycle
+//! (50 000 ps) and network wall-clock latencies are both exactly
+//! representable, and so the event queue's total order never depends on
+//! floating-point rounding.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in picoseconds since the start of the run.
+///
+/// `Time` is an absolute instant; durations are also represented as `Time`
+/// (picosecond spans) for simplicity, matching how the simulator composes
+/// them with `+`.
+///
+/// # Examples
+///
+/// ```
+/// use commsense_des::Time;
+///
+/// let t = Time::from_ns(750); // one-way 24-byte packet on Alewife: ~0.75us
+/// assert_eq!(t.as_ps(), 750_000);
+/// assert_eq!(t + Time::from_ns(250), Time::from_us(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// Time zero: the start of the simulation.
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a time from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000_000)
+    }
+
+    /// Returns the raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this time in (truncated) nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns this time as fractional microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction; returns [`Time::ZERO`] instead of wrapping.
+    pub fn saturating_sub(self, other: Time) -> Time {
+        Time(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the later of two times.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Time::saturating_sub`] when the ordering is not guaranteed.
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_us_f64())
+    }
+}
+
+/// A processor clock: converts between cycles and wall-clock [`Time`].
+///
+/// The paper's latency-scaling experiment (§5.3) slows the Sparcle clock from
+/// 20 MHz to 14 MHz while the asynchronous network keeps fixed wall-clock
+/// latency, so the *same* network appears faster or slower in processor
+/// cycles. `Clock` is therefore the only place cycles and picoseconds meet.
+///
+/// # Examples
+///
+/// ```
+/// use commsense_des::Clock;
+///
+/// let alewife = Clock::from_mhz(20.0);
+/// assert_eq!(alewife.cycle_ps(), 50_000);
+/// let slow = Clock::from_mhz(14.0);
+/// // The same 750ns network transit costs more cycles on the slower clock
+/// // (i.e. the network looks *faster* relative to the processor — the paper
+/// // plots this as lower relative network latency when the clock is fast).
+/// use commsense_des::Time;
+/// assert!(slow.cycles_at_f64(Time::from_ns(750)) < alewife.cycles_at_f64(Time::from_ns(750)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Clock {
+    cycle_ps: u64,
+    mhz: f64,
+}
+
+impl Clock {
+    /// Creates a clock running at `mhz` megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is not strictly positive and finite.
+    pub fn from_mhz(mhz: f64) -> Self {
+        assert!(mhz.is_finite() && mhz > 0.0, "clock rate must be positive");
+        let cycle_ps = (1e6 / mhz).round() as u64;
+        Clock { cycle_ps, mhz }
+    }
+
+    /// The length of one processor cycle in picoseconds.
+    pub fn cycle_ps(self) -> u64 {
+        self.cycle_ps
+    }
+
+    /// The clock rate in MHz.
+    pub fn mhz(self) -> f64 {
+        self.mhz
+    }
+
+    /// Converts a whole number of cycles to a time span.
+    pub fn cycles(self, n: u64) -> Time {
+        Time::from_ps(n * self.cycle_ps)
+    }
+
+    /// Converts a fractional number of cycles to a time span (rounded).
+    pub fn cycles_f64(self, n: f64) -> Time {
+        Time::from_ps((n * self.cycle_ps as f64).round() as u64)
+    }
+
+    /// Converts a time span to whole cycles (truncated).
+    pub fn cycles_at(self, t: Time) -> u64 {
+        t.as_ps() / self.cycle_ps
+    }
+
+    /// Converts a time span to fractional cycles.
+    pub fn cycles_at_f64(self, t: Time) -> f64 {
+        t.as_ps() as f64 / self.cycle_ps as f64
+    }
+}
+
+impl Default for Clock {
+    /// The Alewife Sparcle clock: 20 MHz.
+    fn default() -> Self {
+        Clock::from_mhz(20.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversions_roundtrip() {
+        assert_eq!(Time::from_ns(1).as_ps(), 1_000);
+        assert_eq!(Time::from_us(3).as_ns(), 3_000);
+        assert_eq!(Time::from_ps(1_234_567).as_ns(), 1_234);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let a = Time::from_ns(100);
+        let b = Time::from_ns(40);
+        assert_eq!(a + b, Time::from_ns(140));
+        assert_eq!(a - b, Time::from_ns(60));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a.max(b), a);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Time::from_ns(140));
+    }
+
+    #[test]
+    fn time_display_is_nonempty() {
+        assert_eq!(format!("{}", Time::from_us(2)), "2.000us");
+    }
+
+    #[test]
+    fn clock_20mhz_cycle_is_50ns() {
+        let c = Clock::from_mhz(20.0);
+        assert_eq!(c.cycle_ps(), 50_000);
+        assert_eq!(c.cycles(42), Time::from_ns(2_100));
+        assert_eq!(c.cycles_at(Time::from_us(1)), 20);
+    }
+
+    #[test]
+    fn clock_scaling_changes_relative_latency() {
+        // At a slower processor clock the same wall-clock network latency
+        // costs *fewer* cycles, emulating a relatively faster network.
+        let net = Time::from_ns(750);
+        let fast = Clock::from_mhz(20.0).cycles_at_f64(net);
+        let slow = Clock::from_mhz(14.0).cycles_at_f64(net);
+        assert!(slow < fast);
+        assert!((fast - 15.0).abs() < 0.01, "20MHz: 750ns == 15 cycles");
+    }
+
+    #[test]
+    fn fractional_cycles_round() {
+        let c = Clock::from_mhz(20.0);
+        // 1.6 cycles/hop from the Alewife cost table.
+        assert_eq!(c.cycles_f64(1.6), Time::from_ps(80_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_clock_rejected() {
+        let _ = Clock::from_mhz(0.0);
+    }
+
+    #[test]
+    fn default_clock_is_alewife() {
+        assert_eq!(Clock::default().cycle_ps(), 50_000);
+    }
+}

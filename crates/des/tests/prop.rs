@@ -1,0 +1,77 @@
+//! Property tests: the event queue against a reference model, and RNG
+//! distribution sanity.
+
+use commsense_des::{EventQueue, Rng, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// The queue pops in exactly the order of a stable sort by time of the
+    /// scheduled events (ties by insertion order).
+    #[test]
+    fn queue_matches_stable_sort(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Time::from_ns(t), i);
+        }
+        let mut want: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        want.sort_by_key(|&(t, _)| t); // stable: ties keep insertion order
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| q.pop()).map(|(t, i)| (t.as_ns(), i)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Interleaved schedule/pop keeps the never-into-the-past invariant and
+    /// loses no events.
+    #[test]
+    fn interleaved_operation_is_lossless(
+        batches in proptest::collection::vec(proptest::collection::vec(0u64..100, 1..10), 1..20)
+    ) {
+        let mut q = EventQueue::new();
+        let mut scheduled = 0usize;
+        let mut popped = 0usize;
+        let mut base = 0u64;
+        for batch in batches {
+            for &dt in &batch {
+                q.schedule(Time::from_ns(base + dt), scheduled);
+                scheduled += 1;
+            }
+            // Pop half of what's pending.
+            for _ in 0..(q.len() / 2) {
+                let (t, _) = q.pop().expect("non-empty");
+                base = base.max(t.as_ns());
+                popped += 1;
+            }
+        }
+        popped += std::iter::from_fn(|| q.pop()).count();
+        prop_assert_eq!(popped, scheduled);
+    }
+
+    /// gen_range stays in range and hits both halves of any sizable range.
+    #[test]
+    fn rng_range_is_uniformish(seed in 1u64.., lo in 0u64..1000, span in 2u64..1000) {
+        let mut rng = Rng::new(seed);
+        let hi = lo + span;
+        let mut low_half = 0;
+        let n = 400;
+        for _ in 0..n {
+            let v = rng.gen_range(lo, hi);
+            prop_assert!((lo..hi).contains(&v));
+            if v < lo + span / 2 {
+                low_half += 1;
+            }
+        }
+        // Crude two-sided bound; overwhelmingly satisfied for uniform draws.
+        prop_assert!((n / 8..n * 7 / 8).contains(&low_half), "low half {low_half}");
+    }
+
+    /// Forked streams do not repeat the parent's next outputs.
+    #[test]
+    fn rng_forks_are_decorrelated(seed in 1u64..) {
+        let mut parent = Rng::new(seed);
+        let mut child = parent.fork();
+        let a: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        prop_assert_ne!(a, b);
+    }
+}

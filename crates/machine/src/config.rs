@@ -1,0 +1,330 @@
+//! Machine configuration: mechanisms, cost model, sensitivity knobs.
+
+use commsense_cache::ProtoConfig;
+use commsense_mesh::{CrossTrafficConfig, NetConfig};
+use commsense_msgpass::MsgCosts;
+
+/// The five communication mechanisms compared by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// Sequentially consistent shared memory (LimitLESS protocol).
+    SharedMem,
+    /// Shared memory plus non-binding software prefetch.
+    SharedMemPrefetch,
+    /// Fine-grained active messages received via interrupts.
+    MsgInterrupt,
+    /// Fine-grained active messages received via polling (Remote Queues).
+    MsgPoll,
+    /// Bulk transfer via DMA appended to active messages.
+    Bulk,
+}
+
+impl Mechanism {
+    /// All five mechanisms, in the paper's plotting order.
+    pub const ALL: [Mechanism; 5] = [
+        Mechanism::SharedMem,
+        Mechanism::SharedMemPrefetch,
+        Mechanism::MsgInterrupt,
+        Mechanism::MsgPoll,
+        Mechanism::Bulk,
+    ];
+
+    /// Short label used in tables and plots.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::SharedMem => "sm",
+            Mechanism::SharedMemPrefetch => "sm+pf",
+            Mechanism::MsgInterrupt => "mp-int",
+            Mechanism::MsgPoll => "mp-poll",
+            Mechanism::Bulk => "bulk",
+        }
+    }
+
+    /// Whether programs of this mechanism communicate via shared memory.
+    pub fn is_shared_memory(self) -> bool {
+        matches!(self, Mechanism::SharedMem | Mechanism::SharedMemPrefetch)
+    }
+
+    /// Whether shared-memory programs should issue prefetches.
+    pub fn uses_prefetch(self) -> bool {
+        self == Mechanism::SharedMemPrefetch
+    }
+
+    /// How user messages are received under this mechanism.
+    pub fn receive_mode(self) -> ReceiveMode {
+        match self {
+            Mechanism::MsgPoll => ReceiveMode::Poll,
+            _ => ReceiveMode::Interrupt,
+        }
+    }
+
+    /// Which barrier implementation matches this programming style.
+    pub fn barrier_style(self) -> BarrierStyle {
+        if self.is_shared_memory() {
+            BarrierStyle::SharedMemory
+        } else {
+            BarrierStyle::MessageTree
+        }
+    }
+}
+
+impl std::fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How arriving user-level messages reach their handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiveMode {
+    /// The message interrupts the processor on arrival.
+    Interrupt,
+    /// Messages queue until the program issues a poll step; system messages
+    /// still arrive via selective interrupts (Remote Queues).
+    Poll,
+}
+
+/// Which barrier implementation the machine provides for `Step::Barrier`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierStyle {
+    /// Counter + release flag in shared memory, generating real coherence
+    /// traffic (read-modify-writes, an invalidation sweep, re-reads).
+    SharedMemory,
+    /// Binary combining tree of active messages.
+    MessageTree,
+}
+
+/// Uniform remote-miss latency emulation (the paper's context-switch
+/// experiment, §5.3 / Figure 10): protocol messages travel an ideal
+/// (contention-free, near-zero-latency) network, and every remote demand
+/// miss instead costs a fixed number of processor cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyEmulation {
+    /// Cycles charged per remote demand miss (the emulated round trip).
+    pub remote_miss_cycles: u64,
+    /// Cycles charged per prefetch completion. The paper notes prefetch is
+    /// "not precisely modeled" under this emulation; we charge the full
+    /// emulated latency so prefetches must be issued far enough ahead.
+    pub prefetch_cycles: u64,
+}
+
+impl LatencyEmulation {
+    /// Emulates a uniform `cycles`-per-remote-miss machine.
+    pub fn uniform(cycles: u64) -> Self {
+        LatencyEmulation { remote_miss_cycles: cycles, prefetch_cycles: cycles }
+    }
+}
+
+/// Processor-side cost constants of the shared-memory system, in cycles.
+///
+/// Calibrated against the Figure 3 cost table: local clean miss 11 cycles,
+/// remote clean ≈ 42, remote dirty ≈ 63 (plus 1.6 cycles/hop supplied by
+/// the network model), LimitLESS software handling in the several-hundred
+/// range (see `ProtoConfig`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cache hit (load or store).
+    pub cache_hit: u64,
+    /// Atomic read-modify-write on an owned line.
+    pub rmw_hit: u64,
+    /// Detecting a miss and issuing the request to the CMMU.
+    pub miss_issue: u64,
+    /// Transit of a protocol message between the processor and its own
+    /// local directory (no network involved).
+    pub local_msg: u64,
+    /// Directory occupancy for a read/write request arriving over the
+    /// network (directory walk + DRAM access).
+    pub dir_request_occ: u64,
+    /// Directory occupancy for a request from the local processor
+    /// (Alewife's fast local-miss path).
+    pub dir_request_occ_local: u64,
+    /// Controller occupancy to receive a grant from the network.
+    pub grant_occ: u64,
+    /// Controller occupancy to receive a locally produced grant.
+    pub grant_occ_local: u64,
+    /// Occupancy to service an intervention (Fetch/Recall/Inv) at a cache,
+    /// or an acknowledgement (InvAck/WbData) at the home.
+    pub snoop_occ: u64,
+    /// Filling the cache and restarting the processor after a grant.
+    pub grant_fill: u64,
+    /// Issuing a prefetch instruction (also the cost of a useless one; the
+    /// paper notes a runtime remoteness check costs the same).
+    pub prefetch_issue: u64,
+    /// Promoting a line from the prefetch buffer into the cache.
+    pub prefetch_promote: u64,
+    /// Protocol-message transit on the ideal network of the latency
+    /// emulation mode.
+    pub emu_ideal_msg: u64,
+}
+
+impl CostModel {
+    /// The Alewife calibration.
+    pub fn alewife() -> Self {
+        CostModel {
+            cache_hit: 1,
+            rmw_hit: 3,
+            miss_issue: 2,
+            local_msg: 1,
+            dir_request_occ: 8,
+            dir_request_occ_local: 2,
+            grant_occ: 5,
+            grant_occ_local: 2,
+            snoop_occ: 3,
+            grant_fill: 3,
+            prefetch_issue: 3,
+            prefetch_promote: 4,
+            emu_ideal_msg: 1,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::alewife()
+    }
+}
+
+/// Full configuration of an emulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of compute nodes (must equal `net.width * net.height`).
+    pub nodes: usize,
+    /// Network parameters.
+    pub net: NetConfig,
+    /// Processor clock in MHz (Alewife: 20; scalable down to 14 for the
+    /// Figure 9 experiment).
+    pub cpu_mhz: f64,
+    /// Shared-memory cost constants.
+    pub costs: CostModel,
+    /// Message-passing cost constants.
+    pub msg: MsgCosts,
+    /// Coherence protocol parameters.
+    pub proto: ProtoConfig,
+    /// How user messages are received.
+    pub receive: ReceiveMode,
+    /// Barrier implementation.
+    pub barrier: BarrierStyle,
+    /// Optional background cross-traffic (bisection emulation, Figure 8).
+    pub cross_traffic: Option<CrossTrafficConfig>,
+    /// Optional uniform-latency emulation (Figure 10).
+    pub latency_emulation: Option<LatencyEmulation>,
+    /// Store-buffer depth for relaxed (release-consistent) writes: 0 means
+    /// sequential consistency (stores stall, the Alewife model of the
+    /// paper); `n > 0` lets up to `n` store misses stay outstanding, with
+    /// barriers acting as release fences — the §2 technique for tolerating
+    /// latency that the paper contrasts with SC.
+    pub write_buffer: usize,
+}
+
+impl MachineConfig {
+    /// The 32-node MIT Alewife machine of the paper.
+    pub fn alewife() -> Self {
+        MachineConfig {
+            nodes: 32,
+            net: NetConfig::alewife(),
+            cpu_mhz: 20.0,
+            costs: CostModel::alewife(),
+            msg: MsgCosts::alewife(),
+            proto: ProtoConfig::default(),
+            receive: ReceiveMode::Interrupt,
+            barrier: BarrierStyle::SharedMemory,
+            cross_traffic: None,
+            latency_emulation: None,
+            write_buffer: 0,
+        }
+    }
+
+    /// A small 2×2 machine for fast tests.
+    pub fn tiny() -> Self {
+        let mut cfg = MachineConfig::alewife();
+        cfg.nodes = 4;
+        cfg.net.width = 2;
+        cfg.net.height = 2;
+        cfg
+    }
+
+    /// Applies the receive mode and barrier style implied by `mech`
+    /// (builder style).
+    pub fn with_mechanism(mut self, mech: Mechanism) -> Self {
+        self.receive = mech.receive_mode();
+        self.barrier = mech.barrier_style();
+        self
+    }
+
+    /// Sets the processor clock (builder style).
+    pub fn with_cpu_mhz(mut self, mhz: f64) -> Self {
+        self.cpu_mhz = mhz;
+        self
+    }
+
+    /// The processor clock object.
+    pub fn clock(&self) -> commsense_des::Clock {
+        commsense_des::Clock::from_mhz(self.cpu_mhz)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` does not match the mesh dimensions.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.nodes,
+            self.net.width as usize * self.net.height as usize,
+            "node count must match mesh dimensions"
+        );
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::alewife()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mechanism_properties() {
+        assert!(Mechanism::SharedMem.is_shared_memory());
+        assert!(Mechanism::SharedMemPrefetch.uses_prefetch());
+        assert!(!Mechanism::SharedMem.uses_prefetch());
+        assert_eq!(Mechanism::MsgPoll.receive_mode(), ReceiveMode::Poll);
+        assert_eq!(Mechanism::MsgInterrupt.receive_mode(), ReceiveMode::Interrupt);
+        assert_eq!(Mechanism::Bulk.barrier_style(), BarrierStyle::MessageTree);
+        assert_eq!(Mechanism::SharedMem.barrier_style(), BarrierStyle::SharedMemory);
+        assert_eq!(Mechanism::ALL.len(), 5);
+        assert_eq!(format!("{}", Mechanism::MsgPoll), "mp-poll");
+    }
+
+    #[test]
+    fn alewife_config_is_consistent() {
+        let cfg = MachineConfig::alewife();
+        cfg.validate();
+        assert_eq!(cfg.clock().cycle_ps(), 50_000);
+    }
+
+    #[test]
+    fn with_mechanism_sets_modes() {
+        let cfg = MachineConfig::alewife().with_mechanism(Mechanism::MsgPoll);
+        assert_eq!(cfg.receive, ReceiveMode::Poll);
+        assert_eq!(cfg.barrier, BarrierStyle::MessageTree);
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh dimensions")]
+    fn validate_catches_mismatch() {
+        let mut cfg = MachineConfig::alewife();
+        cfg.nodes = 16;
+        cfg.validate();
+    }
+
+    #[test]
+    fn latency_emulation_uniform() {
+        let emu = LatencyEmulation::uniform(100);
+        assert_eq!(emu.remote_miss_cycles, 100);
+        assert_eq!(emu.prefetch_cycles, 100);
+    }
+}

@@ -1,0 +1,40 @@
+//! The Alewife-class machine emulator.
+//!
+//! This crate ties the substrates together into a runnable 32-node (by
+//! default) multiprocessor model:
+//!
+//! * Each node executes a [`Program`]: an abstract
+//!   instruction stream of [`Step`]s — compute blocks,
+//!   shared-memory accesses, prefetches, active-message sends, polls,
+//!   barriers — which the machine charges to the paper's four time buckets
+//!   (Synchronization, Message Overhead, Memory + NI Wait, Compute;
+//!   Figure 4).
+//! * Shared-memory accesses run the LimitLESS directory protocol from
+//!   `commsense-cache` over the contention-aware mesh from
+//!   `commsense-mesh`; message sends travel the same mesh and are received
+//!   by interrupts or polling with `commsense-msgpass` costs.
+//! * The machine implements both barrier styles (shared-memory counter +
+//!   flag with real coherence traffic; message-passing combining tree) and
+//!   both sensitivity knobs of §5: background cross-traffic that consumes
+//!   bisection bandwidth, and processor-clock scaling against the
+//!   fixed-wall-clock network. A third mode emulates arbitrary uniform
+//!   remote-miss latencies on an ideal network (the paper's context-switch
+//!   experiment, Figure 10).
+//!
+//! See `commsense-apps` for complete programs and the crate tests for
+//! minimal ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod machine;
+pub mod program;
+pub mod stats;
+pub mod trace;
+
+pub use config::{CostModel, LatencyEmulation, MachineConfig, Mechanism, ReceiveMode};
+pub use machine::{Machine, MachineSpec};
+pub use program::{HandlerCtx, NodeCtx, Program, RmwOp, Step};
+pub use stats::{Bucket, NodeStats, RunStats};
+pub use trace::{Trace, TraceEvent, TraceKind};

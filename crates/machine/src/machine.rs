@@ -1,0 +1,1446 @@
+//! The machine: event loop, node driver, and mechanism orchestration.
+
+use std::collections::HashMap;
+
+use commsense_cache::{
+    AccessKind, AccessStart, Heap, LineId, MsgClass, ProtoMsg, ProtoOut, Protocol, TxnToken, Word,
+};
+use commsense_des::{Clock, EventQueue, Time};
+use commsense_mesh::{CrossTraffic, Endpoint, NetEvent, Network, Packet, PacketClass};
+use commsense_msgpass::{ActiveMessage, BarrierTree, HandlerId, RemoteQueue};
+
+use crate::config::{BarrierStyle, MachineConfig, ReceiveMode};
+use crate::program::{HandlerCtx, NodeCtx, Program, RmwOp, Step};
+use crate::stats::{Bucket, LatencyHistogram, NodeStats, RunStats};
+use crate::trace::{Trace, TraceKind};
+
+/// System handler id: message-passing barrier arrival.
+const SYS_BAR_ARRIVE: u16 = HandlerId::SYSTEM_BASE;
+/// System handler id: message-passing barrier release.
+const SYS_BAR_RELEASE: u16 = HandlerId::SYSTEM_BASE + 1;
+
+/// Maximum cycles a node executes inline before yielding to the event loop.
+/// Keeps event counts low without letting interrupt timing drift far.
+const BATCH_CYCLES: u64 = 120;
+
+/// Everything an application hands to the machine: the shared heap it
+/// allocated, initial master-memory contents, and one program per node.
+pub struct MachineSpec {
+    /// Shared-memory layout (may be empty for pure message-passing apps).
+    pub heap: Heap,
+    /// Initial values of all shared words (`heap.total_words()` entries).
+    pub initial: Vec<f64>,
+    /// One program per node.
+    pub programs: Vec<Box<dyn Program>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MemOp {
+    Read { word: Word, sync: bool },
+    Write { word: Word, val: f64 },
+    Rmw { line: LineId, op: RmwOp },
+}
+
+impl MemOp {
+    fn line(self) -> LineId {
+        match self {
+            MemOp::Read { word, .. } | MemOp::Write { word, .. } => word.line,
+            MemOp::Rmw { line, .. } => line,
+        }
+    }
+
+    fn kind(self) -> AccessKind {
+        match self {
+            MemOp::Read { .. } => AccessKind::Read,
+            MemOp::Write { .. } => AccessKind::Write,
+            MemOp::Rmw { .. } => AccessKind::Rmw,
+        }
+    }
+
+    fn block_bucket(self) -> Bucket {
+        match self {
+            MemOp::Read { sync: true, .. } | MemOp::Rmw { .. } => Bucket::Sync,
+            _ => Bucket::MemWait,
+        }
+    }
+}
+
+/// Result of posting a relaxed store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PostOutcome {
+    /// Issued (hit, or posted to the buffer); cost in cycles.
+    Inline(u64),
+    /// Another transaction is in flight for the same line.
+    Conflict,
+    /// The write buffer is full; the store must stall.
+    BufferFull,
+}
+
+/// Stages of the shared-memory combining-tree barrier. Each node owns a
+/// counter line and a release-flag line (both homed locally), so arrival
+/// combining climbs the tree with one remote RMW per hop and waiters spin
+/// on their *local* flag — the standard software tree barrier for
+/// Alewife-class machines (no wide sharing, no LimitLESS hot spot).
+#[derive(Debug, Clone, Copy)]
+enum BarStage {
+    /// RMW on our own counter (counts our own arrival).
+    Arrive,
+    /// RMW on the parent's counter (our subtree is complete).
+    Notify,
+    /// Read of our own flag; we then spin until released.
+    WaitFlag,
+    /// Write of a child's flag (release propagating downward).
+    ReleaseWrite {
+        /// The child being released.
+        child: u16,
+    },
+    /// Re-read of our own flag after the release invalidation.
+    ResumeRead,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Purpose {
+    Demand { node: usize, op: MemOp },
+    Prefetch { node: usize, merged: Option<MemOp>, issued: Time },
+    /// A relaxed (release-consistent) store posted to the write buffer:
+    /// the processor continues; the value applies at completion.
+    Posted { node: usize, op: MemOp, merged: Option<MemOp> },
+    Bar { node: usize, stage: BarStage, parity: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum OutKind {
+    Demand,
+    Prefetch,
+    Posted,
+    Sys,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OutstandingEntry {
+    token: u64,
+    kind: OutKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Status {
+    /// A wake event is scheduled (or the node is mid-batch).
+    Running,
+    /// Waiting for a coherence transaction; `bucket` says where the stall
+    /// is charged.
+    BlockedMem { since: Time, bucket: Bucket },
+    /// Stalled on a full network-output port.
+    BlockedSend { since: Time },
+    /// Blocked in `Step::WaitMsg`.
+    BlockedMsg { since: Time },
+    /// Inside the barrier.
+    InBarrier { since: Time },
+    /// Program complete.
+    Done,
+}
+
+impl Status {
+    /// The logical block start, for blocked states.
+    fn since(self) -> Option<Time> {
+        match self {
+            Status::BlockedMem { since, .. }
+            | Status::BlockedSend { since }
+            | Status::BlockedMsg { since }
+            | Status::InBarrier { since } => Some(since),
+            Status::Running | Status::Done => None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct NodeState {
+    status: Status,
+    gen: u64,
+    pending_delay: Time,
+    handler_in_block: Time,
+    rq: RemoteQueue,
+    stats: NodeStats,
+    waitmsg_handled: bool,
+    finish: Option<Time>,
+    ctrl_free_at: Time,
+    loaded: f64,
+    rmw: (f64, f64),
+    /// Outstanding posted (relaxed) stores.
+    posted: usize,
+    /// A store stalled on a full write buffer, to retry when a slot frees.
+    stalled_store: Option<MemOp>,
+    /// Pending release fence: what to do once `posted` drains to zero.
+    fence: Option<FenceTarget>,
+    /// When the node's current handler activity finishes; a blocked node
+    /// cannot resume earlier (handlers occupy the processor).
+    handler_busy_until: Time,
+}
+
+/// What a node does after its write buffer drains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FenceTarget {
+    /// Enter the barrier (barriers are release fences).
+    Barrier,
+    /// Retire the program.
+    Done,
+}
+
+impl NodeState {
+    fn new() -> Self {
+        NodeState {
+            status: Status::Running,
+            gen: 0,
+            pending_delay: Time::ZERO,
+            handler_in_block: Time::ZERO,
+            rq: RemoteQueue::new(),
+            stats: NodeStats::default(),
+            waitmsg_handled: false,
+            finish: None,
+            ctrl_free_at: Time::ZERO,
+            loaded: 0.0,
+            rmw: (0.0, 0.0),
+            posted: 0,
+            stalled_store: None,
+            fence: None,
+            handler_busy_until: Time::ZERO,
+        }
+    }
+}
+
+/// Per-node, per-parity bookkeeping of the shared-memory tree barrier.
+#[derive(Debug, Default, Clone, Copy)]
+struct SmBar {
+    /// Arrivals observed (self + completed child subtrees).
+    count: usize,
+    /// Our flag read completed before the release reached us.
+    waiting: bool,
+    /// The release write for this epoch has reached our flag.
+    released: bool,
+    /// Release writes to children still outstanding.
+    pending_writes: usize,
+}
+
+#[derive(Debug)]
+struct BarrierCtl {
+    tree: BarrierTree,
+    /// `lines[parity][node]` = `[counter, flag]` lines homed at `node`.
+    lines: [Vec<[LineId; 2]>; 2],
+    sm: Vec<[SmBar; 2]>,
+    node_epoch: Vec<u64>,
+    mp_counts: Vec<[usize; 2]>,
+}
+
+#[derive(Debug, Clone)]
+enum Envelope {
+    Proto { from: usize, msg: ProtoMsg },
+    Am { am: ActiveMessage },
+}
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Wake(usize, u64),
+    Net(NetEvent),
+    Proto { at: usize, from: usize, msg: ProtoMsg },
+    FillPrefetch { token: u64, line: LineId, exclusive: bool },
+    CrossTick,
+}
+
+/// The emulated machine. Construct with [`Machine::new`], drive with
+/// [`Machine::run`], then inspect [`RunStats`], the master memory, or the
+/// final program states.
+///
+/// # Examples
+///
+/// A two-node producer/consumer over shared memory:
+///
+/// ```
+/// use std::any::Any;
+/// use commsense_cache::{Heap, Word};
+/// use commsense_machine::program::{HandlerCtx, NodeCtx, Program, Step};
+/// use commsense_machine::{Machine, MachineConfig, MachineSpec};
+///
+/// struct OneShot(Vec<Step>, usize);
+/// impl Program for OneShot {
+///     fn resume(&mut self, _ctx: &mut NodeCtx) -> Step {
+///         let s = self.0.get(self.1).cloned().unwrap_or(Step::Done);
+///         self.1 += 1;
+///         s
+///     }
+///     fn on_message(&mut self, _h: u16, _a: &[u64], _b: &[u64], _c: &mut HandlerCtx) {}
+///     fn as_any(&self) -> &dyn Any { self }
+/// }
+///
+/// let cfg = MachineConfig::tiny(); // 2x2 mesh
+/// let mut heap = Heap::new(cfg.nodes);
+/// let line = heap.alloc(1, |_| 0);
+/// let w = line.word(0, 0);
+/// let programs: Vec<Box<dyn Program>> = (0..cfg.nodes)
+///     .map(|n| Box::new(OneShot(match n {
+///         0 => vec![Step::Store(w, 6.5), Step::Barrier],
+///         1 => vec![Step::Barrier, Step::Load(w)],
+///         _ => vec![Step::Barrier],
+///     }, 0)) as Box<dyn Program>)
+///     .collect();
+/// let initial = vec![0.0; heap.total_words()];
+/// let mut machine = Machine::new(cfg, MachineSpec { heap, initial, programs });
+/// let stats = machine.run();
+/// assert!(stats.runtime_cycles > 0);
+/// assert_eq!(machine.master_word(w), 6.5);
+/// ```
+pub struct Machine {
+    cfg: MachineConfig,
+    clock: Clock,
+    queue: EventQueue<Ev>,
+    now: Time,
+    net: Network,
+    proto: Protocol,
+    master: Vec<f64>,
+    programs: Vec<Box<dyn Program>>,
+    nodes: Vec<NodeState>,
+    envelopes: Vec<Option<Envelope>>,
+    free_envelopes: Vec<usize>,
+    tokens: HashMap<u64, Purpose>,
+    next_token: u64,
+    outstanding: HashMap<(usize, u64), OutstandingEntry>,
+    barrier: BarrierCtl,
+    cross: Option<CrossTraffic>,
+    finished: usize,
+    events: u64,
+    messages_sent: u64,
+    useless_prefetches: u64,
+    miss_latency: LatencyHistogram,
+    trace: Option<Trace>,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration and an application spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is inconsistent, if `spec.initial` does not
+    /// match the heap size, or if the program count differs from the node
+    /// count.
+    pub fn new(cfg: MachineConfig, spec: MachineSpec) -> Self {
+        cfg.validate();
+        let MachineSpec { mut heap, mut initial, programs } = spec;
+        assert_eq!(initial.len(), heap.total_words(), "initial values must cover the heap");
+        assert_eq!(programs.len(), cfg.nodes, "one program per node");
+        assert_eq!(heap.nodes(), cfg.nodes, "heap node count must match machine");
+
+        // Machine-internal barrier lines: per node, [counter, flag] x 2
+        // parities, homed at the owning node (combining-tree layout).
+        let n_nodes = cfg.nodes;
+        let bar = heap.alloc(4 * n_nodes, |i| i / 4);
+        initial.extend(std::iter::repeat_n(0.0, 8 * n_nodes));
+        let lines = [
+            (0..n_nodes).map(|i| [bar.line(4 * i), bar.line(4 * i + 1)]).collect::<Vec<_>>(),
+            (0..n_nodes).map(|i| [bar.line(4 * i + 2), bar.line(4 * i + 3)]).collect::<Vec<_>>(),
+        ];
+
+        let clock = cfg.clock();
+        let n = cfg.nodes;
+        let proto = Protocol::new(heap, cfg.proto.clone());
+        let net = Network::new(cfg.net.clone());
+        let cross = cfg.cross_traffic.clone().map(CrossTraffic::new);
+        let mut m = Machine {
+            cfg,
+            clock,
+            queue: EventQueue::new(),
+            now: Time::ZERO,
+            net,
+            proto,
+            master: initial,
+            programs,
+            nodes: (0..n).map(|_| NodeState::new()).collect(),
+            envelopes: Vec::new(),
+            free_envelopes: Vec::new(),
+            tokens: HashMap::new(),
+            next_token: 0,
+            outstanding: HashMap::new(),
+            barrier: BarrierCtl {
+                tree: BarrierTree::new(n),
+                lines,
+                sm: vec![[SmBar::default(); 2]; n],
+                node_epoch: vec![0; n],
+                mp_counts: vec![[0, 0]; n],
+            },
+            cross,
+            finished: 0,
+            events: 0,
+            messages_sent: 0,
+            useless_prefetches: 0,
+            miss_latency: LatencyHistogram::default(),
+            trace: None,
+        };
+        for node in 0..n {
+            m.schedule_wake(node, Time::ZERO);
+        }
+        if let Some(iv) = m.cross.as_ref().and_then(|c| c.interval()) {
+            m.queue.schedule(iv, Ev::CrossTick);
+        }
+        m
+    }
+
+    /// Runs the machine until every program is done.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event queue drains while programs are still blocked
+    /// (an application deadlock).
+    pub fn run(&mut self) -> RunStats {
+        while self.finished < self.cfg.nodes {
+            let Some((t, ev)) = self.queue.pop() else {
+                let stuck: Vec<String> = self
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, n)| n.status != Status::Done)
+                    .map(|(i, n)| format!("{i}:{:?}", n.status))
+                    .collect();
+                panic!(
+                    "deadlock: nodes blocked with no pending events: {stuck:?}; \
+                     outstanding={:?} tokens={:?} barrier={:?}",
+                    self.outstanding, self.tokens, self.barrier.sm
+                );
+            };
+            self.now = t;
+            self.events += 1;
+            self.dispatch(ev);
+        }
+        self.collect_stats()
+    }
+
+    /// The master copy of shared memory (valid after [`Machine::run`]).
+    pub fn master(&self) -> &[f64] {
+        &self.master
+    }
+
+    /// Reads one shared word from the master copy.
+    pub fn master_word(&self, w: Word) -> f64 {
+        self.master[w.flat_index()]
+    }
+
+    /// Consumes the machine, returning the final program states for
+    /// downcasting.
+    pub fn into_programs(self) -> Vec<Box<dyn Program>> {
+        self.programs
+    }
+
+    /// The protocol engine (for invariant checks in tests).
+    pub fn protocol(&self) -> &Protocol {
+        &self.proto
+    }
+
+    /// Enables execution tracing with the given event capacity (call
+    /// before [`Machine::run`]).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn trace_event(&mut self, at: Time, node: usize, kind: TraceKind) {
+        let now = self.now;
+        if let Some(t) = self.trace.as_mut() {
+            t.record(at, now, node, kind);
+        }
+    }
+
+    fn collect_stats(&self) -> RunStats {
+        let runtime = self.nodes.iter().filter_map(|n| n.finish).fold(Time::ZERO, Time::max);
+        RunStats {
+            runtime,
+            runtime_cycles: self.clock.cycles_at(runtime),
+            nodes: self.nodes.iter().map(|n| n.stats).collect(),
+            volume: self.net.stats().injected,
+            bisection: self.net.stats().bisection,
+            proto: self.proto.stats(),
+            messages_sent: self.messages_sent,
+            events: self.events,
+            mean_packet_latency: self.net.stats().mean_latency(),
+            useless_prefetches: self.useless_prefetches,
+            useful_prefetches: (0..self.cfg.nodes)
+                .map(|n| self.proto.prefetch_stats(n).0)
+                .sum(),
+            cache_hit_miss: (0..self.cfg.nodes).fold((0, 0), |(h, m), n| {
+                let (nh, nm) = self.proto.cache_hit_miss(n);
+                (h + nh, m + nm)
+            }),
+            miss_latency: self.miss_latency,
+        }
+    }
+
+    // ---- time helpers -------------------------------------------------
+
+    fn cycles(&self, c: u64) -> Time {
+        self.clock.cycles(c)
+    }
+
+    fn charge(&mut self, node: usize, bucket: Bucket, d: Time) {
+        self.nodes[node].stats.charge(bucket, d);
+    }
+
+    fn mint_token(&mut self) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        t
+    }
+
+    fn schedule_wake(&mut self, node: usize, at: Time) {
+        self.nodes[node].gen += 1;
+        let gen = self.nodes[node].gen;
+        self.nodes[node].status = Status::Running;
+        self.queue.schedule(at, Ev::Wake(node, gen));
+    }
+
+    // ---- event dispatch -----------------------------------------------
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Wake(node, gen) => {
+                if self.nodes[node].gen != gen || self.nodes[node].status != Status::Running {
+                    return;
+                }
+                if self.nodes[node].pending_delay > Time::ZERO {
+                    let d = std::mem::take(&mut self.nodes[node].pending_delay);
+                    let at = self.now + d;
+                    self.schedule_wake(node, at);
+                    return;
+                }
+                self.run_node(node);
+            }
+            Ev::Net(nev) => {
+                let mut sched: Vec<(Time, NetEvent)> = Vec::new();
+                let delivery = self.net.handle(self.now, nev, &mut |t, e| sched.push((t, e)));
+                for (t, e) in sched {
+                    self.queue.schedule(t, Ev::Net(e));
+                }
+                if let Some(d) = delivery {
+                    self.deliver(d.packet);
+                }
+            }
+            Ev::Proto { at, from, msg } => {
+                if self.now < self.nodes[at].ctrl_free_at {
+                    let t = self.nodes[at].ctrl_free_at;
+                    self.queue.schedule(t, Ev::Proto { at, from, msg });
+                    return;
+                }
+                let occ = self.proto_msg_occupancy(at, from, &msg);
+                let outs = self.proto.handle(at, from, msg);
+                self.process_controller_outs(at, occ, outs);
+            }
+            Ev::FillPrefetch { token, line, exclusive } => {
+                self.finish_prefetch(token, line, exclusive, self.now);
+            }
+            Ev::CrossTick => {
+                let Some(cross) = self.cross.clone() else { return };
+                for pkt in cross.tick_packets() {
+                    let mut sched: Vec<(Time, NetEvent)> = Vec::new();
+                    self.net.inject(self.now, pkt, &mut |t, e| sched.push((t, e)));
+                    for (t, e) in sched {
+                        self.queue.schedule(t, Ev::Net(e));
+                    }
+                }
+                if self.finished < self.cfg.nodes {
+                    if let Some(iv) = cross.interval() {
+                        self.queue.schedule(self.now + iv, Ev::CrossTick);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Controller occupancy to process `msg` at `at` (sent by `from`):
+    /// Alewife services local misses through a fast hardware path, while
+    /// network requests pay the full directory walk and DRAM access.
+    fn proto_msg_occupancy(&self, at: usize, from: usize, msg: &ProtoMsg) -> u64 {
+        let c = &self.cfg.costs;
+        let local = at == from;
+        match msg {
+            ProtoMsg::ReadReq { .. } | ProtoMsg::WriteReq { .. } => {
+                if local {
+                    c.dir_request_occ_local
+                } else {
+                    c.dir_request_occ
+                }
+            }
+            ProtoMsg::Grant { .. } => {
+                if local {
+                    c.grant_occ_local
+                } else {
+                    c.grant_occ
+                }
+            }
+            ProtoMsg::Writeback { .. } => 1,
+            _ => c.snoop_occ,
+        }
+    }
+
+    /// Handles protocol outputs produced at `at`'s controller: applies
+    /// occupancy, dispatches sends, and completes grants. Occupancy
+    /// entries for `at` itself are folded into this message's processing
+    /// time (and must not be re-applied downstream).
+    fn process_controller_outs(&mut self, at: usize, base_occ: u64, outs: Vec<ProtoOut>) {
+        let mut extra = 0u64;
+        let rest: Vec<ProtoOut> = outs
+            .into_iter()
+            .filter(|o| match o {
+                ProtoOut::HomeOccupancy { node, cycles } if *node == at => {
+                    extra += *cycles as u64;
+                    false
+                }
+                _ => true,
+            })
+            .collect();
+        let done = self.now + self.cycles(base_occ + extra);
+        self.nodes[at].ctrl_free_at = done;
+        self.process_aux_outs(rest, done);
+    }
+
+    /// Dispatches sends/grants at time `t` (occupancy entries bump the
+    /// controller availability of their node but do not delay `t`).
+    fn process_aux_outs(&mut self, outs: Vec<ProtoOut>, t: Time) {
+        for out in outs {
+            match out {
+                ProtoOut::Send { from, to, msg } => self.dispatch_proto(from, to, msg, t),
+                ProtoOut::Granted { node, line, exclusive, token } => {
+                    self.granted(node, line, exclusive, token.0, t);
+                }
+                ProtoOut::HomeOccupancy { node, cycles } => {
+                    let free = t + self.cycles(cycles as u64);
+                    self.nodes[node].ctrl_free_at = self.nodes[node].ctrl_free_at.max(free);
+                }
+            }
+        }
+    }
+
+    fn dispatch_proto(&mut self, from: usize, to: usize, msg: ProtoMsg, t: Time) {
+        if self.cfg.latency_emulation.is_some() {
+            let at = t + self.cycles(self.cfg.costs.emu_ideal_msg);
+            self.queue.schedule(at, Ev::Proto { at: to, from, msg });
+            return;
+        }
+        if from == to {
+            let at = t + self.cycles(self.cfg.costs.local_msg);
+            self.queue.schedule(at, Ev::Proto { at: to, from, msg });
+            return;
+        }
+        let class = match msg.class() {
+            MsgClass::Request => PacketClass::Request,
+            MsgClass::Invalidate => PacketClass::Invalidate,
+            MsgClass::Data => PacketClass::Data,
+        };
+        let tag = self.push_envelope(Envelope::Proto { from, msg });
+        let pkt = Packet::protocol(Endpoint::node(from), Endpoint::node(to), msg.bytes(), class, tag as u64);
+        self.inject(pkt, t);
+    }
+
+    fn push_envelope(&mut self, env: Envelope) -> usize {
+        if let Some(i) = self.free_envelopes.pop() {
+            self.envelopes[i] = Some(env);
+            i
+        } else {
+            self.envelopes.push(Some(env));
+            self.envelopes.len() - 1
+        }
+    }
+
+    fn inject(&mut self, pkt: Packet, t: Time) {
+        let mut sched: Vec<(Time, NetEvent)> = Vec::new();
+        self.net.inject(t, pkt, &mut |t2, e| sched.push((t2, e)));
+        for (t2, e) in sched {
+            self.queue.schedule(t2, Ev::Net(e));
+        }
+    }
+
+    fn deliver(&mut self, pkt: Packet) {
+        let Endpoint::Node(dst) = pkt.dst else { return };
+        let dst = dst as usize;
+        let env = self.envelopes[pkt.tag as usize].take().expect("live envelope");
+        self.free_envelopes.push(pkt.tag as usize);
+        match env {
+            Envelope::Proto { from, msg } => {
+                self.queue.schedule(self.now, Ev::Proto { at: dst, from, msg });
+            }
+            Envelope::Am { am } => {
+                let polled = self.cfg.receive == ReceiveMode::Poll && !am.handler.is_system();
+                let drain =
+                    self.cfg.msg.drain_occupancy_cycles(&am, polled, self.nodes[dst].rq.len());
+                let until = self.now + self.cycles(drain);
+                self.net.stall_ejection(dst, until);
+                if am.handler.is_system() {
+                    self.sys_am(dst, &am);
+                } else if polled {
+                    self.nodes[dst].rq.push(am);
+                    if let Status::BlockedMsg { since } = self.nodes[dst].status {
+                        // The node may have blocked at a batched time ahead
+                        // of the event clock; the handler runs at the later
+                        // of block start, now, and any in-flight handler.
+                        let start =
+                            self.now.max(since).max(self.nodes[dst].handler_busy_until);
+                        let am = self.nodes[dst].rq.pop().expect("just pushed");
+                        let d = self.run_handler(dst, &am, true, start);
+                        self.charge(dst, Bucket::MsgOverhead, d);
+                        self.nodes[dst].handler_in_block += d;
+                        self.nodes[dst].handler_busy_until = start + d;
+                        self.resume_from_block(dst, start + d);
+                    }
+                } else {
+                    self.interrupt_delivery(dst, &am);
+                }
+            }
+        }
+    }
+
+    fn interrupt_delivery(&mut self, dst: usize, am: &ActiveMessage) {
+        let status = self.nodes[dst].status;
+        match status {
+            Status::Running => {
+                let d = self.run_handler(dst, am, false, self.now);
+                self.charge(dst, Bucket::MsgOverhead, d);
+                self.nodes[dst].pending_delay += d;
+            }
+            Status::BlockedMem { since, .. }
+            | Status::BlockedSend { since }
+            | Status::InBarrier { since }
+            | Status::BlockedMsg { since } => {
+                // Handlers on a blocked node run no earlier than the block
+                // start and serialize after any in-flight handler; the
+                // block cannot resume before they finish.
+                let start = self.now.max(since).max(self.nodes[dst].handler_busy_until);
+                let d = self.run_handler(dst, am, false, start);
+                self.charge(dst, Bucket::MsgOverhead, d);
+                self.nodes[dst].handler_in_block += d;
+                self.nodes[dst].handler_busy_until = start + d;
+                if matches!(status, Status::BlockedMsg { .. }) {
+                    self.resume_from_block(dst, start + d);
+                }
+            }
+            Status::Done => {
+                // A retired program still fields interrupts (its handlers
+                // may carry replies others wait on); the time is not
+                // charged — the node's lifetime already ended.
+                let _ = self.run_handler(dst, am, false, self.now);
+            }
+        }
+    }
+
+    /// Runs an application handler, returning its total duration (receive
+    /// overhead + handler work + sends it issued).
+    fn run_handler(&mut self, node: usize, am: &ActiveMessage, polled: bool, t: Time) -> Time {
+        let mut ctx = HandlerCtx::new(node, self.cfg.nodes);
+        self.programs[node].on_message(am.handler.0, &am.args, &am.bulk_data, &mut ctx);
+        let mut dur = self.cycles(self.cfg.msg.receive_cycles(am, polled) + ctx.extra_cycles);
+        self.trace_event(
+            t,
+            node,
+            TraceKind::Handler {
+                handler: am.handler.0,
+                cycles: self.clock.cycles_at(dur) as u32,
+            },
+        );
+        let sends = std::mem::take(&mut ctx.sends);
+        for send in sends {
+            dur += self.cycles(self.cfg.msg.send_cycles(&send));
+            self.send_am(node, send, t + dur);
+        }
+        self.nodes[node].waitmsg_handled = true;
+        dur
+    }
+
+    fn send_am(&mut self, from: usize, am: ActiveMessage, t: Time) {
+        assert_ne!(from, am.dst, "active message to self");
+        self.trace_event(t, from, TraceKind::Send { dst: am.dst as u16, bytes: am.wire_bytes() });
+        self.messages_sent += 1;
+        let bytes = am.wire_bytes();
+        let dst = am.dst;
+        let tag = self.push_envelope(Envelope::Am { am });
+        let pkt =
+            Packet::protocol(Endpoint::node(from), Endpoint::node(dst), bytes, PacketClass::Data, tag as u64);
+        self.inject(pkt, t);
+    }
+
+    fn resume_from_block(&mut self, node: usize, at: Time) {
+        let (since, bucket) = match self.nodes[node].status {
+            Status::BlockedMem { since, bucket } => (since, bucket),
+            Status::BlockedSend { since } => (since, Bucket::MemWait),
+            Status::BlockedMsg { since } => (since, Bucket::Sync),
+            Status::InBarrier { since } => (since, Bucket::Sync),
+            other => panic!("resume_from_block in status {other:?}"),
+        };
+        // A block cannot end before it logically began (a transaction the
+        // node merged into may complete at an earlier event time), nor
+        // before an in-flight handler finishes.
+        let at = at.max(since).max(self.nodes[node].handler_busy_until);
+        self.nodes[node].handler_busy_until = Time::ZERO;
+        let handler = std::mem::take(&mut self.nodes[node].handler_in_block);
+        let blocked = at.saturating_sub(since).saturating_sub(handler);
+        self.charge(node, bucket, blocked);
+        self.trace_event(at, node, TraceKind::Resume);
+        self.schedule_wake(node, at);
+    }
+
+    // ---- memory access ------------------------------------------------
+
+    fn apply_mem_op(&mut self, node: usize, op: MemOp) {
+        match op {
+            MemOp::Read { word, .. } => self.nodes[node].loaded = self.master[word.flat_index()],
+            MemOp::Write { word, val } => self.master[word.flat_index()] = val,
+            MemOp::Rmw { line, op } => {
+                let i = (line.0 * 2) as usize;
+                let (a, b) = op.apply(self.master[i], self.master[i + 1]);
+                self.master[i] = a;
+                self.master[i + 1] = b;
+                self.nodes[node].rmw = (a, b);
+            }
+        }
+    }
+
+    fn hit_cost(&self, op: MemOp) -> u64 {
+        match op {
+            MemOp::Rmw { .. } => self.cfg.costs.rmw_hit,
+            _ => self.cfg.costs.cache_hit,
+        }
+    }
+
+    /// Attempts a memory access for `purpose`. Returns `Some(cycles)` if it
+    /// completed inline (value already applied), `None` if the node must
+    /// block for a transaction.
+    fn try_access(&mut self, node: usize, op: MemOp, purpose: Purpose, t: Time) -> Option<u64> {
+        let line = op.line();
+        if let Some(entry) = self.outstanding.get(&(node, line.0)).copied() {
+            match entry.kind {
+                OutKind::Prefetch | OutKind::Posted => {
+                    // Merge the demand into the outstanding transaction:
+                    // retried when it completes.
+                    let Purpose::Demand { .. } = purpose else {
+                        panic!("only demand accesses can merge into outstanding lines");
+                    };
+                    match self.tokens.get_mut(&entry.token) {
+                        Some(Purpose::Prefetch { merged, .. })
+                        | Some(Purpose::Posted { merged, .. }) => *merged = Some(op),
+                        other => panic!("outstanding token mismatch: {other:?}"),
+                    }
+                    return None;
+                }
+                _ => panic!("duplicate outstanding access to line {line:?} by node {node}"),
+            }
+        }
+        let token = self.mint_token();
+        match self.proto.start_access(node, line, op.kind(), TxnToken(token)) {
+            AccessStart::Hit => {
+                self.apply_mem_op(node, op);
+                Some(self.hit_cost(op))
+            }
+            AccessStart::PrefetchHit { outs } => {
+                self.process_aux_outs(outs, t);
+                self.apply_mem_op(node, op);
+                Some(self.cfg.costs.prefetch_promote)
+            }
+            AccessStart::Miss { outs } => {
+                let kind = match purpose {
+                    Purpose::Prefetch { .. } => OutKind::Prefetch,
+                    Purpose::Posted { .. } => OutKind::Posted,
+                    Purpose::Demand { .. } => OutKind::Demand,
+                    Purpose::Bar { .. } => OutKind::Sys,
+                };
+                self.tokens.insert(token, purpose);
+                self.outstanding.insert((node, line.0), OutstandingEntry { token, kind });
+                let at = t + self.cycles(self.cfg.costs.miss_issue);
+                self.process_aux_outs(outs, at);
+                None
+            }
+        }
+    }
+
+    /// A coherence grant arrived for `token` at `node`'s controller.
+    fn granted(&mut self, node: usize, line: LineId, exclusive: bool, token: u64, t: Time) {
+        let purpose = *self.tokens.get(&token).expect("live token");
+        match purpose {
+            Purpose::Demand { node: n, op } => {
+                debug_assert_eq!(n, node);
+                self.tokens.remove(&token);
+                self.outstanding.remove(&(node, line.0));
+                let outs = self.proto.fill_cache(node, line, exclusive);
+                self.process_aux_outs(outs, t);
+                self.apply_mem_op(node, op);
+                let resume_at = self.demand_resume_time(node, line, t);
+                if self.proto.home(line) != node {
+                    if let Status::BlockedMem { since, .. } = self.nodes[node].status {
+                        let lat = resume_at.saturating_sub(since);
+                        self.miss_latency.record(self.clock.cycles_at(lat));
+                    }
+                }
+                self.resume_from_block(node, resume_at);
+            }
+            Purpose::Prefetch { issued, .. } => {
+                let fill_at = match self.cfg.latency_emulation {
+                    Some(emu) => (issued + self.cycles(emu.prefetch_cycles)).max(t),
+                    None => t,
+                };
+                if fill_at > t {
+                    self.queue.schedule(fill_at, Ev::FillPrefetch { token, line, exclusive });
+                } else {
+                    self.finish_prefetch(token, line, exclusive, t);
+                }
+            }
+            Purpose::Posted { node: n, op, merged } => {
+                debug_assert_eq!(n, node);
+                self.tokens.remove(&token);
+                self.outstanding.remove(&(node, line.0));
+                let outs = self.proto.fill_cache(node, line, exclusive);
+                self.process_aux_outs(outs, t);
+                self.apply_mem_op(node, op);
+                self.nodes[node].posted -= 1;
+                if let Some(m) = merged {
+                    // A demand access was waiting behind this posted store.
+                    if let Some(cycles) = self.try_access(node, m, Purpose::Demand { node, op: m }, t)
+                    {
+                        let at = t + self.cycles(cycles);
+                        self.resume_from_block(node, at);
+                    }
+                } else {
+                    self.write_slot_freed(node, t);
+                }
+            }
+            Purpose::Bar { node: n, stage, parity } => {
+                debug_assert_eq!(n, node);
+                self.tokens.remove(&token);
+                self.outstanding.remove(&(node, line.0));
+                let outs = self.proto.fill_cache(node, line, exclusive);
+                self.process_aux_outs(outs, t);
+                let at = t + self.cycles(self.cfg.costs.grant_fill);
+                self.barrier_transition(node, stage, parity, at);
+            }
+        }
+    }
+
+    fn demand_resume_time(&mut self, node: usize, line: LineId, t: Time) -> Time {
+        let fill = t + self.cycles(self.cfg.costs.grant_fill);
+        match self.cfg.latency_emulation {
+            Some(emu) if self.proto.home(line) != node => {
+                let since = match self.nodes[node].status {
+                    Status::BlockedMem { since, .. } => since,
+                    _ => t,
+                };
+                fill.max(since + self.cycles(emu.remote_miss_cycles))
+            }
+            _ => fill,
+        }
+    }
+
+    fn finish_prefetch(&mut self, token: u64, line: LineId, exclusive: bool, t: Time) {
+        let Some(Purpose::Prefetch { node, merged, .. }) = self.tokens.remove(&token) else {
+            panic!("prefetch token vanished");
+        };
+        self.outstanding.remove(&(node, line.0));
+        let outs = self.proto.fill_prefetch(node, line, exclusive);
+        self.process_aux_outs(outs, t);
+        if let Some(op) = merged {
+            // A demand access was waiting on this prefetch: retry it now.
+            if let Some(cycles) = self.try_access(node, op, Purpose::Demand { node, op }, t) {
+                let at = t + self.cycles(cycles);
+                self.resume_from_block(node, at);
+            }
+            // Otherwise the node re-blocked on a fresh transaction.
+        }
+    }
+
+    // ---- the node driver ----------------------------------------------
+
+    fn run_node(&mut self, node: usize) {
+        let mut t = self.now;
+        let budget_end = t + self.cycles(BATCH_CYCLES);
+        loop {
+            let mut ctx = NodeCtx {
+                node,
+                nodes: self.cfg.nodes,
+                loaded: self.nodes[node].loaded,
+                rmw: self.nodes[node].rmw,
+                now_cycles: self.clock.cycles_at(t),
+            };
+            let step = self.programs[node].resume(&mut ctx);
+            match step {
+                Step::Compute(c) => {
+                    let c = c.max(1);
+                    self.charge(node, Bucket::Compute, self.cycles(c));
+                    t += self.cycles(c);
+                }
+                Step::SpinWait(c) => {
+                    let c = c.max(1);
+                    self.charge(node, Bucket::Sync, self.cycles(c));
+                    t += self.cycles(c);
+                }
+                Step::Load(word) => {
+                    let op = MemOp::Read { word, sync: false };
+                    if !self.demand_step(node, op, &mut t) {
+                        return;
+                    }
+                }
+                Step::SpinLoad(word) => {
+                    let op = MemOp::Read { word, sync: true };
+                    if !self.demand_step_bucketed(node, op, &mut t, Bucket::Sync) {
+                        return;
+                    }
+                }
+                Step::Store(word, val) => {
+                    let op = MemOp::Write { word, val };
+                    if self.cfg.write_buffer > 0 {
+                        match self.posted_store(node, op, t) {
+                            PostOutcome::Inline(c) => {
+                                self.charge(node, Bucket::Compute, self.cycles(c));
+                                t += self.cycles(c);
+                            }
+                            PostOutcome::Conflict => {
+                                // A transaction is already in flight for
+                                // this line: take the blocking path, which
+                                // merges into it.
+                                if !self.demand_step(node, op, &mut t) {
+                                    return;
+                                }
+                            }
+                            PostOutcome::BufferFull => {
+                                // Stall until a slot frees (Memory + NI wait).
+                                self.nodes[node].stalled_store = Some(op);
+                                self.nodes[node].status =
+                                    Status::BlockedMem { since: t, bucket: Bucket::MemWait };
+                                return;
+                            }
+                        }
+                    } else if !self.demand_step(node, op, &mut t) {
+                        return;
+                    }
+                }
+                Step::Rmw(line, rop) => {
+                    let op = MemOp::Rmw { line, op: rop };
+                    if !self.demand_step_bucketed(node, op, &mut t, Bucket::Sync) {
+                        return;
+                    }
+                }
+                Step::Prefetch { line, exclusive } => {
+                    let c = self.cfg.costs.prefetch_issue;
+                    self.charge(node, Bucket::Compute, self.cycles(c));
+                    t += self.cycles(c);
+                    let outstanding = self.outstanding.contains_key(&(node, line.0));
+                    if self.proto.is_local(node, line) || outstanding {
+                        self.useless_prefetches += 1;
+                    } else {
+                        let kind = if exclusive { AccessKind::Write } else { AccessKind::Read };
+                        let token = self.mint_token();
+                        match self.proto.start_access(node, line, kind, TxnToken(token)) {
+                            AccessStart::Hit | AccessStart::PrefetchHit { .. } => {
+                                // Raced with is_local: treat as useless.
+                                self.useless_prefetches += 1;
+                            }
+                            AccessStart::Miss { outs } => {
+                                self.tokens.insert(
+                                    token,
+                                    Purpose::Prefetch { node, merged: None, issued: t },
+                                );
+                                self.outstanding.insert(
+                                    (node, line.0),
+                                    OutstandingEntry { token, kind: OutKind::Prefetch },
+                                );
+                                self.process_aux_outs(outs, t);
+                            }
+                        }
+                    }
+                }
+                Step::Send(am) => {
+                    let cost = self.cycles(self.cfg.msg.send_cycles(&am));
+                    self.charge(node, Bucket::MsgOverhead, cost);
+                    let launch = t + cost;
+                    let ready = self.net.inject_ready_at(node);
+                    if ready > launch {
+                        // Network interface full: stall (Memory + NI Wait).
+                        self.send_am(node, am, ready);
+                        self.trace_event(launch, node, TraceKind::BlockSend);
+                        self.nodes[node].status = Status::BlockedSend { since: launch };
+                        self.resume_from_block(node, ready);
+                        return;
+                    }
+                    self.send_am(node, am, launch);
+                    t = launch;
+                }
+                Step::Poll => {
+                    let mut cost = Time::ZERO;
+                    if self.nodes[node].rq.is_empty() {
+                        cost += self.cycles(self.cfg.msg.poll_empty);
+                    } else {
+                        while let Some(am) = self.nodes[node].rq.pop() {
+                            cost += self.run_handler(node, &am, true, t + cost);
+                        }
+                    }
+                    self.charge(node, Bucket::MsgOverhead, cost);
+                    t += cost;
+                }
+                Step::WaitMsg => {
+                    if !self.nodes[node].rq.is_empty() {
+                        // Messages queued (poll mode) while we were
+                        // running: drain them as an implicit poll rather
+                        // than sleeping past a non-empty queue.
+                        let mut cost = Time::ZERO;
+                        while let Some(am) = self.nodes[node].rq.pop() {
+                            cost += self.run_handler(node, &am, true, t + cost);
+                        }
+                        self.charge(node, Bucket::MsgOverhead, cost);
+                        t += cost;
+                    } else if self.nodes[node].waitmsg_handled {
+                        self.nodes[node].waitmsg_handled = false;
+                        self.charge(node, Bucket::Sync, self.cycles(1));
+                        t += self.cycles(1);
+                    } else {
+                        self.trace_event(t, node, TraceKind::BlockMsg);
+                        self.nodes[node].status = Status::BlockedMsg { since: t };
+                        return;
+                    }
+                }
+                Step::Barrier => {
+                    if self.nodes[node].posted > 0 {
+                        // Release fence: drain the write buffer first.
+                        self.nodes[node].fence = Some(FenceTarget::Barrier);
+                        self.nodes[node].status =
+                            Status::BlockedMem { since: t, bucket: Bucket::MemWait };
+                        return;
+                    }
+                    self.barrier_arrive(node, t);
+                    return;
+                }
+                Step::Done => {
+                    if self.nodes[node].posted > 0 {
+                        self.nodes[node].fence = Some(FenceTarget::Done);
+                        self.nodes[node].status =
+                            Status::BlockedMem { since: t, bucket: Bucket::MemWait };
+                        return;
+                    }
+                    self.retire(node, t);
+                    return;
+                }
+            }
+            if t >= budget_end {
+                self.schedule_wake(node, t);
+                return;
+            }
+        }
+    }
+
+    /// Executes a demand access inside the batch. Returns `false` if the
+    /// node blocked (the batch ends).
+    fn demand_step(&mut self, node: usize, op: MemOp, t: &mut Time) -> bool {
+        self.demand_step_bucketed(node, op, t, Bucket::Compute)
+    }
+
+    fn demand_step_bucketed(&mut self, node: usize, op: MemOp, t: &mut Time, hit_bucket: Bucket) -> bool {
+        match self.try_access(node, op, Purpose::Demand { node, op }, *t) {
+            Some(cycles) => {
+                self.charge(node, hit_bucket, self.cycles(cycles));
+                *t += self.cycles(cycles);
+                true
+            }
+            None => {
+                self.trace_event(*t, node, TraceKind::BlockMem { line: op.line().0 });
+                self.nodes[node].status =
+                    Status::BlockedMem { since: *t, bucket: op.block_bucket() };
+                false
+            }
+        }
+    }
+
+    /// Retires a finished program. Any handler time still pending (an
+    /// interrupt that arrived during the final batch) extends the node's
+    /// lifetime so accounting stays consistent.
+    fn retire(&mut self, node: usize, t: Time) {
+        let t = t + std::mem::take(&mut self.nodes[node].pending_delay);
+        let t = t.max(self.nodes[node].handler_busy_until);
+        self.trace_event(t, node, TraceKind::Done);
+        self.nodes[node].status = Status::Done;
+        self.nodes[node].finish = Some(t);
+        self.finished += 1;
+    }
+
+    /// Posts a relaxed store. Returns the inline cost, a line conflict, or
+    /// `BufferFull`.
+    fn posted_store(&mut self, node: usize, op: MemOp, t: Time) -> PostOutcome {
+        if self.outstanding.contains_key(&(node, op.line().0)) {
+            return PostOutcome::Conflict;
+        }
+        if self.nodes[node].posted >= self.cfg.write_buffer {
+            return PostOutcome::BufferFull;
+        }
+        let purpose = Purpose::Posted { node, op, merged: None };
+        match self.try_access(node, op, purpose, t) {
+            Some(cycles) => PostOutcome::Inline(cycles),
+            None => {
+                self.nodes[node].posted += 1;
+                PostOutcome::Inline(self.cfg.costs.miss_issue)
+            }
+        }
+    }
+
+    /// A posted store completed: wake anything waiting on buffer space or
+    /// a release fence.
+    fn write_slot_freed(&mut self, node: usize, t: Time) {
+        if let Some(op) = self.nodes[node].stalled_store.take() {
+            // Retry the stalled store; the node is blocked in MemWait.
+            match self.posted_store(node, op, t) {
+                PostOutcome::Inline(c) => {
+                    self.resume_from_block(node, t + self.cycles(c));
+                }
+                PostOutcome::Conflict | PostOutcome::BufferFull => {
+                    self.nodes[node].stalled_store = Some(op);
+                }
+            }
+            return;
+        }
+        if self.nodes[node].posted == 0 {
+            if let Some(target) = self.nodes[node].fence.take() {
+                let at = self.settle_block(node, t);
+                match target {
+                    FenceTarget::Barrier => self.barrier_arrive(node, at),
+                    FenceTarget::Done => self.retire(node, at),
+                }
+            }
+        }
+    }
+
+    /// Charges a blocked interval (like [`Machine::resume_from_block`])
+    /// without scheduling a wake, for transitions into other blocked
+    /// states (fence -> barrier). Returns the effective end of the block
+    /// (clamped past any in-flight handler), which the follow-on state
+    /// must start from.
+    fn settle_block(&mut self, node: usize, at: Time) -> Time {
+        let (since, bucket) = match self.nodes[node].status {
+            Status::BlockedMem { since, bucket } => (since, bucket),
+            other => panic!("settle_block in status {other:?}"),
+        };
+        let at = at.max(since).max(self.nodes[node].handler_busy_until);
+        self.nodes[node].handler_busy_until = Time::ZERO;
+        let handler = std::mem::take(&mut self.nodes[node].handler_in_block);
+        let blocked = at.saturating_sub(since).saturating_sub(handler);
+        self.charge(node, bucket, blocked);
+        at
+    }
+
+    // ---- barriers -------------------------------------------------------
+
+    fn barrier_arrive(&mut self, node: usize, t: Time) {
+        self.trace_event(t, node, TraceKind::BarrierEnter);
+        self.nodes[node].status = Status::InBarrier { since: t };
+        if self.cfg.nodes == 1 {
+            // Trivial barrier.
+            self.barrier.node_epoch[node] += 1;
+            self.resume_from_block(node, t + self.cycles(1));
+            return;
+        }
+        let parity = (self.barrier.node_epoch[node] % 2) as usize;
+        match self.cfg.barrier {
+            BarrierStyle::SharedMemory => {
+                let counter = self.barrier.lines[parity][node][0];
+                self.sys_access(
+                    node,
+                    MemOp::Rmw { line: counter, op: RmwOp::IncW0 },
+                    BarStage::Arrive,
+                    parity,
+                    t,
+                );
+            }
+            BarrierStyle::MessageTree => self.mp_note_arrival(node, parity, t),
+        }
+    }
+
+    /// Starts a barrier-internal shared-memory access; completions feed
+    /// [`Machine::barrier_transition`].
+    fn sys_access(&mut self, node: usize, op: MemOp, stage: BarStage, parity: usize, t: Time) {
+        let purpose = Purpose::Bar { node, stage, parity };
+        if let Some(cycles) = self.try_access(node, op, purpose, t) {
+            let at = t + self.cycles(cycles);
+            self.barrier_transition(node, stage, parity, at);
+        }
+    }
+
+    fn barrier_transition(&mut self, node: usize, stage: BarStage, parity: usize, t: Time) {
+        match stage {
+            BarStage::Arrive => self.sm_note_arrival(node, parity, t),
+            BarStage::Notify => {
+                // Our RMW on the parent's counter completed: credit the
+                // parent, then spin on our own (local) flag.
+                let parent = self.barrier.tree.parent(node).expect("notify from non-root");
+                let flag = self.barrier.lines[parity][node][1];
+                self.sys_access(
+                    node,
+                    MemOp::Read { word: Word::new(flag, 0), sync: true },
+                    BarStage::WaitFlag,
+                    parity,
+                    t,
+                );
+                self.sm_note_arrival(parent, parity, t);
+            }
+            BarStage::WaitFlag => {
+                if self.barrier.sm[node][parity].released {
+                    // The release write was ordered before our read: the
+                    // value we just read is fresh.
+                    self.sm_release_children(node, parity, t);
+                } else {
+                    self.barrier.sm[node][parity].waiting = true;
+                }
+            }
+            BarStage::ReleaseWrite { child } => {
+                let child = child as usize;
+                let cs = &mut self.barrier.sm[child][parity];
+                cs.released = true;
+                if cs.waiting {
+                    cs.waiting = false;
+                    // The child's spin copy was invalidated by our write;
+                    // it re-reads its flag and resumes when it returns.
+                    let flag = self.barrier.lines[parity][child][1];
+                    self.sys_access(
+                        child,
+                        MemOp::Read { word: Word::new(flag, 0), sync: true },
+                        BarStage::ResumeRead,
+                        parity,
+                        t,
+                    );
+                }
+                let s = &mut self.barrier.sm[node][parity];
+                s.pending_writes -= 1;
+                if s.pending_writes == 0 {
+                    self.sm_finish(node, parity, t);
+                }
+            }
+            BarStage::ResumeRead => self.sm_release_children(node, parity, t),
+        }
+    }
+
+    /// Credits an arrival at `node`'s combining-tree slot; when the subtree
+    /// is complete, climbs to the parent (or starts the release at the
+    /// root).
+    fn sm_note_arrival(&mut self, node: usize, parity: usize, t: Time) {
+        self.barrier.sm[node][parity].count += 1;
+        if self.barrier.sm[node][parity].count < self.barrier.tree.expected_arrivals(node) {
+            return;
+        }
+        match self.barrier.tree.parent(node) {
+            Some(parent) => {
+                let counter = self.barrier.lines[parity][parent][0];
+                self.sys_access(
+                    node,
+                    MemOp::Rmw { line: counter, op: RmwOp::IncW0 },
+                    BarStage::Notify,
+                    parity,
+                    t,
+                );
+            }
+            None => self.sm_release_children(node, parity, t),
+        }
+    }
+
+    /// Propagates the release: writes each child's flag, then finishes
+    /// this node once the writes complete.
+    fn sm_release_children(&mut self, node: usize, parity: usize, t: Time) {
+        let children = self.barrier.tree.children(node);
+        if children.is_empty() {
+            self.sm_finish(node, parity, t);
+            return;
+        }
+        let epoch = self.barrier.node_epoch[node] as f64;
+        self.barrier.sm[node][parity].pending_writes = children.len();
+        for child in children {
+            let flag = self.barrier.lines[parity][child][1];
+            self.sys_access(
+                node,
+                MemOp::Write { word: Word::new(flag, 0), val: epoch },
+                BarStage::ReleaseWrite { child: child as u16 },
+                parity,
+                t,
+            );
+        }
+    }
+
+    fn sm_finish(&mut self, node: usize, parity: usize, t: Time) {
+        self.barrier.sm[node][parity] = SmBar::default();
+        self.barrier.node_epoch[node] += 1;
+        self.resume_from_block(node, t);
+    }
+
+    // ---- message-passing barrier ---------------------------------------
+
+    /// Charges system (barrier) message-handling time to sync and folds it
+    /// into the node's busy accounting so wall time and bucket sums agree:
+    /// running nodes extend their current batch; blocked nodes record
+    /// handler-in-block time that the eventual unblock subtracts.
+    fn charge_sys(&mut self, node: usize, cost: Time) {
+        match self.nodes[node].status {
+            Status::Running => {
+                self.nodes[node].pending_delay += cost;
+                self.charge(node, Bucket::Sync, cost);
+            }
+            Status::Done => {}
+            s => {
+                let since = s.since().expect("blocked state");
+                let start = self.now.max(since).max(self.nodes[node].handler_busy_until);
+                self.nodes[node].handler_in_block += cost;
+                self.nodes[node].handler_busy_until = start + cost;
+                self.charge(node, Bucket::Sync, cost);
+            }
+        }
+    }
+
+    fn mp_note_arrival(&mut self, node: usize, parity: usize, t: Time) {
+        self.barrier.mp_counts[node][parity] += 1;
+        if self.barrier.mp_counts[node][parity] < self.barrier.tree.expected_arrivals(node) {
+            return;
+        }
+        // Subtree complete.
+        match self.barrier.tree.parent(node) {
+            Some(parent) => {
+                let cost = self.cycles(self.cfg.msg.system_msg);
+                self.charge_sys(node, cost);
+                let am =
+                    ActiveMessage::new(parent, HandlerId(SYS_BAR_ARRIVE), vec![parity as u64]);
+                self.send_am(node, am, t + cost);
+            }
+            None => self.mp_release(node, parity, t),
+        }
+    }
+
+    fn mp_release(&mut self, node: usize, parity: usize, t: Time) {
+        self.barrier.mp_counts[node][parity] = 0;
+        let mut t2 = t;
+        for child in self.barrier.tree.children(node) {
+            let cost = self.cycles(self.cfg.msg.system_msg);
+            self.charge_sys(node, cost);
+            t2 += cost;
+            let am = ActiveMessage::new(child, HandlerId(SYS_BAR_RELEASE), vec![parity as u64]);
+            self.send_am(node, am, t2);
+        }
+        self.barrier.node_epoch[node] += 1;
+        self.resume_from_block(node, t2 + self.cycles(1));
+    }
+
+    fn sys_am(&mut self, dst: usize, am: &ActiveMessage) {
+        let cost = self.cycles(self.cfg.msg.system_msg);
+        let parity = am.args[0] as usize;
+        match am.handler.0 {
+            SYS_BAR_ARRIVE => {
+                // Count the subtree arrival; charge the receive to sync.
+                self.charge_sys(dst, cost);
+                self.mp_note_arrival(dst, parity, self.now + cost);
+            }
+            SYS_BAR_RELEASE => {
+                debug_assert!(
+                    matches!(self.nodes[dst].status, Status::InBarrier { .. }),
+                    "release must find node {dst} in the barrier"
+                );
+                self.charge_sys(dst, cost);
+                self.mp_release(dst, parity, self.now + cost);
+            }
+            other => panic!("unknown system handler {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,217 @@
+//! Run statistics: the paper's four-bucket time breakdown plus machine-wide
+//! counters.
+
+use commsense_des::{Clock, Time};
+use commsense_mesh::VolumeBreakdown;
+
+/// The four execution-time components of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bucket {
+    /// Barriers, lock acquisition, spin-waiting, waiting for messages.
+    Sync,
+    /// Processor overhead to send and receive messages (including
+    /// gather/scatter copying for bulk transfer).
+    MsgOverhead,
+    /// Stalls on cache misses and network-interface resources.
+    MemWait,
+    /// Useful computation.
+    Compute,
+}
+
+impl Bucket {
+    /// All buckets in Figure 4's stacking order.
+    pub const ALL: [Bucket; 4] = [Bucket::Sync, Bucket::MsgOverhead, Bucket::MemWait, Bucket::Compute];
+
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bucket::Sync => "sync",
+            Bucket::MsgOverhead => "msg-overhead",
+            Bucket::MemWait => "mem+ni-wait",
+            Bucket::Compute => "compute",
+        }
+    }
+}
+
+/// Per-node time breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Synchronization time.
+    pub sync: Time,
+    /// Message send/receive processor overhead.
+    pub overhead: Time,
+    /// Memory and network-interface stall time.
+    pub mem: Time,
+    /// Compute time.
+    pub compute: Time,
+}
+
+impl NodeStats {
+    /// Adds `d` to the given bucket.
+    pub fn charge(&mut self, bucket: Bucket, d: Time) {
+        match bucket {
+            Bucket::Sync => self.sync += d,
+            Bucket::MsgOverhead => self.overhead += d,
+            Bucket::MemWait => self.mem += d,
+            Bucket::Compute => self.compute += d,
+        }
+    }
+
+    /// Value of one bucket.
+    pub fn bucket(&self, bucket: Bucket) -> Time {
+        match bucket {
+            Bucket::Sync => self.sync,
+            Bucket::MsgOverhead => self.overhead,
+            Bucket::MemWait => self.mem,
+            Bucket::Compute => self.compute,
+        }
+    }
+
+    /// Sum of all buckets (should approximate the node's busy lifetime).
+    pub fn total(&self) -> Time {
+        self.sync + self.overhead + self.mem + self.compute
+    }
+}
+
+/// A power-of-two histogram of demand-miss latencies (cycles).
+///
+/// Bucket `i` counts misses with latency in `[2^i, 2^(i+1))`; the last
+/// bucket absorbs everything larger.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Counts per power-of-two bucket.
+    pub buckets: [u64; 14],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of latencies (cycles) for mean computation.
+    pub sum_cycles: u64,
+}
+
+impl LatencyHistogram {
+    /// Records one miss of `cycles` latency.
+    pub fn record(&mut self, cycles: u64) {
+        let idx = (64 - cycles.max(1).leading_zeros() as usize - 1).min(13);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_cycles += cycles;
+    }
+
+    /// Mean latency in cycles, if any misses occurred.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum_cycles as f64 / self.count as f64)
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (0..=1), from bucket edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(1u64 << (i + 1));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// Results of one machine run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Wall-clock runtime (last program completion).
+    pub runtime: Time,
+    /// Runtime in processor cycles at the configured clock.
+    pub runtime_cycles: u64,
+    /// Per-node breakdowns.
+    pub nodes: Vec<NodeStats>,
+    /// Application communication volume injected into the network.
+    pub volume: VolumeBreakdown,
+    /// Bytes that crossed the bisection cut.
+    pub bisection: VolumeBreakdown,
+    /// Coherence protocol counters.
+    pub proto: commsense_cache::ProtoStats,
+    /// Application active messages sent.
+    pub messages_sent: u64,
+    /// Simulation events processed (performance diagnostics).
+    pub events: u64,
+    /// Mean end-to-end network packet latency, if any packets flowed.
+    pub mean_packet_latency: Option<Time>,
+    /// Prefetches issued for data that was already local (pure overhead —
+    /// the effect that sinks prefetching on ICCG, §4).
+    pub useless_prefetches: u64,
+    /// Prefetched lines that satisfied a later demand reference.
+    pub useful_prefetches: u64,
+    /// Aggregate cache (hits, misses) across all nodes.
+    pub cache_hit_miss: (u64, u64),
+    /// Histogram of remote demand-miss latencies.
+    pub miss_latency: LatencyHistogram,
+}
+
+impl RunStats {
+    /// Mean per-node value of one bucket, in cycles.
+    pub fn mean_bucket_cycles(&self, bucket: Bucket, clock: Clock) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self.nodes.iter().map(|n| clock.cycles_at_f64(n.bucket(bucket))).sum();
+        sum / self.nodes.len() as f64
+    }
+
+    /// Mean per-node total accounted time in cycles.
+    pub fn mean_total_cycles(&self, clock: Clock) -> f64 {
+        Bucket::ALL.iter().map(|&b| self.mean_bucket_cycles(b, clock)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_total() {
+        let mut s = NodeStats::default();
+        s.charge(Bucket::Sync, Time::from_ns(10));
+        s.charge(Bucket::Compute, Time::from_ns(30));
+        s.charge(Bucket::MemWait, Time::from_ns(5));
+        s.charge(Bucket::MsgOverhead, Time::from_ns(5));
+        assert_eq!(s.total(), Time::from_ns(50));
+        assert_eq!(s.bucket(Bucket::Compute), Time::from_ns(30));
+    }
+
+    #[test]
+    fn latency_histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::default();
+        for c in [1u64, 3, 40, 45, 70, 5000, 1 << 20] {
+            h.record(c);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.buckets[0], 1); // 1
+        assert_eq!(h.buckets[1], 1); // 3
+        assert_eq!(h.buckets[5], 2); // 40, 45 in [32,64)
+        assert_eq!(h.buckets[6], 1); // 70
+        assert_eq!(h.buckets[12], 1); // 5000
+        assert_eq!(h.buckets[13], 1); // overflow bucket
+        assert!(h.mean().unwrap() > 100.0);
+        assert!(h.quantile_upper_bound(0.5).unwrap() <= 128);
+        assert_eq!(LatencyHistogram::default().mean(), None);
+    }
+
+    #[test]
+    fn bucket_labels_nonempty() {
+        for b in Bucket::ALL {
+            assert!(!b.label().is_empty());
+        }
+    }
+}

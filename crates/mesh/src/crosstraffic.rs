@@ -1,0 +1,151 @@
+//! Cross-traffic generation for the bisection-bandwidth emulation (§5.2).
+
+use commsense_des::Time;
+
+use crate::packet::{Endpoint, Packet};
+
+/// Configuration of the background cross-traffic streams.
+///
+/// The paper attaches 4 I/O nodes to each vertical edge of the 8×4 mesh;
+/// each sends fixed-size messages across the mesh and off the opposite edge,
+/// consuming bisection bandwidth in both directions. The *emulated* bisection
+/// of the machine is the real bisection minus the cross-traffic rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossTrafficConfig {
+    /// Cross-traffic message size in bytes (the paper settles on 64 after
+    /// the Figure 7 sensitivity study).
+    pub message_bytes: u32,
+    /// Aggregate cross-traffic rate across the bisection, in bytes per
+    /// nanosecond (summed over both directions and all rows).
+    pub bytes_per_ns: f64,
+    /// Number of mesh rows (each contributes one stream per direction).
+    pub rows: u16,
+}
+
+impl CrossTrafficConfig {
+    /// Creates a config that reduces an emulated machine's bisection by
+    /// `consumed_bytes_per_cycle` at the given processor clock.
+    pub fn consuming(
+        consumed_bytes_per_cycle: f64,
+        clock: commsense_des::Clock,
+        message_bytes: u32,
+        rows: u16,
+    ) -> Self {
+        let bytes_per_ns = consumed_bytes_per_cycle * 1_000.0 / clock.cycle_ps() as f64;
+        CrossTrafficConfig { message_bytes, bytes_per_ns, rows }
+    }
+
+    /// Per-stream injection interval. There are `2 * rows` streams.
+    ///
+    /// Returns `None` when the rate is zero (cross-traffic disabled).
+    pub fn interval(&self) -> Option<Time> {
+        if self.bytes_per_ns <= 0.0 {
+            return None;
+        }
+        let streams = (2 * self.rows) as f64;
+        let per_stream_bytes_per_ns = self.bytes_per_ns / streams;
+        let interval_ps = self.message_bytes as f64 / per_stream_bytes_per_ns * 1_000.0;
+        Some(Time::from_ps(interval_ps.round() as u64))
+    }
+}
+
+/// Periodic cross-traffic injector.
+///
+/// Each tick emits one message per stream (west→east and east→west for each
+/// row). The embedding machine schedules ticks at [`CrossTraffic::interval`].
+///
+/// # Examples
+///
+/// ```
+/// use commsense_des::Clock;
+/// use commsense_mesh::{CrossTraffic, CrossTrafficConfig};
+///
+/// // Consume 8 of Alewife's 18 bytes/cycle of bisection.
+/// let cfg = CrossTrafficConfig::consuming(8.0, Clock::from_mhz(20.0), 64, 4);
+/// let ct = CrossTraffic::new(cfg);
+/// let pkts: Vec<_> = ct.tick_packets().collect();
+/// assert_eq!(pkts.len(), 8); // 4 rows x 2 directions
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrossTraffic {
+    cfg: CrossTrafficConfig,
+}
+
+impl CrossTraffic {
+    /// Creates an injector.
+    pub fn new(cfg: CrossTrafficConfig) -> Self {
+        CrossTraffic { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CrossTrafficConfig {
+        &self.cfg
+    }
+
+    /// Injection interval between ticks, or `None` if disabled.
+    pub fn interval(&self) -> Option<Time> {
+        self.cfg.interval()
+    }
+
+    /// The packets to inject at each tick: one per stream.
+    pub fn tick_packets(&self) -> impl Iterator<Item = Packet> + '_ {
+        let bytes = self.cfg.message_bytes;
+        (0..self.cfg.rows).flat_map(move |row| {
+            [
+                Packet::cross_traffic(Endpoint::IoWest(row), Endpoint::IoEast(row), bytes),
+                Packet::cross_traffic(Endpoint::IoEast(row), Endpoint::IoWest(row), bytes),
+            ]
+        })
+    }
+
+    /// Bytes injected per tick across all streams.
+    pub fn bytes_per_tick(&self) -> u64 {
+        2 * self.cfg.rows as u64 * self.cfg.message_bytes as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsense_des::Clock;
+
+    #[test]
+    fn interval_matches_requested_rate() {
+        let clock = Clock::from_mhz(20.0);
+        let cfg = CrossTrafficConfig::consuming(8.0, clock, 64, 4);
+        // 8 bytes/cycle = 0.16 bytes/ns aggregate; per stream 0.02 bytes/ns;
+        // 64-byte messages -> 3200ns interval.
+        let iv = cfg.interval().expect("enabled");
+        assert_eq!(iv, Time::from_ns(3_200));
+        // Rate check: bytes_per_tick / interval == aggregate rate.
+        let ct = CrossTraffic::new(cfg);
+        let rate = ct.bytes_per_tick() as f64 / iv.as_ns() as f64;
+        assert!((rate - 0.16).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_disables() {
+        let cfg = CrossTrafficConfig::consuming(0.0, Clock::from_mhz(20.0), 64, 4);
+        assert_eq!(cfg.interval(), None);
+    }
+
+    #[test]
+    fn smaller_messages_make_finer_streams() {
+        let clock = Clock::from_mhz(20.0);
+        let small = CrossTrafficConfig::consuming(8.0, clock, 16, 4).interval().unwrap();
+        let large = CrossTrafficConfig::consuming(8.0, clock, 512, 4).interval().unwrap();
+        assert!(small < large);
+    }
+
+    #[test]
+    fn tick_covers_every_row_both_directions() {
+        let cfg = CrossTrafficConfig::consuming(4.0, Clock::from_mhz(20.0), 64, 4);
+        let ct = CrossTraffic::new(cfg);
+        let pkts: Vec<_> = ct.tick_packets().collect();
+        assert_eq!(pkts.len(), 8);
+        for row in 0..4 {
+            assert!(pkts.iter().any(|p| p.src == Endpoint::IoWest(row)));
+            assert!(pkts.iter().any(|p| p.src == Endpoint::IoEast(row)));
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Mesh topology and dimension-order routing.
+
+use crate::packet::Endpoint;
+
+/// A router coordinate in the mesh: column `x`, row `y`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RouterCoord {
+    /// Column (0 at the west edge).
+    pub x: u16,
+    /// Row (0 at the north edge).
+    pub y: u16,
+}
+
+impl RouterCoord {
+    /// Creates a coordinate.
+    pub const fn new(x: u16, y: u16) -> Self {
+        RouterCoord { x, y }
+    }
+}
+
+/// Direction of a unidirectional mesh channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteDir {
+    /// Increasing x.
+    East,
+    /// Decreasing x.
+    West,
+    /// Increasing y.
+    South,
+    /// Decreasing y.
+    North,
+}
+
+/// A `width × height` 2-D mesh with dimension-order (X then Y) routing.
+///
+/// Compute node `i` sits at router `(i % width, i / width)` — the Alewife
+/// arrangement for the 32-node machine is an 8×4 mesh. Unidirectional links
+/// are identified by dense indices so the network simulator can keep per-link
+/// state in a flat vector.
+///
+/// # Examples
+///
+/// ```
+/// use commsense_mesh::Mesh;
+///
+/// let mesh = Mesh::new(8, 4);
+/// assert_eq!(mesh.num_links(), 2 * (7 * 4 + 3 * 8));
+/// assert_eq!(mesh.hops(0, 31), 7 + 3); // opposite corners
+/// assert_eq!(mesh.bisection_links().len(), 8); // 4 rows x 2 directions
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    width: u16,
+    height: u16,
+}
+
+impl Mesh {
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or if `width < 2` (a bisection cut
+    /// needs at least two columns).
+    pub fn new(width: u16, height: u16) -> Self {
+        assert!(width >= 2 && height >= 1, "mesh must be at least 2x1");
+        Mesh { width, height }
+    }
+
+    /// Mesh width (columns).
+    pub fn width(&self) -> u16 {
+        self.width
+    }
+
+    /// Mesh height (rows).
+    pub fn height(&self) -> u16 {
+        self.height
+    }
+
+    /// Number of compute nodes (routers).
+    pub fn num_nodes(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Total number of unidirectional links.
+    pub fn num_links(&self) -> usize {
+        let h_links = (self.width as usize - 1) * self.height as usize;
+        let v_links = (self.height as usize).saturating_sub(1) * self.width as usize;
+        2 * (h_links + v_links)
+    }
+
+    /// Coordinate of compute node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn coord(&self, id: usize) -> RouterCoord {
+        assert!(id < self.num_nodes(), "node {id} out of range");
+        RouterCoord::new((id % self.width as usize) as u16, (id / self.width as usize) as u16)
+    }
+
+    /// Node id at a coordinate.
+    pub fn node_at(&self, c: RouterCoord) -> usize {
+        c.y as usize * self.width as usize + c.x as usize
+    }
+
+    /// Dense id of the unidirectional link leaving `from` in direction `dir`.
+    ///
+    /// Layout: eastward links first (`(width-1) * height`), then westward,
+    /// then southward (`width * (height-1)`), then northward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link would leave the mesh.
+    pub fn link_id(&self, from: RouterCoord, dir: RouteDir) -> usize {
+        let w = self.width as usize;
+        let h = self.height as usize;
+        let x = from.x as usize;
+        let y = from.y as usize;
+        let h_count = (w - 1) * h;
+        let v_count = w * h.saturating_sub(1);
+        match dir {
+            RouteDir::East => {
+                assert!(x + 1 < w, "east link off mesh at {from:?}");
+                y * (w - 1) + x
+            }
+            RouteDir::West => {
+                assert!(x >= 1, "west link off mesh at {from:?}");
+                h_count + y * (w - 1) + (x - 1)
+            }
+            RouteDir::South => {
+                assert!(y + 1 < h, "south link off mesh at {from:?}");
+                2 * h_count + y * w + x
+            }
+            RouteDir::North => {
+                assert!(y >= 1, "north link off mesh at {from:?}");
+                2 * h_count + v_count + (y - 1) * w + x
+            }
+        }
+    }
+
+    /// Whether link `id` crosses the bisection cut between columns
+    /// `width/2 - 1` and `width/2` (either direction).
+    pub fn crosses_bisection(&self, id: usize) -> bool {
+        let w = self.width as usize;
+        let h = self.height as usize;
+        let h_count = (w - 1) * h;
+        let cut_x = w / 2 - 1; // east links at column cut_x cross the cut
+        if id < h_count {
+            // Eastward link from (x, y) where id = y*(w-1)+x.
+            id % (w - 1) == cut_x
+        } else if id < 2 * h_count {
+            // Westward link from (x+1, y) to (x, y) where (id-h) = y*(w-1)+x.
+            (id - h_count) % (w - 1) == cut_x
+        } else {
+            false
+        }
+    }
+
+    /// The ids of all links crossing the bisection cut.
+    pub fn bisection_links(&self) -> Vec<usize> {
+        (0..self.num_links()).filter(|&l| self.crosses_bisection(l)).collect()
+    }
+
+    /// Manhattan hop count between two compute nodes.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        let ca = self.coord(a);
+        let cb = self.coord(b);
+        (ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)) as usize
+    }
+
+    /// Average hop count over all ordered pairs of distinct nodes.
+    pub fn mean_hops(&self) -> f64 {
+        let n = self.num_nodes();
+        let mut total = 0usize;
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    total += self.hops(a, b);
+                }
+            }
+        }
+        total as f64 / (n * (n - 1)) as f64
+    }
+
+    /// Dimension-order route between two endpoints, as a list of link ids.
+    ///
+    /// Compute-node traffic routes X-first then Y. Cross-traffic endpoints
+    /// ([`Endpoint::IoWest`]/[`Endpoint::IoEast`]) enter at the edge router
+    /// of their row and traverse the full row, leaving the mesh off the far
+    /// edge (the final off-edge hop consumes no modeled link, matching the
+    /// paper's description that cross-traffic "travels off the edge of the
+    /// network without disturbing the compute nodes").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints are identical compute nodes (local traffic
+    /// never enters the network) or if an I/O endpoint row is out of range.
+    pub fn route(&self, src: Endpoint, dst: Endpoint) -> Vec<usize> {
+        match (src, dst) {
+            (Endpoint::Node(a), Endpoint::Node(b)) => {
+                assert_ne!(a, b, "local traffic must not enter the network");
+                self.route_nodes(a as usize, b as usize)
+            }
+            (Endpoint::IoWest(row), Endpoint::IoEast(_)) => self.row_route(row, RouteDir::East),
+            (Endpoint::IoEast(row), Endpoint::IoWest(_)) => self.row_route(row, RouteDir::West),
+            (s, d) => panic!("unsupported route {s:?} -> {d:?}"),
+        }
+    }
+
+    fn route_nodes(&self, a: usize, b: usize) -> Vec<usize> {
+        let mut cur = self.coord(a);
+        let target = self.coord(b);
+        let mut links = Vec::with_capacity(self.hops(a, b));
+        while cur.x != target.x {
+            let dir = if cur.x < target.x { RouteDir::East } else { RouteDir::West };
+            links.push(self.link_id(cur, dir));
+            cur.x = if cur.x < target.x { cur.x + 1 } else { cur.x - 1 };
+        }
+        while cur.y != target.y {
+            let dir = if cur.y < target.y { RouteDir::South } else { RouteDir::North };
+            links.push(self.link_id(cur, dir));
+            cur.y = if cur.y < target.y { cur.y + 1 } else { cur.y - 1 };
+        }
+        links
+    }
+
+    fn row_route(&self, row: u16, dir: RouteDir) -> Vec<usize> {
+        assert!(row < self.height, "I/O row {row} out of range");
+        let w = self.width;
+        (0..w - 1)
+            .map(|i| {
+                let x = match dir {
+                    RouteDir::East => i,
+                    RouteDir::West => w - 1 - i,
+                    _ => unreachable!(),
+                };
+                self.link_id(RouterCoord::new(x, row), dir)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alewife() -> Mesh {
+        Mesh::new(8, 4)
+    }
+
+    #[test]
+    fn link_count_matches_formula() {
+        let m = alewife();
+        assert_eq!(m.num_links(), 2 * (7 * 4) + 2 * (3 * 8));
+    }
+
+    #[test]
+    fn link_ids_are_dense_and_unique() {
+        let m = alewife();
+        let mut seen = vec![false; m.num_links()];
+        for y in 0..4 {
+            for x in 0..8 {
+                let c = RouterCoord::new(x, y);
+                for dir in [RouteDir::East, RouteDir::West, RouteDir::South, RouteDir::North] {
+                    let ok = match dir {
+                        RouteDir::East => x + 1 < 8,
+                        RouteDir::West => x >= 1,
+                        RouteDir::South => y + 1 < 4,
+                        RouteDir::North => y >= 1,
+                    };
+                    if ok {
+                        let id = m.link_id(c, dir);
+                        assert!(!seen[id], "duplicate link id {id}");
+                        seen[id] = true;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all link ids covered");
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let m = alewife();
+        for id in 0..m.num_nodes() {
+            assert_eq!(m.node_at(m.coord(id)), id);
+        }
+    }
+
+    #[test]
+    fn hops_corner_to_corner() {
+        let m = alewife();
+        assert_eq!(m.hops(0, 31), 10);
+        assert_eq!(m.hops(0, 0), 0);
+        assert_eq!(m.hops(0, 1), 1);
+    }
+
+    #[test]
+    fn route_length_equals_hops() {
+        let m = alewife();
+        for a in 0..m.num_nodes() {
+            for b in 0..m.num_nodes() {
+                if a != b {
+                    let r = m.route(Endpoint::node(a), Endpoint::node(b));
+                    assert_eq!(r.len(), m.hops(a, b), "{a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_is_x_first() {
+        let m = alewife();
+        // 0 (0,0) -> 25 (1,3): one east link then three south links.
+        let r = m.route(Endpoint::node(0), Endpoint::node(25));
+        assert_eq!(r[0], m.link_id(RouterCoord::new(0, 0), RouteDir::East));
+        assert_eq!(r[1], m.link_id(RouterCoord::new(1, 0), RouteDir::South));
+    }
+
+    #[test]
+    fn bisection_links_count() {
+        let m = alewife();
+        let cut = m.bisection_links();
+        assert_eq!(cut.len(), 8, "4 rows x 2 directions");
+        for l in cut {
+            assert!(m.crosses_bisection(l));
+        }
+    }
+
+    #[test]
+    fn cross_traffic_route_crosses_bisection() {
+        let m = alewife();
+        let east = m.route(Endpoint::IoWest(2), Endpoint::IoEast(2));
+        assert_eq!(east.len(), 7);
+        assert_eq!(east.iter().filter(|&&l| m.crosses_bisection(l)).count(), 1);
+        let west = m.route(Endpoint::IoEast(1), Endpoint::IoWest(1));
+        assert_eq!(west.len(), 7);
+        assert_eq!(west.iter().filter(|&&l| m.crosses_bisection(l)).count(), 1);
+    }
+
+    #[test]
+    fn mean_hops_is_sane() {
+        let m = alewife();
+        let mh = m.mean_hops();
+        assert!(mh > 3.0 && mh < 5.0, "mean hops {mh}");
+    }
+
+    #[test]
+    #[should_panic(expected = "local traffic")]
+    fn local_route_panics() {
+        let m = alewife();
+        let _ = m.route(Endpoint::node(3), Endpoint::node(3));
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests: the network neither loses nor duplicates packets, and
+//! delivery times respect the analytic minimum.
+
+use commsense_des::{EventQueue, Time};
+use commsense_mesh::{Endpoint, NetConfig, NetEvent, Network, Packet, PacketClass};
+use proptest::prelude::*;
+
+/// Drives a network to quiescence, returning `(arrival, tag)` pairs.
+fn drain(net: &mut Network, mut q: EventQueue<NetEvent>) -> Vec<(Time, u64)> {
+    let mut out = Vec::new();
+    while let Some((t, ev)) = q.pop() {
+        let mut sched = Vec::new();
+        if let Some(d) = net.handle(t, ev, &mut |t2, e2| sched.push((t2, e2))) {
+            out.push((t, d.packet.tag));
+        }
+        for (t2, e2) in sched {
+            q.schedule(t2, e2);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every compute-node packet is delivered exactly once, no earlier
+    /// than its uncongested minimum (head latency + serialization).
+    #[test]
+    fn no_loss_no_duplication_no_time_travel(
+        pairs in proptest::collection::vec((0usize..32, 0usize..32, 8u32..256), 1..60)
+    ) {
+        let cfg = NetConfig::alewife();
+        let mut net = Network::new(cfg.clone());
+        let mut q = EventQueue::new();
+        let mut expected = Vec::new();
+        for (tag, &(src, dst, bytes)) in pairs.iter().enumerate() {
+            if src == dst {
+                continue;
+            }
+            let pkt = Packet::protocol(
+                Endpoint::node(src),
+                Endpoint::node(dst),
+                bytes.max(8),
+                PacketClass::Data,
+                tag as u64,
+            );
+            let mut sched = Vec::new();
+            net.inject(Time::ZERO, pkt, &mut |t, e| sched.push((t, e)));
+            for (t, e) in sched {
+                q.schedule(t, e);
+            }
+            let hops = net.mesh().hops(src, dst) as u64;
+            let min = hops * cfg.router_delay_ps
+                + bytes.max(8) as u64 * cfg.ps_per_byte;
+            expected.push((tag as u64, Time::from_ps(min)));
+        }
+        let delivered = drain(&mut net, q);
+        prop_assert_eq!(delivered.len(), expected.len(), "every packet arrives once");
+        let mut tags: Vec<u64> = delivered.iter().map(|&(_, tag)| tag).collect();
+        tags.sort_unstable();
+        let mut want: Vec<u64> = expected.iter().map(|&(tag, _)| tag).collect();
+        want.sort_unstable();
+        prop_assert_eq!(tags, want);
+        for &(t, tag) in &delivered {
+            let (_, min) = expected.iter().find(|&&(w, _)| w == tag).expect("expected tag");
+            prop_assert!(t >= *min, "tag {tag} arrived {t} before minimum {min}");
+        }
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+
+    /// Cross-traffic floods never deadlock the network or leak flights.
+    #[test]
+    fn cross_traffic_flood_terminates(rows in 1u16..4, waves in 1usize..12) {
+        let mut net = Network::new(NetConfig::alewife());
+        let mut q = EventQueue::new();
+        for w in 0..waves {
+            for row in 0..rows {
+                let pkt =
+                    Packet::cross_traffic(Endpoint::IoWest(row), Endpoint::IoEast(row), 64);
+                let mut sched = Vec::new();
+                net.inject(Time::from_ns(w as u64 * 10), pkt, &mut |t, e| sched.push((t, e)));
+                for (t, e) in sched {
+                    q.schedule(t, e);
+                }
+            }
+        }
+        let delivered = drain(&mut net, q);
+        prop_assert!(delivered.is_empty(), "cross traffic exits off-edge");
+        prop_assert_eq!(net.in_flight(), 0);
+        prop_assert_eq!(net.stats().packets_delivered, (rows as u64) * waves as u64);
+    }
+}

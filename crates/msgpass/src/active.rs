@@ -1,0 +1,181 @@
+//! Active messages with optional DMA payload.
+
+/// Identifier of a message handler at the receiving node.
+///
+/// Application handlers use ids below [`HandlerId::SYSTEM_BASE`]; the
+/// machine reserves the range above it for system services (the
+/// message-passing barrier), which are received via selective interrupts
+/// even when the application polls — the behavior the Remote Queues
+/// abstraction provides on Alewife.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HandlerId(pub u16);
+
+impl HandlerId {
+    /// First handler id reserved for machine-internal services.
+    pub const SYSTEM_BASE: u16 = 0xFF00;
+
+    /// Whether this handler is a machine-internal service handler.
+    pub fn is_system(self) -> bool {
+        self.0 >= Self::SYSTEM_BASE
+    }
+}
+
+/// Maximum number of 64-bit argument words in an active message.
+///
+/// The Alewife network interface holds up to fourteen 32-bit arguments; we
+/// carry seven 64-bit words, the same 56 bytes of argument capacity.
+pub const MAX_AM_ARGS: usize = 7;
+
+/// An active message: handler + argument words + optional DMA-appended bulk
+/// payload.
+///
+/// # Examples
+///
+/// ```
+/// use commsense_msgpass::{ActiveMessage, HandlerId};
+///
+/// // EM3D sends five double-word values plus a base index per message.
+/// let am = ActiveMessage::new(3, HandlerId(1), vec![10, 1, 2, 3, 4, 5]);
+/// assert_eq!(am.wire_bytes(), 8 + 6 * 8);
+/// // A bulk-transfer message appends DMA data, padded to 8 bytes.
+/// let bulk = ActiveMessage::with_bulk(3, HandlerId(2), vec![10], 100);
+/// assert_eq!(bulk.wire_bytes(), 8 + 8 + 104);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActiveMessage {
+    /// Destination node.
+    pub dst: usize,
+    /// Handler invoked at the destination.
+    pub handler: HandlerId,
+    /// Argument words (also the fine-grained data payload).
+    pub args: Vec<u64>,
+    /// Requested DMA payload bytes (before alignment padding).
+    pub bulk_bytes: u32,
+    /// The modeled content of the DMA payload, as 64-bit words, so
+    /// receivers can compute verifiable results. Wire size is governed by
+    /// `bulk_bytes` (which must cover `8 * bulk_data.len()`).
+    pub bulk_data: Vec<u64>,
+    /// 16-byte lines the sender must gather-copy into a contiguous buffer
+    /// before the DMA can stream them (0 when data is already contiguous).
+    pub gather_lines: u32,
+    /// 16-byte lines the receiver must scatter-copy out of the landing
+    /// buffer (0 when data is consumed in place).
+    pub scatter_lines: u32,
+}
+
+impl ActiveMessage {
+    /// Creates a fine-grained active message.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`MAX_AM_ARGS`] argument words are supplied.
+    pub fn new(dst: usize, handler: HandlerId, args: Vec<u64>) -> Self {
+        assert!(args.len() <= MAX_AM_ARGS, "active message holds at most {MAX_AM_ARGS} words");
+        ActiveMessage {
+            dst,
+            handler,
+            args,
+            bulk_bytes: 0,
+            bulk_data: Vec::new(),
+            gather_lines: 0,
+            scatter_lines: 0,
+        }
+    }
+
+    /// Creates a bulk-transfer message with `bulk_bytes` of DMA payload.
+    pub fn with_bulk(dst: usize, handler: HandlerId, args: Vec<u64>, bulk_bytes: u32) -> Self {
+        let mut am = ActiveMessage::new(dst, handler, args);
+        am.bulk_bytes = bulk_bytes;
+        am
+    }
+
+    /// Attaches modeled DMA payload content (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the declared `bulk_bytes` cannot hold the data.
+    pub fn data(mut self, words: Vec<u64>) -> Self {
+        assert!(
+            8 * words.len() as u32 <= self.padded_bulk_bytes(),
+            "bulk_bytes {} too small for {} data words",
+            self.bulk_bytes,
+            words.len()
+        );
+        self.bulk_data = words;
+        self
+    }
+
+    /// Sets the sender-side gather copy cost (builder style).
+    pub fn gather(mut self, lines: u32) -> Self {
+        self.gather_lines = lines;
+        self
+    }
+
+    /// Sets the receiver-side scatter copy cost (builder style).
+    pub fn scatter(mut self, lines: u32) -> Self {
+        self.scatter_lines = lines;
+        self
+    }
+
+    /// DMA payload bytes after Alewife's double-word alignment padding.
+    pub fn padded_bulk_bytes(&self) -> u32 {
+        self.bulk_bytes.div_ceil(8) * 8
+    }
+
+    /// Total size on the wire: 8-byte header + arguments + padded DMA data.
+    pub fn wire_bytes(&self) -> u32 {
+        8 + 8 * self.args.len() as u32 + self.padded_bulk_bytes()
+    }
+
+    /// Payload bytes (everything except the header) for volume accounting.
+    pub fn payload_bytes(&self) -> u32 {
+        self.wire_bytes() - 8
+    }
+
+    /// Bytes of alignment padding added by DMA (Figure 5 shows this eating
+    /// ICCG's header savings).
+    pub fn padding_bytes(&self) -> u32 {
+        self.padded_bulk_bytes() - self.bulk_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_message_is_header_only() {
+        let am = ActiveMessage::new(0, HandlerId(0), vec![]);
+        assert_eq!(am.wire_bytes(), 8);
+        assert_eq!(am.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn dma_padding_to_double_words() {
+        let am = ActiveMessage::with_bulk(0, HandlerId(0), vec![], 13);
+        assert_eq!(am.padded_bulk_bytes(), 16);
+        assert_eq!(am.padding_bytes(), 3);
+        let aligned = ActiveMessage::with_bulk(0, HandlerId(0), vec![], 16);
+        assert_eq!(aligned.padding_bytes(), 0);
+    }
+
+    #[test]
+    fn gather_scatter_builders() {
+        let am = ActiveMessage::with_bulk(1, HandlerId(4), vec![2], 64).gather(4).scatter(4);
+        assert_eq!(am.gather_lines, 4);
+        assert_eq!(am.scatter_lines, 4);
+    }
+
+    #[test]
+    fn system_handler_range() {
+        assert!(!HandlerId(5).is_system());
+        assert!(HandlerId(HandlerId::SYSTEM_BASE).is_system());
+        assert!(HandlerId(0xFFFF).is_system());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_args_rejected() {
+        let _ = ActiveMessage::new(0, HandlerId(0), vec![0; MAX_AM_ARGS + 1]);
+    }
+}

@@ -1,0 +1,107 @@
+//! The combining tree used by the message-passing barrier.
+
+/// A binary combining tree over `n` nodes, rooted at node 0.
+///
+/// The message-passing barrier sends "arrived" messages up the tree and a
+/// "release" broadcast down it: `2(n-1)` messages per barrier episode in
+/// `O(log n)` rounds.
+///
+/// # Examples
+///
+/// ```
+/// use commsense_msgpass::BarrierTree;
+///
+/// let t = BarrierTree::new(8);
+/// assert_eq!(t.parent(0), None);
+/// assert_eq!(t.parent(5), Some(2));
+/// assert_eq!(t.children(1), vec![3, 4]);
+/// assert_eq!(t.expected_arrivals(0), 3); // two children + self
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierTree {
+    n: usize,
+}
+
+impl BarrierTree {
+    /// Creates a tree over `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "barrier needs at least one node");
+        BarrierTree { n }
+    }
+
+    /// Number of participating nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the tree is trivial (a single node).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The parent of `node`, or `None` for the root.
+    pub fn parent(&self, node: usize) -> Option<usize> {
+        if node == 0 {
+            None
+        } else {
+            Some((node - 1) / 2)
+        }
+    }
+
+    /// The children of `node` that exist within the tree.
+    pub fn children(&self, node: usize) -> Vec<usize> {
+        [2 * node + 1, 2 * node + 2].into_iter().filter(|&c| c < self.n).collect()
+    }
+
+    /// Arrivals `node` must observe before notifying its parent (its own
+    /// arrival plus one message per child subtree).
+    pub fn expected_arrivals(&self, node: usize) -> usize {
+        1 + self.children(node).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parent_child_consistency() {
+        let t = BarrierTree::new(32);
+        for node in 1..32 {
+            let p = t.parent(node).unwrap();
+            assert!(t.children(p).contains(&node), "node {node} parent {p}");
+        }
+    }
+
+    #[test]
+    fn every_node_reachable_from_root() {
+        let t = BarrierTree::new(13);
+        let mut seen = [false; 13];
+        let mut stack = vec![0];
+        while let Some(n) = stack.pop() {
+            assert!(!seen[n], "node visited twice");
+            seen[n] = true;
+            stack.extend(t.children(n));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn leaf_expects_only_self() {
+        let t = BarrierTree::new(8);
+        assert_eq!(t.expected_arrivals(7), 1);
+        assert_eq!(t.expected_arrivals(3), 2); // one child (7)
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = BarrierTree::new(1);
+        assert_eq!(t.parent(0), None);
+        assert!(t.children(0).is_empty());
+        assert_eq!(t.expected_arrivals(0), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Message-passing substrate: active messages, remote queues, bulk DMA.
+//!
+//! Alewife supports user-level active messages of the form
+//! `send_am(proc, handler, args...)`: the message interrupts the destination
+//! processor (or is deferred to an explicit poll under the Remote Queues
+//! abstraction) and runs `handler` with `args`. Bulk transfer appends
+//! `(address, length)` DMA descriptors to an active message; the CMMU
+//! streams the described memory after the handler arguments.
+//!
+//! This crate provides the data types and cost model for those mechanisms:
+//!
+//! * [`ActiveMessage`] — handler id + up to fourteen 32-bit argument words
+//!   (seven 64-bit words here) + optional DMA payload, with wire-size and
+//!   gather/scatter cost computation.
+//! * [`RemoteQueue`] — the polled receive queue with occupancy statistics.
+//! * [`MsgCosts`] — processor-overhead constants calibrated to the paper's
+//!   numbers: a null active message costs 102 cycles end-to-end plus 0.8
+//!   cycles per hop; interrupts are expensive relative to polling; gather /
+//!   scatter copying costs up to 60 cycles per 16-byte line; DMA requires
+//!   double-word alignment (the padding visibly hurts ICCG's small bulk
+//!   transfers in Figure 5).
+//! * [`BarrierTree`] — the combining tree used by the message-passing
+//!   barrier.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod active;
+mod barrier;
+mod costs;
+mod rqueue;
+
+pub use active::{ActiveMessage, HandlerId, MAX_AM_ARGS};
+pub use barrier::BarrierTree;
+pub use costs::MsgCosts;
+pub use rqueue::RemoteQueue;

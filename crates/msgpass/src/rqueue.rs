@@ -1,0 +1,100 @@
+//! The Remote Queues polled receive queue.
+
+use std::collections::VecDeque;
+
+use crate::active::ActiveMessage;
+
+/// A polled receive queue of active messages at one node.
+///
+/// Under the Remote Queues abstraction, arriving user-level messages are
+/// deferred until the application reaches an explicit polling point, while
+/// system messages are delivered through selective interrupts (the machine
+/// layer routes system handlers around this queue).
+///
+/// # Examples
+///
+/// ```
+/// use commsense_msgpass::{ActiveMessage, HandlerId, RemoteQueue};
+///
+/// let mut q = RemoteQueue::new();
+/// q.push(ActiveMessage::new(0, HandlerId(1), vec![7]));
+/// assert_eq!(q.len(), 1);
+/// let m = q.pop().unwrap();
+/// assert_eq!(m.args, vec![7]);
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RemoteQueue {
+    queue: VecDeque<ActiveMessage>,
+    max_depth: usize,
+    total_enqueued: u64,
+}
+
+impl RemoteQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        RemoteQueue::default()
+    }
+
+    /// Enqueues an arrived message.
+    pub fn push(&mut self, am: ActiveMessage) {
+        self.queue.push_back(am);
+        self.max_depth = self.max_depth.max(self.queue.len());
+        self.total_enqueued += 1;
+    }
+
+    /// Dequeues the oldest message, if any.
+    pub fn pop(&mut self) -> Option<ActiveMessage> {
+        self.queue.pop_front()
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Deepest the queue has ever been (network back-pressure indicator).
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Total messages ever enqueued.
+    pub fn total_enqueued(&self) -> u64 {
+        self.total_enqueued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::active::HandlerId;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = RemoteQueue::new();
+        for i in 0..5 {
+            q.push(ActiveMessage::new(0, HandlerId(0), vec![i]));
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop().unwrap().args, vec![i]);
+        }
+    }
+
+    #[test]
+    fn depth_statistics() {
+        let mut q = RemoteQueue::new();
+        q.push(ActiveMessage::new(0, HandlerId(0), vec![]));
+        q.push(ActiveMessage::new(0, HandlerId(0), vec![]));
+        q.pop();
+        q.push(ActiveMessage::new(0, HandlerId(0), vec![]));
+        assert_eq!(q.max_depth(), 2);
+        assert_eq!(q.total_enqueued(), 3);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

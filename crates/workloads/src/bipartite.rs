@@ -1,0 +1,284 @@
+//! The EM3D irregular bipartite graph.
+//!
+//! EM3D models electromagnetic wave propagation on a bipartite graph of E
+//! (electric field) and H (magnetic field) nodes. Each iteration has two
+//! phases: every E node recomputes its value from its H neighbors, then
+//! every H node from its E neighbors, with barriers between phases. The
+//! per-edge update is two double-precision FLOPs: a coefficient multiply
+//! and an accumulate.
+
+use commsense_des::Rng;
+
+/// EM3D graph parameters (paper defaults: 10000 nodes, degree 10, 20%
+/// non-local edges, span 3, 50 iterations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Em3dParams {
+    /// Total graph nodes (split evenly between the E and H sides).
+    pub nodes: usize,
+    /// Incoming edges per node.
+    pub degree: usize,
+    /// Fraction of edges whose endpoint lives on another processor.
+    pub pct_nonlocal: f64,
+    /// Maximum processor distance of a non-local neighbor.
+    pub span: usize,
+    /// Iterations (each iteration = E phase + H phase).
+    pub iterations: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Em3dParams {
+    /// The paper's configuration (§4.1).
+    pub fn paper() -> Self {
+        Em3dParams { nodes: 10_000, degree: 10, pct_nonlocal: 0.2, span: 3, iterations: 50, seed: 0x3d }
+    }
+
+    /// A scaled-down configuration for fast tests.
+    pub fn small() -> Self {
+        Em3dParams { nodes: 400, degree: 4, pct_nonlocal: 0.2, span: 3, iterations: 3, seed: 0x3d }
+    }
+}
+
+/// One side of the bipartite graph: per-node incoming edge lists.
+#[derive(Debug, Clone)]
+pub struct Side {
+    /// Owning processor of each node.
+    pub owner: Vec<u16>,
+    /// Incoming neighbor indices (into the opposite side) per node.
+    pub edges: Vec<Vec<u32>>,
+    /// Coefficient per incoming edge (parallel to `edges`).
+    pub coeffs: Vec<Vec<f64>>,
+    /// Initial node values.
+    pub init: Vec<f64>,
+}
+
+impl Side {
+    /// Node count on this side.
+    pub fn len(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Whether the side is empty.
+    pub fn is_empty(&self) -> bool {
+        self.owner.is_empty()
+    }
+
+    /// Indices of the nodes owned by processor `p`.
+    pub fn nodes_of(&self, p: usize) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.owner[i] as usize == p).collect()
+    }
+}
+
+/// The generated EM3D graph.
+#[derive(Debug, Clone)]
+pub struct Em3dGraph {
+    /// Parameters used.
+    pub params: Em3dParams,
+    /// Processor count it was partitioned for.
+    pub nprocs: usize,
+    /// The E side (reads H values).
+    pub e: Side,
+    /// The H side (reads E values).
+    pub h: Side,
+}
+
+impl Em3dGraph {
+    /// Generates a graph partitioned over `nprocs` processors.
+    ///
+    /// Nodes are distributed block-wise; each node's incoming neighbors are
+    /// drawn from its own processor, except a `pct_nonlocal` fraction drawn
+    /// from processors within `span` (ring distance), mirroring the Split-C
+    /// generator the paper used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if parameters are degenerate (zero nodes/degree, or fewer
+    /// than two nodes per side per processor).
+    pub fn generate(params: &Em3dParams, nprocs: usize) -> Self {
+        assert!(params.nodes >= 4 && params.degree >= 1, "degenerate EM3D parameters");
+        let per_side = params.nodes / 2;
+        assert!(per_side >= nprocs, "need at least one node per processor per side");
+        let mut rng = Rng::new(params.seed);
+        let e = Self::gen_side(params, nprocs, per_side, &mut rng);
+        let h = Self::gen_side(params, nprocs, per_side, &mut rng);
+        Em3dGraph { params: params.clone(), nprocs, e, h }
+    }
+
+    fn gen_side(params: &Em3dParams, nprocs: usize, count: usize, rng: &mut Rng) -> Side {
+        // Balanced blocked distribution: processor p owns
+        // [p*count/nprocs, (p+1)*count/nprocs), never empty for
+        // count >= nprocs.
+        let owner: Vec<u16> = (0..count).map(|i| ((i * nprocs) / count) as u16).collect();
+        // Node ranges per processor of the *opposite* side; both sides use
+        // the same layout, so ranges coincide.
+        let range_of = |p: usize| {
+            let lo = p * count / nprocs;
+            let hi = (p + 1) * count / nprocs;
+            (lo, hi)
+        };
+        let mut edges = Vec::with_capacity(count);
+        let mut coeffs = Vec::with_capacity(count);
+        let mut init = Vec::with_capacity(count);
+        for &o in owner.iter() {
+            let p = o as usize;
+            let mut ne = Vec::with_capacity(params.degree);
+            let mut nc = Vec::with_capacity(params.degree);
+            // Neighbors come in adjacent pairs (j, j+1): graphs derived
+            // from physical grids have spatial locality, and on Alewife's
+            // 16-byte lines (two doubles) this is what lets one line fill
+            // serve two neighbor values.
+            while ne.len() < params.degree {
+                let q = if nprocs > 1 && rng.chance(params.pct_nonlocal) {
+                    // A neighbor processor within `span` (ring distance).
+                    let span = params.span.clamp(1, nprocs - 1);
+                    let d = rng.gen_range(1, span as u64 + 1) as i64;
+                    let offset = if rng.chance(0.5) { d } else { -d };
+                    (p as i64 + offset).rem_euclid(nprocs as i64) as usize
+                } else {
+                    p
+                };
+                let (lo, hi) = range_of(q);
+                let j = lo + rng.index(hi - lo);
+                ne.push(j as u32);
+                nc.push(rng.f64() * 0.1);
+                if ne.len() < params.degree {
+                    // The line-mate of j within the same owner's range.
+                    let mate = if j.is_multiple_of(2) && j + 1 < hi { j + 1 } else { j.saturating_sub(1).max(lo) };
+                    ne.push(mate as u32);
+                    nc.push(rng.f64() * 0.1);
+                }
+            }
+            edges.push(ne);
+            coeffs.push(nc);
+            init.push(rng.f64());
+        }
+        Side { owner, edges, coeffs, init }
+    }
+
+    /// Fraction of edges (both sides) whose endpoint is on another
+    /// processor.
+    pub fn nonlocal_fraction(&self) -> f64 {
+        let mut total = 0usize;
+        let mut nonlocal = 0usize;
+        for (side, other) in [(&self.e, &self.h), (&self.h, &self.e)] {
+            for i in 0..side.len() {
+                for &j in &side.edges[i] {
+                    total += 1;
+                    if side.owner[i] != other.owner[j as usize] {
+                        nonlocal += 1;
+                    }
+                }
+            }
+        }
+        nonlocal as f64 / total.max(1) as f64
+    }
+
+    /// One phase of the computation: recompute `vals` from `other_vals`.
+    /// `vals[i] -= sum_j coeff_ij * other_vals[edge_ij]` — two FLOPs per
+    /// edge, exactly the paper's description.
+    pub fn phase(side: &Side, vals: &mut [f64], other_vals: &[f64]) {
+        for (i, v) in vals.iter_mut().enumerate() {
+            let mut acc = *v;
+            for (k, &j) in side.edges[i].iter().enumerate() {
+                acc -= side.coeffs[i][k] * other_vals[j as usize];
+            }
+            *v = acc;
+        }
+    }
+
+    /// The sequential reference: returns final (E, H) values after
+    /// `iterations` red/black iterations.
+    pub fn reference(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut e_vals = self.e.init.clone();
+        let mut h_vals = self.h.init.clone();
+        for _ in 0..self.params.iterations {
+            Self::phase(&self.e, &mut e_vals, &h_vals);
+            Self::phase(&self.h, &mut h_vals, &e_vals);
+        }
+        (e_vals, h_vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = Em3dParams::small();
+        let a = Em3dGraph::generate(&p, 8);
+        let b = Em3dGraph::generate(&p, 8);
+        assert_eq!(a.e.edges, b.e.edges);
+        assert_eq!(a.h.init, b.h.init);
+    }
+
+    #[test]
+    fn degree_is_exact() {
+        let g = Em3dGraph::generate(&Em3dParams::small(), 8);
+        for i in 0..g.e.len() {
+            assert_eq!(g.e.edges[i].len(), g.params.degree);
+            assert_eq!(g.e.coeffs[i].len(), g.params.degree);
+        }
+    }
+
+    #[test]
+    fn nonlocal_fraction_tracks_parameter() {
+        let mut p = Em3dParams::small();
+        p.nodes = 4000;
+        let g = Em3dGraph::generate(&p, 8);
+        let f = g.nonlocal_fraction();
+        assert!((f - 0.2).abs() < 0.05, "nonlocal fraction {f}");
+    }
+
+    #[test]
+    fn span_limits_neighbor_distance() {
+        let mut p = Em3dParams::small();
+        p.nodes = 4000;
+        p.span = 2;
+        let g = Em3dGraph::generate(&p, 8);
+        for (side, other) in [(&g.e, &g.h), (&g.h, &g.e)] {
+            for i in 0..side.len() {
+                for &j in &side.edges[i] {
+                    let a = side.owner[i] as i64;
+                    let b = other.owner[j as usize] as i64;
+                    let d = (a - b).rem_euclid(8).min((b - a).rem_euclid(8));
+                    assert!(d <= 2, "edge {a}->{b} exceeds span");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owners_are_balanced() {
+        let g = Em3dGraph::generate(&Em3dParams::small(), 8);
+        let mut counts = vec![0usize; 8];
+        for &o in &g.e.owner {
+            counts[o as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(max - min <= 1 + g.e.len() / 8, "imbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn reference_changes_values() {
+        let g = Em3dGraph::generate(&Em3dParams::small(), 4);
+        let (e, h) = g.reference();
+        assert_ne!(e, g.e.init);
+        assert_ne!(h, g.h.init);
+        assert!(e.iter().all(|v| v.is_finite()));
+        assert!(h.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn nodes_of_partitions_everything() {
+        let g = Em3dGraph::generate(&Em3dParams::small(), 8);
+        let total: usize = (0..8).map(|p| g.e.nodes_of(p).len()).sum();
+        assert_eq!(total, g.e.len());
+    }
+
+    #[test]
+    fn single_processor_graph_is_fully_local() {
+        let g = Em3dGraph::generate(&Em3dParams::small(), 1);
+        assert_eq!(g.nonlocal_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Synthetic workload generators for the four applications of the study.
+//!
+//! The paper's inputs are either public benchmark graphs (EM3D's generated
+//! bipartite graph) or datasets we do not have (MESH2K, the BCSSTK32
+//! Harwell–Boeing matrix, the MOLDYN molecule set). Each generator here
+//! produces a deterministic synthetic equivalent controlled by the
+//! parameters that matter to communication behavior: node/edge counts,
+//! degree, the fraction of partition-crossing edges, DAG level structure,
+//! and spatial locality. Every workload also provides a *sequential
+//! reference* computation so the parallel implementations in
+//! `commsense-apps` can be verified bit-for-bit (the parallel variants
+//! perform the same floating-point operations in a deterministic order).
+//!
+//! * [`bipartite`] — EM3D's irregular bipartite graph (§4.1: 10000 nodes,
+//!   degree 10, 20% non-local edges, span 3).
+//! * [`unstruct`] — UNSTRUC's 3-D unstructured mesh (§4.2: MESH2K-like,
+//!   75 FLOPs per edge).
+//! * [`sparse`] — ICCG's sparse lower-triangular system and its dataflow
+//!   level schedule (§4.3: BCSSTK32-like).
+//! * [`moldyn`] — MOLDYN's molecules, interaction pairs, and the RCB
+//!   partitioner (§4.4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bipartite;
+pub mod moldyn;
+pub mod partition;
+pub mod sparse;
+pub mod unstruct;

@@ -1,0 +1,238 @@
+//! Graph partitioners.
+//!
+//! The paper's applications arrived with partitions from real tools —
+//! Chaco for ICCG (§4.3), RCB for MOLDYN (§4.4). Besides RCB (in
+//! [`crate::moldyn`]), this module provides a greedy graph-growing
+//! partitioner in the Chaco/Kernighan-Lin family's entry-level spirit:
+//! grow each part by breadth-first accretion from a seed, preferring
+//! vertices with the most neighbors already inside the part. It also
+//! provides quality metrics so partition choices can be compared in
+//! ablations.
+
+use std::collections::VecDeque;
+
+/// Adjacency list of an undirected graph.
+#[derive(Debug, Clone, Default)]
+pub struct Adjacency {
+    /// Neighbor lists per vertex.
+    pub neighbors: Vec<Vec<u32>>,
+}
+
+impl Adjacency {
+    /// Builds an adjacency list from undirected edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a vertex `>= n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut neighbors = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge out of range");
+            neighbors[u as usize].push(v);
+            neighbors[v as usize].push(u);
+        }
+        Adjacency { neighbors }
+    }
+
+    /// Vertex count.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+}
+
+/// Greedy graph-growing partition of `adj` into `parts` balanced parts.
+///
+/// Parts are grown one at a time to their target size: each step admits
+/// the frontier vertex with the most already-admitted neighbors (ties by
+/// index, so the result is deterministic). Unreached vertices (other
+/// components) seed subsequent parts.
+///
+/// # Panics
+///
+/// Panics if `parts == 0` or the graph is empty.
+///
+/// # Examples
+///
+/// ```
+/// use commsense_workloads::partition::{greedy_graph_growing, Adjacency};
+///
+/// // A path 0-1-2-3-4-5 split in two: contiguous halves.
+/// let adj = Adjacency::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+/// let owners = greedy_graph_growing(&adj, 2);
+/// assert_eq!(owners[0], owners[2]);
+/// assert_eq!(owners[3], owners[5]);
+/// assert_ne!(owners[0], owners[5]);
+/// ```
+pub fn greedy_graph_growing(adj: &Adjacency, parts: usize) -> Vec<u16> {
+    assert!(parts > 0 && !adj.is_empty(), "need vertices and parts");
+    let n = adj.len();
+    let mut owner = vec![u16::MAX; n];
+    let mut assigned = 0usize;
+    let mut next_seed = 0usize;
+    for p in 0..parts {
+        // Balanced target for this part.
+        let remaining_parts = parts - p;
+        let target = (n - assigned).div_ceil(remaining_parts);
+        if target == 0 {
+            continue;
+        }
+        // Seed: the unassigned vertex with the smallest index.
+        while next_seed < n && owner[next_seed] != u16::MAX {
+            next_seed += 1;
+        }
+        if next_seed == n {
+            break;
+        }
+        let mut in_part = 0usize;
+        let mut frontier: VecDeque<u32> = VecDeque::from([next_seed as u32]);
+        // Gain = admitted neighbors; recomputed lazily from the frontier.
+        while in_part < target {
+            // Pick the frontier vertex with the highest gain.
+            let pick = frontier
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| owner[v as usize] == u16::MAX)
+                .max_by_key(|(_, &v)| {
+                    let gain = adj.neighbors[v as usize]
+                        .iter()
+                        .filter(|&&w| owner[w as usize] == p as u16)
+                        .count();
+                    (gain, std::cmp::Reverse(v))
+                })
+                .map(|(i, _)| i);
+            let v = match pick {
+                Some(i) => frontier.remove(i).expect("index valid"),
+                None => {
+                    // Frontier exhausted (component boundary): reseed.
+                    match (0..n).find(|&i| owner[i] == u16::MAX) {
+                        Some(s) => {
+                            frontier.push_back(s as u32);
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+            };
+            if owner[v as usize] != u16::MAX {
+                continue;
+            }
+            owner[v as usize] = p as u16;
+            in_part += 1;
+            assigned += 1;
+            for &w in &adj.neighbors[v as usize] {
+                if owner[w as usize] == u16::MAX {
+                    frontier.push_back(w);
+                }
+            }
+        }
+    }
+    // Any stragglers (pathological frontiers) go to the last part.
+    for o in &mut owner {
+        if *o == u16::MAX {
+            *o = (parts - 1) as u16;
+        }
+    }
+    owner
+}
+
+/// Partition quality metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionQuality {
+    /// Fraction of edges crossing parts.
+    pub cut_fraction: f64,
+    /// Largest part size divided by the ideal size (1.0 = perfect).
+    pub imbalance: f64,
+}
+
+/// Evaluates a partition against the edge list it should localize.
+///
+/// # Panics
+///
+/// Panics if `owner` is empty or an edge endpoint is out of range.
+pub fn partition_quality(owner: &[u16], edges: &[(u32, u32)], parts: usize) -> PartitionQuality {
+    assert!(!owner.is_empty(), "empty partition");
+    let cut = edges
+        .iter()
+        .filter(|&&(u, v)| owner[u as usize] != owner[v as usize])
+        .count();
+    let mut sizes = vec![0usize; parts];
+    for &o in owner {
+        sizes[o as usize] += 1;
+    }
+    let ideal = owner.len() as f64 / parts as f64;
+    let max = *sizes.iter().max().expect("parts > 0") as f64;
+    PartitionQuality {
+        cut_fraction: cut as f64 / edges.len().max(1) as f64,
+        imbalance: max / ideal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unstruct::{UnstrucMesh, UnstrucParams};
+
+    #[test]
+    fn path_graph_splits_contiguously() {
+        let adj = Adjacency::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
+        let owners = greedy_graph_growing(&adj, 4);
+        let q = partition_quality(&owners, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)], 4);
+        assert!((q.imbalance - 1.0).abs() < 1e-9, "perfectly balanced: {q:?}");
+        // A path cut into 4 parts severs exactly 3 edges.
+        assert!((q.cut_fraction - 3.0 / 7.0).abs() < 1e-9, "{q:?}");
+    }
+
+    #[test]
+    fn every_vertex_is_assigned() {
+        let mesh = UnstrucMesh::generate(&UnstrucParams::small(), 8);
+        let adj = Adjacency::from_edges(mesh.len(), &mesh.edges);
+        let owners = greedy_graph_growing(&adj, 8);
+        assert_eq!(owners.len(), mesh.len());
+        assert!(owners.iter().all(|&o| (o as usize) < 8));
+    }
+
+    #[test]
+    fn beats_random_assignment_on_meshes() {
+        let mesh = UnstrucMesh::generate(&UnstrucParams::paper(), 32);
+        let adj = Adjacency::from_edges(mesh.len(), &mesh.edges);
+        let grown = greedy_graph_growing(&adj, 32);
+        let grown_q = partition_quality(&grown, &mesh.edges, 32);
+        // Random baseline: owner = index % 32 scrambled.
+        let random: Vec<u16> = (0..mesh.len()).map(|i| ((i * 7919) % 32) as u16).collect();
+        let random_q = partition_quality(&random, &mesh.edges, 32);
+        assert!(
+            grown_q.cut_fraction < 0.6 * random_q.cut_fraction,
+            "graph growing {grown_q:?} must beat random {random_q:?}"
+        );
+        assert!(grown_q.imbalance < 1.05, "{grown_q:?}");
+    }
+
+    #[test]
+    fn disconnected_components_are_handled() {
+        // Two disjoint triangles.
+        let edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)];
+        let adj = Adjacency::from_edges(6, &edges);
+        let owners = greedy_graph_growing(&adj, 2);
+        let q = partition_quality(&owners, &edges, 2);
+        assert_eq!(q.cut_fraction, 0.0, "components map to parts: {owners:?}");
+        assert!((q.imbalance - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mesh = UnstrucMesh::generate(&UnstrucParams::small(), 4);
+        let adj = Adjacency::from_edges(mesh.len(), &mesh.edges);
+        assert_eq!(greedy_graph_growing(&adj, 4), greedy_graph_growing(&adj, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "edge out of range")]
+    fn rejects_bad_edges() {
+        let _ = Adjacency::from_edges(2, &[(0, 5)]);
+    }
+}

@@ -1,0 +1,283 @@
+//! The UNSTRUC unstructured 3-D mesh.
+//!
+//! UNSTRUC simulates fluid flow over an unstructured mesh of nodes, edges,
+//! and faces. The paper's MESH2K input has 2000 nodes; each edge costs 75
+//! single-precision FLOPs, giving the application a high computation-to-
+//! communication ratio. Unlike EM3D's bipartite red/black structure, every
+//! node is recomputed every iteration, so old values must be buffered.
+
+use commsense_des::Rng;
+
+use crate::partition::{greedy_graph_growing, Adjacency};
+
+/// How mesh nodes are assigned to processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// Contiguous index blocks (index order tracks spatial order here).
+    #[default]
+    Blocked,
+    /// Greedy graph growing (a Chaco-style partition of the actual edges).
+    GraphGrown,
+}
+
+/// UNSTRUC mesh parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnstrucParams {
+    /// Mesh nodes (MESH2K: 2000).
+    pub nodes: usize,
+    /// Average edges per node.
+    pub avg_degree: usize,
+    /// FLOPs of edge work (paper: 75 single-precision FLOPs per edge).
+    pub flops_per_edge: u64,
+    /// Iterations.
+    pub iterations: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl UnstrucParams {
+    /// The paper's MESH2K-like configuration.
+    pub fn paper() -> Self {
+        UnstrucParams { nodes: 2000, avg_degree: 7, flops_per_edge: 75, iterations: 10, seed: 0x05 }
+    }
+
+    /// A scaled-down configuration for fast tests.
+    pub fn small() -> Self {
+        UnstrucParams { nodes: 256, avg_degree: 5, flops_per_edge: 75, iterations: 2, seed: 0x05 }
+    }
+}
+
+/// A generated unstructured mesh, partitioned spatially.
+#[derive(Debug, Clone)]
+pub struct UnstrucMesh {
+    /// Parameters used.
+    pub params: UnstrucParams,
+    /// Processor count it was partitioned for.
+    pub nprocs: usize,
+    /// Owning processor per node.
+    pub owner: Vec<u16>,
+    /// Undirected edges (u < v).
+    pub edges: Vec<(u32, u32)>,
+    /// Edge weights.
+    pub weights: Vec<f64>,
+    /// Faces (triangles of mesh nodes) — local compute only.
+    pub faces: Vec<[u32; 3]>,
+    /// Initial node values.
+    pub init: Vec<f64>,
+}
+
+impl UnstrucMesh {
+    /// Generates a jittered-grid mesh partitioned over `nprocs`.
+    ///
+    /// Points are laid out along a space-filling (row-major 3-D grid)
+    /// order and connected to nearby points, so the blocked partition has
+    /// spatial locality and a minority of edges cross processors — like a
+    /// real partitioned mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are fewer nodes than processors.
+    pub fn generate(params: &UnstrucParams, nprocs: usize) -> Self {
+        Self::generate_with_partition(params, nprocs, PartitionStrategy::Blocked)
+    }
+
+    /// Generates a mesh with an explicit partition strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are fewer nodes than processors.
+    pub fn generate_with_partition(
+        params: &UnstrucParams,
+        nprocs: usize,
+        strategy: PartitionStrategy,
+    ) -> Self {
+        assert!(params.nodes >= nprocs, "need at least one node per processor");
+        let n = params.nodes;
+        let mut rng = Rng::new(params.seed);
+        let per_proc = n.div_ceil(nprocs);
+        let owner: Vec<u16> = (0..n).map(|i| ((i / per_proc).min(nprocs - 1)) as u16).collect();
+
+        // Connect each node to ~avg_degree neighbors drawn from a window of
+        // nearby indices (index order == spatial order for a grid walk).
+        let window = (per_proc / 2).max(params.avg_degree * 4).max(8);
+        let mut edge_set = std::collections::BTreeSet::new();
+        let target_edges = n * params.avg_degree / 2;
+        let mut guard = 0;
+        while edge_set.len() < target_edges && guard < target_edges * 20 {
+            guard += 1;
+            let u = rng.index(n);
+            let lo = u.saturating_sub(window);
+            let hi = (u + window + 1).min(n);
+            let v = lo + rng.index(hi - lo);
+            if u != v {
+                let (a, b) = (u.min(v) as u32, u.max(v) as u32);
+                edge_set.insert((a, b));
+            }
+        }
+        let edges: Vec<(u32, u32)> = edge_set.into_iter().collect();
+        let weights: Vec<f64> = edges.iter().map(|_| rng.f64() * 0.01).collect();
+
+        // Faces: triangles formed by consecutive edge pairs sharing a node.
+        let mut faces = Vec::new();
+        for w in edges.windows(2) {
+            let (a, b) = w[0];
+            let (c, d) = w[1];
+            if a == c && b != d {
+                faces.push([a, b, d]);
+            }
+        }
+
+        let init: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+        let owner = match strategy {
+            PartitionStrategy::Blocked => owner,
+            PartitionStrategy::GraphGrown => {
+                greedy_graph_growing(&Adjacency::from_edges(n, &edges), nprocs)
+            }
+        };
+        UnstrucMesh { params: params.clone(), nprocs, owner, edges, weights, faces, init }
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Whether the mesh is empty.
+    pub fn is_empty(&self) -> bool {
+        self.owner.is_empty()
+    }
+
+    /// Indices of the nodes owned by processor `p`.
+    pub fn nodes_of(&self, p: usize) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.owner[i] as usize == p).collect()
+    }
+
+    /// Indices of the edges whose *lower endpoint* is owned by `p` (the
+    /// processor that computes the edge).
+    pub fn edges_of(&self, p: usize) -> Vec<usize> {
+        (0..self.edges.len())
+            .filter(|&e| self.owner[self.edges[e].0 as usize] as usize == p)
+            .collect()
+    }
+
+    /// Fraction of edges crossing processors.
+    pub fn cut_fraction(&self) -> f64 {
+        let cut = self
+            .edges
+            .iter()
+            .filter(|&&(u, v)| self.owner[u as usize] != self.owner[v as usize])
+            .count();
+        cut as f64 / self.edges.len().max(1) as f64
+    }
+
+    /// The per-edge flux kernel: antisymmetric exchange between the two
+    /// endpoint values (stands in for the 75-FLOP fluid computation).
+    pub fn flux(&self, e: usize, vals: &[f64]) -> f64 {
+        let (u, v) = self.edges[e];
+        (vals[u as usize] - vals[v as usize]) * self.weights[e]
+    }
+
+    /// One sequential iteration: edge phase accumulates fluxes into
+    /// forces, node phase integrates them.
+    pub fn iterate(&self, vals: &mut [f64]) {
+        let old = vals.to_vec();
+        let mut force = vec![0.0; self.len()];
+        for e in 0..self.edges.len() {
+            let f = self.flux(e, &old);
+            let (u, v) = self.edges[e];
+            force[u as usize] += f;
+            force[v as usize] -= f;
+        }
+        for i in 0..self.len() {
+            vals[i] = old[i] + force[i];
+        }
+    }
+
+    /// The sequential reference: node values after all iterations.
+    pub fn reference(&self) -> Vec<f64> {
+        let mut vals = self.init.clone();
+        for _ in 0..self.params.iterations {
+            self.iterate(&mut vals);
+        }
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let p = UnstrucParams::small();
+        let a = UnstrucMesh::generate(&p, 8);
+        let b = UnstrucMesh::generate(&p, 8);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.init, b.init);
+    }
+
+    #[test]
+    fn edges_are_canonical_and_unique() {
+        let m = UnstrucMesh::generate(&UnstrucParams::small(), 8);
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in &m.edges {
+            assert!(u < v, "canonical order");
+            assert!(seen.insert((u, v)), "duplicate edge");
+            assert!((v as usize) < m.len());
+        }
+    }
+
+    #[test]
+    fn degree_is_near_target() {
+        let m = UnstrucMesh::generate(&UnstrucParams::paper(), 8);
+        let avg = 2.0 * m.edges.len() as f64 / m.len() as f64;
+        assert!((avg - 7.0).abs() < 1.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn cut_fraction_is_a_minority() {
+        let m = UnstrucMesh::generate(&UnstrucParams::paper(), 32);
+        let f = m.cut_fraction();
+        assert!(f > 0.0 && f < 0.5, "cut fraction {f}");
+    }
+
+    #[test]
+    fn edges_of_partitions_all_edges() {
+        let m = UnstrucMesh::generate(&UnstrucParams::small(), 8);
+        let total: usize = (0..8).map(|p| m.edges_of(p).len()).sum();
+        assert_eq!(total, m.edges.len());
+    }
+
+    #[test]
+    fn iterate_conserves_total_value() {
+        // Fluxes are antisymmetric, so the sum of values is invariant.
+        let m = UnstrucMesh::generate(&UnstrucParams::small(), 4);
+        let before: f64 = m.init.iter().sum();
+        let after: f64 = m.reference().iter().sum();
+        assert!((before - after).abs() < 1e-9, "{before} vs {after}");
+    }
+
+    #[test]
+    fn graph_grown_partition_cuts_fewer_edges() {
+        let p = UnstrucParams::paper();
+        let blocked = UnstrucMesh::generate_with_partition(&p, 32, PartitionStrategy::Blocked);
+        let grown = UnstrucMesh::generate_with_partition(&p, 32, PartitionStrategy::GraphGrown);
+        assert_eq!(blocked.edges, grown.edges, "same mesh, different partition");
+        assert!(
+            grown.cut_fraction() <= blocked.cut_fraction() * 1.05,
+            "graph growing should not cut more: {} vs {}",
+            grown.cut_fraction(),
+            blocked.cut_fraction()
+        );
+    }
+
+    #[test]
+    fn faces_reference_valid_nodes() {
+        let m = UnstrucMesh::generate(&UnstrucParams::small(), 4);
+        for f in &m.faces {
+            for &x in f {
+                assert!((x as usize) < m.len());
+            }
+        }
+    }
+}

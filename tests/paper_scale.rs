@@ -1,0 +1,66 @@
+//! Paper-scale verification: every application × mechanism at the
+//! workload sizes of §4, verified against the sequential references.
+//!
+//! These take minutes, so they are ignored by default:
+//!
+//! ```text
+//! cargo test --release --test paper_scale -- --ignored
+//! ```
+
+use commsense::prelude::*;
+
+#[test]
+#[ignore = "minutes: full paper-scale workloads"]
+fn paper_scale_em3d_all_mechanisms() {
+    let cfg = MachineConfig::alewife();
+    for mech in Mechanism::ALL {
+        let r = run_app(&AppSpec::Em3d(Em3dParams::paper()), mech, &cfg);
+        assert!(r.verified, "EM3D {mech}: err {}", r.max_abs_err);
+    }
+}
+
+#[test]
+#[ignore = "minutes: full paper-scale workloads"]
+fn paper_scale_unstruc_all_mechanisms() {
+    let cfg = MachineConfig::alewife();
+    for mech in Mechanism::ALL {
+        let r = run_app(&AppSpec::Unstruc(UnstrucParams::paper()), mech, &cfg);
+        assert!(r.verified, "UNSTRUC {mech}: err {}", r.max_abs_err);
+    }
+}
+
+#[test]
+#[ignore = "minutes: full paper-scale workloads"]
+fn paper_scale_iccg_all_mechanisms() {
+    let cfg = MachineConfig::alewife();
+    for mech in Mechanism::ALL {
+        let r = run_app(&AppSpec::Iccg(IccgParams::paper()), mech, &cfg);
+        assert!(r.verified, "ICCG {mech}: err {}", r.max_abs_err);
+    }
+}
+
+#[test]
+#[ignore = "minutes: full paper-scale workloads"]
+fn paper_scale_moldyn_all_mechanisms() {
+    let cfg = MachineConfig::alewife();
+    for mech in Mechanism::ALL {
+        let r = run_app(&AppSpec::Moldyn(MoldynParams::paper()), mech, &cfg);
+        assert!(r.verified, "MOLDYN {mech}: err {}", r.max_abs_err);
+    }
+}
+
+#[test]
+#[ignore = "minutes: the paper-scale figure-4 shape claims"]
+fn paper_scale_figure4_shapes() {
+    let cfg = MachineConfig::alewife();
+    let em3d: Vec<u64> = Mechanism::ALL
+        .iter()
+        .map(|&m| run_app(&AppSpec::Em3d(Em3dParams::paper()), m, &cfg).runtime_cycles)
+        .collect();
+    // sm competitive with mp-int; polling best of the messaging trio;
+    // prefetch helps EM3D.
+    let (sm, pf, int, poll, _bulk) = (em3d[0], em3d[1], em3d[2], em3d[3], em3d[4]);
+    assert!((sm as f64) < 1.35 * int as f64, "sm {sm} vs mp-int {int}");
+    assert!(pf < sm, "prefetch helps EM3D: {pf} vs {sm}");
+    assert!(poll < int, "polling beats interrupts: {poll} vs {int}");
+}

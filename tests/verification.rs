@@ -1,0 +1,83 @@
+//! Integration: every application × mechanism produces values matching its
+//! sequential reference, and runs are deterministic.
+
+use commsense::prelude::*;
+
+#[test]
+fn every_app_and_mechanism_verifies() {
+    let cfg = MachineConfig::alewife();
+    for spec in AppSpec::small_suite() {
+        for mech in Mechanism::ALL {
+            let r = run_app(&spec, mech, &cfg);
+            assert!(
+                r.verified,
+                "{} under {} failed verification (max err {})",
+                spec.name(),
+                mech,
+                r.max_abs_err
+            );
+            assert!(r.runtime_cycles > 0);
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let cfg = MachineConfig::alewife();
+    for spec in AppSpec::small_suite() {
+        for mech in [Mechanism::SharedMem, Mechanism::MsgInterrupt, Mechanism::Bulk] {
+            let a = run_app(&spec, mech, &cfg);
+            let b = run_app(&spec, mech, &cfg);
+            assert_eq!(
+                a.runtime_cycles,
+                b.runtime_cycles,
+                "{} {}: runtime must be reproducible",
+                spec.name(),
+                mech
+            );
+            assert_eq!(a.stats.events, b.stats.events);
+            assert_eq!(a.stats.volume.app_total(), b.stats.volume.app_total());
+        }
+    }
+}
+
+#[test]
+fn breakdown_buckets_are_consistent() {
+    // Each node's bucket sum must not exceed the total runtime, and the
+    // mean accounted time should make up most of it (skewed nodes idle in
+    // barriers, which *is* accounted as sync — so the sum is tight).
+    let cfg = MachineConfig::alewife();
+    let clk = cfg.clock();
+    for spec in AppSpec::small_suite() {
+        for mech in [Mechanism::SharedMem, Mechanism::MsgPoll] {
+            let r = run_app(&spec, mech, &cfg);
+            let total = r.stats.mean_total_cycles(clk);
+            assert!(
+                total <= r.runtime_cycles as f64 + 1.0,
+                "{} {}: accounted {total} > runtime {}",
+                spec.name(),
+                mech,
+                r.runtime_cycles
+            );
+            assert!(
+                total >= 0.80 * r.runtime_cycles as f64,
+                "{} {}: accounted {total} far below runtime {}",
+                spec.name(),
+                mech,
+                r.runtime_cycles
+            );
+        }
+    }
+}
+
+#[test]
+fn mechanism_changes_do_not_change_results() {
+    // The *values* computed are mechanism-independent (same FLOPs): spot
+    // check via the reported max error against the common reference.
+    let cfg = MachineConfig::alewife();
+    let spec = AppSpec::Em3d(Em3dParams::small());
+    for mech in Mechanism::ALL {
+        let r = run_app(&spec, mech, &cfg);
+        assert_eq!(r.max_abs_err, 0.0, "EM3D accumulates in a fixed order under {mech}");
+    }
+}

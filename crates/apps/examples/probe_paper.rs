@@ -5,7 +5,9 @@ fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
     let clk = MachineConfig::alewife().clock();
     for spec in AppSpec::paper_suite() {
-        if which != "all" && spec.name().to_lowercase() != which { continue; }
+        if which != "all" && spec.name().to_lowercase() != which {
+            continue;
+        }
         eprintln!("--- {} ---", spec.name());
         for mech in Mechanism::ALL {
             let t0 = std::time::Instant::now();

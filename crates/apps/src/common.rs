@@ -106,7 +106,11 @@ impl GhostPlan {
                 let ids: Vec<u32> = needs[q][p].iter().copied().collect();
                 let base = ghost_ids[q].len() as u32;
                 ghost_ids[q].extend(&ids);
-                bulk_sends[p].push(Chunk { dst: q, offset: base, ids: ids.clone() });
+                bulk_sends[p].push(Chunk {
+                    dst: q,
+                    offset: base,
+                    ids: ids.clone(),
+                });
                 for (c, piece) in ids.chunks(CHUNK).enumerate() {
                     sends[p].push(Chunk {
                         dst: q,
@@ -116,7 +120,11 @@ impl GhostPlan {
                 }
             }
         }
-        GhostPlan { sends, bulk_sends, ghost_ids }
+        GhostPlan {
+            sends,
+            bulk_sends,
+            ghost_ids,
+        }
     }
 
     /// Values processor `q` expects to receive each round.
@@ -126,7 +134,10 @@ impl GhostPlan {
 
     /// Bulk messages processor `q` expects to receive each round.
     pub fn expected_bulk_msgs(&self, q: usize) -> usize {
-        self.bulk_sends.iter().map(|s| s.iter().filter(|c| c.dst == q).count()).sum()
+        self.bulk_sends
+            .iter()
+            .map(|s| s.iter().filter(|c| c.dst == q).count())
+            .sum()
     }
 }
 
@@ -151,9 +162,14 @@ pub fn bulk_message(
     let words: Vec<u64> = chunk.ids.iter().map(|&id| f64_bits(value_of(id))).collect();
     let bytes = 8 * words.len() as u32;
     let lines = bytes.div_ceil(16);
-    let mut am = ActiveMessage::with_bulk(chunk.dst, HandlerId(handler), vec![chunk.offset as u64], bytes)
-        .data(words)
-        .gather(lines);
+    let mut am = ActiveMessage::with_bulk(
+        chunk.dst,
+        HandlerId(handler),
+        vec![chunk.offset as u64],
+        bytes,
+    )
+    .data(words)
+    .gather(lines);
     if scatter {
         am = am.scatter(lines);
     }
@@ -163,7 +179,12 @@ pub fn bulk_message(
 /// Applies a received ghost message: writes values into `vals` at the slots
 /// named by the consumer's ghost id list, returning how many values
 /// arrived.
-pub fn apply_ghost(ghost_ids: &[u32], offset: usize, value_bits: &[u64], vals: &mut [f64]) -> usize {
+pub fn apply_ghost(
+    ghost_ids: &[u32],
+    offset: usize,
+    value_bits: &[u64],
+    vals: &mut [f64],
+) -> usize {
     for (k, &bits) in value_bits.iter().enumerate() {
         let id = ghost_ids[offset + k];
         vals[id as usize] = bits_f64(bits);
@@ -239,7 +260,12 @@ mod tests {
         let am = ghost_message(7, chunk, |id| id as f64 * 0.5);
         assert_eq!(am.args.len(), 6);
         let mut vals = vec![0.0; 32];
-        let n = apply_ghost(&plan.ghost_ids[0], am.args[0] as usize, &am.args[1..], &mut vals);
+        let n = apply_ghost(
+            &plan.ghost_ids[0],
+            am.args[0] as usize,
+            &am.args[1..],
+            &mut vals,
+        );
         assert_eq!(n, 5);
         assert_eq!(vals[10], 5.0);
         assert_eq!(vals[14], 7.0);
@@ -254,7 +280,12 @@ mod tests {
         assert_eq!(am.bulk_bytes, 56);
         assert!(am.gather_lines > 0 && am.scatter_lines > 0);
         let mut vals = vec![0.0; 32];
-        apply_ghost(&plan.ghost_ids[0], am.args[0] as usize, &am.bulk_data, &mut vals);
+        apply_ghost(
+            &plan.ghost_ids[0],
+            am.args[0] as usize,
+            &am.bulk_data,
+            &mut vals,
+        );
         assert_eq!(vals[16], 16.0);
     }
 

@@ -47,15 +47,70 @@ const E_BULK: u16 = 4;
 /// Poll interval (nodes) inside the compute loop of the polling variant.
 const POLL_EVERY: usize = 16;
 
+/// EM3D's mechanism-independent state, built once per `(params, nprocs)`
+/// and shared (via `Arc`) across every mechanism and machine variation:
+/// the generated graph, the sequential reference solution, and both
+/// ghost-exchange plans.
+#[derive(Debug)]
+pub struct Em3dPrepared {
+    /// Processor count the graph was partitioned for.
+    pub nprocs: usize,
+    graph: Arc<Em3dGraph>,
+    want_e: Vec<f64>,
+    want_h: Vec<f64>,
+    // plans[0] ships H values (consumed by the E phase); plans[1] ships E.
+    plans: [Arc<GhostPlan>; 2],
+}
+
+/// Generates the graph, reference solution, and exchange plans for
+/// `nprocs` processors.
+pub fn prepare(params: &Em3dParams, nprocs: usize) -> Em3dPrepared {
+    let graph = Arc::new(Em3dGraph::generate(params, nprocs));
+    let (want_e, want_h) = graph.reference();
+    let mut demands_h = Vec::new();
+    for i in 0..graph.e.len() {
+        let q = graph.e.owner[i] as usize;
+        for &j in &graph.e.edges[i] {
+            demands_h.push((q, graph.h.owner[j as usize] as usize, j));
+        }
+    }
+    let mut demands_e = Vec::new();
+    for i in 0..graph.h.len() {
+        let q = graph.h.owner[i] as usize;
+        for &j in &graph.h.edges[i] {
+            demands_e.push((q, graph.e.owner[j as usize] as usize, j));
+        }
+    }
+    let plans = [
+        Arc::new(GhostPlan::build(nprocs, demands_h.into_iter())),
+        Arc::new(GhostPlan::build(nprocs, demands_e.into_iter())),
+    ];
+    Em3dPrepared {
+        nprocs,
+        graph,
+        want_e,
+        want_h,
+        plans,
+    }
+}
+
+/// Runs a prepared workload under `mech`. The preparation is read-only and
+/// can be shared across concurrent runs.
+pub fn run_prepared(w: &Em3dPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
+    assert_eq!(
+        w.nprocs, cfg.nodes,
+        "workload was prepared for a different machine size"
+    );
+    if mech.is_shared_memory() {
+        run_sm(w, mech, cfg)
+    } else {
+        run_mp(w, mech, cfg)
+    }
+}
+
 /// Runs EM3D under `mech` and verifies against the sequential reference.
 pub fn run(params: &Em3dParams, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
-    let graph = Arc::new(Em3dGraph::generate(params, cfg.nodes));
-    let (want_e, want_h) = graph.reference();
-    if mech.is_shared_memory() {
-        run_sm(graph, mech, cfg, &want_e, &want_h)
-    } else {
-        run_mp(graph, mech, cfg, &want_e, &want_h)
-    }
+    run_prepared(&prepare(params, cfg.nodes), mech, cfg)
 }
 
 // ---------------------------------------------------------------------
@@ -142,7 +197,10 @@ impl Program for Em3dSm {
                         // reader invalidations it implies) overlaps the
                         // edge loop below.
                         self.st = SmSt::OwnPrefetched;
-                        return Step::Prefetch { line: self.own_lines().line(i), exclusive: true };
+                        return Step::Prefetch {
+                            line: self.own_lines().line(i),
+                            exclusive: true,
+                        };
                     }
                     self.st = SmSt::OwnLoadPending;
                     return Step::Load(self.own_lines().word(i));
@@ -163,7 +221,10 @@ impl Program for Em3dSm {
                         self.st = SmSt::Stored;
                         return Step::Store(self.own_lines().word(i), self.acc);
                     }
-                    if self.prefetch && self.edge.is_multiple_of(2) && self.edge + 4 < side.edges[i].len() {
+                    if self.prefetch
+                        && self.edge.is_multiple_of(2)
+                        && self.edge + 4 < side.edges[i].len()
+                    {
                         // Fetch the line two pairs ahead while working on
                         // edge i (§4.1.2 inserts prefetches two
                         // edge-computations ahead); neighbors come in
@@ -173,7 +234,10 @@ impl Program for Em3dSm {
                         let line = self.other_lines().line(ahead);
                         if line != self.other_lines().line(side.edges[i][self.edge] as usize) {
                             self.st = SmSt::AheadPrefetched;
-                            return Step::Prefetch { line, exclusive: false };
+                            return Step::Prefetch {
+                                line,
+                                exclusive: false,
+                            };
                         }
                     }
                     let j = side.edges[i][self.edge] as usize;
@@ -273,8 +337,16 @@ impl Em3dMp {
     }
 
     fn make_message(&self, chunk: &Chunk) -> commsense_msgpass::ActiveMessage {
-        let (fine, bulkh) = if self.phase == 0 { (H_GHOST, H_BULK) } else { (E_GHOST, E_BULK) };
-        let src = if self.phase == 0 { &self.h_vals } else { &self.e_vals };
+        let (fine, bulkh) = if self.phase == 0 {
+            (H_GHOST, H_BULK)
+        } else {
+            (E_GHOST, E_BULK)
+        };
+        let src = if self.phase == 0 {
+            &self.h_vals
+        } else {
+            &self.e_vals
+        };
         if self.bulk {
             // In-place use at the receiver after heavy preprocessing
             // (§4.1.1): gather cost at the sender only.
@@ -328,7 +400,10 @@ impl Program for Em3dMp {
                     }
                     // Periodic poll inside the compute loop (the paper's
                     // polling version inserts explicit poll calls).
-                    if self.poll && self.pos.is_multiple_of(POLL_EVERY) && self.polled_at != self.pos {
+                    if self.poll
+                        && self.pos.is_multiple_of(POLL_EVERY)
+                        && self.polled_at != self.pos
+                    {
                         self.polled_at = self.pos;
                         return Step::Poll;
                     }
@@ -375,7 +450,11 @@ impl Program for Em3dMp {
             other => unreachable!("unknown EM3D handler {other}"),
         };
         let plan = &self.plans[plan_idx];
-        let vals = if plan_idx == 0 { &mut self.h_vals } else { &mut self.e_vals };
+        let vals = if plan_idx == 0 {
+            &mut self.h_vals
+        } else {
+            &mut self.e_vals
+        };
         let n = apply_ghost(&plan.ghost_ids[self.me], offset, values, vals);
         self.received[plan_idx] += n;
         // Indexed ghost-buffer writes.
@@ -391,13 +470,8 @@ impl Program for Em3dMp {
 // Builders and verification
 // ---------------------------------------------------------------------
 
-fn run_sm(
-    g: Arc<Em3dGraph>,
-    mech: Mechanism,
-    cfg: &MachineConfig,
-    want_e: &[f64],
-    want_h: &[f64],
-) -> RunResult {
+fn run_sm(w: &Em3dPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
+    let g = Arc::clone(&w.graph);
     let mut heap = Heap::new(cfg.nodes);
     let e_lines = PackedArray::alloc(&mut heap, g.e.len(), |i| g.e.owner[i] as usize);
     let h_lines = PackedArray::alloc(&mut heap, g.h.len(), |i| g.h.owner[i] as usize);
@@ -428,13 +502,24 @@ fn run_sm(
             }) as Box<dyn Program>
         })
         .collect();
-    let mut machine = Machine::new(cfg.clone(), MachineSpec { heap, initial, programs });
+    let mut machine = Machine::new(
+        cfg.clone(),
+        MachineSpec {
+            heap,
+            initial,
+            programs,
+        },
+    );
     let stats = machine.run();
 
-    let got_e: Vec<f64> = (0..g.e.len()).map(|i| machine.master_word(e_lines.word(i))).collect();
-    let got_h: Vec<f64> = (0..g.h.len()).map(|i| machine.master_word(h_lines.word(i))).collect();
-    let (ok_e, err_e) = verify(&got_e, want_e, 0.0);
-    let (ok_h, err_h) = verify(&got_h, want_h, 0.0);
+    let got_e: Vec<f64> = (0..g.e.len())
+        .map(|i| machine.master_word(e_lines.word(i)))
+        .collect();
+    let got_h: Vec<f64> = (0..g.h.len())
+        .map(|i| machine.master_word(h_lines.word(i)))
+        .collect();
+    let (ok_e, err_e) = verify(&got_e, &w.want_e, 0.0);
+    let (ok_h, err_h) = verify(&got_h, &w.want_h, 0.0);
     RunResult {
         app: "EM3D",
         mechanism: mech,
@@ -445,32 +530,9 @@ fn run_sm(
     }
 }
 
-fn run_mp(
-    g: Arc<Em3dGraph>,
-    mech: Mechanism,
-    cfg: &MachineConfig,
-    want_e: &[f64],
-    want_h: &[f64],
-) -> RunResult {
-    // Plan 0 ships H values to E-phase consumers; plan 1 ships E values.
-    let mut demands_h = Vec::new();
-    for i in 0..g.e.len() {
-        let q = g.e.owner[i] as usize;
-        for &j in &g.e.edges[i] {
-            demands_h.push((q, g.h.owner[j as usize] as usize, j));
-        }
-    }
-    let mut demands_e = Vec::new();
-    for i in 0..g.h.len() {
-        let q = g.h.owner[i] as usize;
-        for &j in &g.h.edges[i] {
-            demands_e.push((q, g.e.owner[j as usize] as usize, j));
-        }
-    }
-    let plans = [
-        Arc::new(GhostPlan::build(cfg.nodes, demands_h.into_iter())),
-        Arc::new(GhostPlan::build(cfg.nodes, demands_e.into_iter())),
-    ];
+fn run_mp(w: &Em3dPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
+    let g = Arc::clone(&w.graph);
+    let plans = &w.plans;
     let programs: Vec<Box<dyn Program>> = (0..cfg.nodes)
         .map(|p| {
             Box::new(Em3dMp {
@@ -496,14 +558,24 @@ fn run_mp(
         })
         .collect();
     let heap = Heap::new(cfg.nodes);
-    let mut machine = Machine::new(cfg.clone(), MachineSpec { heap, initial: Vec::new(), programs });
+    let mut machine = Machine::new(
+        cfg.clone(),
+        MachineSpec {
+            heap,
+            initial: Vec::new(),
+            programs,
+        },
+    );
     let stats = machine.run();
 
     // Gather owned values from each program.
     let mut got_e = vec![0.0; g.e.len()];
     let mut got_h = vec![0.0; g.h.len()];
     for prog in machine.into_programs() {
-        let p = prog.as_any().downcast_ref::<Em3dMp>().expect("EM3D MP program");
+        let p = prog
+            .as_any()
+            .downcast_ref::<Em3dMp>()
+            .expect("EM3D MP program");
         for &i in &p.my[0] {
             got_e[i as usize] = p.e_vals[i as usize];
         }
@@ -511,8 +583,8 @@ fn run_mp(
             got_h[i as usize] = p.h_vals[i as usize];
         }
     }
-    let (ok_e, err_e) = verify(&got_e, want_e, 0.0);
-    let (ok_h, err_h) = verify(&got_h, want_h, 0.0);
+    let (ok_e, err_e) = verify(&got_e, &w.want_e, 0.0);
+    let (ok_h, err_h) = verify(&got_h, &w.want_h, 0.0);
     RunResult {
         app: "EM3D",
         mechanism: mech,
@@ -542,10 +614,32 @@ mod tests {
     }
 
     #[test]
+    fn prepared_runs_match_fresh_runs() {
+        let p = Em3dParams::small();
+        let base = cfg();
+        let w = prepare(&p, base.nodes);
+        for mech in Mechanism::ALL {
+            let c = base.clone().with_mechanism(mech);
+            let shared = run_prepared(&w, mech, &c);
+            let fresh = run(&p, mech, &c);
+            assert_eq!(shared.runtime_cycles, fresh.runtime_cycles);
+            assert_eq!(shared.max_abs_err, fresh.max_abs_err);
+        }
+    }
+
+    #[test]
     fn shared_memory_volume_exceeds_message_passing() {
         let p = Em3dParams::small();
-        let sm = run(&p, Mechanism::SharedMem, &cfg().with_mechanism(Mechanism::SharedMem));
-        let mp = run(&p, Mechanism::MsgPoll, &cfg().with_mechanism(Mechanism::MsgPoll));
+        let sm = run(
+            &p,
+            Mechanism::SharedMem,
+            &cfg().with_mechanism(Mechanism::SharedMem),
+        );
+        let mp = run(
+            &p,
+            Mechanism::MsgPoll,
+            &cfg().with_mechanism(Mechanism::MsgPoll),
+        );
         assert!(
             sm.stats.volume.app_total() > mp.stats.volume.app_total(),
             "sm volume {} must exceed mp volume {}",
@@ -557,7 +651,11 @@ mod tests {
     #[test]
     fn bulk_saves_headers_over_fine_grained() {
         let p = Em3dParams::small();
-        let fine = run(&p, Mechanism::MsgInterrupt, &cfg().with_mechanism(Mechanism::MsgInterrupt));
+        let fine = run(
+            &p,
+            Mechanism::MsgInterrupt,
+            &cfg().with_mechanism(Mechanism::MsgInterrupt),
+        );
         let bulk = run(&p, Mechanism::Bulk, &cfg().with_mechanism(Mechanism::Bulk));
         assert!(
             bulk.stats.volume.headers < fine.stats.volume.headers,
@@ -571,7 +669,11 @@ mod tests {
     #[test]
     fn message_counts_match_plan() {
         let p = Em3dParams::small();
-        let r = run(&p, Mechanism::MsgInterrupt, &cfg().with_mechanism(Mechanism::MsgInterrupt));
+        let r = run(
+            &p,
+            Mechanism::MsgInterrupt,
+            &cfg().with_mechanism(Mechanism::MsgInterrupt),
+        );
         // 2 phases x iterations rounds of ghost chunks (plus barrier tree
         // messages, which are not counted in messages_sent? They are — so
         // just check it's nonzero and scales with iterations).

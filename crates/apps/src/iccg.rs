@@ -41,20 +41,52 @@ const BULK_FLUSH: usize = 8;
 /// parallel rounding differs from the sequential reference.
 const TOL: f64 = 1e-9;
 
+/// An ICCG system plus its sequential solve, computed once and shared
+/// across mechanisms and machine variations.
+#[derive(Debug)]
+pub struct IccgPrepared {
+    /// The system being solved.
+    pub sys: Arc<IccgSystem>,
+    /// Processor count the system was partitioned for.
+    pub nprocs: usize,
+    want: Vec<f64>,
+}
+
+/// Generates the system and its reference solve for `nprocs` processors.
+pub fn prepare(params: &IccgParams, nprocs: usize) -> IccgPrepared {
+    prepare_system(Arc::new(IccgSystem::generate(params, nprocs)), nprocs)
+}
+
+/// Wraps an existing system (e.g. one built from a parsed matrix via
+/// [`IccgSystem::from_entries`]) with its reference solve.
+pub fn prepare_system(sys: Arc<IccgSystem>, nprocs: usize) -> IccgPrepared {
+    let want = sys.reference();
+    IccgPrepared { sys, nprocs, want }
+}
+
+/// Runs a prepared system under `mech`. The preparation is read-only and
+/// can be shared across concurrent runs.
+pub fn run_prepared(w: &IccgPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
+    assert_eq!(
+        w.nprocs, cfg.nodes,
+        "system was prepared for a different machine size"
+    );
+    if mech.is_shared_memory() {
+        run_sm(w, mech, cfg)
+    } else {
+        run_mp(w, mech, cfg)
+    }
+}
+
 /// Runs ICCG under `mech` and verifies against the sequential solve.
 pub fn run(params: &IccgParams, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
-    run_system(Arc::new(IccgSystem::generate(params, cfg.nodes)), mech, cfg)
+    run_prepared(&prepare(params, cfg.nodes), mech, cfg)
 }
 
 /// Runs an arbitrary system (e.g. one built from a parsed Harwell–Boeing
 /// matrix via [`IccgSystem::from_entries`]) under `mech`.
 pub fn run_system(sys: Arc<IccgSystem>, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
-    let want = sys.reference();
-    if mech.is_shared_memory() {
-        run_sm(sys, mech, cfg, &want)
-    } else {
-        run_mp(sys, mech, cfg, &want)
-    }
+    run_prepared(&prepare_system(sys, cfg.nodes), mech, cfg)
 }
 
 // ---------------------------------------------------------------------
@@ -157,7 +189,10 @@ impl Program for IccgSm {
                         // the line back before we get there.
                         if let Some(line) = self.lookahead_target(0) {
                             self.st = SmSt::PrefetchedA;
-                            return Step::Prefetch { line, exclusive: true };
+                            return Step::Prefetch {
+                                line,
+                                exclusive: true,
+                            };
                         }
                     }
                     self.st = SmSt::EdgeNext;
@@ -166,7 +201,10 @@ impl Program for IccgSm {
                 SmSt::PrefetchedA => {
                     if let Some(line) = self.lookahead_target(1) {
                         self.st = SmSt::EdgeNext;
-                        return Step::Prefetch { line, exclusive: true };
+                        return Step::Prefetch {
+                            line,
+                            exclusive: true,
+                        };
                     }
                     self.st = SmSt::EdgeNext;
                     return Step::Compute(ROW_CYCLES);
@@ -403,7 +441,8 @@ impl Program for IccgMp {
 // Builders and verification
 // ---------------------------------------------------------------------
 
-fn run_sm(sys: Arc<IccgSystem>, mech: Mechanism, cfg: &MachineConfig, want: &[f64]) -> RunResult {
+fn run_sm(w: &IccgPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
+    let sys = Arc::clone(&w.sys);
     let mut heap = Heap::new(cfg.nodes);
     // One line per row: w0 = accumulator (starts at b), w1 = presence
     // counter (starts at in-degree) — the paper's same-line layout.
@@ -427,11 +466,19 @@ fn run_sm(sys: Arc<IccgSystem>, mech: Mechanism, cfg: &MachineConfig, want: &[f6
             }) as Box<dyn Program>
         })
         .collect();
-    let mut machine = Machine::new(cfg.clone(), MachineSpec { heap, initial, programs });
+    let mut machine = Machine::new(
+        cfg.clone(),
+        MachineSpec {
+            heap,
+            initial,
+            programs,
+        },
+    );
     let stats = machine.run();
-    let got: Vec<f64> =
-        (0..sys.len()).map(|i| machine.master_word(rows_line.word(i, 0))).collect();
-    let (ok, err) = verify(&got, want, TOL);
+    let got: Vec<f64> = (0..sys.len())
+        .map(|i| machine.master_word(rows_line.word(i, 0)))
+        .collect();
+    let (ok, err) = verify(&got, &w.want, TOL);
     RunResult {
         app: "ICCG",
         mechanism: mech,
@@ -442,7 +489,8 @@ fn run_sm(sys: Arc<IccgSystem>, mech: Mechanism, cfg: &MachineConfig, want: &[f6
     }
 }
 
-fn run_mp(sys: Arc<IccgSystem>, mech: Mechanism, cfg: &MachineConfig, want: &[f64]) -> RunResult {
+fn run_mp(w: &IccgPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
+    let sys = Arc::clone(&w.sys);
     let n = sys.len();
     let programs: Vec<Box<dyn Program>> = (0..cfg.nodes)
         .map(|p| {
@@ -475,19 +523,28 @@ fn run_mp(sys: Arc<IccgSystem>, mech: Mechanism, cfg: &MachineConfig, want: &[f6
         })
         .collect();
     let heap = Heap::new(cfg.nodes);
-    let mut machine =
-        Machine::new(cfg.clone(), MachineSpec { heap, initial: Vec::new(), programs });
+    let mut machine = Machine::new(
+        cfg.clone(),
+        MachineSpec {
+            heap,
+            initial: Vec::new(),
+            programs,
+        },
+    );
     let stats = machine.run();
     let mut got = vec![0.0; n];
     for prog in machine.into_programs() {
-        let p = prog.as_any().downcast_ref::<IccgMp>().expect("ICCG MP program");
+        let p = prog
+            .as_any()
+            .downcast_ref::<IccgMp>()
+            .expect("ICCG MP program");
         for (i, slot) in got.iter_mut().enumerate() {
             if p.sys.owner[i] as usize == p.me {
                 *slot = p.y[i];
             }
         }
     }
-    let (ok, err) = verify(&got, want, TOL);
+    let (ok, err) = verify(&got, &w.want, TOL);
     RunResult {
         app: "ICCG",
         mechanism: mech,
@@ -521,9 +578,16 @@ mod tests {
         // (§4.3.3): many fine-grained messages make interrupt overhead and
         // the resulting uneven progress expensive.
         let p = IccgParams::small();
-        let int =
-            run(&p, Mechanism::MsgInterrupt, &cfg().with_mechanism(Mechanism::MsgInterrupt));
-        let poll = run(&p, Mechanism::MsgPoll, &cfg().with_mechanism(Mechanism::MsgPoll));
+        let int = run(
+            &p,
+            Mechanism::MsgInterrupt,
+            &cfg().with_mechanism(Mechanism::MsgInterrupt),
+        );
+        let poll = run(
+            &p,
+            Mechanism::MsgPoll,
+            &cfg().with_mechanism(Mechanism::MsgPoll),
+        );
         assert!(
             poll.runtime_cycles < int.runtime_cycles,
             "poll {} must beat interrupts {}",
@@ -536,8 +600,11 @@ mod tests {
     fn bulk_aggregates_messages() {
         let p = IccgParams::small();
         let bulk = run(&p, Mechanism::Bulk, &cfg().with_mechanism(Mechanism::Bulk));
-        let fine =
-            run(&p, Mechanism::MsgInterrupt, &cfg().with_mechanism(Mechanism::MsgInterrupt));
+        let fine = run(
+            &p,
+            Mechanism::MsgInterrupt,
+            &cfg().with_mechanism(Mechanism::MsgInterrupt),
+        );
         assert!(bulk.stats.messages_sent < fine.stats.messages_sent);
     }
 
@@ -555,7 +622,11 @@ mod tests {
         text.push_str("1 1 1.0\n"); // diagonal entry: dropped by the kernel
         let (rows, _, entries) = parse_matrix_market(&text).expect("valid");
         let sys = Arc::new(IccgSystem::from_entries(rows, &entries, 32, 2));
-        let r = run_system(Arc::clone(&sys), Mechanism::MsgPoll, &cfg().with_mechanism(Mechanism::MsgPoll));
+        let r = run_system(
+            Arc::clone(&sys),
+            Mechanism::MsgPoll,
+            &cfg().with_mechanism(Mechanism::MsgPoll),
+        );
         assert!(r.verified, "max err {}", r.max_abs_err);
         let r2 = run_system(sys, Mechanism::SharedMem, &cfg());
         assert!(r2.verified, "max err {}", r2.max_abs_err);
@@ -567,7 +638,11 @@ mod tests {
         // useless, and add overhead, thus slowing down the prefetching
         // version".
         let p = IccgParams::small();
-        let sm = run(&p, Mechanism::SharedMem, &cfg().with_mechanism(Mechanism::SharedMem));
+        let sm = run(
+            &p,
+            Mechanism::SharedMem,
+            &cfg().with_mechanism(Mechanism::SharedMem),
+        );
         let pf = run(
             &p,
             Mechanism::SharedMemPrefetch,

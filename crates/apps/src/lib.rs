@@ -18,15 +18,18 @@
 //! # Examples
 //!
 //! ```
-//! use commsense_apps::{run_app, AppSpec};
+//! use commsense_apps::{run_app, run_prepared, AppSpec};
 //! use commsense_machine::{MachineConfig, Mechanism};
 //! use commsense_workloads::bipartite::Em3dParams;
 //!
-//! let mut cfg = MachineConfig::tiny();
-//! let result = run_app(&AppSpec::Em3d(Em3dParams::small()), Mechanism::MsgPoll, &cfg);
+//! let cfg = MachineConfig::tiny();
+//! let spec = AppSpec::Em3d(Em3dParams::small());
+//! let result = run_app(&spec, Mechanism::MsgPoll, &cfg);
 //! assert!(result.verified);
-//! cfg = cfg.with_mechanism(Mechanism::SharedMem); // cfg is rebuilt internally anyway
-//! let sm = run_app(&AppSpec::Em3d(Em3dParams::small()), Mechanism::SharedMem, &cfg);
+//! // Generate the graph and reference once, then run every mechanism
+//! // against the shared preparation.
+//! let prepared = spec.prepare(cfg.nodes);
+//! let sm = run_prepared(&prepared, Mechanism::SharedMem, &cfg);
 //! assert!(sm.verified);
 //! ```
 
@@ -40,6 +43,8 @@ pub mod meshforce;
 pub mod microbench;
 pub mod moldyn;
 pub mod unstruc;
+
+use std::sync::Arc;
 
 use commsense_machine::{MachineConfig, Mechanism, RunStats};
 use commsense_workloads::bipartite::Em3dParams;
@@ -90,6 +95,58 @@ impl AppSpec {
             AppSpec::Moldyn(MoldynParams::small()),
         ]
     }
+
+    /// Performs the expensive mechanism-independent work once: generates
+    /// the workload for `nprocs` processors, solves the sequential
+    /// reference, and builds the communication plans. The result is
+    /// cheaply cloneable (`Arc`-backed) and can be shared across every
+    /// mechanism and machine variation via [`run_prepared`].
+    pub fn prepare(&self, nprocs: usize) -> PreparedWorkload {
+        match self {
+            AppSpec::Em3d(p) => PreparedWorkload::Em3d(Arc::new(em3d::prepare(p, nprocs))),
+            AppSpec::Unstruc(p) => PreparedWorkload::Mesh(Arc::new(unstruc::prepare(p, nprocs))),
+            AppSpec::Iccg(p) => PreparedWorkload::Iccg(Arc::new(iccg::prepare(p, nprocs))),
+            AppSpec::Moldyn(p) => PreparedWorkload::Mesh(Arc::new(moldyn::prepare(p, nprocs))),
+        }
+    }
+}
+
+/// A workload whose mechanism-independent preparation — graph/system
+/// generation, the sequential reference solution, and ghost-exchange
+/// plans — has been done once for a fixed processor count.
+///
+/// Cloning is cheap (the payload is behind an `Arc`), and the preparation
+/// is read-only, so one value can feed many concurrent [`run_prepared`]
+/// calls.
+#[derive(Debug, Clone)]
+pub enum PreparedWorkload {
+    /// A prepared EM3D graph (graph, references, both exchange plans).
+    Em3d(Arc<em3d::Em3dPrepared>),
+    /// A prepared force model — UNSTRUC or MOLDYN (model, reference,
+    /// exchange plan).
+    Mesh(Arc<meshforce::PreparedModel>),
+    /// A prepared ICCG system (system, reference solve).
+    Iccg(Arc<iccg::IccgPrepared>),
+}
+
+impl PreparedWorkload {
+    /// The application's short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PreparedWorkload::Em3d(_) => "EM3D",
+            PreparedWorkload::Mesh(w) => w.model.app,
+            PreparedWorkload::Iccg(_) => "ICCG",
+        }
+    }
+
+    /// The processor count the workload was prepared for.
+    pub fn nprocs(&self) -> usize {
+        match self {
+            PreparedWorkload::Em3d(w) => w.nprocs,
+            PreparedWorkload::Mesh(w) => w.nprocs,
+            PreparedWorkload::Iccg(w) => w.nprocs,
+        }
+    }
 }
 
 /// Result of one application run under one mechanism.
@@ -109,16 +166,41 @@ pub struct RunResult {
     pub stats: RunStats,
 }
 
+/// Ensures the configuration's receive mode and barrier style match the
+/// mechanism, cloning only when a caller passed a mismatched config.
+fn for_mechanism(cfg: &MachineConfig, mech: Mechanism) -> std::borrow::Cow<'_, MachineConfig> {
+    if cfg.receive == mech.receive_mode() && cfg.barrier == mech.barrier_style() {
+        std::borrow::Cow::Borrowed(cfg)
+    } else {
+        std::borrow::Cow::Owned(cfg.clone().with_mechanism(mech))
+    }
+}
+
 /// Runs an application under a mechanism on the given machine
 /// configuration (receive mode and barrier style are overridden to match
 /// the mechanism) and verifies its output against the sequential
 /// reference.
+///
+/// This is a thin wrapper that prepares the workload and runs it once; use
+/// [`AppSpec::prepare`] plus [`run_prepared`] to share the preparation
+/// across many runs.
 pub fn run_app(spec: &AppSpec, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
-    let cfg = cfg.clone().with_mechanism(mech);
-    match spec {
-        AppSpec::Em3d(p) => em3d::run(p, mech, &cfg),
-        AppSpec::Unstruc(p) => unstruc::run(p, mech, &cfg),
-        AppSpec::Iccg(p) => iccg::run(p, mech, &cfg),
-        AppSpec::Moldyn(p) => moldyn::run(p, mech, &cfg),
+    run_prepared(&spec.prepare(cfg.nodes), mech, cfg)
+}
+
+/// Runs a prepared workload under a mechanism (receive mode and barrier
+/// style are overridden to match the mechanism). The preparation is
+/// read-only, so concurrent calls may share one [`PreparedWorkload`].
+///
+/// # Panics
+///
+/// Panics if `cfg.nodes` differs from the processor count the workload
+/// was prepared for.
+pub fn run_prepared(w: &PreparedWorkload, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
+    let cfg = for_mechanism(cfg, mech);
+    match w {
+        PreparedWorkload::Em3d(w) => em3d::run_prepared(w, mech, &cfg),
+        PreparedWorkload::Mesh(w) => w.run(mech, &cfg),
+        PreparedWorkload::Iccg(w) => iccg::run_prepared(w, mech, &cfg),
     }
 }

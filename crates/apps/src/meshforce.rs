@@ -140,7 +140,10 @@ impl ForceModel {
 
     /// Nodes owned by `p`.
     pub fn nodes_of(&self, p: usize) -> Vec<u32> {
-        (0..self.len()).filter(|&i| self.owner[i] as usize == p).map(|i| i as u32).collect()
+        (0..self.len())
+            .filter(|&i| self.owner[i] as usize == p)
+            .map(|i| i as u32)
+            .collect()
     }
 
     /// Edges computed by `p` (owner of the lower endpoint).
@@ -153,11 +156,63 @@ impl ForceModel {
 
     /// Runs the model under `mech`, verifying against the reference.
     pub fn run(self: &Arc<Self>, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
-        let want = self.reference();
+        PreparedModel::new(Arc::clone(self), cfg.nodes).run(mech, cfg)
+    }
+}
+
+/// A force model plus everything mechanism-independent computed from it —
+/// the sequential reference, the ghost-exchange plan, and the expected
+/// cross-edge delta counts — built once and shared across mechanisms and
+/// machine variations.
+#[derive(Debug)]
+pub struct PreparedModel {
+    /// The underlying model.
+    pub model: Arc<ForceModel>,
+    /// Processor count the plan was built for.
+    pub nprocs: usize,
+    want: Vec<f64>,
+    plan: Arc<GhostPlan>,
+    // Expected force deltas per consumer: cross edges pointing at it.
+    expected_deltas: Vec<usize>,
+}
+
+impl PreparedModel {
+    /// Computes the reference solution and exchange plan for `nprocs`
+    /// processors.
+    pub fn new(model: Arc<ForceModel>, nprocs: usize) -> Self {
+        let want = model.reference();
+        // Ghost demands: edge computers need the remote endpoint's value.
+        let mut demands = Vec::new();
+        let mut expected_deltas = vec![0usize; nprocs];
+        for &(u, v) in &model.edges {
+            let p = model.owner[u as usize] as usize;
+            let q = model.owner[v as usize] as usize;
+            if p != q {
+                demands.push((p, q, v));
+                expected_deltas[q] += 1;
+            }
+        }
+        let plan = Arc::new(GhostPlan::build(nprocs, demands.into_iter()));
+        PreparedModel {
+            model,
+            nprocs,
+            want,
+            plan,
+            expected_deltas,
+        }
+    }
+
+    /// Runs the prepared model under `mech`. The preparation is read-only
+    /// and can be shared across concurrent runs.
+    pub fn run(&self, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
+        assert_eq!(
+            self.nprocs, cfg.nodes,
+            "model was prepared for a different machine size"
+        );
         if mech.is_shared_memory() {
-            run_sm(Arc::clone(self), mech, cfg, &want)
+            run_sm(self, mech, cfg)
         } else {
-            run_mp(Arc::clone(self), mech, cfg, &want)
+            run_mp(self, mech, cfg)
         }
     }
 }
@@ -240,7 +295,10 @@ impl Program for MeshSm {
                     let ea = self.my_edges[self.pos + 2] as usize;
                     let (_, va) = self.m.edges[ea];
                     self.st = SmSt::ForcePrefetched;
-                    return Step::Prefetch { line: self.force.line(va as usize), exclusive: true };
+                    return Step::Prefetch {
+                        line: self.force.line(va as usize),
+                        exclusive: true,
+                    };
                 }
                 SmSt::ForcePrefetched => {
                     let (_, u, _) = self.edge();
@@ -330,8 +388,7 @@ impl Program for MeshSm {
                     };
                 }
                 SmSt::Rebuild => {
-                    let scan =
-                        self.m.rebuild_cycles_per_node * self.my_nodes.len().max(1) as u64;
+                    let scan = self.m.rebuild_cycles_per_node * self.my_nodes.len().max(1) as u64;
                     self.st = SmSt::RebuildBarrier;
                     return Step::Compute(scan);
                 }
@@ -560,8 +617,7 @@ impl Program for MeshMp {
                     return Step::Barrier;
                 }
                 MpSt::Rebuild => {
-                    let scan =
-                        self.m.rebuild_cycles_per_node * self.my_nodes.len().max(1) as u64;
+                    let scan = self.m.rebuild_cycles_per_node * self.my_nodes.len().max(1) as u64;
                     self.st = MpSt::RebuildBarrier;
                     return Step::Compute(scan);
                 }
@@ -620,7 +676,8 @@ impl Program for MeshMp {
 // Builders and verification
 // ---------------------------------------------------------------------
 
-fn run_sm(m: Arc<ForceModel>, mech: Mechanism, cfg: &MachineConfig, want: &[f64]) -> RunResult {
+fn run_sm(w: &PreparedModel, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
+    let m = Arc::clone(&w.model);
     let mut heap = Heap::new(cfg.nodes);
     let owner = m.owner.clone();
     let vals = PackedArray::alloc(&mut heap, m.len(), |i| owner[i] as usize);
@@ -646,10 +703,19 @@ fn run_sm(m: Arc<ForceModel>, mech: Mechanism, cfg: &MachineConfig, want: &[f64]
             }) as Box<dyn Program>
         })
         .collect();
-    let mut machine = Machine::new(cfg.clone(), MachineSpec { heap, initial, programs });
+    let mut machine = Machine::new(
+        cfg.clone(),
+        MachineSpec {
+            heap,
+            initial,
+            programs,
+        },
+    );
     let stats = machine.run();
-    let got: Vec<f64> = (0..m.len()).map(|i| machine.master_word(vals.word(i))).collect();
-    let (ok, err) = verify(&got, want, TOL);
+    let got: Vec<f64> = (0..m.len())
+        .map(|i| machine.master_word(vals.word(i)))
+        .collect();
+    let (ok, err) = verify(&got, &w.want, TOL);
     RunResult {
         app: m.app,
         mechanism: mech,
@@ -660,26 +726,8 @@ fn run_sm(m: Arc<ForceModel>, mech: Mechanism, cfg: &MachineConfig, want: &[f64]
     }
 }
 
-fn run_mp(m: Arc<ForceModel>, mech: Mechanism, cfg: &MachineConfig, want: &[f64]) -> RunResult {
-    // Ghost demands: edge computers need the remote endpoint's value.
-    let mut demands = Vec::new();
-    for &(u, v) in &m.edges {
-        let p = m.owner[u as usize] as usize;
-        let q = m.owner[v as usize] as usize;
-        if p != q {
-            demands.push((p, q, v));
-        }
-    }
-    let plan = Arc::new(GhostPlan::build(cfg.nodes, demands.into_iter()));
-    // Expected force deltas per consumer: cross edges pointing at it.
-    let mut expected = vec![0usize; cfg.nodes];
-    for &(u, v) in &m.edges {
-        let p = m.owner[u as usize] as usize;
-        let q = m.owner[v as usize] as usize;
-        if p != q {
-            expected[q] += 1;
-        }
-    }
+fn run_mp(w: &PreparedModel, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
+    let m = Arc::clone(&w.model);
     let programs: Vec<Box<dyn Program>> = (0..cfg.nodes)
         .map(|p| {
             Box::new(MeshMp {
@@ -687,12 +735,12 @@ fn run_mp(m: Arc<ForceModel>, mech: Mechanism, cfg: &MachineConfig, want: &[f64]
                 me: p,
                 poll: mech == Mechanism::MsgPoll,
                 bulk: mech == Mechanism::Bulk,
-                plan: Arc::clone(&plan),
+                plan: Arc::clone(&w.plan),
                 vals: m.init.clone(),
                 force: vec![0.0; m.len()],
                 my_nodes: m.nodes_of(p),
                 my_edges: m.edges_of(p),
-                expected_deltas: expected[p],
+                expected_deltas: w.expected_deltas[p],
                 received_vals: 0,
                 received_deltas: 0,
                 iter: 0,
@@ -707,17 +755,26 @@ fn run_mp(m: Arc<ForceModel>, mech: Mechanism, cfg: &MachineConfig, want: &[f64]
         })
         .collect();
     let heap = Heap::new(cfg.nodes);
-    let mut machine =
-        Machine::new(cfg.clone(), MachineSpec { heap, initial: Vec::new(), programs });
+    let mut machine = Machine::new(
+        cfg.clone(),
+        MachineSpec {
+            heap,
+            initial: Vec::new(),
+            programs,
+        },
+    );
     let stats = machine.run();
     let mut got = vec![0.0; m.len()];
     for prog in machine.into_programs() {
-        let p = prog.as_any().downcast_ref::<MeshMp>().expect("mesh MP program");
+        let p = prog
+            .as_any()
+            .downcast_ref::<MeshMp>()
+            .expect("mesh MP program");
         for &i in &p.my_nodes {
             got[i as usize] = p.vals[i as usize];
         }
     }
-    let (ok, err) = verify(&got, want, TOL);
+    let (ok, err) = verify(&got, &w.want, TOL);
     RunResult {
         app: m.app,
         mechanism: mech,
@@ -772,7 +829,11 @@ mod tests {
             rebuild_every: 0,
             rebuild_cycles_per_node: 0,
         };
-        assert_eq!(m.flux(0, &m.init), 0.0, "beyond-cutoff pairs exert no force");
+        assert_eq!(
+            m.flux(0, &m.init),
+            0.0,
+            "beyond-cutoff pairs exert no force"
+        );
         let near = [0.0, 0.5];
         assert!(m.flux(0, &near) != 0.0, "in-range pairs do");
     }

@@ -146,15 +146,26 @@ pub fn ping_pong(cfg: &MachineConfig, rounds: usize, kind: PingKind) -> f64 {
                 rounds,
                 st: if me == 0 { PingSt::Put } else { PingSt::Spin },
             }) as Box<dyn Program>,
-            (PingKind::Messages, 0 | 1) => {
-                Box::new(MpPing { me, sent: 0, acked: 0, rounds }) as Box<dyn Program>
-            }
+            (PingKind::Messages, 0 | 1) => Box::new(MpPing {
+                me,
+                sent: 0,
+                acked: 0,
+                rounds,
+            }) as Box<dyn Program>,
             _ => Box::new(Idle) as Box<dyn Program>,
         })
         .collect();
     let initial = vec![0.0; heap.total_words()];
-    let cycles =
-        Machine::new(cfg.clone(), MachineSpec { heap, initial, programs }).run().runtime_cycles;
+    let cycles = Machine::new(
+        cfg.clone(),
+        MachineSpec {
+            heap,
+            initial,
+            programs,
+        },
+    )
+    .run()
+    .runtime_cycles;
     cycles as f64 / rounds as f64
 }
 
@@ -185,12 +196,23 @@ impl Program for BarrierOnly {
 pub fn barrier_episode(cfg: &MachineConfig, episodes: usize) -> f64 {
     assert!(episodes > 0, "need episodes");
     let programs: Vec<Box<dyn Program>> = (0..cfg.nodes)
-        .map(|_| Box::new(BarrierOnly { remaining: episodes }) as Box<dyn Program>)
+        .map(|_| {
+            Box::new(BarrierOnly {
+                remaining: episodes,
+            }) as Box<dyn Program>
+        })
         .collect();
     let heap = Heap::new(cfg.nodes);
-    let cycles = Machine::new(cfg.clone(), MachineSpec { heap, initial: Vec::new(), programs })
-        .run()
-        .runtime_cycles;
+    let cycles = Machine::new(
+        cfg.clone(),
+        MachineSpec {
+            heap,
+            initial: Vec::new(),
+            programs,
+        },
+    )
+    .run()
+    .runtime_cycles;
     cycles as f64 / episodes as f64
 }
 
@@ -225,10 +247,22 @@ pub fn hotspot_rmw(cfg: &MachineConfig, ops: usize) -> f64 {
     let mut heap = Heap::new(cfg.nodes);
     let line = heap.alloc(1, |_| 0).line(0);
     let programs: Vec<Box<dyn Program>> = (0..cfg.nodes)
-        .map(|_| Box::new(HotspotRmw { line, remaining: ops }) as Box<dyn Program>)
+        .map(|_| {
+            Box::new(HotspotRmw {
+                line,
+                remaining: ops,
+            }) as Box<dyn Program>
+        })
         .collect();
     let initial = vec![0.0; heap.total_words()];
-    let mut machine = Machine::new(cfg.clone(), MachineSpec { heap, initial, programs });
+    let mut machine = Machine::new(
+        cfg.clone(),
+        MachineSpec {
+            heap,
+            initial,
+            programs,
+        },
+    );
     let cycles = machine.run().runtime_cycles;
     let total = machine.master_word(Word::new(line, 0));
     assert_eq!(total as usize, ops * cfg.nodes, "atomicity");

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use commsense_machine::{MachineConfig, Mechanism};
 use commsense_workloads::moldyn::{MoldynParams, MoldynSystem};
 
-use crate::meshforce::{ForceModel, Kernel};
+use crate::meshforce::{ForceModel, Kernel, PreparedModel};
 use crate::RunResult;
 
 /// Compute cycles per interaction pair: the distance/force evaluation is a
@@ -30,7 +30,9 @@ pub fn model(sys: &MoldynSystem) -> ForceModel {
         owner: sys.owner.clone(),
         edges: sys.pairs.clone(),
         weights: vec![0.0; sys.pairs.len()],
-        kernel: Kernel::SoftSphere { r2: sys.params.cutoff * sys.params.cutoff },
+        kernel: Kernel::SoftSphere {
+            r2: sys.params.cutoff * sys.params.cutoff,
+        },
         init: sys.init_coords(),
         iterations: sys.params.iterations,
         edge_cycles: PAIR_CYCLES,
@@ -40,11 +42,16 @@ pub fn model(sys: &MoldynSystem) -> ForceModel {
     }
 }
 
+/// Generates the system and builds its prepared model (reference solution
+/// and exchange plan) for `nprocs` processors.
+pub fn prepare(params: &MoldynParams, nprocs: usize) -> PreparedModel {
+    let sys = MoldynSystem::generate(params, nprocs);
+    PreparedModel::new(Arc::new(model(&sys)), nprocs)
+}
+
 /// Runs MOLDYN under `mech` and verifies against the sequential reference.
 pub fn run(params: &MoldynParams, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
-    let sys = MoldynSystem::generate(params, cfg.nodes);
-    let m = Arc::new(model(&sys));
-    m.run(mech, cfg)
+    prepare(params, cfg.nodes).run(mech, cfg)
 }
 
 #[cfg(test)]
@@ -55,7 +62,11 @@ mod tests {
     fn model_reference_matches_workload_reference() {
         let sys = MoldynSystem::generate(&MoldynParams::small(), 8);
         let m = model(&sys);
-        assert_eq!(m.reference(), sys.reference(), "adapter must preserve the computation");
+        assert_eq!(
+            m.reference(),
+            sys.reference(),
+            "adapter must preserve the computation"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use commsense_machine::{MachineConfig, Mechanism};
 use commsense_workloads::unstruct::{UnstrucMesh, UnstrucParams};
 
-use crate::meshforce::{ForceModel, Kernel};
+use crate::meshforce::{ForceModel, Kernel, PreparedModel};
 use crate::RunResult;
 
 /// Compute cycles per edge: 75 single-precision FLOPs at ~1.3 cycles per
@@ -37,10 +37,17 @@ pub fn model(mesh: &UnstrucMesh) -> ForceModel {
     }
 }
 
+/// Generates the mesh and builds its prepared model (reference solution
+/// and exchange plan) for `nprocs` processors.
+pub fn prepare(params: &UnstrucParams, nprocs: usize) -> PreparedModel {
+    let mesh = UnstrucMesh::generate(params, nprocs);
+    PreparedModel::new(Arc::new(model(&mesh)), nprocs)
+}
+
 /// Runs UNSTRUC under `mech` and verifies against the sequential
 /// reference.
 pub fn run(params: &UnstrucParams, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
-    run_mesh(&UnstrucMesh::generate(params, cfg.nodes), mech, cfg)
+    prepare(params, cfg.nodes).run(mech, cfg)
 }
 
 /// Runs an explicit mesh (e.g. one partitioned with an alternative
@@ -58,7 +65,11 @@ mod tests {
     fn model_reference_matches_workload_reference() {
         let mesh = UnstrucMesh::generate(&UnstrucParams::small(), 8);
         let m = model(&mesh);
-        assert_eq!(m.reference(), mesh.reference(), "adapter must preserve the computation");
+        assert_eq!(
+            m.reference(),
+            mesh.reference(),
+            "adapter must preserve the computation"
+        );
     }
 
     #[test]
@@ -77,7 +88,9 @@ mod tests {
         let p = UnstrucParams::small();
         let r = run(&p, Mechanism::SharedMem, &MachineConfig::alewife());
         let clk = MachineConfig::alewife().clock();
-        let sync: f64 = r.stats.mean_bucket_cycles(commsense_machine::Bucket::Sync, clk);
+        let sync: f64 = r
+            .stats
+            .mean_bucket_cycles(commsense_machine::Bucket::Sync, clk);
         assert!(sync > 0.0, "locking must register as synchronization time");
     }
 }

@@ -38,14 +38,26 @@ fn time_small(c: &mut Criterion, group: &str) {
 fn fig01_regions_bw(c: &mut Criterion) {
     let spec = em3d_spec(Scale::Small);
     let consumed = [0.0, 8.0, 12.0, 15.0, 16.5];
-    let sweeps =
-        bisection_sweep(&spec, &[Mechanism::SharedMem, Mechanism::MsgPoll], &cfg(), &consumed, 64);
+    let sweeps = bisection_sweep(
+        &spec,
+        &[Mechanism::SharedMem, Mechanism::MsgPoll],
+        &cfg(),
+        &consumed,
+        64,
+    );
     let stress: Vec<f64> = consumed.iter().map(|c| 1.0 / (18.0 - c)).collect();
     for s in &sweeps {
         let segs = classify(s, &stress, 0.05, 1.5);
-        eprintln!("fig1 {} regions: {:?}", s.mechanism, segs.iter().map(|x| x.region.label()).collect::<Vec<_>>());
+        eprintln!(
+            "fig1 {} regions: {:?}",
+            s.mechanism,
+            segs.iter().map(|x| x.region.label()).collect::<Vec<_>>()
+        );
     }
-    eprintln!("fig1 crossover (sm over mp): {:?}", crossover(&sweeps[0], &sweeps[1]));
+    eprintln!(
+        "fig1 crossover (sm over mp): {:?}",
+        crossover(&sweeps[0], &sweeps[1])
+    );
     time_small(c, "fig01");
 }
 
@@ -54,14 +66,22 @@ fn fig02_regions_lat(c: &mut Criterion) {
     let lats = [30, 100, 200, 400];
     let sweeps = ctx_switch_sweep(
         &spec,
-        &[Mechanism::SharedMem, Mechanism::SharedMemPrefetch, Mechanism::MsgPoll],
+        &[
+            Mechanism::SharedMem,
+            Mechanism::SharedMemPrefetch,
+            Mechanism::MsgPoll,
+        ],
         &cfg(),
         &lats,
     );
     let stress: Vec<f64> = lats.iter().map(|&l| l as f64).collect();
     for s in &sweeps {
         let segs = classify(s, &stress, 0.05, 1.5);
-        eprintln!("fig2 {} regions: {:?}", s.mechanism, segs.iter().map(|x| x.region.label()).collect::<Vec<_>>());
+        eprintln!(
+            "fig2 {} regions: {:?}",
+            s.mechanism,
+            segs.iter().map(|x| x.region.label()).collect::<Vec<_>>()
+        );
     }
     time_small(c, "fig02");
 }
@@ -69,7 +89,10 @@ fn fig02_regions_lat(c: &mut Criterion) {
 fn fig03_miss_penalties(c: &mut Criterion) {
     let cases = miss_penalties(&cfg());
     for m in &cases {
-        eprintln!("fig3 {:<22} paper {:>6.0}  measured {:>7.1}", m.case, m.paper_cycles, m.measured_cycles);
+        eprintln!(
+            "fig3 {:<22} paper {:>6.0}  measured {:>7.1}",
+            m.case, m.paper_cycles, m.measured_cycles
+        );
     }
     let mut g = c.benchmark_group("fig03");
     g.sample_size(10);
@@ -102,7 +125,10 @@ fn fig07_msglen(c: &mut Criterion) {
         10.0,
         &[16, 64, 256, 512],
     );
-    eprint!("{}", report::sweep_table("fig7: cross-traffic message length", "bytes", &sweeps));
+    eprint!(
+        "{}",
+        report::sweep_table("fig7: cross-traffic message length", "bytes", &sweeps)
+    );
     time_small(c, "fig07");
 }
 
@@ -115,7 +141,10 @@ fn fig08_bisection(c: &mut Criterion) {
         &[0.0, 8.0, 12.0, 15.0],
         64,
     );
-    eprint!("{}", report::sweep_table("fig8: EM3D vs bisection", "B/cycle", &sweeps));
+    eprint!(
+        "{}",
+        report::sweep_table("fig8: EM3D vs bisection", "B/cycle", &sweeps)
+    );
     time_small(c, "fig08");
 }
 
@@ -127,7 +156,10 @@ fn fig09_clock(c: &mut Criterion) {
         &cfg(),
         &[20.0, 17.0, 14.0],
     );
-    eprint!("{}", report::sweep_table("fig9: EM3D vs relative latency", "cycles", &sweeps));
+    eprint!(
+        "{}",
+        report::sweep_table("fig9: EM3D vs relative latency", "cycles", &sweeps)
+    );
     time_small(c, "fig09");
 }
 
@@ -139,7 +171,10 @@ fn fig10_ctx_switch(c: &mut Criterion) {
         &cfg(),
         &[30, 100, 300],
     );
-    eprint!("{}", report::sweep_table("fig10: EM3D vs emulated latency", "cycles", &sweeps));
+    eprint!(
+        "{}",
+        report::sweep_table("fig10: EM3D vs emulated latency", "cycles", &sweeps)
+    );
     time_small(c, "fig10");
 }
 
@@ -148,7 +183,12 @@ fn tab01_02_machines(c: &mut Criterion) {
     eprint!("{}", report::table2_text(&table1()));
     let mut g = c.benchmark_group("tab01");
     g.bench_function("tables", |b| {
-        b.iter(|| (report::table1_text(&table1()), report::table2_text(&table1())))
+        b.iter(|| {
+            (
+                report::table1_text(&table1()),
+                report::table2_text(&table1()),
+            )
+        })
     });
     g.finish();
 }
@@ -172,7 +212,9 @@ fn quick(c: &mut Criterion) {
     let spec = AppSpec::Em3d(commsense_workloads::bipartite::Em3dParams::small());
     let mut g = c.benchmark_group("quick");
     g.sample_size(10);
-    g.bench_function("em3d-poll", |b| b.iter(|| run_app(&spec, Mechanism::MsgPoll, &cfg())));
+    g.bench_function("em3d-poll", |b| {
+        b.iter(|| run_app(&spec, Mechanism::MsgPoll, &cfg()))
+    });
     g.finish();
 }
 

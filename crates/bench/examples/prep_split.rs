@@ -1,0 +1,28 @@
+//! Prints the prepare-vs-simulate cost split for each bench-scale app:
+//! how much a sweep saves by preparing its workload once (`WorkloadCache`)
+//! versus how much it can only save by running points in parallel.
+
+use std::time::Instant;
+
+use commsense_bench::{suite, Scale};
+use commsense_machine::{MachineConfig, Mechanism};
+
+fn main() {
+    let cfg = MachineConfig::alewife();
+    for spec in suite(Scale::Bench) {
+        let t0 = Instant::now();
+        let w = spec.prepare(cfg.nodes);
+        let prep = t0.elapsed();
+        let sm_cfg = cfg.clone().with_mechanism(Mechanism::SharedMem);
+        let t1 = Instant::now();
+        let r = commsense_apps::run_prepared(&w, Mechanism::SharedMem, &sm_cfg);
+        let run = t1.elapsed();
+        println!(
+            "{:8} prepare {:>8.1?}  one sm run {:>8.1?}  verified {}",
+            spec.name(),
+            prep,
+            run,
+            r.verified
+        );
+    }
+}

@@ -6,17 +6,21 @@
 //!
 //! Default scale is `bench` (seconds per figure); `--paper` uses the
 //! paper's workload sizes. With `--csv DIR`, each sweep also lands as a
-//! CSV for external plotting.
+//! CSV for external plotting. All figures run through one
+//! [`Runner`]/[`WorkloadCache`] pair, so each application's workload is
+//! generated and solved once, and points run on `--jobs` worker threads
+//! (default: `COMMSENSE_JOBS` or all cores).
 
 use std::io::Write;
 
 use commsense_bench::{
     ablate_associativity, ablate_interrupt_cost, ablate_limitless, ablate_partition,
-    ablate_prefetch_buffer, ablate_topology, ablate_write_buffer, ablation_table,
-    miss_penalties, suite, Scale,
+    ablate_prefetch_buffer, ablate_topology, ablate_write_buffer, ablation_table, miss_penalties,
+    suite, Scale,
 };
+use commsense_core::engine::{Runner, WorkloadCache};
 use commsense_core::experiment::{
-    base_comparison, bisection_sweep, clock_sweep, ctx_switch_sweep, msg_len_sweep,
+    base_comparison_requests, bisection_plan, clock_plan, ctx_switch_plan, msg_len_plan,
     one_way_latency_cycles, Sweep,
 };
 use commsense_core::machines::table1;
@@ -29,31 +33,47 @@ struct Opts {
     what: String,
     scale: Scale,
     csv_dir: Option<String>,
+    jobs: Option<usize>,
 }
 
 const USAGE: &str = "\
-usage: repro [WHAT] [--paper|--small] [--csv DIR]
+usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N]
   WHAT: all (default) | tab1 | tab2 | fig1 | fig2 | fig3 | fig4 | fig5 |
         fig7 | fig8 | fig9 | fig10 | ablate | model
   --paper  use the paper's workload sizes (minutes)
   --small  use unit-test sizes (seconds)
-  --csv    also write each sweep as CSV into DIR";
+  --csv    also write each sweep as CSV into DIR
+  --jobs   worker threads per sweep (default: COMMSENSE_JOBS or all cores)";
 
 const KNOWN: [&str; 15] = [
-    "all", "tab1", "tab2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9",
-    "fig10", "ablate", "model", "fig6",
+    "all", "tab1", "tab2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
+    "ablate", "model", "fig6",
 ];
 
 fn parse_args() -> Opts {
     let mut what = "all".to_string();
     let mut scale = Scale::Bench;
     let mut csv_dir = None;
+    let mut jobs = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--paper" => scale = Scale::Paper,
             "--small" => scale = Scale::Small,
             "--csv" => csv_dir = args.next(),
+            "--jobs" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0);
+                match n {
+                    Some(n) => jobs = Some(n),
+                    None => {
+                        eprintln!("--jobs needs a positive integer\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "-h" | "--help" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -72,7 +92,12 @@ fn parse_args() -> Opts {
         );
         std::process::exit(0);
     }
-    Opts { what, scale, csv_dir }
+    Opts {
+        what,
+        scale,
+        csv_dir,
+        jobs,
+    }
 }
 
 fn cfg() -> MachineConfig {
@@ -84,7 +109,8 @@ fn dump_csv(opts: &Opts, name: &str, x_label: &str, sweeps: &[Sweep]) {
     std::fs::create_dir_all(dir).expect("create csv dir");
     let path = format!("{dir}/{name}.csv");
     let mut f = std::fs::File::create(&path).expect("create csv");
-    f.write_all(report::sweep_csv(x_label, sweeps).as_bytes()).expect("write csv");
+    f.write_all(report::sweep_csv(x_label, sweeps).as_bytes())
+        .expect("write csv");
     println!("  (wrote {path})");
 }
 
@@ -94,6 +120,12 @@ fn want(opts: &Opts, key: &str) -> bool {
 
 fn main() {
     let opts = parse_args();
+    // Export --jobs so library-internal runners (ablations) see it too.
+    if let Some(n) = opts.jobs {
+        std::env::set_var("COMMSENSE_JOBS", n.to_string());
+    }
+    let runner = Runner::from_env();
+    let mut cache = WorkloadCache::new();
     let cfg = cfg();
     let all_mechs = Mechanism::ALL;
     let sm_mp = [Mechanism::SharedMem, Mechanism::MsgPoll];
@@ -112,23 +144,29 @@ fn main() {
         println!("== Figure 3 cost table: shared-memory miss penalties ==");
         println!("{:<22} {:>8} {:>10}", "case", "paper", "measured");
         for m in miss_penalties(&cfg) {
-            println!("{:<22} {:>8.0} {:>10.1}", m.case, m.paper_cycles, m.measured_cycles);
+            println!(
+                "{:<22} {:>8.0} {:>10.1}",
+                m.case, m.paper_cycles, m.measured_cycles
+            );
         }
         println!();
     }
     if want(&opts, "fig4") {
         println!("== Figure 4: per-application breakdown, all mechanisms ==");
         for spec in suite(opts.scale) {
-            let results = base_comparison(&spec, &cfg);
+            let results = runner.run_cached(&base_comparison_requests(&spec, &cfg), &mut cache);
             print!("{}", report::breakdown_table(spec.name(), &results, &cfg));
-            print!("{}", report::breakdown_bars(spec.name(), &results, &cfg, 48));
+            print!(
+                "{}",
+                report::breakdown_bars(spec.name(), &results, &cfg, 48)
+            );
             println!();
         }
     }
     if want(&opts, "fig5") {
         println!("== Figure 5: communication volume breakdown ==");
         for spec in suite(opts.scale) {
-            let results = base_comparison(&spec, &cfg);
+            let results = runner.run_cached(&base_comparison_requests(&spec, &cfg), &mut cache);
             print!("{}", report::volume_table(spec.name(), &results));
             println!();
         }
@@ -137,8 +175,15 @@ fn main() {
         println!("== Figure 7: sensitivity to cross-traffic message length ==");
         let spec = suite(opts.scale).remove(0);
         let lens = [16u32, 32, 64, 128, 256, 512];
-        let sweeps = msg_len_sweep(&spec, &sm_mp, &cfg, 10.0, &lens);
-        print!("{}", report::sweep_table("EM3D runtime at 8 B/cycle emulated bisection", "msg bytes", &sweeps));
+        let sweeps = msg_len_plan(&spec, &sm_mp, &cfg, 10.0, &lens).run_with(&runner, &mut cache);
+        print!(
+            "{}",
+            report::sweep_table(
+                "EM3D runtime at 8 B/cycle emulated bisection",
+                "msg bytes",
+                &sweeps
+            )
+        );
         dump_csv(&opts, "fig7", "msg_bytes", &sweeps);
         println!();
     }
@@ -146,7 +191,8 @@ fn main() {
         let consumed = [0.0, 4.0, 8.0, 12.0, 14.0, 16.0];
         println!("== Figure 8: execution time vs bisection bandwidth ==");
         for spec in suite(opts.scale) {
-            let sweeps = bisection_sweep(&spec, &all_mechs, &cfg, &consumed, 64);
+            let sweeps = bisection_plan(&spec, &all_mechs, &cfg, &consumed, 64)
+                .run_with(&runner, &mut cache);
             print!("{}", report::sweep_table(spec.name(), "B/cycle", &sweeps));
             for s in &sweeps {
                 s.assert_verified();
@@ -155,12 +201,12 @@ fn main() {
             for (a, label_a) in [(0usize, "sm"), (1, "sm+pf")] {
                 for (b, label_b) in [(2usize, "mp-int"), (3, "mp-poll")] {
                     match crossover(&sweeps[a], &sweeps[b]) {
-                        Some(x) => println!(
-                            "  {label_a} crosses above {label_b} at ~{x:.1} B/cycle"
-                        ),
+                        Some(x) => {
+                            println!("  {label_a} crosses above {label_b} at ~{x:.1} B/cycle")
+                        }
                         None => {
-                            let first = sweeps[a].runtimes()[0] as f64
-                                / sweeps[b].runtimes()[0] as f64;
+                            let first =
+                                sweeps[a].runtimes()[0] as f64 / sweeps[b].runtimes()[0] as f64;
                             println!(
                                 "  no {label_a}/{label_b} crossover in range (starts at {first:.2}x)"
                             );
@@ -184,7 +230,12 @@ fn main() {
                     }
                 }
             }
-            dump_csv(&opts, &format!("fig8_{}", spec.name().to_lowercase()), "bytes_per_cycle", &sweeps);
+            dump_csv(
+                &opts,
+                &format!("fig8_{}", spec.name().to_lowercase()),
+                "bytes_per_cycle",
+                &sweeps,
+            );
             println!();
         }
     }
@@ -193,14 +244,19 @@ fn main() {
         let consumed = [0.0, 4.0, 8.0, 12.0, 14.0, 16.0];
         let lats = [30u64, 50, 100, 200, 400, 800];
         for spec in suite(opts.scale) {
-            let bw = bisection_sweep(&spec, &sm_mp, &cfg, &consumed, 64);
-            let lt = ctx_switch_sweep(&spec, &sm_mp, &cfg, &lats);
+            let bw =
+                bisection_plan(&spec, &sm_mp, &cfg, &consumed, 64).run_with(&runner, &mut cache);
+            let lt = ctx_switch_plan(&spec, &sm_mp, &cfg, &lats).run_with(&runner, &mut cache);
             println!("{}:", spec.name());
             for s in &bw {
                 if let Some(m) = fit_bandwidth(s) {
                     println!(
                         "  bandwidth {:<8} T(b) = {:>9.0} + {:>9.0}/b + {:>9.0}/b^2  (R2 {:.3})",
-                        s.mechanism.label(), m.c0, m.c1, m.c2, m.r2
+                        s.mechanism.label(),
+                        m.c0,
+                        m.c1,
+                        m.c2,
+                        m.r2
                     );
                 }
             }
@@ -208,7 +264,10 @@ fn main() {
                 if let Some(m) = fit_latency(s) {
                     println!(
                         "  latency   {:<8} T(L) = {:>9.0} + {:>7.2}*L             (R2 {:.3})",
-                        s.mechanism.label(), m.d0, m.d1, m.r2
+                        s.mechanism.label(),
+                        m.d0,
+                        m.d1,
+                        m.r2
                     );
                 }
             }
@@ -217,17 +276,53 @@ fn main() {
     }
     if opts.what == "ablate" {
         println!("== Ablations (design-choice sensitivity; not paper figures) ==\n");
-        print!("{}", ablation_table("LimitLESS directory width (EM3D, sm):", &ablate_limitless(&cfg)));
+        print!(
+            "{}",
+            ablation_table(
+                "LimitLESS directory width (EM3D, sm):",
+                &ablate_limitless(&cfg)
+            )
+        );
         println!();
-        print!("{}", ablation_table("Mesh aspect ratio at 32 nodes (EM3D):", &ablate_topology(&cfg)));
+        print!(
+            "{}",
+            ablation_table(
+                "Mesh aspect ratio at 32 nodes (EM3D):",
+                &ablate_topology(&cfg)
+            )
+        );
         println!();
-        print!("{}", ablation_table("Interrupt entry cost (ICCG, mp-int):", &ablate_interrupt_cost(&cfg)));
+        print!(
+            "{}",
+            ablation_table(
+                "Interrupt entry cost (ICCG, mp-int):",
+                &ablate_interrupt_cost(&cfg)
+            )
+        );
         println!();
-        print!("{}", ablation_table("Prefetch buffer depth (EM3D, sm+pf):", &ablate_prefetch_buffer(&cfg)));
+        print!(
+            "{}",
+            ablation_table(
+                "Prefetch buffer depth (EM3D, sm+pf):",
+                &ablate_prefetch_buffer(&cfg)
+            )
+        );
         println!();
-        print!("{}", ablation_table("Consistency model under latency (EM3D):", &ablate_write_buffer(&cfg)));
+        print!(
+            "{}",
+            ablation_table(
+                "Consistency model under latency (EM3D):",
+                &ablate_write_buffer(&cfg)
+            )
+        );
         println!();
-        print!("{}", ablation_table("Partition strategy (UNSTRUC, sm) — lower cut can lose to worse edge balance:", &ablate_partition(&cfg)));
+        print!(
+            "{}",
+            ablation_table(
+                "Partition strategy (UNSTRUC, sm) — lower cut can lose to worse edge balance:",
+                &ablate_partition(&cfg)
+            )
+        );
         println!();
         print!(
             "{}",
@@ -244,9 +339,14 @@ not capacity/conflict misses:",
         println!("== Figure 9: execution time vs relative network latency (clock scaling) ==");
         let mhz = [20.0, 18.0, 16.0, 14.0];
         for spec in suite(opts.scale) {
-            let sweeps = clock_sweep(&spec, &all_mechs, &cfg, &mhz);
+            let sweeps = clock_plan(&spec, &all_mechs, &cfg, &mhz).run_with(&runner, &mut cache);
             print!("{}", report::sweep_table(spec.name(), "lat (cyc)", &sweeps));
-            dump_csv(&opts, &format!("fig9_{}", spec.name().to_lowercase()), "latency_cycles", &sweeps);
+            dump_csv(
+                &opts,
+                &format!("fig9_{}", spec.name().to_lowercase()),
+                "latency_cycles",
+                &sweeps,
+            );
             println!();
         }
         println!(
@@ -259,8 +359,12 @@ not capacity/conflict misses:",
         println!("== Figure 10: latency emulation via context switching ==");
         let lats = [30u64, 50, 100, 200, 400, 800];
         for spec in suite(opts.scale) {
-            let sweeps = ctx_switch_sweep(&spec, &all_mechs, &cfg, &lats);
-            print!("{}", report::sweep_table(spec.name(), "miss (cyc)", &sweeps));
+            let sweeps =
+                ctx_switch_plan(&spec, &all_mechs, &cfg, &lats).run_with(&runner, &mut cache);
+            print!(
+                "{}",
+                report::sweep_table(spec.name(), "miss (cyc)", &sweeps)
+            );
             if want(&opts, "fig2") && spec.name() == "EM3D" {
                 let stress: Vec<f64> = lats.iter().map(|&l| l as f64).collect();
                 for s in sweeps.iter().take(2) {
@@ -280,8 +384,8 @@ not capacity/conflict misses:",
             // The Chandra et al. comparison point (§6): at ~100-cycle
             // latency, message passing ran EM3D about twice as fast.
             if spec.name() == "EM3D" {
-                let sm_100 = sweeps[0].points.iter().find(|p| p.x == 100.0);
-                let mp_100 = sweeps[3].points.iter().find(|p| p.x == 100.0);
+                let sm_100 = sweeps[0].point_at(100.0);
+                let mp_100 = sweeps[3].point_at(100.0);
                 if let (Some(sm), Some(mp)) = (sm_100, mp_100) {
                     println!(
                         "  EM3D at 100-cycle latency: sm/mp = {:.2} (Chandra et al. saw ~2x)",
@@ -289,7 +393,12 @@ not capacity/conflict misses:",
                     );
                 }
             }
-            dump_csv(&opts, &format!("fig10_{}", spec.name().to_lowercase()), "miss_cycles", &sweeps);
+            dump_csv(
+                &opts,
+                &format!("fig10_{}", spec.name().to_lowercase()),
+                "miss_cycles",
+                &sweeps,
+            );
             println!();
         }
     }

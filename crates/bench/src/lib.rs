@@ -8,8 +8,9 @@ use std::any::Any;
 
 use commsense_apps::AppSpec;
 use commsense_cache::{Heap, LineHandle};
+use commsense_core::engine::{RunRequest, Runner};
 use commsense_machine::program::{HandlerCtx, NodeCtx, Program, Step};
-use commsense_machine::{Machine, MachineConfig, MachineSpec};
+use commsense_machine::{Machine, MachineConfig, MachineSpec, Mechanism};
 use commsense_workloads::bipartite::Em3dParams;
 use commsense_workloads::moldyn::MoldynParams;
 use commsense_workloads::sparse::IccgParams;
@@ -138,7 +139,14 @@ fn probe_runtime(
         })
         .collect();
     let _ = lines;
-    let mut m = Machine::new(cfg.clone(), MachineSpec { heap, initial, programs });
+    let mut m = Machine::new(
+        cfg.clone(),
+        MachineSpec {
+            heap,
+            initial,
+            programs,
+        },
+    );
     m.run().runtime_cycles
 }
 
@@ -182,7 +190,11 @@ pub fn miss_penalties(cfg: &MachineConfig) -> Vec<MissPenalty> {
         |l, i| Step::Load(l.word(i, 0)),
         k,
     );
-    out.push(MissPenalty { case: "local clean read", paper_cycles: 11.0, measured_cycles: local_clean });
+    out.push(MissPenalty {
+        case: "local clean read",
+        paper_cycles: 11.0,
+        measured_cycles: local_clean,
+    });
 
     // Local dirty read miss: home is node 0, but node 1 holds them dirty.
     let local_dirty = measure(
@@ -202,7 +214,11 @@ pub fn miss_penalties(cfg: &MachineConfig) -> Vec<MissPenalty> {
         |l, i| Step::Load(l.word(i, 0)),
         k,
     );
-    out.push(MissPenalty { case: "local dirty read", paper_cycles: 38.0, measured_cycles: local_dirty });
+    out.push(MissPenalty {
+        case: "local dirty read",
+        paper_cycles: 38.0,
+        measured_cycles: local_dirty,
+    });
 
     // Remote clean read miss: node 0 reads node 1's uncached lines.
     let remote_clean = measure(
@@ -216,7 +232,11 @@ pub fn miss_penalties(cfg: &MachineConfig) -> Vec<MissPenalty> {
         |l, i| Step::Load(l.word(i, 0)),
         k,
     );
-    out.push(MissPenalty { case: "remote clean read", paper_cycles: 42.0, measured_cycles: remote_clean });
+    out.push(MissPenalty {
+        case: "remote clean read",
+        paper_cycles: 42.0,
+        measured_cycles: remote_clean,
+    });
 
     // Remote dirty (two-party) read miss: home node 2, dirty at node 1.
     let remote_dirty = measure(
@@ -236,7 +256,11 @@ pub fn miss_penalties(cfg: &MachineConfig) -> Vec<MissPenalty> {
         |l, i| Step::Load(l.word(i, 0)),
         k,
     );
-    out.push(MissPenalty { case: "remote dirty read", paper_cycles: 63.0, measured_cycles: remote_dirty });
+    out.push(MissPenalty {
+        case: "remote dirty read",
+        paper_cycles: 63.0,
+        measured_cycles: remote_dirty,
+    });
 
     // Remote write miss (clean): node 0 writes node 1's lines.
     let remote_write = measure(
@@ -250,7 +274,11 @@ pub fn miss_penalties(cfg: &MachineConfig) -> Vec<MissPenalty> {
         |l, i| Step::Store(l.word(i, 0), 2.0),
         k,
     );
-    out.push(MissPenalty { case: "remote clean write", paper_cycles: 43.0, measured_cycles: remote_write });
+    out.push(MissPenalty {
+        case: "remote clean write",
+        paper_cycles: 43.0,
+        measured_cycles: remote_write,
+    });
 
     // LimitLESS read: six sharers before node 0's read overflow the five
     // hardware pointers, trapping the home into software.
@@ -271,7 +299,11 @@ pub fn miss_penalties(cfg: &MachineConfig) -> Vec<MissPenalty> {
         |l, i| Step::Load(l.word(i, 0)),
         k,
     );
-    out.push(MissPenalty { case: "LimitLESS sw read", paper_cycles: 425.0, measured_cycles: limitless });
+    out.push(MissPenalty {
+        case: "LimitLESS sw read",
+        paper_cycles: 425.0,
+        measured_cycles: limitless,
+    });
 
     out
 }
@@ -332,87 +364,113 @@ fn em3d_small_spec() -> AppSpec {
     AppSpec::Em3d(p)
 }
 
+/// Executes labeled requests on an environment-sized [`Runner`] — one
+/// shared workload preparation per distinct spec, points possibly in
+/// parallel — and folds the results into ablation points in label order.
+fn run_points(labeled: Vec<(String, RunRequest)>) -> Vec<AblationPoint> {
+    let (labels, requests): (Vec<String>, Vec<RunRequest>) = labeled.into_iter().unzip();
+    let results = Runner::from_env().run(&requests);
+    labels
+        .into_iter()
+        .zip(results)
+        .map(|(label, r)| AblationPoint {
+            label,
+            runtime_cycles: r.runtime_cycles,
+            verified: r.verified,
+        })
+        .collect()
+}
+
 /// LimitLESS directory width: hardware pointers before the software trap.
 /// Narrow directories trap constantly on shared data; wide ones never do.
 pub fn ablate_limitless(cfg: &MachineConfig) -> Vec<AblationPoint> {
-    use commsense_apps::run_app;
-    use commsense_machine::Mechanism;
-    [1usize, 2, 5, 8, 32]
-        .iter()
-        .map(|&ptrs| {
-            let mut cfg = cfg.clone();
-            cfg.proto.hw_ptrs = ptrs;
-            let r = run_app(&em3d_small_spec(), Mechanism::SharedMem, &cfg);
-            AblationPoint {
-                label: format!("{ptrs} hw pointers"),
-                runtime_cycles: r.runtime_cycles,
-                verified: r.verified,
-            }
-        })
-        .collect()
+    let spec = em3d_small_spec();
+    run_points(
+        [1usize, 2, 5, 8, 32]
+            .iter()
+            .map(|&ptrs| {
+                let mut cfg = cfg.clone();
+                cfg.proto.hw_ptrs = ptrs;
+                (
+                    format!("{ptrs} hw pointers"),
+                    RunRequest {
+                        spec: spec.clone(),
+                        mechanism: Mechanism::SharedMem,
+                        cfg,
+                    },
+                )
+            })
+            .collect(),
+    )
 }
 
 /// Mesh aspect ratio at a fixed 32 nodes: the bisection (and thus the
 /// shared-memory story) is set by the number of rows crossing the cut.
 pub fn ablate_topology(cfg: &MachineConfig) -> Vec<AblationPoint> {
-    use commsense_apps::run_app;
-    use commsense_machine::Mechanism;
-    let mut out = Vec::new();
+    let spec = em3d_small_spec();
+    let mut labeled = Vec::new();
     for (w, h) in [(16u16, 2u16), (8, 4), (4, 8)] {
         for mech in [Mechanism::SharedMem, Mechanism::MsgPoll] {
             let mut cfg = cfg.clone().with_mechanism(mech);
             cfg.net.width = w;
             cfg.net.height = h;
             let bpc = cfg.net.bisection_bytes_per_cycle(cfg.clock());
-            let r = run_app(&em3d_small_spec(), mech, &cfg);
-            out.push(AblationPoint {
-                label: format!("{w}x{h} ({bpc:.0} B/cyc) {}", mech.label()),
-                runtime_cycles: r.runtime_cycles,
-                verified: r.verified,
-            });
+            labeled.push((
+                format!("{w}x{h} ({bpc:.0} B/cyc) {}", mech.label()),
+                RunRequest {
+                    spec: spec.clone(),
+                    mechanism: mech,
+                    cfg,
+                },
+            ));
         }
     }
-    out
+    run_points(labeled)
 }
 
 /// Interrupt entry cost: how expensive traps must get before polling's
 /// advantage dominates (ICCG, the most message-bound application).
 pub fn ablate_interrupt_cost(cfg: &MachineConfig) -> Vec<AblationPoint> {
-    use commsense_apps::run_app;
-    use commsense_machine::Mechanism;
     let spec = AppSpec::Iccg(IccgParams::small());
-    [20u64, 40, 74, 120, 200]
-        .iter()
-        .map(|&c| {
-            let mut cfg = cfg.clone().with_mechanism(Mechanism::MsgInterrupt);
-            cfg.msg.interrupt_base = c;
-            let r = run_app(&spec, Mechanism::MsgInterrupt, &cfg);
-            AblationPoint {
-                label: format!("interrupt {c} cycles"),
-                runtime_cycles: r.runtime_cycles,
-                verified: r.verified,
-            }
-        })
-        .collect()
+    run_points(
+        [20u64, 40, 74, 120, 200]
+            .iter()
+            .map(|&c| {
+                let mut cfg = cfg.clone().with_mechanism(Mechanism::MsgInterrupt);
+                cfg.msg.interrupt_base = c;
+                (
+                    format!("interrupt {c} cycles"),
+                    RunRequest {
+                        spec: spec.clone(),
+                        mechanism: Mechanism::MsgInterrupt,
+                        cfg,
+                    },
+                )
+            })
+            .collect(),
+    )
 }
 
 /// Prefetch (transaction) buffer depth under prefetching EM3D.
 pub fn ablate_prefetch_buffer(cfg: &MachineConfig) -> Vec<AblationPoint> {
-    use commsense_apps::run_app;
-    use commsense_machine::Mechanism;
-    [1usize, 2, 4, 16]
-        .iter()
-        .map(|&n| {
-            let mut cfg = cfg.clone().with_mechanism(Mechanism::SharedMemPrefetch);
-            cfg.proto.prefetch_entries = n;
-            let r = run_app(&em3d_small_spec(), Mechanism::SharedMemPrefetch, &cfg);
-            AblationPoint {
-                label: format!("{n} prefetch entries"),
-                runtime_cycles: r.runtime_cycles,
-                verified: r.verified,
-            }
-        })
-        .collect()
+    let spec = em3d_small_spec();
+    run_points(
+        [1usize, 2, 4, 16]
+            .iter()
+            .map(|&n| {
+                let mut cfg = cfg.clone().with_mechanism(Mechanism::SharedMemPrefetch);
+                cfg.proto.prefetch_entries = n;
+                (
+                    format!("{n} prefetch entries"),
+                    RunRequest {
+                        spec: spec.clone(),
+                        mechanism: Mechanism::SharedMemPrefetch,
+                        cfg,
+                    },
+                )
+            })
+            .collect(),
+    )
 }
 
 /// Cache associativity under capacity pressure: Alewife's full-size
@@ -420,37 +478,38 @@ pub fn ablate_prefetch_buffer(cfg: &MachineConfig) -> Vec<AblationPoint> {
 /// ablation shrinks the cache to 64 lines where the irregular access
 /// stream collides, then varies the ways.
 pub fn ablate_associativity(cfg: &MachineConfig) -> Vec<AblationPoint> {
-    use commsense_apps::run_app;
-    use commsense_machine::Mechanism;
-    let mut out = vec![{
-        let r = run_app(&em3d_small_spec(), Mechanism::SharedMem, cfg);
-        AblationPoint {
-            label: "4096 lines, 1-way (Alewife)".to_string(),
-            runtime_cycles: r.runtime_cycles,
-            verified: r.verified,
-        }
-    }];
+    let spec = em3d_small_spec();
+    let mut labeled = vec![(
+        "4096 lines, 1-way (Alewife)".to_string(),
+        RunRequest {
+            spec: spec.clone(),
+            mechanism: Mechanism::SharedMem,
+            cfg: cfg.clone(),
+        },
+    )];
     for ways in [1usize, 2, 4] {
         let mut cfg = cfg.clone();
         cfg.proto.cache_lines = 64;
         cfg.proto.cache_ways = ways;
-        let r = run_app(&em3d_small_spec(), Mechanism::SharedMem, &cfg);
-        out.push(AblationPoint {
-            label: format!("64 lines, {ways}-way"),
-            runtime_cycles: r.runtime_cycles,
-            verified: r.verified,
-        });
+        labeled.push((
+            format!("64 lines, {ways}-way"),
+            RunRequest {
+                spec: spec.clone(),
+                mechanism: Mechanism::SharedMem,
+                cfg,
+            },
+        ));
     }
-    out
+    run_points(labeled)
 }
 
 /// Relaxed writes (release consistency) vs. sequential consistency under
 /// emulated latency — the §2 latency-tolerance technique the paper
 /// contrasts with SC.
 pub fn ablate_write_buffer(cfg: &MachineConfig) -> Vec<AblationPoint> {
-    use commsense_apps::run_app;
-    use commsense_machine::{LatencyEmulation, Mechanism};
-    let mut out = Vec::new();
+    use commsense_machine::LatencyEmulation;
+    let spec = em3d_small_spec();
+    let mut labeled = Vec::new();
     for lat in [0u64, 200] {
         for wb in [0usize, 4] {
             let mut cfg = cfg.clone().with_mechanism(Mechanism::SharedMem);
@@ -458,17 +517,23 @@ pub fn ablate_write_buffer(cfg: &MachineConfig) -> Vec<AblationPoint> {
             if lat > 0 {
                 cfg.latency_emulation = Some(LatencyEmulation::uniform(lat));
             }
-            let r = run_app(&em3d_small_spec(), Mechanism::SharedMem, &cfg);
             let model = if wb == 0 { "SC" } else { "RC(4)" };
-            let net = if lat == 0 { "base net".to_string() } else { format!("{lat}-cyc misses") };
-            out.push(AblationPoint {
-                label: format!("{model}, {net}"),
-                runtime_cycles: r.runtime_cycles,
-                verified: r.verified,
-            });
+            let net = if lat == 0 {
+                "base net".to_string()
+            } else {
+                format!("{lat}-cyc misses")
+            };
+            labeled.push((
+                format!("{model}, {net}"),
+                RunRequest {
+                    spec: spec.clone(),
+                    mechanism: Mechanism::SharedMem,
+                    cfg,
+                },
+            ));
         }
     }
-    out
+    run_points(labeled)
 }
 
 /// Partition strategy: blocked index ranges vs. Chaco-style graph

@@ -61,7 +61,11 @@ impl LineHandle {
     ///
     /// Panics if `i` is out of bounds.
     pub fn line(&self, i: usize) -> LineId {
-        assert!((i as u64) < self.len, "line {i} out of allocation of {}", self.len);
+        assert!(
+            (i as u64) < self.len,
+            "line {i} out of allocation of {}",
+            self.len
+        );
         LineId(self.base + i as u64)
     }
 
@@ -102,8 +106,14 @@ impl Heap {
     ///
     /// Panics if `nodes == 0` or `nodes > u16::MAX as usize`.
     pub fn new(nodes: usize) -> Self {
-        assert!(nodes > 0 && nodes <= u16::MAX as usize, "bad node count {nodes}");
-        Heap { nodes, homes: Vec::new() }
+        assert!(
+            nodes > 0 && nodes <= u16::MAX as usize,
+            "bad node count {nodes}"
+        );
+        Heap {
+            nodes,
+            homes: Vec::new(),
+        }
     }
 
     /// Number of machine nodes.
@@ -133,7 +143,10 @@ impl Heap {
             assert!(h < self.nodes, "home {h} out of range for line {i}");
             self.homes.push(h as u16);
         }
-        LineHandle { base, len: lines as u64 }
+        LineHandle {
+            base,
+            len: lines as u64,
+        }
     }
 
     /// Allocates `lines` lines distributed block-wise across all nodes.

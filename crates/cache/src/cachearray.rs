@@ -68,7 +68,10 @@ impl Cache {
     /// does not divide `lines` into a power-of-two set count.
     pub fn set_associative(lines: usize, ways: usize) -> Self {
         assert!(lines.is_power_of_two(), "cache size must be a power of two");
-        assert!(ways > 0 && lines.is_multiple_of(ways), "ways must divide capacity");
+        assert!(
+            ways > 0 && lines.is_multiple_of(ways),
+            "ways must divide capacity"
+        );
         let nsets = lines / ways;
         assert!(nsets.is_power_of_two(), "set count must be a power of two");
         Cache {
@@ -114,7 +117,10 @@ impl Cache {
     /// Returns the line's state if resident, without touching statistics
     /// or LRU.
     pub fn lookup(&self, line: LineId) -> Option<LineState> {
-        self.sets[self.set_of(line)].iter().find(|e| e.line == line).map(|e| e.state)
+        self.sets[self.set_of(line)]
+            .iter()
+            .find(|e| e.line == line)
+            .map(|e| e.state)
     }
 
     /// Installs a line, returning the evicted victim if the set was full
@@ -131,7 +137,11 @@ impl Cache {
             return None;
         }
         if entries.len() < ways {
-            entries.push(WayEntry { line, state, used: tick });
+            entries.push(WayEntry {
+                line,
+                state,
+                used: tick,
+            });
             return None;
         }
         // Evict the LRU way.
@@ -142,7 +152,11 @@ impl Cache {
             .map(|(i, _)| i)
             .expect("set is full");
         let victim = entries[victim_idx];
-        entries[victim_idx] = WayEntry { line, state, used: tick };
+        entries[victim_idx] = WayEntry {
+            line,
+            state,
+            used: tick,
+        };
         Some((victim.line, victim.state))
     }
 

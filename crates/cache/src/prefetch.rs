@@ -45,7 +45,12 @@ impl PrefetchBuffer {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "prefetch buffer needs capacity");
-        PrefetchBuffer { capacity, entries: Vec::new(), hits: 0, discarded: 0 }
+        PrefetchBuffer {
+            capacity,
+            entries: Vec::new(),
+            hits: 0,
+            discarded: 0,
+        }
     }
 
     /// Inserts a completed prefetch. If full, the oldest entry is discarded
@@ -64,7 +69,10 @@ impl PrefetchBuffer {
 
     /// Looks up a line without removing it.
     pub fn lookup(&self, line: LineId) -> Option<PrefetchKind> {
-        self.entries.iter().find(|(l, _)| *l == line).map(|&(_, k)| k)
+        self.entries
+            .iter()
+            .find(|(l, _)| *l == line)
+            .map(|&(_, k)| k)
     }
 
     /// Removes and returns a line on demand reference (transfer to cache).

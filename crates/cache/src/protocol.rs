@@ -298,7 +298,11 @@ struct DirEntry {
 
 impl DirEntry {
     fn new() -> Self {
-        DirEntry { state: DirState::Uncached, busy: None, queue: VecDeque::new() }
+        DirEntry {
+            state: DirState::Uncached,
+            busy: None,
+            queue: VecDeque::new(),
+        }
     }
 }
 
@@ -329,7 +333,9 @@ impl Protocol {
             caches: (0..n)
                 .map(|_| Cache::set_associative(cfg.cache_lines, cfg.cache_ways))
                 .collect(),
-            prefetch: (0..n).map(|_| PrefetchBuffer::new(cfg.prefetch_entries)).collect(),
+            prefetch: (0..n)
+                .map(|_| PrefetchBuffer::new(cfg.prefetch_entries))
+                .collect(),
             dirs: HashMap::new(),
             granted: HashSet::new(),
             deferred: HashMap::new(),
@@ -404,10 +410,18 @@ impl Protocol {
             return AccessStart::Miss { outs };
         }
 
-        AccessStart::Miss { outs: self.request(node, line, kind, token) }
+        AccessStart::Miss {
+            outs: self.request(node, line, kind, token),
+        }
     }
 
-    fn request(&mut self, node: usize, line: LineId, kind: AccessKind, token: TxnToken) -> Vec<ProtoOut> {
+    fn request(
+        &mut self,
+        node: usize,
+        line: LineId,
+        kind: AccessKind,
+        token: TxnToken,
+    ) -> Vec<ProtoOut> {
         let home = self.home(line);
         let msg = if kind.needs_exclusive() {
             self.stats.write_misses += 1;
@@ -416,7 +430,11 @@ impl Protocol {
             self.stats.read_misses += 1;
             ProtoMsg::ReadReq { line, token }
         };
-        vec![ProtoOut::Send { from: node, to: home, msg }]
+        vec![ProtoOut::Send {
+            from: node,
+            to: home,
+            msg,
+        }]
     }
 
     /// Installs a granted line into `node`'s cache (demand miss completion).
@@ -426,7 +444,11 @@ impl Protocol {
     /// grant.
     pub fn fill_cache(&mut self, node: usize, line: LineId, exclusive: bool) -> Vec<ProtoOut> {
         self.granted.remove(&(node as u16, line.0));
-        let st = if exclusive { LineState::Modified } else { LineState::Shared };
+        let st = if exclusive {
+            LineState::Modified
+        } else {
+            LineState::Shared
+        };
         let mut outs = self.install(node, line, st);
         outs.extend(self.replay_deferred(node, line));
         outs
@@ -436,7 +458,11 @@ impl Protocol {
     /// completion).
     pub fn fill_prefetch(&mut self, node: usize, line: LineId, exclusive: bool) -> Vec<ProtoOut> {
         self.granted.remove(&(node as u16, line.0));
-        let kind = if exclusive { PrefetchKind::Exclusive } else { PrefetchKind::Read };
+        let kind = if exclusive {
+            PrefetchKind::Exclusive
+        } else {
+            PrefetchKind::Read
+        };
         let mut outs = Vec::new();
         if let Some((victim, vkind)) = self.prefetch[node].insert(line, kind) {
             // Dropping a buffered line loses its permission; dirty-capable
@@ -461,7 +487,11 @@ impl Protocol {
     fn oracle_evict(&mut self, node: usize, line: LineId) -> Vec<ProtoOut> {
         self.stats.writebacks += 1;
         let home = self.home(line);
-        let mut outs = vec![ProtoOut::Send { from: node, to: home, msg: ProtoMsg::Writeback { line } }];
+        let mut outs = vec![ProtoOut::Send {
+            from: node,
+            to: home,
+            msg: ProtoMsg::Writeback { line },
+        }];
         let entry = self.dirs.entry(line.0).or_insert_with(DirEntry::new);
         let waiting = entry
             .busy
@@ -491,8 +521,12 @@ impl Protocol {
     /// Processes a delivered protocol message at node `at` (sent by `from`).
     pub fn handle(&mut self, at: usize, from: usize, msg: ProtoMsg) -> Vec<ProtoOut> {
         match msg {
-            ProtoMsg::ReadReq { line, token } => self.dir_request(at, from, line, AccessKind::Read, token),
-            ProtoMsg::WriteReq { line, token } => self.dir_request(at, from, line, AccessKind::Write, token),
+            ProtoMsg::ReadReq { line, token } => {
+                self.dir_request(at, from, line, AccessKind::Read, token)
+            }
+            ProtoMsg::WriteReq { line, token } => {
+                self.dir_request(at, from, line, AccessKind::Write, token)
+            }
             ProtoMsg::Fetch { line } | ProtoMsg::Recall { line } | ProtoMsg::Inv { line } => {
                 self.intruder(at, from, line, msg)
             }
@@ -521,8 +555,17 @@ impl Protocol {
                     Vec::new() // stale: oracle eviction already resolved it
                 }
             }
-            ProtoMsg::Grant { line, exclusive, token } => {
-                vec![ProtoOut::Granted { node: at, line, exclusive, token }]
+            ProtoMsg::Grant {
+                line,
+                exclusive,
+                token,
+            } => {
+                vec![ProtoOut::Granted {
+                    node: at,
+                    line,
+                    exclusive,
+                    token,
+                }]
             }
             ProtoMsg::Writeback { .. } => Vec::new(), // bandwidth only
         }
@@ -576,7 +619,10 @@ impl Protocol {
                     }
                     if s.len() > hw_ptrs {
                         self.stats.limitless_traps += 1;
-                        outs.push(ProtoOut::HomeOccupancy { node: home, cycles: sw_read });
+                        outs.push(ProtoOut::HomeOccupancy {
+                            node: home,
+                            cycles: sw_read,
+                        });
                     }
                 }
                 DirState::Modified(o) => {
@@ -590,7 +636,11 @@ impl Protocol {
                         pending_invacks: 0,
                         waiting_wb_from: Some(o),
                     });
-                    outs.push(ProtoOut::Send { from: home, to: o as usize, msg: ProtoMsg::Fetch { line } });
+                    outs.push(ProtoOut::Send {
+                        from: home,
+                        to: o as usize,
+                        msg: ProtoMsg::Fetch { line },
+                    });
                     return outs;
                 }
             }
@@ -619,7 +669,10 @@ impl Protocol {
                     });
                     if overflow {
                         self.stats.limitless_traps += 1;
-                        outs.push(ProtoOut::HomeOccupancy { node: home, cycles: sw_write });
+                        outs.push(ProtoOut::HomeOccupancy {
+                            node: home,
+                            cycles: sw_write,
+                        });
                     }
                     self.stats.invalidations += others.len() as u64;
                     for o in others {
@@ -642,7 +695,11 @@ impl Protocol {
                     pending_invacks: 0,
                     waiting_wb_from: Some(o),
                 });
-                outs.push(ProtoOut::Send { from: home, to: o as usize, msg: ProtoMsg::Recall { line } });
+                outs.push(ProtoOut::Send {
+                    from: home,
+                    to: o as usize,
+                    msg: ProtoMsg::Recall { line },
+                });
             }
         }
         outs
@@ -654,7 +711,11 @@ impl Protocol {
         vec![ProtoOut::Send {
             from: home,
             to: to as usize,
-            msg: ProtoMsg::Grant { line, exclusive, token },
+            msg: ProtoMsg::Grant {
+                line,
+                exclusive,
+                token,
+            },
         }]
     }
 
@@ -697,7 +758,9 @@ impl Protocol {
             if entry.busy.is_some() {
                 break;
             }
-            let Some((from, msg)) = entry.queue.pop_front() else { break };
+            let Some((from, msg)) = entry.queue.pop_front() else {
+                break;
+            };
             let (kind, token) = match msg {
                 ProtoMsg::ReadReq { token, .. } => (AccessKind::Read, token),
                 ProtoMsg::WriteReq { token, .. } => (AccessKind::Write, token),
@@ -715,7 +778,10 @@ impl Protocol {
             // serialized this intruder *after* our transaction, so replay it
             // once our fill completes.
             self.stats.deferred += 1;
-            self.deferred.entry((at as u16, line.0)).or_default().push((from, msg));
+            self.deferred
+                .entry((at as u16, line.0))
+                .or_default()
+                .push((from, msg));
             return Vec::new();
         }
         let home = self.home(line);
@@ -723,17 +789,29 @@ impl Protocol {
             ProtoMsg::Inv { .. } => {
                 self.caches[at].invalidate(line);
                 self.prefetch[at].invalidate(line);
-                vec![ProtoOut::Send { from: at, to: home, msg: ProtoMsg::InvAck { line } }]
+                vec![ProtoOut::Send {
+                    from: at,
+                    to: home,
+                    msg: ProtoMsg::InvAck { line },
+                }]
             }
             ProtoMsg::Fetch { .. } => {
                 self.caches[at].downgrade(line);
                 self.prefetch[at].downgrade(line);
-                vec![ProtoOut::Send { from: at, to: home, msg: ProtoMsg::WbData { line } }]
+                vec![ProtoOut::Send {
+                    from: at,
+                    to: home,
+                    msg: ProtoMsg::WbData { line },
+                }]
             }
             ProtoMsg::Recall { .. } => {
                 self.caches[at].invalidate(line);
                 self.prefetch[at].invalidate(line);
-                vec![ProtoOut::Send { from: at, to: home, msg: ProtoMsg::WbData { line } }]
+                vec![ProtoOut::Send {
+                    from: at,
+                    to: home,
+                    msg: ProtoMsg::WbData { line },
+                }]
             }
             other => unreachable!("not an intruder: {other:?}"),
         }
@@ -781,10 +859,19 @@ impl Protocol {
                     None => {}
                 }
             }
-            assert!(cached_m.len() <= 1, "line {line:?}: multiple Modified copies {cached_m:?}");
+            assert!(
+                cached_m.len() <= 1,
+                "line {line:?}: multiple Modified copies {cached_m:?}"
+            );
             if let Some(&m) = cached_m.first() {
-                assert!(cached_s.is_empty(), "line {line:?}: Modified at {m} with Shared copies {cached_s:?}");
-                assert!(dir_modified && holders == vec![m], "line {line:?}: untracked owner {m} (dir: {holders:?})");
+                assert!(
+                    cached_s.is_empty(),
+                    "line {line:?}: Modified at {m} with Shared copies {cached_s:?}"
+                );
+                assert!(
+                    dir_modified && holders == vec![m],
+                    "line {line:?}: untracked owner {m} (dir: {holders:?})"
+                );
             }
             for s in cached_s {
                 assert!(
@@ -807,7 +894,12 @@ mod tests {
         while let Some(out) = outs.pop() {
             match out {
                 ProtoOut::Send { from, to, msg } => outs.extend(p.handle(to, from, msg)),
-                ProtoOut::Granted { node, line, exclusive, .. } => {
+                ProtoOut::Granted {
+                    node,
+                    line,
+                    exclusive,
+                    ..
+                } => {
                     grants.push((node, line, exclusive));
                     outs.extend(p.fill_cache(node, line, exclusive));
                 }
@@ -848,7 +940,10 @@ mod tests {
         let (mut p, h) = proto(4, 4);
         let line = h.line(1); // home = node 1
         read(&mut p, 0, line);
-        assert_eq!(p.start_access(0, line, AccessKind::Read, TxnToken(1)), AccessStart::Hit);
+        assert_eq!(
+            p.start_access(0, line, AccessKind::Read, TxnToken(1)),
+            AccessStart::Hit
+        );
         let (m, holders) = p.directory_view(line);
         assert!(!m);
         assert_eq!(holders, vec![0]);
@@ -865,8 +960,19 @@ mod tests {
         assert!(m);
         assert_eq!(holders, vec![3]);
         // Old sharers are gone.
-        assert_eq!(p.start_access(1, line, AccessKind::Read, TxnToken(9)),
-                   AccessStart::Miss { outs: vec![ProtoOut::Send { from: 1, to: 0, msg: ProtoMsg::ReadReq { line, token: TxnToken(9) } }] });
+        assert_eq!(
+            p.start_access(1, line, AccessKind::Read, TxnToken(9)),
+            AccessStart::Miss {
+                outs: vec![ProtoOut::Send {
+                    from: 1,
+                    to: 0,
+                    msg: ProtoMsg::ReadReq {
+                        line,
+                        token: TxnToken(9)
+                    }
+                }]
+            }
+        );
         assert!(p.stats().invalidations >= 2);
         p.check_invariants([line].into_iter());
     }
@@ -892,7 +998,10 @@ mod tests {
         write(&mut p, 1, line); // upgrade: no other sharers
         let (m, holders) = p.directory_view(line);
         assert!(m && holders == vec![1]);
-        assert_eq!(p.start_access(1, line, AccessKind::Write, TxnToken(5)), AccessStart::Hit);
+        assert_eq!(
+            p.start_access(1, line, AccessKind::Write, TxnToken(5)),
+            AccessStart::Hit
+        );
     }
 
     #[test]
@@ -901,7 +1010,13 @@ mod tests {
         let line = h.line(2);
         match p.start_access(0, line, AccessKind::Rmw, TxnToken(0)) {
             AccessStart::Miss { outs } => {
-                assert!(matches!(outs[0], ProtoOut::Send { msg: ProtoMsg::WriteReq { .. }, .. }));
+                assert!(matches!(
+                    outs[0],
+                    ProtoOut::Send {
+                        msg: ProtoMsg::WriteReq { .. },
+                        ..
+                    }
+                ));
                 settle(&mut p, outs);
             }
             other => panic!("expected miss, got {other:?}"),
@@ -919,7 +1034,10 @@ mod tests {
         let (m, holders) = p.directory_view(line);
         assert!(m && holders == vec![2]);
         // Old owner lost its copy.
-        assert!(matches!(p.start_access(1, line, AccessKind::Read, TxnToken(1)), AccessStart::Miss { .. }));
+        assert!(matches!(
+            p.start_access(1, line, AccessKind::Read, TxnToken(1)),
+            AccessStart::Miss { .. }
+        ));
     }
 
     #[test]
@@ -933,7 +1051,8 @@ mod tests {
         assert_eq!(p.stats().limitless_traps, 1);
         // A write now sweeps 6 sharers through the software handler too
         // (requester is node 7, so 6 invalidations).
-        let AccessStart::Miss { outs } = p.start_access(7, line, AccessKind::Write, TxnToken(0)) else {
+        let AccessStart::Miss { outs } = p.start_access(7, line, AccessKind::Write, TxnToken(0))
+        else {
             panic!("write should miss");
         };
         assert!(outs.iter().all(|o| matches!(o, ProtoOut::Send { .. })));
@@ -942,7 +1061,12 @@ mod tests {
         while let Some(out) = queue.pop() {
             match out {
                 ProtoOut::Send { from, to, msg } => queue.extend(p.handle(to, from, msg)),
-                ProtoOut::Granted { node, line, exclusive, .. } => {
+                ProtoOut::Granted {
+                    node,
+                    line,
+                    exclusive,
+                    ..
+                } => {
                     queue.extend(p.fill_cache(node, line, exclusive));
                 }
                 ProtoOut::HomeOccupancy { cycles, .. } => {
@@ -951,7 +1075,10 @@ mod tests {
                 }
             }
         }
-        assert!(saw_occupancy, "LimitLESS write sweep must cost software occupancy");
+        assert!(
+            saw_occupancy,
+            "LimitLESS write sweep must cost software occupancy"
+        );
         assert_eq!(p.stats().limitless_traps, 2);
     }
 
@@ -959,7 +1086,10 @@ mod tests {
     fn dirty_eviction_emits_oracle_writeback() {
         let (p, h) = proto(2, 2);
         // Two lines mapping to the same cache set: craft via a tiny cache.
-        let cfg = ProtoConfig { cache_lines: 2, ..ProtoConfig::default() };
+        let cfg = ProtoConfig {
+            cache_lines: 2,
+            ..ProtoConfig::default()
+        };
         let mut heap = Heap::new(2);
         let h2 = heap.alloc(4, |_| 1);
         let mut p2 = Protocol::new(heap, cfg);
@@ -967,7 +1097,8 @@ mod tests {
         let b = h2.line(2); // same set in a 2-line cache
         write(&mut p2, 0, a);
         // Filling b evicts dirty a.
-        let AccessStart::Miss { outs } = p2.start_access(0, b, AccessKind::Write, TxnToken(0)) else {
+        let AccessStart::Miss { outs } = p2.start_access(0, b, AccessKind::Write, TxnToken(0))
+        else {
             panic!()
         };
         let mut saw_wb = false;
@@ -981,7 +1112,12 @@ mod tests {
                     }
                     queue.extend(p2.handle(to, from, msg));
                 }
-                ProtoOut::Granted { node, line, exclusive, .. } => {
+                ProtoOut::Granted {
+                    node,
+                    line,
+                    exclusive,
+                    ..
+                } => {
                     queue.extend(p2.fill_cache(node, line, exclusive));
                 }
                 ProtoOut::HomeOccupancy { .. } => {}
@@ -990,7 +1126,10 @@ mod tests {
         assert!(saw_wb, "dirty eviction must emit a writeback packet");
         // Directory no longer believes node 0 owns a.
         let (m, holders) = p2.directory_view(a);
-        assert!(!m && holders.is_empty(), "oracle eviction cleared ownership");
+        assert!(
+            !m && holders.is_empty(),
+            "oracle eviction cleared ownership"
+        );
         assert_eq!(p2.stats().writebacks, 1);
         let _ = (p, h);
     }
@@ -1000,46 +1139,79 @@ mod tests {
         let (mut p, h) = proto(4, 4);
         let line = h.line(0);
         // Node 1 requests exclusive; home grants (in flight).
-        let AccessStart::Miss { outs } = p.start_access(1, line, AccessKind::Write, TxnToken(1)) else {
+        let AccessStart::Miss { outs } = p.start_access(1, line, AccessKind::Write, TxnToken(1))
+        else {
             panic!()
         };
-        let ProtoOut::Send { from, to, msg } = outs[0].clone() else { panic!() };
+        let ProtoOut::Send { from, to, msg } = outs[0].clone() else {
+            panic!()
+        };
         let outs = p.handle(to, from, msg); // home processes; emits Grant
         let grant = outs
             .iter()
             .find_map(|o| match o {
-                ProtoOut::Send { msg: m @ ProtoMsg::Grant { .. }, from, to } => Some((*from, *to, *m)),
+                ProtoOut::Send {
+                    msg: m @ ProtoMsg::Grant { .. },
+                    from,
+                    to,
+                } => Some((*from, *to, *m)),
                 _ => None,
             })
             .expect("grant sent");
         // Before the grant is delivered, node 2's write is processed at home
         // and its Recall overtakes the grant.
-        let AccessStart::Miss { outs: outs2 } = p.start_access(2, line, AccessKind::Write, TxnToken(2))
+        let AccessStart::Miss { outs: outs2 } =
+            p.start_access(2, line, AccessKind::Write, TxnToken(2))
         else {
             panic!()
         };
-        let ProtoOut::Send { from: f2, to: t2, msg: m2 } = outs2[0].clone() else { panic!() };
+        let ProtoOut::Send {
+            from: f2,
+            to: t2,
+            msg: m2,
+        } = outs2[0].clone()
+        else {
+            panic!()
+        };
         let outs2 = p.handle(t2, f2, m2);
         let recall = outs2
             .iter()
             .find_map(|o| match o {
-                ProtoOut::Send { msg: m @ ProtoMsg::Recall { .. }, from, to } => Some((*from, *to, *m)),
+                ProtoOut::Send {
+                    msg: m @ ProtoMsg::Recall { .. },
+                    from,
+                    to,
+                } => Some((*from, *to, *m)),
                 _ => None,
             })
             .expect("recall sent to node 1");
         assert_eq!(recall.1, 1);
         // Recall arrives first: deferred.
         let outs3 = p.handle(recall.1, recall.0, recall.2);
-        assert!(outs3.is_empty(), "recall must be deferred behind the in-flight grant");
+        assert!(
+            outs3.is_empty(),
+            "recall must be deferred behind the in-flight grant"
+        );
         assert_eq!(p.stats().deferred, 1);
         // Grant arrives: fill, then the deferred recall replays, giving the
         // line to node 2.
         let outs4 = p.handle(grant.1, grant.0, grant.2);
-        let ProtoOut::Granted { node, line: l, exclusive, .. } = outs4[0] else { panic!() };
+        let ProtoOut::Granted {
+            node,
+            line: l,
+            exclusive,
+            ..
+        } = outs4[0]
+        else {
+            panic!()
+        };
         let outs5 = p.fill_cache(node, l, exclusive);
         // Drive everything to quiescence.
         let grants = settle(&mut p, outs5);
-        assert!(grants.iter().any(|&(n, _, ex)| n == 2 && ex), "node 2 eventually owns the line");
+        assert!(
+            grants.iter().any(|&(n, _, ex)| n == 2 && ex),
+            "node 2 eventually owns the line"
+        );
         let (m, holders) = p.directory_view(line);
         assert!(m && holders == vec![2]);
         p.check_invariants([line].into_iter());
@@ -1050,18 +1222,23 @@ mod tests {
         let (mut p, h) = proto(4, 4);
         let line = h.line(0);
         write(&mut p, 1, line); // node 1 owns
-        // Two readers race; first triggers a Fetch (busy), second queues.
-        let AccessStart::Miss { outs: o2 } = p.start_access(2, line, AccessKind::Read, TxnToken(2)) else {
+                                // Two readers race; first triggers a Fetch (busy), second queues.
+        let AccessStart::Miss { outs: o2 } = p.start_access(2, line, AccessKind::Read, TxnToken(2))
+        else {
             panic!()
         };
-        let AccessStart::Miss { outs: o3 } = p.start_access(3, line, AccessKind::Read, TxnToken(3)) else {
+        let AccessStart::Miss { outs: o3 } = p.start_access(3, line, AccessKind::Read, TxnToken(3))
+        else {
             panic!()
         };
         let mut all = o2;
         all.extend(o3);
         let grants = settle(&mut p, all);
         let readers: Vec<usize> = grants.iter().filter(|g| !g.2).map(|g| g.0).collect();
-        assert!(readers.contains(&2) && readers.contains(&3), "both readers served: {grants:?}");
+        assert!(
+            readers.contains(&2) && readers.contains(&3),
+            "both readers served: {grants:?}"
+        );
         let (m, holders) = p.directory_view(line);
         assert!(!m);
         assert!(holders.contains(&2) && holders.contains(&3));
@@ -1072,7 +1249,8 @@ mod tests {
     fn prefetch_then_demand_hit() {
         let (mut p, h) = proto(4, 4);
         let line = h.line(1);
-        let AccessStart::Miss { outs } = p.start_access(0, line, AccessKind::Read, TxnToken(7)) else {
+        let AccessStart::Miss { outs } = p.start_access(0, line, AccessKind::Read, TxnToken(7))
+        else {
             panic!()
         };
         // Deliver manually, filling the prefetch buffer instead of the cache.
@@ -1080,7 +1258,12 @@ mod tests {
         while let Some(out) = queue.pop() {
             match out {
                 ProtoOut::Send { from, to, msg } => queue.extend(p.handle(to, from, msg)),
-                ProtoOut::Granted { node, line, exclusive, .. } => {
+                ProtoOut::Granted {
+                    node,
+                    line,
+                    exclusive,
+                    ..
+                } => {
                     queue.extend(p.fill_prefetch(node, line, exclusive));
                 }
                 ProtoOut::HomeOccupancy { .. } => {}
@@ -1100,14 +1283,20 @@ mod tests {
     fn read_prefetch_cannot_satisfy_write() {
         let (mut p, h) = proto(4, 4);
         let line = h.line(1);
-        let AccessStart::Miss { outs } = p.start_access(0, line, AccessKind::Read, TxnToken(7)) else {
+        let AccessStart::Miss { outs } = p.start_access(0, line, AccessKind::Read, TxnToken(7))
+        else {
             panic!()
         };
         let mut queue = outs;
         while let Some(out) = queue.pop() {
             match out {
                 ProtoOut::Send { from, to, msg } => queue.extend(p.handle(to, from, msg)),
-                ProtoOut::Granted { node, line, exclusive, .. } => {
+                ProtoOut::Granted {
+                    node,
+                    line,
+                    exclusive,
+                    ..
+                } => {
                     queue.extend(p.fill_prefetch(node, line, exclusive));
                 }
                 ProtoOut::HomeOccupancy { .. } => {}
@@ -1118,7 +1307,10 @@ mod tests {
             AccessStart::Miss { outs } => {
                 assert!(matches!(
                     outs.last(),
-                    Some(ProtoOut::Send { msg: ProtoMsg::WriteReq { .. }, .. })
+                    Some(ProtoOut::Send {
+                        msg: ProtoMsg::WriteReq { .. },
+                        ..
+                    })
                 ));
                 settle(&mut p, outs);
             }
@@ -1132,14 +1324,20 @@ mod tests {
     fn invalidation_clears_prefetch_buffer() {
         let (mut p, h) = proto(4, 4);
         let line = h.line(0);
-        let AccessStart::Miss { outs } = p.start_access(1, line, AccessKind::Read, TxnToken(1)) else {
+        let AccessStart::Miss { outs } = p.start_access(1, line, AccessKind::Read, TxnToken(1))
+        else {
             panic!()
         };
         let mut queue = outs;
         while let Some(out) = queue.pop() {
             match out {
                 ProtoOut::Send { from, to, msg } => queue.extend(p.handle(to, from, msg)),
-                ProtoOut::Granted { node, line, exclusive, .. } => {
+                ProtoOut::Granted {
+                    node,
+                    line,
+                    exclusive,
+                    ..
+                } => {
                     queue.extend(p.fill_prefetch(node, line, exclusive));
                 }
                 ProtoOut::HomeOccupancy { .. } => {}
@@ -1147,15 +1345,33 @@ mod tests {
         }
         assert!(p.is_local(1, line));
         write(&mut p, 2, line);
-        assert!(!p.is_local(1, line), "invalidation must clear the prefetch buffer");
+        assert!(
+            !p.is_local(1, line),
+            "invalidation must clear the prefetch buffer"
+        );
         p.check_invariants([line].into_iter());
     }
 
     #[test]
     fn message_sizes_match_alewife_packets() {
         let l = LineId(0);
-        assert_eq!(ProtoMsg::ReadReq { line: l, token: TxnToken(0) }.bytes(), 8);
-        assert_eq!(ProtoMsg::Grant { line: l, exclusive: false, token: TxnToken(0) }.bytes(), 24);
+        assert_eq!(
+            ProtoMsg::ReadReq {
+                line: l,
+                token: TxnToken(0)
+            }
+            .bytes(),
+            8
+        );
+        assert_eq!(
+            ProtoMsg::Grant {
+                line: l,
+                exclusive: false,
+                token: TxnToken(0)
+            }
+            .bytes(),
+            24
+        );
         assert_eq!(ProtoMsg::WbData { line: l }.bytes(), 24);
         assert_eq!(ProtoMsg::Inv { line: l }.class(), MsgClass::Invalidate);
         assert_eq!(ProtoMsg::Fetch { line: l }.class(), MsgClass::Request);
@@ -1167,7 +1383,13 @@ mod tests {
         use commsense_des::Rng;
         let mut heap = Heap::new(8);
         let h = heap.alloc(16, |i| i % 8);
-        let mut p = Protocol::new(heap, ProtoConfig { cache_lines: 8, ..ProtoConfig::default() });
+        let mut p = Protocol::new(
+            heap,
+            ProtoConfig {
+                cache_lines: 8,
+                ..ProtoConfig::default()
+            },
+        );
         let mut rng = Rng::new(1234);
         for step in 0..2000 {
             let node = rng.index(8);

@@ -1,0 +1,382 @@
+//! The experiment engine: plans, a parallel runner, and a prepared-workload
+//! cache.
+//!
+//! The paper's experiments are embarrassingly parallel: every measured
+//! point is a pure function of `(workload, mechanism, machine config)`.
+//! This module splits experiment execution into three pieces that exploit
+//! that:
+//!
+//! * [`ExperimentPlan`] — a pure description of an experiment: an indexed
+//!   list of [`RunRequest`]s plus the mapping from request indices back to
+//!   per-mechanism curves. Built by the plan builders in
+//!   [`crate::experiment`]; contains no execution policy.
+//! * [`Runner`] — executes a request list on a scoped thread pool,
+//!   collecting results keyed by request index so the output is
+//!   *bit-identical* to serial execution regardless of job count.
+//! * [`WorkloadCache`] — memoizes [`AppSpec::prepare`] per
+//!   `(spec, nprocs)`, so a sweep generates each graph/system and
+//!   sequential reference once and shares it (via `Arc`) across every
+//!   point and mechanism.
+//!
+//! # Examples
+//!
+//! ```
+//! use commsense_core::engine::Runner;
+//! use commsense_core::experiment::bisection_plan;
+//! use commsense_machine::{MachineConfig, Mechanism};
+//! use commsense_apps::AppSpec;
+//! use commsense_workloads::bipartite::Em3dParams;
+//!
+//! let mut p = Em3dParams::small();
+//! p.iterations = 1;
+//! let plan = bisection_plan(
+//!     &AppSpec::Em3d(p),
+//!     &[Mechanism::MsgPoll],
+//!     &MachineConfig::alewife(),
+//!     &[0.0, 12.0],
+//!     64,
+//! );
+//! assert_eq!(plan.requests().len(), 2);
+//! let sweeps = plan.run(&Runner::serial());
+//! assert_eq!(sweeps[0].points.len(), 2);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use commsense_apps::{run_prepared, AppSpec, PreparedWorkload, RunResult};
+use commsense_machine::{MachineConfig, Mechanism};
+
+use crate::experiment::{Sweep, SweepPoint};
+
+/// One fully specified simulation: which workload, which mechanism, which
+/// machine. Requests are pure data — executing one has no effect on any
+/// other, which is what lets the [`Runner`] reorder them freely.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// The application workload.
+    pub spec: AppSpec,
+    /// The communication mechanism.
+    pub mechanism: Mechanism,
+    /// The machine configuration (already specialized for the point being
+    /// measured; the runner applies it as-is).
+    pub cfg: MachineConfig,
+}
+
+/// Memoizes workload preparation per `(spec, nprocs)`.
+///
+/// `AppSpec` contains floating-point parameters and therefore implements
+/// only `PartialEq`, so the cache is a linear scan over its entries; the
+/// entry count is tiny (one per distinct workload in an experiment) while
+/// each entry saves a graph generation plus a sequential reference solve.
+#[derive(Debug, Default)]
+pub struct WorkloadCache {
+    entries: Vec<(AppSpec, usize, PreparedWorkload)>,
+}
+
+impl WorkloadCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The prepared workload for `(spec, nprocs)`, preparing it on first
+    /// use. The returned value is an `Arc`-backed cheap clone of the
+    /// cached entry.
+    pub fn get(&mut self, spec: &AppSpec, nprocs: usize) -> PreparedWorkload {
+        if let Some((_, _, w)) = self
+            .entries
+            .iter()
+            .find(|(s, n, _)| *n == nprocs && s == spec)
+        {
+            return w.clone();
+        }
+        let w = spec.prepare(nprocs);
+        self.entries.push((spec.clone(), nprocs, w.clone()));
+        w
+    }
+
+    /// Number of distinct workloads prepared so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been prepared yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Executes [`RunRequest`]s, optionally in parallel.
+///
+/// Results are keyed by request index, and each simulation is a pure
+/// function of its request, so the output vector is bit-identical whatever
+/// the job count: `Runner::new(8).run(reqs) == Runner::serial().run(reqs)`.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    jobs: usize,
+}
+
+impl Runner {
+    /// A runner with a fixed worker count (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Runner { jobs: jobs.max(1) }
+    }
+
+    /// A single-threaded runner.
+    pub fn serial() -> Self {
+        Runner::new(1)
+    }
+
+    /// A runner sized from the environment: `COMMSENSE_JOBS` if set to a
+    /// positive integer, otherwise [`std::thread::available_parallelism`].
+    pub fn from_env() -> Self {
+        let jobs = std::env::var("COMMSENSE_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Runner::new(jobs)
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every request, sharing workload preparations through a private
+    /// cache. Results are in request order.
+    pub fn run(&self, requests: &[RunRequest]) -> Vec<RunResult> {
+        self.run_cached(requests, &mut WorkloadCache::new())
+    }
+
+    /// Runs every request, sharing workload preparations through `cache`
+    /// (use one cache across several plans to prepare each workload only
+    /// once for a whole session). Results are in request order.
+    pub fn run_cached(&self, requests: &[RunRequest], cache: &mut WorkloadCache) -> Vec<RunResult> {
+        // Preparation is serial (the cache is a simple &mut structure) but
+        // happens once per distinct workload; the simulations dominate.
+        let prepared: Vec<PreparedWorkload> = requests
+            .iter()
+            .map(|r| cache.get(&r.spec, r.cfg.nodes))
+            .collect();
+        let jobs = self.jobs.min(requests.len());
+        if jobs <= 1 {
+            return requests
+                .iter()
+                .zip(&prepared)
+                .map(|(r, w)| run_prepared(w, r.mechanism, &r.cfg))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunResult>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= requests.len() {
+                        break;
+                    }
+                    let r = &requests[i];
+                    let result = run_prepared(&prepared[i], r.mechanism, &r.cfg);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("request ran")
+            })
+            .collect()
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::from_env()
+    }
+}
+
+/// A point of one mechanism's curve: its x value and which request index
+/// produces its measurement. Several points may reference the same request
+/// (Figure 10 replicates each message-passing run flat across the x axis).
+#[derive(Debug, Clone, Copy)]
+struct PointRef {
+    x: f64,
+    request: usize,
+}
+
+/// A pure description of an experiment: the requests to execute, plus how
+/// to fold their results back into per-mechanism [`Sweep`]s.
+///
+/// The assembly order is fixed by the plan, not by execution order, so the
+/// resulting sweeps are deterministic and identical between serial and
+/// parallel runs.
+#[derive(Debug, Clone)]
+pub struct ExperimentPlan {
+    app: &'static str,
+    requests: Vec<RunRequest>,
+    curves: Vec<(Mechanism, Vec<PointRef>)>,
+}
+
+impl ExperimentPlan {
+    /// An empty plan for `app`.
+    pub fn new(app: &'static str) -> Self {
+        ExperimentPlan {
+            app,
+            requests: Vec::new(),
+            curves: Vec::new(),
+        }
+    }
+
+    /// Adds a request and returns its index (to pass to [`Self::add_point`]).
+    pub fn add_request(&mut self, request: RunRequest) -> usize {
+        self.requests.push(request);
+        self.requests.len() - 1
+    }
+
+    /// Appends a point at `x` to `mechanism`'s curve, measured by the
+    /// request at `request` (an index returned by [`Self::add_request`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `request` is out of range.
+    pub fn add_point(&mut self, mechanism: Mechanism, x: f64, request: usize) {
+        assert!(
+            request < self.requests.len(),
+            "point references unknown request {request}"
+        );
+        match self.curves.iter_mut().find(|(m, _)| *m == mechanism) {
+            Some((_, points)) => points.push(PointRef { x, request }),
+            None => self.curves.push((mechanism, vec![PointRef { x, request }])),
+        }
+    }
+
+    /// The requests, in index order.
+    pub fn requests(&self) -> &[RunRequest] {
+        &self.requests
+    }
+
+    /// Whether the plan contains no requests.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Folds results (in request order, as returned by [`Runner::run`])
+    /// into per-mechanism sweeps, in the order mechanisms were first added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` does not have one entry per request.
+    pub fn assemble(&self, results: &[RunResult]) -> Vec<Sweep> {
+        assert_eq!(
+            results.len(),
+            self.requests.len(),
+            "result count must match request count"
+        );
+        self.curves
+            .iter()
+            .map(|(mech, points)| Sweep {
+                app: self.app,
+                mechanism: *mech,
+                points: points
+                    .iter()
+                    .map(|p| SweepPoint {
+                        x: p.x,
+                        result: results[p.request].clone(),
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Executes the plan on `runner`, sharing preparations through `cache`.
+    pub fn run_with(&self, runner: &Runner, cache: &mut WorkloadCache) -> Vec<Sweep> {
+        self.assemble(&runner.run_cached(&self.requests, cache))
+    }
+
+    /// Executes the plan on `runner` with a private workload cache.
+    pub fn run(&self, runner: &Runner) -> Vec<Sweep> {
+        self.run_with(runner, &mut WorkloadCache::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsense_workloads::bipartite::Em3dParams;
+
+    fn tiny_spec() -> AppSpec {
+        let mut p = Em3dParams::small();
+        p.iterations = 1;
+        AppSpec::Em3d(p)
+    }
+
+    #[test]
+    fn runner_clamps_jobs_to_one() {
+        assert_eq!(Runner::new(0).jobs(), 1);
+        assert_eq!(Runner::serial().jobs(), 1);
+    }
+
+    #[test]
+    fn cache_prepares_each_workload_once() {
+        let spec = tiny_spec();
+        let mut cache = WorkloadCache::new();
+        let a = cache.get(&spec, 32);
+        let b = cache.get(&spec, 32);
+        assert_eq!(cache.len(), 1);
+        match (&a, &b) {
+            (PreparedWorkload::Em3d(x), PreparedWorkload::Em3d(y)) => {
+                assert!(
+                    std::sync::Arc::ptr_eq(x, y),
+                    "cache must share one preparation"
+                );
+            }
+            _ => panic!("expected EM3D workloads"),
+        }
+        // A different machine size is a different preparation.
+        cache.get(&spec, 16);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn assemble_replicates_shared_requests() {
+        let spec = tiny_spec();
+        let cfg = MachineConfig::alewife().with_mechanism(Mechanism::MsgPoll);
+        let mut plan = ExperimentPlan::new(spec.name());
+        let idx = plan.add_request(RunRequest {
+            spec: spec.clone(),
+            mechanism: Mechanism::MsgPoll,
+            cfg,
+        });
+        plan.add_point(Mechanism::MsgPoll, 1.0, idx);
+        plan.add_point(Mechanism::MsgPoll, 2.0, idx);
+        let sweeps = plan.run(&Runner::serial());
+        assert_eq!(sweeps.len(), 1);
+        assert_eq!(sweeps[0].points.len(), 2);
+        assert_eq!(
+            sweeps[0].points[0].result.runtime_cycles,
+            sweeps[0].points[1].result.runtime_cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown request")]
+    fn dangling_point_is_rejected() {
+        let mut plan = ExperimentPlan::new("EM3D");
+        plan.add_point(Mechanism::MsgPoll, 1.0, 0);
+    }
+}

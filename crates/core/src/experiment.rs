@@ -1,4 +1,14 @@
-//! The parametric experiments of §5.
+//! The parametric experiments of §5, as pure plan builders.
+//!
+//! Each experiment (`bisection`, `msg_len`, `clock`, `ctx_switch`) is a
+//! *plan builder* producing an [`ExperimentPlan`](crate::engine::ExperimentPlan):
+//! an indexed list of run requests plus the recipe for folding results back
+//! into per-mechanism [`Sweep`]s in deterministic order. Plans execute on a
+//! [`Runner`](crate::engine::Runner) — serial or parallel, with identical
+//! output — sharing one prepared workload (graph, reference solution,
+//! exchange plans) across all points and mechanisms. The `*_sweep`
+//! functions are convenience wrappers that build and immediately run the
+//! plan on an environment-sized runner.
 //!
 //! # Examples
 //!
@@ -21,9 +31,11 @@
 //! assert_eq!(sweeps[0].points.len(), 2);
 //! ```
 
-use commsense_apps::{run_app, AppSpec, RunResult};
+use commsense_apps::{AppSpec, RunResult};
 use commsense_machine::{LatencyEmulation, MachineConfig, Mechanism};
 use commsense_mesh::CrossTrafficConfig;
+
+use crate::engine::{ExperimentPlan, RunRequest, Runner};
 
 /// One measured point of a sweep.
 #[derive(Debug, Clone)]
@@ -48,7 +60,20 @@ pub struct Sweep {
 impl Sweep {
     /// Runtime (cycles) at each point.
     pub fn runtimes(&self) -> Vec<u64> {
-        self.points.iter().map(|p| p.result.runtime_cycles).collect()
+        self.points
+            .iter()
+            .map(|p| p.result.runtime_cycles)
+            .collect()
+    }
+
+    /// The point whose x value matches `x` approximately (within a 1e-6
+    /// relative tolerance, absolute near zero). Sweep x values come from
+    /// floating-point arithmetic — clock ratios, bandwidth subtractions —
+    /// so exact `==` lookups are brittle.
+    pub fn point_at(&self, x: f64) -> Option<&SweepPoint> {
+        self.points
+            .iter()
+            .find(|p| (p.x - x).abs() <= 1e-6 * x.abs().max(1.0))
     }
 
     /// Asserts every point verified against its reference.
@@ -77,19 +102,65 @@ pub fn one_way_latency_cycles(cfg: &MachineConfig, bytes: u32) -> f64 {
     ps / cfg.clock().cycle_ps() as f64
 }
 
+/// Figure 4 / Figure 5: the base-machine requests for `spec` under every
+/// mechanism, in [`Mechanism::ALL`] order.
+pub fn base_comparison_requests(spec: &AppSpec, cfg: &MachineConfig) -> Vec<RunRequest> {
+    Mechanism::ALL
+        .iter()
+        .map(|&mech| RunRequest {
+            spec: spec.clone(),
+            mechanism: mech,
+            cfg: cfg.clone().with_mechanism(mech),
+        })
+        .collect()
+}
+
 /// Figure 4 / Figure 5: runs `spec` under every mechanism on the base
 /// machine, returning the five results in [`Mechanism::ALL`] order.
 pub fn base_comparison(spec: &AppSpec, cfg: &MachineConfig) -> Vec<RunResult> {
-    Mechanism::ALL.iter().map(|&m| run_app(spec, m, cfg)).collect()
+    Runner::from_env().run(&base_comparison_requests(spec, cfg))
 }
 
-/// Figure 8 (and Figure 1's measured analogue): sweeps emulated bisection
-/// bandwidth by consuming `consumed_bytes_per_cycle` of the base machine's
-/// bisection with cross-traffic of `msg_bytes`-byte messages.
+/// Figure 8 (and Figure 1's measured analogue): plans a sweep of emulated
+/// bisection bandwidth, consuming `consumed_bytes_per_cycle` of the base
+/// machine's bisection with cross-traffic of `msg_bytes`-byte messages.
 ///
 /// `x` of each point is the *emulated* bisection in bytes per processor
 /// cycle (base bisection minus consumption), so curves read left-to-right
 /// like the paper's Figure 8.
+pub fn bisection_plan(
+    spec: &AppSpec,
+    mechanisms: &[Mechanism],
+    cfg: &MachineConfig,
+    consumed_bytes_per_cycle: &[f64],
+    msg_bytes: u32,
+) -> ExperimentPlan {
+    let base = cfg.net.bisection_bytes_per_cycle(cfg.clock());
+    let mut plan = ExperimentPlan::new(spec.name());
+    for &mech in mechanisms {
+        for &c in consumed_bytes_per_cycle {
+            let mut cfg = cfg.clone().with_mechanism(mech);
+            if c > 0.0 {
+                cfg.cross_traffic = Some(CrossTrafficConfig::consuming(
+                    c,
+                    cfg.clock(),
+                    msg_bytes,
+                    cfg.net.height,
+                ));
+            }
+            let idx = plan.add_request(RunRequest {
+                spec: spec.clone(),
+                mechanism: mech,
+                cfg,
+            });
+            plan.add_point(mech, base - c, idx);
+        }
+    }
+    plan
+}
+
+/// Figure 8 as a one-call sweep: builds [`bisection_plan`] and runs it on
+/// an environment-sized runner.
 pub fn bisection_sweep(
     spec: &AppSpec,
     mechanisms: &[Mechanism],
@@ -97,32 +168,41 @@ pub fn bisection_sweep(
     consumed_bytes_per_cycle: &[f64],
     msg_bytes: u32,
 ) -> Vec<Sweep> {
-    let base = cfg.net.bisection_bytes_per_cycle(cfg.clock());
-    mechanisms
-        .iter()
-        .map(|&mech| {
-            let points = consumed_bytes_per_cycle
-                .iter()
-                .map(|&c| {
-                    let mut cfg = cfg.clone().with_mechanism(mech);
-                    if c > 0.0 {
-                        cfg.cross_traffic = Some(CrossTrafficConfig::consuming(
-                            c,
-                            cfg.clock(),
-                            msg_bytes,
-                            cfg.net.height,
-                        ));
-                    }
-                    SweepPoint { x: base - c, result: run_app(spec, mech, &cfg) }
-                })
-                .collect();
-            Sweep { app: spec.name(), mechanism: mech, points }
-        })
-        .collect()
+    bisection_plan(spec, mechanisms, cfg, consumed_bytes_per_cycle, msg_bytes)
+        .run(&Runner::from_env())
 }
 
-/// Figure 7: sensitivity to cross-traffic message length at a fixed
+/// Figure 7: plans a sweep of cross-traffic message length at a fixed
 /// bisection consumption. `x` is the message length in bytes.
+pub fn msg_len_plan(
+    spec: &AppSpec,
+    mechanisms: &[Mechanism],
+    cfg: &MachineConfig,
+    consumed_bytes_per_cycle: f64,
+    msg_lens: &[u32],
+) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new(spec.name());
+    for &mech in mechanisms {
+        for &len in msg_lens {
+            let mut cfg = cfg.clone().with_mechanism(mech);
+            cfg.cross_traffic = Some(CrossTrafficConfig::consuming(
+                consumed_bytes_per_cycle,
+                cfg.clock(),
+                len,
+                cfg.net.height,
+            ));
+            let idx = plan.add_request(RunRequest {
+                spec: spec.clone(),
+                mechanism: mech,
+                cfg,
+            });
+            plan.add_point(mech, len as f64, idx);
+        }
+    }
+    plan
+}
+
+/// Figure 7 as a one-call sweep.
 pub fn msg_len_sweep(
     spec: &AppSpec,
     mechanisms: &[Mechanism],
@@ -130,95 +210,100 @@ pub fn msg_len_sweep(
     consumed_bytes_per_cycle: f64,
     msg_lens: &[u32],
 ) -> Vec<Sweep> {
-    mechanisms
-        .iter()
-        .map(|&mech| {
-            let points = msg_lens
-                .iter()
-                .map(|&len| {
-                    let mut cfg = cfg.clone().with_mechanism(mech);
-                    cfg.cross_traffic = Some(CrossTrafficConfig::consuming(
-                        consumed_bytes_per_cycle,
-                        cfg.clock(),
-                        len,
-                        cfg.net.height,
-                    ));
-                    SweepPoint { x: len as f64, result: run_app(spec, mech, &cfg) }
-                })
-                .collect();
-            Sweep { app: spec.name(), mechanism: mech, points }
-        })
-        .collect()
+    msg_len_plan(spec, mechanisms, cfg, consumed_bytes_per_cycle, msg_lens).run(&Runner::from_env())
 }
 
-/// Figure 9 (and Figure 2's measured analogue): sweeps relative network
-/// latency by scaling the processor clock against the fixed wall-clock
-/// network. `x` is the one-way 24-byte latency in processor cycles.
+/// Figure 9 (and Figure 2's measured analogue): plans a sweep of relative
+/// network latency by scaling the processor clock against the fixed
+/// wall-clock network. `x` is the one-way 24-byte latency in processor
+/// cycles.
+pub fn clock_plan(
+    spec: &AppSpec,
+    mechanisms: &[Mechanism],
+    cfg: &MachineConfig,
+    mhz_values: &[f64],
+) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new(spec.name());
+    for &mech in mechanisms {
+        for &mhz in mhz_values {
+            let cfg = cfg.clone().with_mechanism(mech).with_cpu_mhz(mhz);
+            let x = one_way_latency_cycles(&cfg, 24);
+            let idx = plan.add_request(RunRequest {
+                spec: spec.clone(),
+                mechanism: mech,
+                cfg,
+            });
+            plan.add_point(mech, x, idx);
+        }
+    }
+    plan
+}
+
+/// Figure 9 as a one-call sweep.
 pub fn clock_sweep(
     spec: &AppSpec,
     mechanisms: &[Mechanism],
     cfg: &MachineConfig,
     mhz_values: &[f64],
 ) -> Vec<Sweep> {
-    mechanisms
-        .iter()
-        .map(|&mech| {
-            let points = mhz_values
-                .iter()
-                .map(|&mhz| {
-                    let cfg = cfg.clone().with_mechanism(mech).with_cpu_mhz(mhz);
-                    let x = one_way_latency_cycles(&cfg, 24);
-                    SweepPoint { x, result: run_app(spec, mech, &cfg) }
-                })
-                .collect();
-            Sweep { app: spec.name(), mechanism: mech, points }
-        })
-        .collect()
+    clock_plan(spec, mechanisms, cfg, mhz_values).run(&Runner::from_env())
 }
 
-/// Figure 10: uniform remote-miss latency emulation on an ideal network
-/// (the paper's context-switch-to-delay-loop technique). Shared-memory
-/// mechanisms sweep `latencies` (x = emulated remote-miss cycles);
-/// message-passing mechanisms are run once at the base machine and
-/// replicated flat for reference, exactly as the paper plots them.
+/// Figure 10: plans uniform remote-miss latency emulation on an ideal
+/// network (the paper's context-switch-to-delay-loop technique).
+/// Shared-memory mechanisms sweep `latencies` (x = emulated remote-miss
+/// cycles); message-passing mechanisms are run once at the base machine
+/// and their single result is replicated flat across the x axis for
+/// reference, exactly as the paper plots them.
+pub fn ctx_switch_plan(
+    spec: &AppSpec,
+    mechanisms: &[Mechanism],
+    cfg: &MachineConfig,
+    latencies: &[u64],
+) -> ExperimentPlan {
+    let mut plan = ExperimentPlan::new(spec.name());
+    for &mech in mechanisms {
+        if mech.is_shared_memory() {
+            for &lat in latencies {
+                let mut cfg = cfg.clone().with_mechanism(mech);
+                cfg.latency_emulation = Some(LatencyEmulation::uniform(lat));
+                let idx = plan.add_request(RunRequest {
+                    spec: spec.clone(),
+                    mechanism: mech,
+                    cfg,
+                });
+                plan.add_point(mech, lat as f64, idx);
+            }
+        } else {
+            let idx = plan.add_request(RunRequest {
+                spec: spec.clone(),
+                mechanism: mech,
+                cfg: cfg.clone().with_mechanism(mech),
+            });
+            for &lat in latencies {
+                plan.add_point(mech, lat as f64, idx);
+            }
+        }
+    }
+    plan
+}
+
+/// Figure 10 as a one-call sweep.
 pub fn ctx_switch_sweep(
     spec: &AppSpec,
     mechanisms: &[Mechanism],
     cfg: &MachineConfig,
     latencies: &[u64],
 ) -> Vec<Sweep> {
-    mechanisms
-        .iter()
-        .map(|&mech| {
-            if mech.is_shared_memory() {
-                let points = latencies
-                    .iter()
-                    .map(|&lat| {
-                        let mut cfg = cfg.clone().with_mechanism(mech);
-                        cfg.latency_emulation = Some(LatencyEmulation::uniform(lat));
-                        SweepPoint { x: lat as f64, result: run_app(spec, mech, &cfg) }
-                    })
-                    .collect();
-                Sweep { app: spec.name(), mechanism: mech, points }
-            } else {
-                let result = run_app(spec, mech, &cfg.clone().with_mechanism(mech));
-                let points = latencies
-                    .iter()
-                    .map(|&lat| SweepPoint { x: lat as f64, result: result.clone() })
-                    .collect();
-                Sweep { app: spec.name(), mechanism: mech, points }
-            }
-        })
-        .collect()
+    ctx_switch_plan(spec, mechanisms, cfg, latencies).run(&Runner::from_env())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use commsense_workloads::bipartite::Em3dParams;
 
     fn tiny_spec() -> AppSpec {
-        let mut p = Em3dParams::small();
+        let mut p = commsense_workloads::bipartite::Em3dParams::small();
         p.iterations = 2;
         AppSpec::Em3d(p)
     }
@@ -227,15 +312,22 @@ mod tests {
     fn one_way_latency_matches_table1() {
         let cfg = MachineConfig::alewife();
         let lat = one_way_latency_cycles(&cfg, 24);
-        assert!((13.0..18.0).contains(&lat), "Alewife 24B latency {lat} cycles");
+        assert!(
+            (13.0..18.0).contains(&lat),
+            "Alewife 24B latency {lat} cycles"
+        );
     }
 
     #[test]
     fn base_comparison_covers_all_mechanisms() {
         let results = base_comparison(&tiny_spec(), &MachineConfig::alewife());
         assert_eq!(results.len(), 5);
-        for r in &results {
+        for (r, mech) in results.iter().zip(Mechanism::ALL) {
             assert!(r.verified);
+            assert_eq!(
+                r.mechanism, mech,
+                "results must stay in Mechanism::ALL order"
+            );
         }
     }
 
@@ -264,8 +356,7 @@ mod tests {
     #[test]
     fn clock_sweep_scales_relative_latency() {
         let cfg = MachineConfig::alewife();
-        let sweeps =
-            clock_sweep(&tiny_spec(), &[Mechanism::SharedMem], &cfg, &[20.0, 14.0]);
+        let sweeps = clock_sweep(&tiny_spec(), &[Mechanism::SharedMem], &cfg, &[20.0, 14.0]);
         let s = &sweeps[0];
         s.assert_verified();
         // Slower clock => fewer cycles of relative network latency.
@@ -284,7 +375,40 @@ mod tests {
         );
         let sm = &sweeps[0];
         let mp = &sweeps[1];
-        assert!(sm.runtimes()[1] > sm.runtimes()[0], "sm must degrade with latency");
-        assert_eq!(mp.runtimes()[0], mp.runtimes()[1], "mp is plotted flat for reference");
+        assert!(
+            sm.runtimes()[1] > sm.runtimes()[0],
+            "sm must degrade with latency"
+        );
+        assert_eq!(
+            mp.runtimes()[0],
+            mp.runtimes()[1],
+            "mp is plotted flat for reference"
+        );
+    }
+
+    #[test]
+    fn ctx_switch_plan_shares_the_flat_mp_request() {
+        let plan = ctx_switch_plan(
+            &tiny_spec(),
+            &Mechanism::ALL,
+            &MachineConfig::alewife(),
+            &[50, 400],
+        );
+        // 2 shared-memory mechanisms x 2 latencies + 3 message-passing
+        // mechanisms x 1 base run.
+        assert_eq!(plan.len(), 7);
+    }
+
+    #[test]
+    fn point_at_tolerates_float_noise() {
+        let cfg = MachineConfig::alewife();
+        let sweeps = ctx_switch_sweep(&tiny_spec(), &[Mechanism::SharedMem], &cfg, &[100]);
+        let p = sweeps[0].point_at(100.0).expect("point exists");
+        assert_eq!(p.x, 100.0);
+        assert!(sweeps[0].point_at(100.0 + 1e-5).is_some(), "near match");
+        assert!(
+            sweeps[0].point_at(120.0).is_none(),
+            "far x values do not match"
+        );
     }
 }

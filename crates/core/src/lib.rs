@@ -7,11 +7,17 @@
 //! single flexible machine can be used as an emulator to sweep both. This
 //! crate packages those sweeps over the `commsense` machine emulator:
 //!
-//! * [`experiment`] — the three parametric experiments of §5: bisection
-//!   emulation via cross-traffic (Figures 7 and 8), latency emulation via
-//!   clock scaling (Figure 9), and uniform-latency emulation via
-//!   context-switching (Figure 10), plus the communication-volume study
-//!   (Figure 5) and the base-machine comparison (Figure 4).
+//! * [`engine`] — the experiment engine: [`engine::ExperimentPlan`]s of
+//!   indexed run requests, a [`engine::Runner`] executing them on a scoped
+//!   thread pool with bit-identical-to-serial results, and a
+//!   [`engine::WorkloadCache`] sharing each prepared workload (graph,
+//!   reference solution, exchange plans) across all points and mechanisms.
+//! * [`experiment`] — the three parametric experiments of §5 as plan
+//!   builders: bisection emulation via cross-traffic (Figures 7 and 8),
+//!   latency emulation via clock scaling (Figure 9), and uniform-latency
+//!   emulation via context-switching (Figure 10), plus the
+//!   communication-volume study (Figure 5) and the base-machine comparison
+//!   (Figure 4).
 //! * [`machines`] — the Table 1 dataset of 32-processor machine parameters
 //!   and its Table 2 recalculation in local-cache-miss units.
 //! * [`regions`] — classification of measured curves into the paper's
@@ -22,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod experiment;
 pub mod machines;
 pub mod model;

@@ -69,20 +69,146 @@ pub fn table1() -> Vec<MachineRow> {
         estimated,
     };
     vec![
-        row("MIT Alewife", 20.0, "4x8 Mesh", Some(360.0), Some(15.0), Some(50.0), 11.0, false),
-        row("TMC CM5", 33.0, "4-ary Fat-Tree", Some(640.0), Some(50.0), None, 16.0, false),
-        row("KSR-2", 20.0, "Ring", Some(1000.0), None, Some(126.0), 18.0, false),
-        row("MIT J-Machine", 12.5, "4x4x2 Mesh", Some(3200.0), Some(7.0), None, 7.0, false),
-        row("MIT M-Machine", 100.0, "4x4x2 Mesh", Some(12800.0), Some(10.0), Some(154.0), 21.0, true),
-        row("Intel Delta", 40.0, "4x8 Mesh", Some(216.0), Some(15.0), None, 10.0, false),
-        row("Intel Paragon", 50.0, "4x8 Mesh", Some(2800.0), Some(12.0), None, 10.0, false),
-        row("Stanford DASH", 33.0, "2x4 clusters", Some(480.0), Some(31.0), Some(120.0), 30.0, false),
-        row("Stanford FLASH", 200.0, "4x8 Mesh", Some(3200.0), Some(62.0), Some(352.0), 40.0, true),
-        row("Wisconsin T0", 200.0, "none simulated", None, Some(200.0), Some(1461.0), 40.0, true),
-        row("Wisconsin T1", 200.0, "none simulated", None, Some(200.0), Some(401.0), 40.0, true),
-        row("Cray T3D", 150.0, "4x2x2 Torus", Some(4800.0), Some(15.0), Some(100.0), 23.0, false),
-        row("Cray T3E", 300.0, "4x4x2 Torus", Some(19200.0), Some(110.0), Some(450.0), 80.0, false),
-        row("SGI Origin", 200.0, "Hypercube", Some(10800.0), Some(60.0), Some(150.0), 61.0, false),
+        row(
+            "MIT Alewife",
+            20.0,
+            "4x8 Mesh",
+            Some(360.0),
+            Some(15.0),
+            Some(50.0),
+            11.0,
+            false,
+        ),
+        row(
+            "TMC CM5",
+            33.0,
+            "4-ary Fat-Tree",
+            Some(640.0),
+            Some(50.0),
+            None,
+            16.0,
+            false,
+        ),
+        row(
+            "KSR-2",
+            20.0,
+            "Ring",
+            Some(1000.0),
+            None,
+            Some(126.0),
+            18.0,
+            false,
+        ),
+        row(
+            "MIT J-Machine",
+            12.5,
+            "4x4x2 Mesh",
+            Some(3200.0),
+            Some(7.0),
+            None,
+            7.0,
+            false,
+        ),
+        row(
+            "MIT M-Machine",
+            100.0,
+            "4x4x2 Mesh",
+            Some(12800.0),
+            Some(10.0),
+            Some(154.0),
+            21.0,
+            true,
+        ),
+        row(
+            "Intel Delta",
+            40.0,
+            "4x8 Mesh",
+            Some(216.0),
+            Some(15.0),
+            None,
+            10.0,
+            false,
+        ),
+        row(
+            "Intel Paragon",
+            50.0,
+            "4x8 Mesh",
+            Some(2800.0),
+            Some(12.0),
+            None,
+            10.0,
+            false,
+        ),
+        row(
+            "Stanford DASH",
+            33.0,
+            "2x4 clusters",
+            Some(480.0),
+            Some(31.0),
+            Some(120.0),
+            30.0,
+            false,
+        ),
+        row(
+            "Stanford FLASH",
+            200.0,
+            "4x8 Mesh",
+            Some(3200.0),
+            Some(62.0),
+            Some(352.0),
+            40.0,
+            true,
+        ),
+        row(
+            "Wisconsin T0",
+            200.0,
+            "none simulated",
+            None,
+            Some(200.0),
+            Some(1461.0),
+            40.0,
+            true,
+        ),
+        row(
+            "Wisconsin T1",
+            200.0,
+            "none simulated",
+            None,
+            Some(200.0),
+            Some(401.0),
+            40.0,
+            true,
+        ),
+        row(
+            "Cray T3D",
+            150.0,
+            "4x2x2 Torus",
+            Some(4800.0),
+            Some(15.0),
+            Some(100.0),
+            23.0,
+            false,
+        ),
+        row(
+            "Cray T3E",
+            300.0,
+            "4x4x2 Torus",
+            Some(19200.0),
+            Some(110.0),
+            Some(450.0),
+            80.0,
+            false,
+        ),
+        row(
+            "SGI Origin",
+            200.0,
+            "Hypercube",
+            Some(10800.0),
+            Some(60.0),
+            Some(150.0),
+            61.0,
+            false,
+        ),
     ]
 }
 
@@ -91,7 +217,10 @@ mod tests {
     use super::*;
 
     fn find(name: &str) -> MachineRow {
-        table1().into_iter().find(|r| r.name == name).expect("machine present")
+        table1()
+            .into_iter()
+            .find(|r| r.name == name)
+            .expect("machine present")
     }
 
     #[test]

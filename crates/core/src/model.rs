@@ -78,7 +78,11 @@ fn lsq3(xs: &[f64], ys: &[f64], basis: impl Fn(f64) -> [f64; 3]) -> Option<([f64
             (y - pred).powi(2)
         })
         .sum();
-    let r2 = if ss_tot < 1e-9 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot < 1e-9 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     Some((c, r2))
 }
 
@@ -127,9 +131,18 @@ pub fn fit_bandwidth(sweep: &Sweep) -> Option<BandwidthModel> {
         return None;
     }
     let xs: Vec<f64> = sweep.points.iter().map(|p| p.x).collect();
-    let ys: Vec<f64> = sweep.points.iter().map(|p| p.result.runtime_cycles as f64).collect();
+    let ys: Vec<f64> = sweep
+        .points
+        .iter()
+        .map(|p| p.result.runtime_cycles as f64)
+        .collect();
     let (c, r2) = lsq3(&xs, &ys, |x| [1.0, 1.0 / x, 1.0 / (x * x)])?;
-    Some(BandwidthModel { c0: c[0], c1: c[1], c2: c[2], r2 })
+    Some(BandwidthModel {
+        c0: c[0],
+        c1: c[1],
+        c2: c[2],
+        r2,
+    })
 }
 
 /// Fitted latency response `T(L) = d0 + d1·L` (Figure 2: the slope is the
@@ -157,7 +170,11 @@ pub fn fit_latency(sweep: &Sweep) -> Option<LatencyModel> {
         return None;
     }
     let xs: Vec<f64> = sweep.points.iter().map(|p| p.x).collect();
-    let ys: Vec<f64> = sweep.points.iter().map(|p| p.result.runtime_cycles as f64).collect();
+    let ys: Vec<f64> = sweep
+        .points
+        .iter()
+        .map(|p| p.result.runtime_cycles as f64)
+        .collect();
     // Reuse the 3-parameter solver with a dead third basis.
     let n = xs.len() as f64;
     let sx: f64 = xs.iter().sum();
@@ -172,9 +189,16 @@ pub fn fit_latency(sweep: &Sweep) -> Option<LatencyModel> {
     let d0 = (sy - d1 * sx) / n;
     let mean = sy / n;
     let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
-    let ss_res: f64 =
-        xs.iter().zip(&ys).map(|(x, y)| (y - (d0 + d1 * x)).powi(2)).sum();
-    let r2 = if ss_tot < 1e-9 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let ss_res: f64 = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| (y - (d0 + d1 * x)).powi(2))
+        .sum();
+    let r2 = if ss_tot < 1e-9 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     Some(LatencyModel { d0, d1, r2 })
 }
 
@@ -225,10 +249,9 @@ mod tests {
 
     #[test]
     fn latency_model_recovers_synthetic_line() {
-        let sweep = crate::regions::tests_support::synthetic_sweep(
-            &[30.0, 100.0, 400.0],
-            |l| (5_000.0 + 12.5 * l) as u64,
-        );
+        let sweep = crate::regions::tests_support::synthetic_sweep(&[30.0, 100.0, 400.0], |l| {
+            (5_000.0 + 12.5 * l) as u64
+        });
         let m = fit_latency(&sweep).expect("fit");
         assert!(m.r2 > 0.999);
         assert!((m.d1 - 12.5).abs() < 0.1, "slope {}", m.d1);
@@ -245,7 +268,11 @@ mod tests {
         );
         let sm = fit_latency(&sweeps[0]).expect("sm fit");
         let mp = fit_latency(&sweeps[1]).expect("mp fit");
-        assert!(sm.r2 > 0.98, "the Figure 2 sm curve is linear: r2 {}", sm.r2);
+        assert!(
+            sm.r2 > 0.98,
+            "the Figure 2 sm curve is linear: r2 {}",
+            sm.r2
+        );
         assert!(sm.d1 > 1.0, "sm has unhidden round trips: slope {}", sm.d1);
         assert!(mp.d1.abs() < 0.01, "mp is flat: slope {}", mp.d1);
     }
@@ -261,12 +288,20 @@ mod tests {
             64,
         );
         let m = fit_bandwidth(&sweeps[0]).expect("fit");
-        assert!(m.r2 > 0.85, "bandwidth model explains the sweep: r2 {}", m.r2);
+        assert!(
+            m.r2 > 0.85,
+            "bandwidth model explains the sweep: r2 {}",
+            m.r2
+        );
         // Interpolate a held-out point (12 consumed = 6 B/cycle emulated).
         let held = bisection_sweep(&em3d(), &[Mechanism::SharedMem], &cfg, &[12.0], 64);
         let got = held[0].points[0].result.runtime_cycles as f64;
         let pred = m.predict(held[0].points[0].x);
         let err = (pred - got).abs() / got;
-        assert!(err < 0.10, "prediction off by {:.1}% (pred {pred:.0}, got {got:.0})", err * 100.0);
+        assert!(
+            err < 0.10,
+            "prediction off by {:.1}% (pred {pred:.0}, got {got:.0})",
+            err * 100.0
+        );
     }
 }

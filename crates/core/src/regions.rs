@@ -144,8 +144,6 @@ pub(crate) mod tests_support {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
-    
 
     fn fake_sweep(xs: &[f64], runtimes: &[u64]) -> Sweep {
         let i = std::cell::Cell::new(0usize);

@@ -40,9 +40,19 @@ pub fn breakdown_table(app: &str, results: &[RunResult], cfg: &MachineConfig) ->
 /// Figure 4 as ASCII stacked bars: one row per mechanism, scaled to the
 /// slowest, with the four buckets drawn as distinct glyphs
 /// (`s` sync, `o` msg overhead, `m` memory+NI, `#` compute).
-pub fn breakdown_bars(app: &str, results: &[RunResult], cfg: &MachineConfig, width: usize) -> String {
+pub fn breakdown_bars(
+    app: &str,
+    results: &[RunResult],
+    cfg: &MachineConfig,
+    width: usize,
+) -> String {
     let clk = cfg.clock();
-    let max = results.iter().map(|r| r.runtime_cycles).max().unwrap_or(1).max(1) as f64;
+    let max = results
+        .iter()
+        .map(|r| r.runtime_cycles)
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
     let mut out = format!("{app}: relative runtime (s=sync o=overhead m=mem+NI #=compute)\n");
     for r in results {
         let glyphs = [
@@ -56,7 +66,12 @@ pub fn breakdown_bars(app: &str, results: &[RunResult], cfg: &MachineConfig, wid
             let n = (cycles / max * width as f64).round() as usize;
             bar.extend(std::iter::repeat_n(g, n));
         }
-        out.push_str(&format!("{:<8} |{:<width$}| {}\n", r.mechanism.label(), bar, r.runtime_cycles));
+        out.push_str(&format!(
+            "{:<8} |{:<width$}| {}\n",
+            r.mechanism.label(),
+            bar,
+            r.runtime_cycles
+        ));
     }
     out
 }

@@ -7,10 +7,11 @@
 //! machine as an emulator", §1.1), and [`survey`] runs an application
 //! across every Table 1 row that has a physical network.
 
-use commsense_apps::{run_app, AppSpec, RunResult};
+use commsense_apps::{AppSpec, RunResult};
 use commsense_machine::{MachineConfig, Mechanism};
 use commsense_mesh::Mesh;
 
+use crate::engine::{RunRequest, Runner};
 use crate::machines::MachineRow;
 
 /// One surveyed design point.
@@ -61,25 +62,43 @@ pub fn config_for(row: &MachineRow, base: &MachineConfig) -> Option<(MachineConf
 }
 
 /// Runs `spec` under `mechanisms` at every surveyed design point that has
-/// a physical network.
+/// a physical network. All design points share one prepared workload and
+/// execute on an environment-sized [`Runner`].
 pub fn survey(
     spec: &AppSpec,
     mechanisms: &[Mechanism],
     rows: &[MachineRow],
     base: &MachineConfig,
 ) -> Vec<SurveyRow> {
-    rows.iter()
+    let networked: Vec<(&MachineRow, MachineConfig, bool)> = rows
+        .iter()
         .filter_map(|row| {
             let (cfg, approx) = config_for(row, base)?;
-            let results: Vec<RunResult> =
-                mechanisms.iter().map(|&m| run_app(spec, m, &cfg)).collect();
-            Some(SurveyRow {
-                machine: row.name,
-                bytes_per_cycle: row.bytes_per_cycle().expect("filtered"),
-                latency_cycles: row.net_latency_cycles.expect("filtered"),
-                results,
-                approx,
+            Some((row, cfg, approx))
+        })
+        .collect();
+    let requests: Vec<RunRequest> = networked
+        .iter()
+        .flat_map(|(_, cfg, _)| {
+            mechanisms.iter().map(|&mech| RunRequest {
+                spec: spec.clone(),
+                mechanism: mech,
+                cfg: cfg.clone().with_mechanism(mech),
             })
+        })
+        .collect();
+    let mut results = Runner::from_env().run(&requests).into_iter();
+    networked
+        .into_iter()
+        .map(|(row, _, approx)| SurveyRow {
+            machine: row.name,
+            bytes_per_cycle: row.bytes_per_cycle().expect("filtered"),
+            latency_cycles: row.net_latency_cycles.expect("filtered"),
+            results: results
+                .by_ref()
+                .take(mechanisms.len())
+                .collect::<Vec<RunResult>>(),
+            approx,
         })
         .collect()
 }
@@ -91,7 +110,10 @@ mod tests {
     use commsense_workloads::bipartite::Em3dParams;
 
     fn find(name: &str) -> MachineRow {
-        table1().into_iter().find(|r| r.name == name).expect("present")
+        table1()
+            .into_iter()
+            .find(|r| r.name == name)
+            .expect("present")
     }
 
     fn tiny_spec() -> AppSpec {

@@ -111,7 +111,10 @@ pub struct LatencyEmulation {
 impl LatencyEmulation {
     /// Emulates a uniform `cycles`-per-remote-miss machine.
     pub fn uniform(cycles: u64) -> Self {
-        LatencyEmulation { remote_miss_cycles: cycles, prefetch_cycles: cycles }
+        LatencyEmulation {
+            remote_miss_cycles: cycles,
+            prefetch_cycles: cycles,
+        }
     }
 }
 
@@ -292,9 +295,15 @@ mod tests {
         assert!(Mechanism::SharedMemPrefetch.uses_prefetch());
         assert!(!Mechanism::SharedMem.uses_prefetch());
         assert_eq!(Mechanism::MsgPoll.receive_mode(), ReceiveMode::Poll);
-        assert_eq!(Mechanism::MsgInterrupt.receive_mode(), ReceiveMode::Interrupt);
+        assert_eq!(
+            Mechanism::MsgInterrupt.receive_mode(),
+            ReceiveMode::Interrupt
+        );
         assert_eq!(Mechanism::Bulk.barrier_style(), BarrierStyle::MessageTree);
-        assert_eq!(Mechanism::SharedMem.barrier_style(), BarrierStyle::SharedMemory);
+        assert_eq!(
+            Mechanism::SharedMem.barrier_style(),
+            BarrierStyle::SharedMemory
+        );
         assert_eq!(Mechanism::ALL.len(), 5);
         assert_eq!(format!("{}", Mechanism::MsgPoll), "mp-poll");
     }

@@ -100,12 +100,27 @@ enum BarStage {
 
 #[derive(Debug, Clone, Copy)]
 enum Purpose {
-    Demand { node: usize, op: MemOp },
-    Prefetch { node: usize, merged: Option<MemOp>, issued: Time },
+    Demand {
+        node: usize,
+        op: MemOp,
+    },
+    Prefetch {
+        node: usize,
+        merged: Option<MemOp>,
+        issued: Time,
+    },
     /// A relaxed (release-consistent) store posted to the write buffer:
     /// the processor continues; the value applies at completion.
-    Posted { node: usize, op: MemOp, merged: Option<MemOp> },
-    Bar { node: usize, stage: BarStage, parity: usize },
+    Posted {
+        node: usize,
+        op: MemOp,
+        merged: Option<MemOp>,
+    },
+    Bar {
+        node: usize,
+        stage: BarStage,
+        parity: usize,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -240,8 +255,16 @@ enum Envelope {
 enum Ev {
     Wake(usize, u64),
     Net(NetEvent),
-    Proto { at: usize, from: usize, msg: ProtoMsg },
-    FillPrefetch { token: u64, line: LineId, exclusive: bool },
+    Proto {
+        at: usize,
+        from: usize,
+        msg: ProtoMsg,
+    },
+    FillPrefetch {
+        token: u64,
+        line: LineId,
+        exclusive: bool,
+    },
     CrossTick,
 }
 
@@ -322,10 +345,22 @@ impl Machine {
     /// count.
     pub fn new(cfg: MachineConfig, spec: MachineSpec) -> Self {
         cfg.validate();
-        let MachineSpec { mut heap, mut initial, programs } = spec;
-        assert_eq!(initial.len(), heap.total_words(), "initial values must cover the heap");
+        let MachineSpec {
+            mut heap,
+            mut initial,
+            programs,
+        } = spec;
+        assert_eq!(
+            initial.len(),
+            heap.total_words(),
+            "initial values must cover the heap"
+        );
         assert_eq!(programs.len(), cfg.nodes, "one program per node");
-        assert_eq!(heap.nodes(), cfg.nodes, "heap node count must match machine");
+        assert_eq!(
+            heap.nodes(),
+            cfg.nodes,
+            "heap node count must match machine"
+        );
 
         // Machine-internal barrier lines: per node, [counter, flag] x 2
         // parities, homed at the owning node (combining-tree layout).
@@ -333,8 +368,12 @@ impl Machine {
         let bar = heap.alloc(4 * n_nodes, |i| i / 4);
         initial.extend(std::iter::repeat_n(0.0, 8 * n_nodes));
         let lines = [
-            (0..n_nodes).map(|i| [bar.line(4 * i), bar.line(4 * i + 1)]).collect::<Vec<_>>(),
-            (0..n_nodes).map(|i| [bar.line(4 * i + 2), bar.line(4 * i + 3)]).collect::<Vec<_>>(),
+            (0..n_nodes)
+                .map(|i| [bar.line(4 * i), bar.line(4 * i + 1)])
+                .collect::<Vec<_>>(),
+            (0..n_nodes)
+                .map(|i| [bar.line(4 * i + 2), bar.line(4 * i + 3)])
+                .collect::<Vec<_>>(),
         ];
 
         let clock = cfg.clock();
@@ -450,7 +489,11 @@ impl Machine {
     }
 
     fn collect_stats(&self) -> RunStats {
-        let runtime = self.nodes.iter().filter_map(|n| n.finish).fold(Time::ZERO, Time::max);
+        let runtime = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.finish)
+            .fold(Time::ZERO, Time::max);
         RunStats {
             runtime,
             runtime_cycles: self.clock.cycles_at(runtime),
@@ -514,7 +557,9 @@ impl Machine {
             }
             Ev::Net(nev) => {
                 let mut sched: Vec<(Time, NetEvent)> = Vec::new();
-                let delivery = self.net.handle(self.now, nev, &mut |t, e| sched.push((t, e)));
+                let delivery = self
+                    .net
+                    .handle(self.now, nev, &mut |t, e| sched.push((t, e)));
                 for (t, e) in sched {
                     self.queue.schedule(t, Ev::Net(e));
                 }
@@ -532,14 +577,21 @@ impl Machine {
                 let outs = self.proto.handle(at, from, msg);
                 self.process_controller_outs(at, occ, outs);
             }
-            Ev::FillPrefetch { token, line, exclusive } => {
+            Ev::FillPrefetch {
+                token,
+                line,
+                exclusive,
+            } => {
                 self.finish_prefetch(token, line, exclusive, self.now);
             }
             Ev::CrossTick => {
-                let Some(cross) = self.cross.clone() else { return };
+                let Some(cross) = self.cross.clone() else {
+                    return;
+                };
                 for pkt in cross.tick_packets() {
                     let mut sched: Vec<(Time, NetEvent)> = Vec::new();
-                    self.net.inject(self.now, pkt, &mut |t, e| sched.push((t, e)));
+                    self.net
+                        .inject(self.now, pkt, &mut |t, e| sched.push((t, e)));
                     for (t, e) in sched {
                         self.queue.schedule(t, Ev::Net(e));
                     }
@@ -606,7 +658,12 @@ impl Machine {
         for out in outs {
             match out {
                 ProtoOut::Send { from, to, msg } => self.dispatch_proto(from, to, msg, t),
-                ProtoOut::Granted { node, line, exclusive, token } => {
+                ProtoOut::Granted {
+                    node,
+                    line,
+                    exclusive,
+                    token,
+                } => {
                     self.granted(node, line, exclusive, token.0, t);
                 }
                 ProtoOut::HomeOccupancy { node, cycles } => {
@@ -634,7 +691,13 @@ impl Machine {
             MsgClass::Data => PacketClass::Data,
         };
         let tag = self.push_envelope(Envelope::Proto { from, msg });
-        let pkt = Packet::protocol(Endpoint::node(from), Endpoint::node(to), msg.bytes(), class, tag as u64);
+        let pkt = Packet::protocol(
+            Endpoint::node(from),
+            Endpoint::node(to),
+            msg.bytes(),
+            class,
+            tag as u64,
+        );
         self.inject(pkt, t);
     }
 
@@ -659,16 +722,21 @@ impl Machine {
     fn deliver(&mut self, pkt: Packet) {
         let Endpoint::Node(dst) = pkt.dst else { return };
         let dst = dst as usize;
-        let env = self.envelopes[pkt.tag as usize].take().expect("live envelope");
+        let env = self.envelopes[pkt.tag as usize]
+            .take()
+            .expect("live envelope");
         self.free_envelopes.push(pkt.tag as usize);
         match env {
             Envelope::Proto { from, msg } => {
-                self.queue.schedule(self.now, Ev::Proto { at: dst, from, msg });
+                self.queue
+                    .schedule(self.now, Ev::Proto { at: dst, from, msg });
             }
             Envelope::Am { am } => {
                 let polled = self.cfg.receive == ReceiveMode::Poll && !am.handler.is_system();
                 let drain =
-                    self.cfg.msg.drain_occupancy_cycles(&am, polled, self.nodes[dst].rq.len());
+                    self.cfg
+                        .msg
+                        .drain_occupancy_cycles(&am, polled, self.nodes[dst].rq.len());
                 let until = self.now + self.cycles(drain);
                 self.net.stall_ejection(dst, until);
                 if am.handler.is_system() {
@@ -679,8 +747,7 @@ impl Machine {
                         // The node may have blocked at a batched time ahead
                         // of the event clock; the handler runs at the later
                         // of block start, now, and any in-flight handler.
-                        let start =
-                            self.now.max(since).max(self.nodes[dst].handler_busy_until);
+                        let start = self.now.max(since).max(self.nodes[dst].handler_busy_until);
                         let am = self.nodes[dst].rq.pop().expect("just pushed");
                         let d = self.run_handler(dst, &am, true, start);
                         self.charge(dst, Bucket::MsgOverhead, d);
@@ -753,13 +820,25 @@ impl Machine {
 
     fn send_am(&mut self, from: usize, am: ActiveMessage, t: Time) {
         assert_ne!(from, am.dst, "active message to self");
-        self.trace_event(t, from, TraceKind::Send { dst: am.dst as u16, bytes: am.wire_bytes() });
+        self.trace_event(
+            t,
+            from,
+            TraceKind::Send {
+                dst: am.dst as u16,
+                bytes: am.wire_bytes(),
+            },
+        );
         self.messages_sent += 1;
         let bytes = am.wire_bytes();
         let dst = am.dst;
         let tag = self.push_envelope(Envelope::Am { am });
-        let pkt =
-            Packet::protocol(Endpoint::node(from), Endpoint::node(dst), bytes, PacketClass::Data, tag as u64);
+        let pkt = Packet::protocol(
+            Endpoint::node(from),
+            Endpoint::node(dst),
+            bytes,
+            PacketClass::Data,
+            tag as u64,
+        );
         self.inject(pkt, t);
     }
 
@@ -830,7 +909,10 @@ impl Machine {
             }
         }
         let token = self.mint_token();
-        match self.proto.start_access(node, line, op.kind(), TxnToken(token)) {
+        match self
+            .proto
+            .start_access(node, line, op.kind(), TxnToken(token))
+        {
             AccessStart::Hit => {
                 self.apply_mem_op(node, op);
                 Some(self.hit_cost(op))
@@ -848,7 +930,8 @@ impl Machine {
                     Purpose::Bar { .. } => OutKind::Sys,
                 };
                 self.tokens.insert(token, purpose);
-                self.outstanding.insert((node, line.0), OutstandingEntry { token, kind });
+                self.outstanding
+                    .insert((node, line.0), OutstandingEntry { token, kind });
                 let at = t + self.cycles(self.cfg.costs.miss_issue);
                 self.process_aux_outs(outs, at);
                 None
@@ -882,12 +965,23 @@ impl Machine {
                     None => t,
                 };
                 if fill_at > t {
-                    self.queue.schedule(fill_at, Ev::FillPrefetch { token, line, exclusive });
+                    self.queue.schedule(
+                        fill_at,
+                        Ev::FillPrefetch {
+                            token,
+                            line,
+                            exclusive,
+                        },
+                    );
                 } else {
                     self.finish_prefetch(token, line, exclusive, t);
                 }
             }
-            Purpose::Posted { node: n, op, merged } => {
+            Purpose::Posted {
+                node: n,
+                op,
+                merged,
+            } => {
                 debug_assert_eq!(n, node);
                 self.tokens.remove(&token);
                 self.outstanding.remove(&(node, line.0));
@@ -897,7 +991,8 @@ impl Machine {
                 self.nodes[node].posted -= 1;
                 if let Some(m) = merged {
                     // A demand access was waiting behind this posted store.
-                    if let Some(cycles) = self.try_access(node, m, Purpose::Demand { node, op: m }, t)
+                    if let Some(cycles) =
+                        self.try_access(node, m, Purpose::Demand { node, op: m }, t)
                     {
                         let at = t + self.cycles(cycles);
                         self.resume_from_block(node, at);
@@ -906,7 +1001,11 @@ impl Machine {
                     self.write_slot_freed(node, t);
                 }
             }
-            Purpose::Bar { node: n, stage, parity } => {
+            Purpose::Bar {
+                node: n,
+                stage,
+                parity,
+            } => {
                 debug_assert_eq!(n, node);
                 self.tokens.remove(&token);
                 self.outstanding.remove(&(node, line.0));
@@ -1005,8 +1104,10 @@ impl Machine {
                             PostOutcome::BufferFull => {
                                 // Stall until a slot frees (Memory + NI wait).
                                 self.nodes[node].stalled_store = Some(op);
-                                self.nodes[node].status =
-                                    Status::BlockedMem { since: t, bucket: Bucket::MemWait };
+                                self.nodes[node].status = Status::BlockedMem {
+                                    since: t,
+                                    bucket: Bucket::MemWait,
+                                };
                                 return;
                             }
                         }
@@ -1028,7 +1129,11 @@ impl Machine {
                     if self.proto.is_local(node, line) || outstanding {
                         self.useless_prefetches += 1;
                     } else {
-                        let kind = if exclusive { AccessKind::Write } else { AccessKind::Read };
+                        let kind = if exclusive {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        };
                         let token = self.mint_token();
                         match self.proto.start_access(node, line, kind, TxnToken(token)) {
                             AccessStart::Hit | AccessStart::PrefetchHit { .. } => {
@@ -1038,11 +1143,18 @@ impl Machine {
                             AccessStart::Miss { outs } => {
                                 self.tokens.insert(
                                     token,
-                                    Purpose::Prefetch { node, merged: None, issued: t },
+                                    Purpose::Prefetch {
+                                        node,
+                                        merged: None,
+                                        issued: t,
+                                    },
                                 );
                                 self.outstanding.insert(
                                     (node, line.0),
-                                    OutstandingEntry { token, kind: OutKind::Prefetch },
+                                    OutstandingEntry {
+                                        token,
+                                        kind: OutKind::Prefetch,
+                                    },
                                 );
                                 self.process_aux_outs(outs, t);
                             }
@@ -1102,8 +1214,10 @@ impl Machine {
                     if self.nodes[node].posted > 0 {
                         // Release fence: drain the write buffer first.
                         self.nodes[node].fence = Some(FenceTarget::Barrier);
-                        self.nodes[node].status =
-                            Status::BlockedMem { since: t, bucket: Bucket::MemWait };
+                        self.nodes[node].status = Status::BlockedMem {
+                            since: t,
+                            bucket: Bucket::MemWait,
+                        };
                         return;
                     }
                     self.barrier_arrive(node, t);
@@ -1112,8 +1226,10 @@ impl Machine {
                 Step::Done => {
                     if self.nodes[node].posted > 0 {
                         self.nodes[node].fence = Some(FenceTarget::Done);
-                        self.nodes[node].status =
-                            Status::BlockedMem { since: t, bucket: Bucket::MemWait };
+                        self.nodes[node].status = Status::BlockedMem {
+                            since: t,
+                            bucket: Bucket::MemWait,
+                        };
                         return;
                     }
                     self.retire(node, t);
@@ -1133,7 +1249,13 @@ impl Machine {
         self.demand_step_bucketed(node, op, t, Bucket::Compute)
     }
 
-    fn demand_step_bucketed(&mut self, node: usize, op: MemOp, t: &mut Time, hit_bucket: Bucket) -> bool {
+    fn demand_step_bucketed(
+        &mut self,
+        node: usize,
+        op: MemOp,
+        t: &mut Time,
+        hit_bucket: Bucket,
+    ) -> bool {
         match self.try_access(node, op, Purpose::Demand { node, op }, *t) {
             Some(cycles) => {
                 self.charge(node, hit_bucket, self.cycles(cycles));
@@ -1142,8 +1264,10 @@ impl Machine {
             }
             None => {
                 self.trace_event(*t, node, TraceKind::BlockMem { line: op.line().0 });
-                self.nodes[node].status =
-                    Status::BlockedMem { since: *t, bucket: op.block_bucket() };
+                self.nodes[node].status = Status::BlockedMem {
+                    since: *t,
+                    bucket: op.block_bucket(),
+                };
                 false
             }
         }
@@ -1170,7 +1294,11 @@ impl Machine {
         if self.nodes[node].posted >= self.cfg.write_buffer {
             return PostOutcome::BufferFull;
         }
-        let purpose = Purpose::Posted { node, op, merged: None };
+        let purpose = Purpose::Posted {
+            node,
+            op,
+            merged: None,
+        };
         match self.try_access(node, op, purpose, t) {
             Some(cycles) => PostOutcome::Inline(cycles),
             None => {
@@ -1241,7 +1369,10 @@ impl Machine {
                 let counter = self.barrier.lines[parity][node][0];
                 self.sys_access(
                     node,
-                    MemOp::Rmw { line: counter, op: RmwOp::IncW0 },
+                    MemOp::Rmw {
+                        line: counter,
+                        op: RmwOp::IncW0,
+                    },
                     BarStage::Arrive,
                     parity,
                     t,
@@ -1254,7 +1385,11 @@ impl Machine {
     /// Starts a barrier-internal shared-memory access; completions feed
     /// [`Machine::barrier_transition`].
     fn sys_access(&mut self, node: usize, op: MemOp, stage: BarStage, parity: usize, t: Time) {
-        let purpose = Purpose::Bar { node, stage, parity };
+        let purpose = Purpose::Bar {
+            node,
+            stage,
+            parity,
+        };
         if let Some(cycles) = self.try_access(node, op, purpose, t) {
             let at = t + self.cycles(cycles);
             self.barrier_transition(node, stage, parity, at);
@@ -1267,11 +1402,18 @@ impl Machine {
             BarStage::Notify => {
                 // Our RMW on the parent's counter completed: credit the
                 // parent, then spin on our own (local) flag.
-                let parent = self.barrier.tree.parent(node).expect("notify from non-root");
+                let parent = self
+                    .barrier
+                    .tree
+                    .parent(node)
+                    .expect("notify from non-root");
                 let flag = self.barrier.lines[parity][node][1];
                 self.sys_access(
                     node,
-                    MemOp::Read { word: Word::new(flag, 0), sync: true },
+                    MemOp::Read {
+                        word: Word::new(flag, 0),
+                        sync: true,
+                    },
                     BarStage::WaitFlag,
                     parity,
                     t,
@@ -1298,7 +1440,10 @@ impl Machine {
                     let flag = self.barrier.lines[parity][child][1];
                     self.sys_access(
                         child,
-                        MemOp::Read { word: Word::new(flag, 0), sync: true },
+                        MemOp::Read {
+                            word: Word::new(flag, 0),
+                            sync: true,
+                        },
                         BarStage::ResumeRead,
                         parity,
                         t,
@@ -1327,7 +1472,10 @@ impl Machine {
                 let counter = self.barrier.lines[parity][parent][0];
                 self.sys_access(
                     node,
-                    MemOp::Rmw { line: counter, op: RmwOp::IncW0 },
+                    MemOp::Rmw {
+                        line: counter,
+                        op: RmwOp::IncW0,
+                    },
                     BarStage::Notify,
                     parity,
                     t,
@@ -1351,8 +1499,13 @@ impl Machine {
             let flag = self.barrier.lines[parity][child][1];
             self.sys_access(
                 node,
-                MemOp::Write { word: Word::new(flag, 0), val: epoch },
-                BarStage::ReleaseWrite { child: child as u16 },
+                MemOp::Write {
+                    word: Word::new(flag, 0),
+                    val: epoch,
+                },
+                BarStage::ReleaseWrite {
+                    child: child as u16,
+                },
                 parity,
                 t,
             );
@@ -1398,8 +1551,7 @@ impl Machine {
             Some(parent) => {
                 let cost = self.cycles(self.cfg.msg.system_msg);
                 self.charge_sys(node, cost);
-                let am =
-                    ActiveMessage::new(parent, HandlerId(SYS_BAR_ARRIVE), vec![parity as u64]);
+                let am = ActiveMessage::new(parent, HandlerId(SYS_BAR_ARRIVE), vec![parity as u64]);
                 self.send_am(node, am, t + cost);
             }
             None => self.mp_release(node, parity, t),

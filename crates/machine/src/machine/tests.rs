@@ -23,7 +23,12 @@ struct Script {
 
 impl Script {
     fn new(steps: Vec<Step>) -> Box<Self> {
-        Box::new(Script { steps, pc: 0, received: Vec::new(), last_loaded: 0.0 })
+        Box::new(Script {
+            steps,
+            pc: 0,
+            received: Vec::new(),
+            last_loaded: 0.0,
+        })
     }
 }
 
@@ -45,14 +50,19 @@ impl Program for Script {
 }
 
 fn empty_spec(cfg: &MachineConfig, programs: Vec<Box<dyn Program>>) -> MachineSpec {
-    MachineSpec { heap: Heap::new(cfg.nodes), initial: Vec::new(), programs }
+    MachineSpec {
+        heap: Heap::new(cfg.nodes),
+        initial: Vec::new(),
+        programs,
+    }
 }
 
 #[test]
 fn compute_only_runtime() {
     let cfg = MachineConfig::tiny();
-    let programs: Vec<Box<dyn Program>> =
-        (0..4).map(|_| Script::new(vec![Step::Compute(100)]) as Box<dyn Program>).collect();
+    let programs: Vec<Box<dyn Program>> = (0..4)
+        .map(|_| Script::new(vec![Step::Compute(100)]) as Box<dyn Program>)
+        .collect();
     let spec = empty_spec(&cfg, programs);
     let mut m = Machine::new(cfg.clone(), spec);
     let stats = m.run();
@@ -73,7 +83,7 @@ fn buckets_sum_to_finish_time() {
         .map(|n| {
             Script::new(vec![
                 Step::Compute(50),
-                Step::Load(w(n)),          // local
+                Step::Load(w(n)),           // local
                 Step::Load(w((n + 1) % 4)), // remote
                 Step::Store(w(n), n as f64),
                 Step::Barrier,
@@ -82,7 +92,14 @@ fn buckets_sum_to_finish_time() {
         })
         .collect();
     let cfg = MachineConfig::tiny();
-    let mut m = Machine::new(cfg.clone(), MachineSpec { heap, initial: vec![0.0; 16], programs });
+    let mut m = Machine::new(
+        cfg.clone(),
+        MachineSpec {
+            heap,
+            initial: vec![0.0; 16],
+            programs,
+        },
+    );
     let _ = m.run();
     for (i, node) in m.nodes.iter().enumerate() {
         let finish = node.finish.expect("finished");
@@ -102,12 +119,23 @@ fn local_miss_penalty_near_alewife() {
     let arr = heap.alloc(4, |_| 0);
     let programs: Vec<Box<dyn Program>> = (0..4)
         .map(|n| {
-            let steps = if n == 0 { vec![Step::Load(Word::new(arr.line(0), 0))] } else { vec![] };
+            let steps = if n == 0 {
+                vec![Step::Load(Word::new(arr.line(0), 0))]
+            } else {
+                vec![]
+            };
             Script::new(steps) as Box<dyn Program>
         })
         .collect();
     let cfg = MachineConfig::tiny();
-    let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 8], programs });
+    let mut m = Machine::new(
+        cfg,
+        MachineSpec {
+            heap,
+            initial: vec![0.0; 8],
+            programs,
+        },
+    );
     let stats = m.run();
     // Figure 3: local clean read miss = 11 cycles.
     assert!(
@@ -123,12 +151,23 @@ fn remote_miss_penalty_near_alewife() {
     let arr = heap.alloc(4, |_| 1);
     let programs: Vec<Box<dyn Program>> = (0..4)
         .map(|n| {
-            let steps = if n == 0 { vec![Step::Load(Word::new(arr.line(0), 0))] } else { vec![] };
+            let steps = if n == 0 {
+                vec![Step::Load(Word::new(arr.line(0), 0))]
+            } else {
+                vec![]
+            };
             Script::new(steps) as Box<dyn Program>
         })
         .collect();
     let cfg = MachineConfig::tiny();
-    let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 8], programs });
+    let mut m = Machine::new(
+        cfg,
+        MachineSpec {
+            heap,
+            initial: vec![0.0; 8],
+            programs,
+        },
+    );
     let stats = m.run();
     // Figure 3: remote clean read miss = 42 cycles + 1.6/hop.
     assert!(
@@ -153,7 +192,14 @@ fn store_then_load_transfers_value() {
         } as Box<dyn Program>)
         .collect();
     let cfg = MachineConfig::tiny();
-    let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 4], programs });
+    let mut m = Machine::new(
+        cfg,
+        MachineSpec {
+            heap,
+            initial: vec![0.0; 4],
+            programs,
+        },
+    );
     let _ = m.run();
     assert_eq!(m.master_word(w), 42.5);
     let progs = m.into_programs();
@@ -270,7 +316,11 @@ fn barrier_synchronizes(cfg: MachineConfig) {
     let mut m = Machine::new(cfg.clone(), spec);
     let stats = m.run();
     // All nodes finish at/after the slowest node's compute.
-    assert!(stats.runtime_cycles >= 3001, "runtime {}", stats.runtime_cycles);
+    assert!(
+        stats.runtime_cycles >= 3001,
+        "runtime {}",
+        stats.runtime_cycles
+    );
     // The fastest node spent most of the run synchronizing.
     let sync0 = cfg.clock().cycles_at(stats.nodes[0].sync);
     assert!(sync0 >= 2500, "node 0 sync {sync0}");
@@ -314,7 +364,14 @@ fn rmw_is_atomic_under_contention() {
         })
         .collect();
     let cfg = MachineConfig::tiny();
-    let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 2], programs });
+    let mut m = Machine::new(
+        cfg,
+        MachineSpec {
+            heap,
+            initial: vec![0.0; 2],
+            programs,
+        },
+    );
     let _ = m.run();
     assert_eq!(m.master_word(Word::new(line, 0)), 100.0);
 }
@@ -329,7 +386,10 @@ fn prefetch_hides_remote_latency() {
         assert_eq!(arr2.line(0), arr.line(0));
         let mut steps = Vec::new();
         if prefetch {
-            steps.push(Step::Prefetch { line: arr2.line(0), exclusive: false });
+            steps.push(Step::Prefetch {
+                line: arr2.line(0),
+                exclusive: false,
+            });
         }
         steps.push(Step::Compute(200));
         steps.push(Step::Load(Word::new(arr2.line(0), 0)));
@@ -343,7 +403,14 @@ fn prefetch_hides_remote_latency() {
             })
             .collect();
         let cfg = MachineConfig::tiny();
-        let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 8], programs });
+        let mut m = Machine::new(
+            cfg,
+            MachineSpec {
+                heap,
+                initial: vec![0.0; 8],
+                programs,
+            },
+        );
         m.run().runtime_cycles
     };
     let with = run(true);
@@ -360,7 +427,10 @@ fn useless_prefetch_only_costs_issue() {
             if n == 0 {
                 Script::new(vec![
                     Step::Load(Word::new(arr.line(0), 0)),
-                    Step::Prefetch { line: arr.line(0), exclusive: false },
+                    Step::Prefetch {
+                        line: arr.line(0),
+                        exclusive: false,
+                    },
                     Step::Compute(10),
                 ]) as Box<dyn Program>
             } else {
@@ -369,7 +439,14 @@ fn useless_prefetch_only_costs_issue() {
         })
         .collect();
     let cfg = MachineConfig::tiny();
-    let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 4], programs });
+    let mut m = Machine::new(
+        cfg,
+        MachineSpec {
+            heap,
+            initial: vec![0.0; 4],
+            programs,
+        },
+    );
     let _ = m.run();
     assert_eq!(m.useless_prefetches, 1);
 }
@@ -382,7 +459,11 @@ fn deterministic_across_runs() {
             .map(|n| {
                 Script::new(vec![
                     Step::Compute(10 + n as u64),
-                    Step::Send(ActiveMessage::new((n + 1) % 4, HandlerId(1), vec![n as u64])),
+                    Step::Send(ActiveMessage::new(
+                        (n + 1) % 4,
+                        HandlerId(1),
+                        vec![n as u64],
+                    )),
                     Step::WaitMsg,
                     Step::Barrier,
                 ]) as Box<dyn Program>
@@ -422,11 +503,21 @@ fn cross_traffic_slows_shared_memory() {
             .collect();
         let mut cfg = MachineConfig::alewife();
         if consumed > 0.0 {
-            cfg.cross_traffic =
-                Some(CrossTrafficConfig::consuming(consumed, cfg.clock(), 64, cfg.net.height));
+            cfg.cross_traffic = Some(CrossTrafficConfig::consuming(
+                consumed,
+                cfg.clock(),
+                64,
+                cfg.net.height,
+            ));
         }
-        let mut m =
-            Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 512], programs });
+        let mut m = Machine::new(
+            cfg,
+            MachineSpec {
+                heap,
+                initial: vec![0.0; 512],
+                programs,
+            },
+        );
         m.run().runtime_cycles
     };
     let clear = run(0.0);
@@ -447,8 +538,9 @@ fn slower_clock_reduces_relative_network_cost() {
         let programs: Vec<Box<dyn Program>> = (0..4)
             .map(|n| {
                 if n == 0 {
-                    let steps =
-                        (0..16).map(|i| Step::Load(Word::new(arr.line(i), 0))).collect();
+                    let steps = (0..16)
+                        .map(|i| Step::Load(Word::new(arr.line(i), 0)))
+                        .collect();
                     Script::new(steps) as Box<dyn Program>
                 } else {
                     Script::new(vec![]) as Box<dyn Program>
@@ -456,7 +548,14 @@ fn slower_clock_reduces_relative_network_cost() {
             })
             .collect();
         let cfg = MachineConfig::tiny().with_cpu_mhz(mhz);
-        let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 32], programs });
+        let mut m = Machine::new(
+            cfg,
+            MachineSpec {
+                heap,
+                initial: vec![0.0; 32],
+                programs,
+            },
+        );
         m.run().runtime_cycles
     };
     let fast_clock = run(20.0);
@@ -475,8 +574,9 @@ fn latency_emulation_scales_remote_misses() {
         let programs: Vec<Box<dyn Program>> = (0..4)
             .map(|n| {
                 if n == 0 {
-                    let steps =
-                        (0..16).map(|i| Step::Load(Word::new(arr.line(i), 0))).collect();
+                    let steps = (0..16)
+                        .map(|i| Step::Load(Word::new(arr.line(i), 0)))
+                        .collect();
                     Script::new(steps) as Box<dyn Program>
                 } else {
                     Script::new(vec![]) as Box<dyn Program>
@@ -485,13 +585,23 @@ fn latency_emulation_scales_remote_misses() {
             .collect();
         let mut cfg = MachineConfig::tiny();
         cfg.latency_emulation = emu;
-        let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 32], programs });
+        let mut m = Machine::new(
+            cfg,
+            MachineSpec {
+                heap,
+                initial: vec![0.0; 32],
+                programs,
+            },
+        );
         m.run().runtime_cycles
     };
     let base = run(Some(LatencyEmulation::uniform(50)));
     let slow = run(Some(LatencyEmulation::uniform(500)));
     // 16 remote misses at +450 cycles each.
-    assert!(slow > base + 16 * 400, "emulated latency must dominate: {base} -> {slow}");
+    assert!(
+        slow > base + 16 * 400,
+        "emulated latency must dominate: {base} -> {slow}"
+    );
 }
 
 #[test]
@@ -503,9 +613,7 @@ fn ni_backpressure_stalls_sender() {
         .map(|n| {
             if n == 0 {
                 let steps = (0..20)
-                    .map(|_| {
-                        Step::Send(ActiveMessage::with_bulk(1, HandlerId(1), vec![], 4096))
-                    })
+                    .map(|_| Step::Send(ActiveMessage::with_bulk(1, HandlerId(1), vec![], 4096)))
                     .collect();
                 Script::new(steps) as Box<dyn Program>
             } else {
@@ -516,7 +624,10 @@ fn ni_backpressure_stalls_sender() {
     let spec = empty_spec(&cfg, programs);
     let mut m = Machine::new(cfg, spec);
     let stats = m.run();
-    assert!(stats.nodes[0].mem > Time::ZERO, "NI backpressure must appear as mem+NI wait");
+    assert!(
+        stats.nodes[0].mem > Time::ZERO,
+        "NI backpressure must appear as mem+NI wait"
+    );
 }
 
 #[test]
@@ -557,9 +668,19 @@ fn volume_accounting_separates_classes() {
         } as Box<dyn Program>)
         .collect();
     let cfg = MachineConfig::tiny();
-    let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 4], programs });
+    let mut m = Machine::new(
+        cfg,
+        MachineSpec {
+            heap,
+            initial: vec![0.0; 4],
+            programs,
+        },
+    );
     let stats = m.run();
-    assert!(stats.volume.invalidates > 0, "second write must invalidate sharers");
+    assert!(
+        stats.volume.invalidates > 0,
+        "second write must invalidate sharers"
+    );
     assert!(stats.volume.requests > 0);
     assert!(stats.volume.data > 0);
     assert!(stats.volume.headers > 0);
@@ -587,11 +708,22 @@ fn write_buffer_overlaps_store_latency() {
             .collect();
         let mut cfg = MachineConfig::tiny();
         cfg.write_buffer = wb;
-        let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 32], programs });
+        let mut m = Machine::new(
+            cfg,
+            MachineSpec {
+                heap,
+                initial: vec![0.0; 32],
+                programs,
+            },
+        );
         let stats = m.run();
         // All values must land in master memory before retirement.
         for i in 0..16 {
-            assert_eq!(m.master_word(Word::new(arr.line(i), 0)), i as f64, "wb={wb}");
+            assert_eq!(
+                m.master_word(Word::new(arr.line(i), 0)),
+                i as f64,
+                "wb={wb}"
+            );
         }
         stats.runtime_cycles
     };
@@ -619,11 +751,21 @@ fn write_buffer_fence_at_barrier() {
         .collect();
     let mut cfg = MachineConfig::tiny();
     cfg.write_buffer = 4;
-    let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 4], programs });
+    let mut m = Machine::new(
+        cfg,
+        MachineSpec {
+            heap,
+            initial: vec![0.0; 4],
+            programs,
+        },
+    );
     let _ = m.run();
     let progs = m.into_programs();
     let p1 = progs[1].as_any().downcast_ref::<Script>().unwrap();
-    assert_eq!(p1.last_loaded, 7.5, "fence must order the posted store before the barrier");
+    assert_eq!(
+        p1.last_loaded, 7.5,
+        "fence must order the posted store before the barrier"
+    );
 }
 
 #[test]
@@ -645,7 +787,14 @@ fn write_buffer_read_after_posted_write_merges() {
         .collect();
     let mut cfg = MachineConfig::tiny();
     cfg.write_buffer = 4;
-    let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 4], programs });
+    let mut m = Machine::new(
+        cfg,
+        MachineSpec {
+            heap,
+            initial: vec![0.0; 4],
+            programs,
+        },
+    );
     let _ = m.run();
     let progs = m.into_programs();
     let p0 = progs[0].as_any().downcast_ref::<Script>().unwrap();
@@ -661,8 +810,9 @@ fn write_buffer_full_stalls() {
     let programs: Vec<Box<dyn Program>> = (0..4)
         .map(|n| {
             if n == 0 {
-                let steps =
-                    (0..8).map(|i| Step::Store(Word::new(arr.line(i), 0), 1.0 + i as f64)).collect();
+                let steps = (0..8)
+                    .map(|i| Step::Store(Word::new(arr.line(i), 0), 1.0 + i as f64))
+                    .collect();
                 Script::new(steps) as Box<dyn Program>
             } else {
                 Script::new(vec![]) as Box<dyn Program>
@@ -671,7 +821,14 @@ fn write_buffer_full_stalls() {
         .collect();
     let mut cfg = MachineConfig::tiny();
     cfg.write_buffer = 1;
-    let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 16], programs });
+    let mut m = Machine::new(
+        cfg,
+        MachineSpec {
+            heap,
+            initial: vec![0.0; 16],
+            programs,
+        },
+    );
     let stats = m.run();
     for i in 0..8 {
         assert_eq!(m.master_word(Word::new(arr.line(i), 0)), 1.0 + i as f64);
@@ -687,18 +844,35 @@ fn spin_loads_charge_sync_not_memory() {
     let programs: Vec<Box<dyn Program>> = (0..4)
         .map(|n| {
             if n == 0 {
-                Script::new(vec![Step::SpinLoad(w), Step::SpinWait(50), Step::SpinLoad(w)])
-                    as Box<dyn Program>
+                Script::new(vec![
+                    Step::SpinLoad(w),
+                    Step::SpinWait(50),
+                    Step::SpinLoad(w),
+                ]) as Box<dyn Program>
             } else {
                 Script::new(vec![]) as Box<dyn Program>
             }
         })
         .collect();
     let cfg = MachineConfig::tiny();
-    let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 4], programs });
+    let mut m = Machine::new(
+        cfg,
+        MachineSpec {
+            heap,
+            initial: vec![0.0; 4],
+            programs,
+        },
+    );
     let stats = m.run();
-    assert!(stats.nodes[0].sync > Time::ZERO, "spin activity is synchronization time");
-    assert_eq!(stats.nodes[0].mem, Time::ZERO, "spin misses charge sync, not mem");
+    assert!(
+        stats.nodes[0].sync > Time::ZERO,
+        "spin activity is synchronization time"
+    );
+    assert_eq!(
+        stats.nodes[0].mem,
+        Time::ZERO,
+        "spin misses charge sync, not mem"
+    );
 }
 
 #[test]
@@ -726,10 +900,21 @@ fn congestion_grows_superlinearly() {
             .collect();
         let mut cfg = MachineConfig::alewife();
         if consumed > 0.0 {
-            cfg.cross_traffic =
-                Some(CrossTrafficConfig::consuming(consumed, cfg.clock(), 64, cfg.net.height));
+            cfg.cross_traffic = Some(CrossTrafficConfig::consuming(
+                consumed,
+                cfg.clock(),
+                64,
+                cfg.net.height,
+            ));
         }
-        let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 512], programs });
+        let mut m = Machine::new(
+            cfg,
+            MachineSpec {
+                heap,
+                initial: vec![0.0; 512],
+                programs,
+            },
+        );
         m.run().runtime_cycles as f64
     };
     let t0 = run(0.0);
@@ -759,13 +944,23 @@ fn trace_records_scheduling_events() {
         } as Box<dyn Program>)
         .collect();
     let cfg = MachineConfig::tiny().with_mechanism(Mechanism::MsgInterrupt);
-    let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 4], programs });
+    let mut m = Machine::new(
+        cfg,
+        MachineSpec {
+            heap,
+            initial: vec![0.0; 4],
+            programs,
+        },
+    );
     m.enable_trace(10_000);
     let _ = m.run();
     let trace = m.trace().expect("enabled");
     assert!(!trace.truncated());
     let kinds: Vec<&str> = trace.of_node(0).map(|e| e.kind.label()).collect();
-    assert!(kinds.contains(&"block-mem"), "node 0 missed remotely: {kinds:?}");
+    assert!(
+        kinds.contains(&"block-mem"),
+        "node 0 missed remotely: {kinds:?}"
+    );
     assert!(kinds.contains(&"send"));
     assert!(kinds.contains(&"barrier"));
     assert!(kinds.contains(&"done"));
@@ -783,7 +978,9 @@ fn miss_latency_histogram_captures_remote_misses() {
     let programs: Vec<Box<dyn Program>> = (0..4)
         .map(|n| {
             if n == 0 {
-                let steps = (0..8).map(|i| Step::Load(Word::new(arr.line(i), 0))).collect();
+                let steps = (0..8)
+                    .map(|i| Step::Load(Word::new(arr.line(i), 0)))
+                    .collect();
                 Script::new(steps) as Box<dyn Program>
             } else {
                 Script::new(vec![]) as Box<dyn Program>
@@ -791,11 +988,21 @@ fn miss_latency_histogram_captures_remote_misses() {
         })
         .collect();
     let cfg = MachineConfig::tiny();
-    let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 16], programs });
+    let mut m = Machine::new(
+        cfg,
+        MachineSpec {
+            heap,
+            initial: vec![0.0; 16],
+            programs,
+        },
+    );
     let stats = m.run();
     assert_eq!(stats.miss_latency.count, 8, "eight remote demand misses");
     let mean = stats.miss_latency.mean().expect("misses recorded");
-    assert!((25.0..90.0).contains(&mean), "mean remote miss {mean:.0} cycles");
+    assert!(
+        (25.0..90.0).contains(&mean),
+        "mean remote miss {mean:.0} cycles"
+    );
     assert!(stats.miss_latency.quantile_upper_bound(0.9).unwrap() <= 128);
 }
 
@@ -810,7 +1017,10 @@ fn latency_emulation_delays_prefetch_fills() {
             .map(|n| {
                 if n == 0 {
                     Script::new(vec![
-                        Step::Prefetch { line: arr.line(0), exclusive: false },
+                        Step::Prefetch {
+                            line: arr.line(0),
+                            exclusive: false,
+                        },
                         Step::Compute(20), // shallow lookahead
                         Step::Load(Word::new(arr.line(0), 0)),
                     ]) as Box<dyn Program>
@@ -821,7 +1031,14 @@ fn latency_emulation_delays_prefetch_fills() {
             .collect();
         let mut cfg = MachineConfig::tiny();
         cfg.latency_emulation = Some(LatencyEmulation::uniform(emu_cycles));
-        let mut m = Machine::new(cfg, MachineSpec { heap, initial: vec![0.0; 8], programs });
+        let mut m = Machine::new(
+            cfg,
+            MachineSpec {
+                heap,
+                initial: vec![0.0; 8],
+                programs,
+            },
+        );
         m.run().runtime_cycles
     };
     let short = run(30);
@@ -865,8 +1082,9 @@ fn ejection_backpressure_under_message_burst() {
             if n == 0 {
                 Box::new(Sink { need: 124, got: 0 }) as Box<dyn Program>
             } else {
-                let steps =
-                    (0..4).map(|i| Step::Send(ActiveMessage::new(0, HandlerId(1), vec![i]))).collect();
+                let steps = (0..4)
+                    .map(|i| Step::Send(ActiveMessage::new(0, HandlerId(1), vec![i])))
+                    .collect();
                 Script::new(steps) as Box<dyn Program>
             }
         })

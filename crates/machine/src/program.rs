@@ -121,7 +121,12 @@ pub struct HandlerCtx {
 
 impl HandlerCtx {
     pub(crate) fn new(node: usize, nodes: usize) -> Self {
-        HandlerCtx { node, nodes, sends: Vec::new(), extra_cycles: 0 }
+        HandlerCtx {
+            node,
+            nodes,
+            sends: Vec::new(),
+            extra_cycles: 0,
+        }
     }
 
     /// Sends an active message from within the handler (charged to message

@@ -20,7 +20,12 @@ pub enum Bucket {
 
 impl Bucket {
     /// All buckets in Figure 4's stacking order.
-    pub const ALL: [Bucket; 4] = [Bucket::Sync, Bucket::MsgOverhead, Bucket::MemWait, Bucket::Compute];
+    pub const ALL: [Bucket; 4] = [
+        Bucket::Sync,
+        Bucket::MsgOverhead,
+        Bucket::MemWait,
+        Bucket::Compute,
+    ];
 
     /// Label used in reports.
     pub fn label(self) -> &'static str {
@@ -165,13 +170,20 @@ impl RunStats {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        let sum: f64 = self.nodes.iter().map(|n| clock.cycles_at_f64(n.bucket(bucket))).sum();
+        let sum: f64 = self
+            .nodes
+            .iter()
+            .map(|n| clock.cycles_at_f64(n.bucket(bucket)))
+            .sum();
         sum / self.nodes.len() as f64
     }
 
     /// Mean per-node total accounted time in cycles.
     pub fn mean_total_cycles(&self, clock: Clock) -> f64 {
-        Bucket::ALL.iter().map(|&b| self.mean_bucket_cycles(b, clock)).sum()
+        Bucket::ALL
+            .iter()
+            .map(|&b| self.mean_bucket_cycles(b, clock))
+            .sum()
     }
 }
 

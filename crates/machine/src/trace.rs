@@ -87,13 +87,22 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace holding at most `capacity` events.
     pub fn new(capacity: usize) -> Self {
-        Trace { events: Vec::new(), capacity, dropped: 0 }
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
     }
 
     /// Records an event (drops it if the trace is full).
     pub fn record(&mut self, at: Time, recorded_at: Time, node: usize, kind: TraceKind) {
         if self.events.len() < self.capacity {
-            self.events.push(TraceEvent { at, recorded_at, node: node as u16, kind });
+            self.events.push(TraceEvent {
+                at,
+                recorded_at,
+                node: node as u16,
+                kind,
+            });
         } else {
             self.dropped += 1;
         }
@@ -151,7 +160,12 @@ mod tests {
     fn records_in_order_and_truncates() {
         let mut t = Trace::new(3);
         for i in 0..5 {
-            t.record(Time::from_ns(i * 10), Time::from_ns(i * 10), 0, TraceKind::Resume);
+            t.record(
+                Time::from_ns(i * 10),
+                Time::from_ns(i * 10),
+                0,
+                TraceKind::Resume,
+            );
         }
         assert_eq!(t.events().len(), 3);
         assert!(t.truncated());
@@ -171,8 +185,18 @@ mod tests {
     #[test]
     fn render_includes_details() {
         let mut t = Trace::new(10);
-        t.record(Time::from_us(1), Time::from_us(1), 2, TraceKind::Send { dst: 5, bytes: 24 });
-        t.record(Time::from_us(2), Time::from_us(2), 2, TraceKind::BlockMem { line: 77 });
+        t.record(
+            Time::from_us(1),
+            Time::from_us(1),
+            2,
+            TraceKind::Send { dst: 5, bytes: 24 },
+        );
+        t.record(
+            Time::from_us(2),
+            Time::from_us(2),
+            2,
+            TraceKind::BlockMem { line: 77 },
+        );
         let s = t.render_node(2, Clock::from_mhz(20.0));
         assert!(s.contains("send dst=5 bytes=24"));
         assert!(s.contains("block-mem line=77"));

@@ -32,7 +32,11 @@ impl CrossTrafficConfig {
         rows: u16,
     ) -> Self {
         let bytes_per_ns = consumed_bytes_per_cycle * 1_000.0 / clock.cycle_ps() as f64;
-        CrossTrafficConfig { message_bytes, bytes_per_ns, rows }
+        CrossTrafficConfig {
+            message_bytes,
+            bytes_per_ns,
+            rows,
+        }
     }
 
     /// Per-stream injection interval. There are `2 * rows` streams.
@@ -132,8 +136,12 @@ mod tests {
     #[test]
     fn smaller_messages_make_finer_streams() {
         let clock = Clock::from_mhz(20.0);
-        let small = CrossTrafficConfig::consuming(8.0, clock, 16, 4).interval().unwrap();
-        let large = CrossTrafficConfig::consuming(8.0, clock, 512, 4).interval().unwrap();
+        let small = CrossTrafficConfig::consuming(8.0, clock, 16, 4)
+            .interval()
+            .unwrap();
+        let large = CrossTrafficConfig::consuming(8.0, clock, 512, 4)
+            .interval()
+            .unwrap();
         assert!(small < large);
     }
 

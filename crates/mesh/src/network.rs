@@ -130,7 +130,9 @@ impl Network {
     /// Creates a network.
     pub fn new(cfg: NetConfig) -> Self {
         let mesh = Mesh::new(cfg.width, cfg.height);
-        let links = (0..mesh.num_links()).map(|_| LinkState::default()).collect();
+        let links = (0..mesh.num_links())
+            .map(|_| LinkState::default())
+            .collect();
         let n = mesh.num_nodes();
         Network {
             cfg,
@@ -193,12 +195,7 @@ impl Network {
     /// # Panics
     ///
     /// Panics if source and destination are the same compute node.
-    pub fn inject(
-        &mut self,
-        now: Time,
-        packet: Packet,
-        sched: &mut impl FnMut(Time, NetEvent),
-    ) {
+    pub fn inject(&mut self, now: Time, packet: Packet, sched: &mut impl FnMut(Time, NetEvent)) {
         let route = self.mesh.route(packet.src, packet.dst);
         self.stats.packets_injected += 1;
         self.stats
@@ -329,9 +326,13 @@ impl Network {
     fn deliver(&mut self, now: Time, pkt: u32) -> Option<Delivery> {
         let flight = self.flights[pkt as usize].take().expect("flight exists");
         self.free_slots.push(pkt);
-        self.stats.record_delivery(now.saturating_sub(flight.injected_at));
+        self.stats
+            .record_delivery(now.saturating_sub(flight.injected_at));
         match flight.packet.dst {
-            Endpoint::Node(_) => Some(Delivery { packet: flight.packet, injected_at: flight.injected_at }),
+            Endpoint::Node(_) => Some(Delivery {
+                packet: flight.packet,
+                injected_at: flight.injected_at,
+            }),
             _ => None,
         }
     }
@@ -373,12 +374,25 @@ mod tests {
         // Average-distance pair: 4 hops.
         let src = 0;
         let dst = 4; // (4,0): 4 hops
-        inject(&mut net, &mut q, Time::ZERO,
-               Packet::protocol(Endpoint::node(src), Endpoint::node(dst), 24, PacketClass::Data, 0));
+        inject(
+            &mut net,
+            &mut q,
+            Time::ZERO,
+            Packet::protocol(
+                Endpoint::node(src),
+                Endpoint::node(dst),
+                24,
+                PacketClass::Data,
+                0,
+            ),
+        );
         let out = drain(&mut net, q);
         assert_eq!(out.len(), 1);
         let cycles = Clock::from_mhz(20.0).cycles_at_f64(out[0].0);
-        assert!((12.0..20.0).contains(&cycles), "one-way 24B = {cycles} cycles");
+        assert!(
+            (12.0..20.0).contains(&cycles),
+            "one-way 24B = {cycles} cycles"
+        );
     }
 
     #[test]
@@ -396,8 +410,18 @@ mod tests {
         for (dst, out_t) in [(1usize, &mut t_near), (31usize, &mut t_far)] {
             let mut net = Network::new(cfg.clone());
             let mut q = EventQueue::new();
-            inject(&mut net, &mut q, Time::ZERO,
-                   Packet::protocol(Endpoint::node(0), Endpoint::node(dst), 24, PacketClass::Data, 0));
+            inject(
+                &mut net,
+                &mut q,
+                Time::ZERO,
+                Packet::protocol(
+                    Endpoint::node(0),
+                    Endpoint::node(dst),
+                    24,
+                    PacketClass::Data,
+                    0,
+                ),
+            );
             let out = drain(&mut net, q);
             *out_t = out[0].0;
         }
@@ -412,22 +436,41 @@ mod tests {
         let mut net = Network::new(NetConfig::alewife());
         let mut q = EventQueue::new();
         for tag in 0..2 {
-            inject(&mut net, &mut q, Time::ZERO,
-                   Packet::protocol(Endpoint::node(0), Endpoint::node(1), 104, PacketClass::Data, tag));
+            inject(
+                &mut net,
+                &mut q,
+                Time::ZERO,
+                Packet::protocol(
+                    Endpoint::node(0),
+                    Endpoint::node(1),
+                    104,
+                    PacketClass::Data,
+                    tag,
+                ),
+            );
         }
         let out = drain(&mut net, q);
         assert_eq!(out.len(), 2);
         let ser = net.serialize_time(104);
-        assert!(out[1].0.saturating_sub(out[0].0) >= ser,
-                "second packet {} should trail first {} by >= {}", out[1].0, out[0].0, ser);
+        assert!(
+            out[1].0.saturating_sub(out[0].0) >= ser,
+            "second packet {} should trail first {} by >= {}",
+            out[1].0,
+            out[0].0,
+            ser
+        );
     }
 
     #[test]
     fn cross_traffic_loads_bisection_but_is_not_app_volume() {
         let mut net = Network::new(NetConfig::alewife());
         let mut q = EventQueue::new();
-        inject(&mut net, &mut q, Time::ZERO,
-               Packet::cross_traffic(Endpoint::IoWest(0), Endpoint::IoEast(0), 64));
+        inject(
+            &mut net,
+            &mut q,
+            Time::ZERO,
+            Packet::cross_traffic(Endpoint::IoWest(0), Endpoint::IoEast(0), 64),
+        );
         let out = drain(&mut net, q);
         assert!(out.is_empty(), "cross traffic exits off-edge, no delivery");
         assert_eq!(net.stats().bisection.cross_traffic, 64);
@@ -442,13 +485,30 @@ mod tests {
             let mut net = Network::new(NetConfig::alewife());
             let mut q = EventQueue::new();
             for _ in 0..n_cross {
-                inject(&mut net, &mut q, Time::ZERO,
-                       Packet::cross_traffic(Endpoint::IoWest(0), Endpoint::IoEast(0), 512));
+                inject(
+                    &mut net,
+                    &mut q,
+                    Time::ZERO,
+                    Packet::cross_traffic(Endpoint::IoWest(0), Endpoint::IoEast(0), 512),
+                );
             }
-            inject(&mut net, &mut q, Time::from_ns(1),
-                   Packet::protocol(Endpoint::node(0), Endpoint::node(7), 24, PacketClass::Data, 9));
+            inject(
+                &mut net,
+                &mut q,
+                Time::from_ns(1),
+                Packet::protocol(
+                    Endpoint::node(0),
+                    Endpoint::node(7),
+                    24,
+                    PacketClass::Data,
+                    9,
+                ),
+            );
             let out = drain(&mut net, q);
-            out.iter().find(|(_, d)| d.packet.tag == 9).expect("app packet arrives").0
+            out.iter()
+                .find(|(_, d)| d.packet.tag == 9)
+                .expect("app packet arrives")
+                .0
         };
         assert!(run(8) > run(0), "cross traffic must delay the app packet");
     }
@@ -458,9 +518,17 @@ mod tests {
         let mut net = Network::new(NetConfig::alewife());
         let mut sink = |_t: Time, _e: NetEvent| {};
         assert_eq!(net.inject_ready_at(0), Time::ZERO);
-        net.inject(Time::ZERO,
-                   Packet::protocol(Endpoint::node(0), Endpoint::node(1), 104, PacketClass::Data, 0),
-                   &mut sink);
+        net.inject(
+            Time::ZERO,
+            Packet::protocol(
+                Endpoint::node(0),
+                Endpoint::node(1),
+                104,
+                PacketClass::Data,
+                0,
+            ),
+            &mut sink,
+        );
         assert!(net.inject_ready_at(0) > Time::ZERO);
     }
 
@@ -472,8 +540,18 @@ mod tests {
                 net.stall_ejection(1, until);
             }
             let mut q = EventQueue::new();
-            inject(&mut net, &mut q, Time::ZERO,
-                   Packet::protocol(Endpoint::node(0), Endpoint::node(1), 24, PacketClass::Data, 0));
+            inject(
+                &mut net,
+                &mut q,
+                Time::ZERO,
+                Packet::protocol(
+                    Endpoint::node(0),
+                    Endpoint::node(1),
+                    24,
+                    PacketClass::Data,
+                    0,
+                ),
+            );
             drain(&mut net, q)[0].0
         };
         let base = run(None);
@@ -486,10 +564,30 @@ mod tests {
     fn volume_accounting_per_injection() {
         let mut net = Network::new(NetConfig::alewife());
         let mut q = EventQueue::new();
-        inject(&mut net, &mut q, Time::ZERO,
-               Packet::protocol(Endpoint::node(0), Endpoint::node(31), 24, PacketClass::Data, 0));
-        inject(&mut net, &mut q, Time::ZERO,
-               Packet::protocol(Endpoint::node(5), Endpoint::node(6), 8, PacketClass::Request, 1));
+        inject(
+            &mut net,
+            &mut q,
+            Time::ZERO,
+            Packet::protocol(
+                Endpoint::node(0),
+                Endpoint::node(31),
+                24,
+                PacketClass::Data,
+                0,
+            ),
+        );
+        inject(
+            &mut net,
+            &mut q,
+            Time::ZERO,
+            Packet::protocol(
+                Endpoint::node(5),
+                Endpoint::node(6),
+                8,
+                PacketClass::Request,
+                1,
+            ),
+        );
         let _ = drain(&mut net, q);
         let v = net.stats().injected;
         assert_eq!(v.headers, 8);
@@ -506,8 +604,18 @@ mod tests {
             // EventQueue forbids scheduling into the past, so use fresh
             // queues with monotonically increasing injection times.
             let t0 = Time::from_us(round * 10);
-            inject(&mut net, &mut q, t0,
-                   Packet::protocol(Endpoint::node(0), Endpoint::node(3), 24, PacketClass::Data, round));
+            inject(
+                &mut net,
+                &mut q,
+                t0,
+                Packet::protocol(
+                    Endpoint::node(0),
+                    Endpoint::node(3),
+                    24,
+                    PacketClass::Data,
+                    round,
+                ),
+            );
             let out = drain(&mut net, q);
             assert_eq!(out.len(), 1);
         }

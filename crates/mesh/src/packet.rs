@@ -82,9 +82,22 @@ impl Packet {
     /// # Panics
     ///
     /// Panics if `total_bytes < 8`.
-    pub fn protocol(src: Endpoint, dst: Endpoint, total_bytes: u32, class: PacketClass, tag: u64) -> Self {
+    pub fn protocol(
+        src: Endpoint,
+        dst: Endpoint,
+        total_bytes: u32,
+        class: PacketClass,
+        tag: u64,
+    ) -> Self {
         assert!(total_bytes >= 8, "packet smaller than its header");
-        Packet { src, dst, header_bytes: 8, payload_bytes: total_bytes - 8, class, tag }
+        Packet {
+            src,
+            dst,
+            header_bytes: 8,
+            payload_bytes: total_bytes - 8,
+            class,
+            tag,
+        }
     }
 
     /// Creates a cross-traffic packet of `total_bytes`.
@@ -111,7 +124,13 @@ mod tests {
 
     #[test]
     fn protocol_packet_splits_header() {
-        let p = Packet::protocol(Endpoint::node(0), Endpoint::node(1), 24, PacketClass::Data, 1);
+        let p = Packet::protocol(
+            Endpoint::node(0),
+            Endpoint::node(1),
+            24,
+            PacketClass::Data,
+            1,
+        );
         assert_eq!(p.header_bytes, 8);
         assert_eq!(p.payload_bytes, 16);
         assert_eq!(p.wire_bytes(), 24);
@@ -120,7 +139,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "smaller than its header")]
     fn undersized_packet_panics() {
-        let _ = Packet::protocol(Endpoint::node(0), Endpoint::node(1), 4, PacketClass::Request, 0);
+        let _ = Packet::protocol(
+            Endpoint::node(0),
+            Endpoint::node(1),
+            4,
+            PacketClass::Request,
+            0,
+        );
     }
 
     #[test]
@@ -134,7 +159,12 @@ mod tests {
     fn app_classes_order_matches_figure5() {
         assert_eq!(
             PacketClass::APP_CLASSES,
-            [PacketClass::Invalidate, PacketClass::Request, PacketClass::Header, PacketClass::Data]
+            [
+                PacketClass::Invalidate,
+                PacketClass::Request,
+                PacketClass::Header,
+                PacketClass::Data
+            ]
         );
     }
 }

@@ -95,7 +95,10 @@ impl Mesh {
     /// Panics if `id` is out of range.
     pub fn coord(&self, id: usize) -> RouterCoord {
         assert!(id < self.num_nodes(), "node {id} out of range");
-        RouterCoord::new((id % self.width as usize) as u16, (id / self.width as usize) as u16)
+        RouterCoord::new(
+            (id % self.width as usize) as u16,
+            (id / self.width as usize) as u16,
+        )
     }
 
     /// Node id at a coordinate.
@@ -158,7 +161,9 @@ impl Mesh {
 
     /// The ids of all links crossing the bisection cut.
     pub fn bisection_links(&self) -> Vec<usize> {
-        (0..self.num_links()).filter(|&l| self.crosses_bisection(l)).collect()
+        (0..self.num_links())
+            .filter(|&l| self.crosses_bisection(l))
+            .collect()
     }
 
     /// Manhattan hop count between two compute nodes.
@@ -212,14 +217,30 @@ impl Mesh {
         let target = self.coord(b);
         let mut links = Vec::with_capacity(self.hops(a, b));
         while cur.x != target.x {
-            let dir = if cur.x < target.x { RouteDir::East } else { RouteDir::West };
+            let dir = if cur.x < target.x {
+                RouteDir::East
+            } else {
+                RouteDir::West
+            };
             links.push(self.link_id(cur, dir));
-            cur.x = if cur.x < target.x { cur.x + 1 } else { cur.x - 1 };
+            cur.x = if cur.x < target.x {
+                cur.x + 1
+            } else {
+                cur.x - 1
+            };
         }
         while cur.y != target.y {
-            let dir = if cur.y < target.y { RouteDir::South } else { RouteDir::North };
+            let dir = if cur.y < target.y {
+                RouteDir::South
+            } else {
+                RouteDir::North
+            };
             links.push(self.link_id(cur, dir));
-            cur.y = if cur.y < target.y { cur.y + 1 } else { cur.y - 1 };
+            cur.y = if cur.y < target.y {
+                cur.y + 1
+            } else {
+                cur.y - 1
+            };
         }
         links
     }
@@ -261,7 +282,12 @@ mod tests {
         for y in 0..4 {
             for x in 0..8 {
                 let c = RouterCoord::new(x, y);
-                for dir in [RouteDir::East, RouteDir::West, RouteDir::South, RouteDir::North] {
+                for dir in [
+                    RouteDir::East,
+                    RouteDir::West,
+                    RouteDir::South,
+                    RouteDir::North,
+                ] {
                     let ok = match dir {
                         RouteDir::East => x + 1 < 8,
                         RouteDir::West => x >= 1,

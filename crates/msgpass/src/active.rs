@@ -70,7 +70,10 @@ impl ActiveMessage {
     ///
     /// Panics if more than [`MAX_AM_ARGS`] argument words are supplied.
     pub fn new(dst: usize, handler: HandlerId, args: Vec<u64>) -> Self {
-        assert!(args.len() <= MAX_AM_ARGS, "active message holds at most {MAX_AM_ARGS} words");
+        assert!(
+            args.len() <= MAX_AM_ARGS,
+            "active message holds at most {MAX_AM_ARGS} words"
+        );
         ActiveMessage {
             dst,
             handler,
@@ -161,7 +164,9 @@ mod tests {
 
     #[test]
     fn gather_scatter_builders() {
-        let am = ActiveMessage::with_bulk(1, HandlerId(4), vec![2], 64).gather(4).scatter(4);
+        let am = ActiveMessage::with_bulk(1, HandlerId(4), vec![2], 64)
+            .gather(4)
+            .scatter(4);
         assert_eq!(am.gather_lines, 4);
         assert_eq!(am.scatter_lines, 4);
     }

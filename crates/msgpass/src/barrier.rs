@@ -54,7 +54,10 @@ impl BarrierTree {
 
     /// The children of `node` that exist within the tree.
     pub fn children(&self, node: usize) -> Vec<usize> {
-        [2 * node + 1, 2 * node + 2].into_iter().filter(|&c| c < self.n).collect()
+        [2 * node + 1, 2 * node + 2]
+            .into_iter()
+            .filter(|&c| c < self.n)
+            .collect()
     }
 
     /// Arrivals `node` must observe before notifying its parent (its own

@@ -69,7 +69,11 @@ impl MsgCosts {
 
     /// Receiver-side processor overhead, in cycles, given the receive mode.
     pub fn receive_cycles(&self, am: &ActiveMessage, polled: bool) -> u64 {
-        let entry = if polled { self.poll_per_msg } else { self.interrupt_base };
+        let entry = if polled {
+            self.poll_per_msg
+        } else {
+            self.interrupt_base
+        };
         let mut c = entry + self.dispatch;
         if am.bulk_bytes > 0 {
             c += self.dma_setup + self.copy_per_line * am.scatter_lines as u64;
@@ -81,7 +85,12 @@ impl MsgCosts {
     /// cycles: how long the ejection port is held, which is what lets
     /// shared memory "pull messages out of the network much faster than
     /// message passing" (§5.1).
-    pub fn drain_occupancy_cycles(&self, am: &ActiveMessage, polled: bool, queue_depth: usize) -> u64 {
+    pub fn drain_occupancy_cycles(
+        &self,
+        am: &ActiveMessage,
+        polled: bool,
+        queue_depth: usize,
+    ) -> u64 {
         if am.handler.is_system() {
             return self.system_msg;
         }
@@ -127,7 +136,10 @@ mod tests {
         let poll = c.receive_cycles(&am, true);
         assert!(poll < int);
         // Roughly a third cheaper or more (ICCG's ~35% observation).
-        assert!((poll as f64) < 0.75 * int as f64, "poll {poll} vs int {int}");
+        assert!(
+            (poll as f64) < 0.75 * int as f64,
+            "poll {poll} vs int {int}"
+        );
     }
 
     #[test]

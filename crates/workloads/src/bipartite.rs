@@ -30,12 +30,26 @@ pub struct Em3dParams {
 impl Em3dParams {
     /// The paper's configuration (§4.1).
     pub fn paper() -> Self {
-        Em3dParams { nodes: 10_000, degree: 10, pct_nonlocal: 0.2, span: 3, iterations: 50, seed: 0x3d }
+        Em3dParams {
+            nodes: 10_000,
+            degree: 10,
+            pct_nonlocal: 0.2,
+            span: 3,
+            iterations: 50,
+            seed: 0x3d,
+        }
     }
 
     /// A scaled-down configuration for fast tests.
     pub fn small() -> Self {
-        Em3dParams { nodes: 400, degree: 4, pct_nonlocal: 0.2, span: 3, iterations: 3, seed: 0x3d }
+        Em3dParams {
+            nodes: 400,
+            degree: 4,
+            pct_nonlocal: 0.2,
+            span: 3,
+            iterations: 3,
+            seed: 0x3d,
+        }
     }
 }
 
@@ -65,7 +79,9 @@ impl Side {
 
     /// Indices of the nodes owned by processor `p`.
     pub fn nodes_of(&self, p: usize) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.owner[i] as usize == p).collect()
+        (0..self.len())
+            .filter(|&i| self.owner[i] as usize == p)
+            .collect()
     }
 }
 
@@ -95,13 +111,24 @@ impl Em3dGraph {
     /// Panics if parameters are degenerate (zero nodes/degree, or fewer
     /// than two nodes per side per processor).
     pub fn generate(params: &Em3dParams, nprocs: usize) -> Self {
-        assert!(params.nodes >= 4 && params.degree >= 1, "degenerate EM3D parameters");
+        assert!(
+            params.nodes >= 4 && params.degree >= 1,
+            "degenerate EM3D parameters"
+        );
         let per_side = params.nodes / 2;
-        assert!(per_side >= nprocs, "need at least one node per processor per side");
+        assert!(
+            per_side >= nprocs,
+            "need at least one node per processor per side"
+        );
         let mut rng = Rng::new(params.seed);
         let e = Self::gen_side(params, nprocs, per_side, &mut rng);
         let h = Self::gen_side(params, nprocs, per_side, &mut rng);
-        Em3dGraph { params: params.clone(), nprocs, e, h }
+        Em3dGraph {
+            params: params.clone(),
+            nprocs,
+            e,
+            h,
+        }
     }
 
     fn gen_side(params: &Em3dParams, nprocs: usize, count: usize, rng: &mut Rng) -> Side {
@@ -143,7 +170,11 @@ impl Em3dGraph {
                 nc.push(rng.f64() * 0.1);
                 if ne.len() < params.degree {
                     // The line-mate of j within the same owner's range.
-                    let mate = if j.is_multiple_of(2) && j + 1 < hi { j + 1 } else { j.saturating_sub(1).max(lo) };
+                    let mate = if j.is_multiple_of(2) && j + 1 < hi {
+                        j + 1
+                    } else {
+                        j.saturating_sub(1).max(lo)
+                    };
                     ne.push(mate as u32);
                     nc.push(rng.f64() * 0.1);
                 }
@@ -152,7 +183,12 @@ impl Em3dGraph {
             coeffs.push(nc);
             init.push(rng.f64());
         }
-        Side { owner, edges, coeffs, init }
+        Side {
+            owner,
+            edges,
+            coeffs,
+            init,
+        }
     }
 
     /// Fraction of edges (both sides) whose endpoint is on another

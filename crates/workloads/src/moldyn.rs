@@ -75,7 +75,10 @@ impl MoldynParams {
 /// assert_ne!(owners[0], owners[16]);
 /// ```
 pub fn rcb_partition(points: &[[f64; 3]], parts: usize) -> Vec<u16> {
-    assert!(parts > 0 && !points.is_empty(), "rcb needs points and parts");
+    assert!(
+        parts > 0 && !points.is_empty(),
+        "rcb needs points and parts"
+    );
     let mut owner = vec![0u16; points.len()];
     let idx: Vec<usize> = (0..points.len()).collect();
     rcb_rec(points, idx, 0, parts, &mut owner);
@@ -92,11 +95,21 @@ fn rcb_rec(points: &[[f64; 3]], mut idx: Vec<usize>, base: usize, parts: usize, 
     // Split along the widest dimension.
     let mut spans = [(0usize, 0.0f64); 3];
     for (d, span) in spans.iter_mut().enumerate() {
-        let lo = idx.iter().map(|&i| points[i][d]).fold(f64::INFINITY, f64::min);
-        let hi = idx.iter().map(|&i| points[i][d]).fold(f64::NEG_INFINITY, f64::max);
+        let lo = idx
+            .iter()
+            .map(|&i| points[i][d])
+            .fold(f64::INFINITY, f64::min);
+        let hi = idx
+            .iter()
+            .map(|&i| points[i][d])
+            .fold(f64::NEG_INFINITY, f64::max);
         *span = (d, hi - lo);
     }
-    let dim = spans.iter().max_by(|a, b| a.1.total_cmp(&b.1)).expect("3 dims").0;
+    let dim = spans
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("3 dims")
+        .0;
     idx.sort_by(|&a, &b| points[a][dim].total_cmp(&points[b][dim]).then(a.cmp(&b)));
     let left_parts = parts / 2;
     let split = idx.len() * left_parts / parts;
@@ -129,7 +142,10 @@ impl MoldynSystem {
     ///
     /// Panics if there are fewer molecules than processors.
     pub fn generate(params: &MoldynParams, nprocs: usize) -> Self {
-        assert!(params.molecules >= nprocs, "need at least one molecule per processor");
+        assert!(
+            params.molecules >= nprocs,
+            "need at least one molecule per processor"
+        );
         let mut rng = Rng::new(params.seed);
         let n = params.molecules;
         let pos: Vec<[f64; 3]> = (0..n)
@@ -146,7 +162,14 @@ impl MoldynSystem {
             .collect();
         let owner = rcb_partition(&pos, nprocs);
         let pairs = build_pairs(&pos, 2.0 * params.cutoff);
-        MoldynSystem { params: params.clone(), nprocs, pos, vel, owner, pairs }
+        MoldynSystem {
+            params: params.clone(),
+            nprocs,
+            pos,
+            vel,
+            owner,
+            pairs,
+        }
     }
 
     /// Molecule count.
@@ -161,7 +184,9 @@ impl MoldynSystem {
 
     /// Molecules owned by processor `p`.
     pub fn molecules_of(&self, p: usize) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.owner[i] as usize == p).collect()
+        (0..self.len())
+            .filter(|&i| self.owner[i] as usize == p)
+            .collect()
     }
 
     /// Pairs whose *lower* molecule is owned by `p` (the computing side).
@@ -246,7 +271,9 @@ pub fn build_pairs(pos: &[[f64; 3]], radius: f64) -> Vec<(u32, u32)> {
         for dx in -1..=1 {
             for dy in -1..=1 {
                 for dz in -1..=1 {
-                    let Some(other) = cells.get(&(cx + dx, cy + dy, cz + dz)) else { continue };
+                    let Some(other) = cells.get(&(cx + dx, cy + dy, cz + dz)) else {
+                        continue;
+                    };
                     for &i in members {
                         for &j in other {
                             if i < j {
@@ -291,7 +318,9 @@ mod tests {
 
     #[test]
     fn rcb_handles_non_power_of_two() {
-        let pts: Vec<[f64; 3]> = (0..90).map(|i| [i as f64, (i * 7 % 13) as f64, 0.0]).collect();
+        let pts: Vec<[f64; 3]> = (0..90)
+            .map(|i| [i as f64, (i * 7 % 13) as f64, 0.0])
+            .collect();
         let owners = rcb_partition(&pts, 6);
         let mut counts = vec![0; 6];
         for &o in &owners {
@@ -317,8 +346,7 @@ mod tests {
         for &(i, j) in &s.pairs {
             assert!(i < j);
             let (a, b) = (&s.pos[i as usize], &s.pos[j as usize]);
-            let d2 =
-                (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2);
+            let d2 = (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2);
             assert!(d2 <= r * r + 1e-12);
         }
     }
@@ -332,8 +360,7 @@ mod tests {
         for i in 0..s.len() {
             for j in (i + 1)..s.len() {
                 let (a, b) = (&s.pos[i], &s.pos[j]);
-                let d2 =
-                    (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2);
+                let d2 = (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2);
                 if d2 <= r * r {
                     brute.push((i as u32, j as u32));
                 }
@@ -354,8 +381,7 @@ mod tests {
     #[test]
     fn velocities_are_roughly_maxwellian() {
         let s = MoldynSystem::generate(&MoldynParams::paper(), 4);
-        let mean: f64 =
-            s.vel.iter().map(|v| v[0]).sum::<f64>() / s.len() as f64;
+        let mean: f64 = s.vel.iter().map(|v| v[0]).sum::<f64>() / s.len() as f64;
         assert!(mean.abs() < 0.02, "velocity mean {mean}");
     }
 }

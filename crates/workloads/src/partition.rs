@@ -179,10 +179,18 @@ mod tests {
 
     #[test]
     fn path_graph_splits_contiguously() {
-        let adj = Adjacency::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
+        let adj =
+            Adjacency::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
         let owners = greedy_graph_growing(&adj, 4);
-        let q = partition_quality(&owners, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)], 4);
-        assert!((q.imbalance - 1.0).abs() < 1e-9, "perfectly balanced: {q:?}");
+        let q = partition_quality(
+            &owners,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)],
+            4,
+        );
+        assert!(
+            (q.imbalance - 1.0).abs() < 1e-9,
+            "perfectly balanced: {q:?}"
+        );
         // A path cut into 4 parts severs exactly 3 edges.
         assert!((q.cut_fraction - 3.0 / 7.0).abs() < 1e-9, "{q:?}");
     }

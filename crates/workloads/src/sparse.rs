@@ -37,12 +37,24 @@ pub struct IccgParams {
 impl IccgParams {
     /// A BCSSTK32-flavoured configuration scaled to simulator size.
     pub fn paper() -> Self {
-        IccgParams { rows: 6000, avg_band: 8, far_fraction: 0.08, chunk_rows: 64, seed: 0x1cc6 }
+        IccgParams {
+            rows: 6000,
+            avg_band: 8,
+            far_fraction: 0.08,
+            chunk_rows: 64,
+            seed: 0x1cc6,
+        }
     }
 
     /// A scaled-down configuration for fast tests.
     pub fn small() -> Self {
-        IccgParams { rows: 400, avg_band: 4, far_fraction: 0.08, chunk_rows: 16, seed: 0x1cc6 }
+        IccgParams {
+            rows: 400,
+            avg_band: 4,
+            far_fraction: 0.08,
+            chunk_rows: 16,
+            seed: 0x1cc6,
+        }
     }
 }
 
@@ -92,7 +104,11 @@ impl IccgSystem {
         rowptr.push(0u32);
         for i in 0..n {
             let max_in = i.min(params.avg_band * 2);
-            let nnz = if max_in == 0 { 0 } else { 1 + rng.index(max_in.min(params.avg_band * 2 - 1).max(1)) };
+            let nnz = if max_in == 0 {
+                0
+            } else {
+                1 + rng.index(max_in.min(params.avg_band * 2 - 1).max(1))
+            };
             let mut row = std::collections::BTreeSet::new();
             for _ in 0..nnz {
                 let j = if rng.chance(params.far_fraction) {
@@ -118,7 +134,11 @@ impl IccgSystem {
         let mut level = vec![0u32; n];
         for i in 0..n {
             let (lo, hi) = (rowptr[i] as usize, rowptr[i + 1] as usize);
-            let lvl = cols[lo..hi].iter().map(|&j| level[j as usize] + 1).max().unwrap_or(0);
+            let lvl = cols[lo..hi]
+                .iter()
+                .map(|&j| level[j as usize] + 1)
+                .max()
+                .unwrap_or(0);
             level[i] = lvl;
         }
 
@@ -168,7 +188,9 @@ impl IccgSystem {
 
     /// Rows owned by processor `p`, in row order.
     pub fn rows_of(&self, p: usize) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.owner[i] as usize == p).collect()
+        (0..self.len())
+            .filter(|&i| self.owner[i] as usize == p)
+            .collect()
     }
 
     /// Incoming edge count of row `i`.
@@ -179,7 +201,10 @@ impl IccgSystem {
     /// Incoming `(col, val)` pairs of row `i`.
     pub fn in_edges(&self, i: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
         let (lo, hi) = (self.rowptr[i] as usize, self.rowptr[i + 1] as usize);
-        self.cols[lo..hi].iter().copied().zip(self.vals[lo..hi].iter().copied())
+        self.cols[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.vals[lo..hi].iter().copied())
     }
 
     /// Fraction of edges whose endpoints live on different processors.
@@ -375,9 +400,18 @@ pub fn parse_matrix_market(text: &str) -> Result<ParsedMatrix, ParseMatrixError>
     }
     let (_, size) = size_line.ok_or(ParseMatrixError::BadSize)?;
     let mut it = size.split_whitespace();
-    let rows: usize = it.next().and_then(|s| s.parse().ok()).ok_or(ParseMatrixError::BadSize)?;
-    let cols: usize = it.next().and_then(|s| s.parse().ok()).ok_or(ParseMatrixError::BadSize)?;
-    let nnz: usize = it.next().and_then(|s| s.parse().ok()).ok_or(ParseMatrixError::BadSize)?;
+    let rows: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(ParseMatrixError::BadSize)?;
+    let cols: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(ParseMatrixError::BadSize)?;
+    let nnz: usize = it
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(ParseMatrixError::BadSize)?;
     let mut entries = Vec::with_capacity(nnz);
     for (i, l) in lines {
         let t = l.trim();
@@ -385,12 +419,18 @@ pub fn parse_matrix_market(text: &str) -> Result<ParsedMatrix, ParseMatrixError>
             continue;
         }
         let mut it = t.split_whitespace();
-        let r: usize =
-            it.next().and_then(|s| s.parse().ok()).ok_or(ParseMatrixError::BadEntry(i + 1))?;
-        let c: usize =
-            it.next().and_then(|s| s.parse().ok()).ok_or(ParseMatrixError::BadEntry(i + 1))?;
-        let v: f64 =
-            it.next().and_then(|s| s.parse().ok()).ok_or(ParseMatrixError::BadEntry(i + 1))?;
+        let r: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ParseMatrixError::BadEntry(i + 1))?;
+        let c: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ParseMatrixError::BadEntry(i + 1))?;
+        let v: f64 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ParseMatrixError::BadEntry(i + 1))?;
         if r == 0 || c == 0 || r > rows || c > cols {
             return Err(ParseMatrixError::BadEntry(i + 1));
         }
@@ -436,9 +476,13 @@ impl IccgSystem {
         for row in &mut per_row {
             row.sort_unstable_by_key(|&(c, _)| c);
             row.dedup_by_key(|&mut (c, _)| c);
-            let norm: f64 =
-                row.iter().map(|&(_, v)| v.abs()).fold(0.0, f64::max).max(1e-12) * 2.0
-                    * row.len().max(1) as f64;
+            let norm: f64 = row
+                .iter()
+                .map(|&(_, v)| v.abs())
+                .fold(0.0, f64::max)
+                .max(1e-12)
+                * 2.0
+                * row.len().max(1) as f64;
             for &(c, v) in row.iter() {
                 cols.push(c);
                 vals.push(v / norm);
@@ -448,7 +492,11 @@ impl IccgSystem {
         let mut level = vec![0u32; rows];
         for i in 0..rows {
             let (lo, hi) = (rowptr[i] as usize, rowptr[i + 1] as usize);
-            level[i] = cols[lo..hi].iter().map(|&j| level[j as usize] + 1).max().unwrap_or(0);
+            level[i] = cols[lo..hi]
+                .iter()
+                .map(|&j| level[j as usize] + 1)
+                .max()
+                .unwrap_or(0);
         }
         let chunk = chunk_rows.max(1);
         let owner: Vec<u16> = (0..rows).map(|i| ((i / chunk) % nprocs) as u16).collect();
@@ -509,7 +557,10 @@ mod matrix_market_tests {
     #[test]
     fn rejects_out_of_bounds_entry() {
         let bad = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
-        assert!(matches!(parse_matrix_market(bad), Err(ParseMatrixError::BadEntry(_))));
+        assert!(matches!(
+            parse_matrix_market(bad),
+            Err(ParseMatrixError::BadEntry(_))
+        ));
     }
 
     #[test]

@@ -38,12 +38,24 @@ pub struct UnstrucParams {
 impl UnstrucParams {
     /// The paper's MESH2K-like configuration.
     pub fn paper() -> Self {
-        UnstrucParams { nodes: 2000, avg_degree: 7, flops_per_edge: 75, iterations: 10, seed: 0x05 }
+        UnstrucParams {
+            nodes: 2000,
+            avg_degree: 7,
+            flops_per_edge: 75,
+            iterations: 10,
+            seed: 0x05,
+        }
     }
 
     /// A scaled-down configuration for fast tests.
     pub fn small() -> Self {
-        UnstrucParams { nodes: 256, avg_degree: 5, flops_per_edge: 75, iterations: 2, seed: 0x05 }
+        UnstrucParams {
+            nodes: 256,
+            avg_degree: 5,
+            flops_per_edge: 75,
+            iterations: 2,
+            seed: 0x05,
+        }
     }
 }
 
@@ -91,11 +103,16 @@ impl UnstrucMesh {
         nprocs: usize,
         strategy: PartitionStrategy,
     ) -> Self {
-        assert!(params.nodes >= nprocs, "need at least one node per processor");
+        assert!(
+            params.nodes >= nprocs,
+            "need at least one node per processor"
+        );
         let n = params.nodes;
         let mut rng = Rng::new(params.seed);
         let per_proc = n.div_ceil(nprocs);
-        let owner: Vec<u16> = (0..n).map(|i| ((i / per_proc).min(nprocs - 1)) as u16).collect();
+        let owner: Vec<u16> = (0..n)
+            .map(|i| ((i / per_proc).min(nprocs - 1)) as u16)
+            .collect();
 
         // Connect each node to ~avg_degree neighbors drawn from a window of
         // nearby indices (index order == spatial order for a grid walk).
@@ -134,7 +151,15 @@ impl UnstrucMesh {
                 greedy_graph_growing(&Adjacency::from_edges(n, &edges), nprocs)
             }
         };
-        UnstrucMesh { params: params.clone(), nprocs, owner, edges, weights, faces, init }
+        UnstrucMesh {
+            params: params.clone(),
+            nprocs,
+            owner,
+            edges,
+            weights,
+            faces,
+            init,
+        }
     }
 
     /// Node count.
@@ -149,7 +174,9 @@ impl UnstrucMesh {
 
     /// Indices of the nodes owned by processor `p`.
     pub fn nodes_of(&self, p: usize) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.owner[i] as usize == p).collect()
+        (0..self.len())
+            .filter(|&i| self.owner[i] as usize == p)
+            .collect()
     }
 
     /// Indices of the edges whose *lower endpoint* is owned by `p` (the

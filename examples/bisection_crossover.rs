@@ -20,15 +20,22 @@ fn main() {
     let cfg = MachineConfig::alewife();
 
     // Consume 0..16 of Alewife's 18 bytes/cycle of bisection with 64-byte
-    // cross-traffic messages from the mesh-edge I/O nodes.
+    // cross-traffic messages from the mesh-edge I/O nodes. The plan's 18
+    // points share one prepared EM3D workload and run on COMMSENSE_JOBS
+    // worker threads.
     let consumed = [0.0, 4.0, 8.0, 12.0, 14.0, 16.0];
-    let sweeps = experiment::bisection_sweep(
+    let sweeps = experiment::bisection_plan(
         &spec,
-        &[Mechanism::SharedMem, Mechanism::SharedMemPrefetch, Mechanism::MsgInterrupt],
+        &[
+            Mechanism::SharedMem,
+            Mechanism::SharedMemPrefetch,
+            Mechanism::MsgInterrupt,
+        ],
         &cfg,
         &consumed,
         64,
-    );
+    )
+    .run(&Runner::from_env());
     for s in &sweeps {
         s.assert_verified();
     }
@@ -56,6 +63,11 @@ fn main() {
     let segs = regions::classify(&sweeps[0], &stress, 0.05, 1.5);
     println!("\nShared-memory curve regions (Figure 1):");
     for seg in segs {
-        println!("  {:>5.1} -> {:>5.1} B/cycle: {}", seg.x_lo, seg.x_hi, seg.region.label());
+        println!(
+            "  {:>5.1} -> {:>5.1} B/cycle: {}",
+            seg.x_lo,
+            seg.x_hi,
+            seg.region.label()
+        );
     }
 }

@@ -152,20 +152,40 @@ fn run_sm(cfg: &MachineConfig) -> u64 {
         })
         .collect();
     let initial = vec![0.0; heap.total_words()];
-    Machine::new(cfg.clone(), MachineSpec { heap, initial, programs }).run().runtime_cycles
+    Machine::new(
+        cfg.clone(),
+        MachineSpec {
+            heap,
+            initial,
+            programs,
+        },
+    )
+    .run()
+    .runtime_cycles
 }
 
 fn run_mp(cfg: &MachineConfig) -> u64 {
     let programs: Vec<Box<dyn Program>> = (0..cfg.nodes)
         .map(|me| match me {
-            0 | 1 => Box::new(MpPing { me, sent: 0, acked: 0 }) as Box<dyn Program>,
+            0 | 1 => Box::new(MpPing {
+                me,
+                sent: 0,
+                acked: 0,
+            }) as Box<dyn Program>,
             _ => Box::new(Idle) as Box<dyn Program>,
         })
         .collect();
     let heap = Heap::new(cfg.nodes);
-    Machine::new(cfg.clone(), MachineSpec { heap, initial: Vec::new(), programs })
-        .run()
-        .runtime_cycles
+    Machine::new(
+        cfg.clone(),
+        MachineSpec {
+            heap,
+            initial: Vec::new(),
+            programs,
+        },
+    )
+    .run()
+    .runtime_cycles
 }
 
 fn main() {
@@ -173,8 +193,14 @@ fn main() {
     let sm = run_sm(&cfg);
     let mp = run_mp(&cfg);
     println!("ping-pong between adjacent nodes, {ROUNDS} exchanges:");
-    println!("  shared memory:   {sm:>7} cycles ({:.1} cycles/exchange)", sm as f64 / ROUNDS as f64);
-    println!("  active messages: {mp:>7} cycles ({:.1} cycles/exchange)", mp as f64 / ROUNDS as f64);
+    println!(
+        "  shared memory:   {sm:>7} cycles ({:.1} cycles/exchange)",
+        sm as f64 / ROUNDS as f64
+    );
+    println!(
+        "  active messages: {mp:>7} cycles ({:.1} cycles/exchange)",
+        mp as f64 / ROUNDS as f64
+    );
     println!(
         "\nShared memory pays coherence-protocol round trips through the home\n\
          directory; message passing pays software send/receive overhead — the\n\

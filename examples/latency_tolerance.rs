@@ -18,38 +18,45 @@ fn main() {
         seed: 0x3d,
     });
     let cfg = MachineConfig::alewife();
+    let mechs = [
+        Mechanism::SharedMem,
+        Mechanism::SharedMemPrefetch,
+        Mechanism::MsgPoll,
+    ];
+
+    // Both figures share one prepared workload (graph + reference solution)
+    // and one runner; points execute on COMMSENSE_JOBS worker threads.
+    let runner = Runner::from_env();
+    let mut cache = WorkloadCache::new();
 
     // Figure 9: Alewife's clock generator runs 14..20 MHz; slowing the
     // processor makes the asynchronous network look faster.
     println!("Figure 9 — clock scaling (x = one-way 24-byte latency, processor cycles)\n");
-    let sweeps = experiment::clock_sweep(
-        &spec,
-        &[Mechanism::SharedMem, Mechanism::SharedMemPrefetch, Mechanism::MsgPoll],
-        &cfg,
-        &[20.0, 18.0, 16.0, 14.0],
-    );
+    let sweeps = experiment::clock_plan(&spec, &mechs, &cfg, &[20.0, 18.0, 16.0, 14.0])
+        .run_with(&runner, &mut cache);
     for s in &sweeps {
         s.assert_verified();
     }
-    print!("{}", report::sweep_table("EM3D runtime (cycles)", "lat", &sweeps));
+    print!(
+        "{}",
+        report::sweep_table("EM3D runtime (cycles)", "lat", &sweeps)
+    );
 
     // Figure 10: context-switch emulation of 30..800-cycle remote misses.
     println!("\nFigure 10 — uniform remote-miss latency emulation\n");
     let lats = [30u64, 50, 100, 200, 400, 800];
-    let sweeps = experiment::ctx_switch_sweep(
-        &spec,
-        &[Mechanism::SharedMem, Mechanism::SharedMemPrefetch, Mechanism::MsgPoll],
-        &cfg,
-        &lats,
+    let sweeps =
+        experiment::ctx_switch_plan(&spec, &mechs, &cfg, &lats).run_with(&runner, &mut cache);
+    print!(
+        "{}",
+        report::sweep_table("EM3D runtime (cycles)", "miss", &sweeps)
     );
-    print!("{}", report::sweep_table("EM3D runtime (cycles)", "miss", &sweeps));
 
     // The related-work cross-check (§6): Chandra, Rogers & Larus measured
     // message-passing EM3D about 2x faster than shared memory on a
     // CM5-like machine with ~100-cycle latency.
-    let sm = &sweeps[0].points;
-    let mp = &sweeps[2].points;
-    let at100 = sm.iter().position(|p| p.x == 100.0).expect("100-cycle point");
-    let ratio = sm[at100].result.runtime_cycles as f64 / mp[at100].result.runtime_cycles as f64;
+    let sm = sweeps[0].point_at(100.0).expect("100-cycle point");
+    let mp = sweeps[2].point_at(100.0).expect("100-cycle point");
+    let ratio = sm.result.runtime_cycles as f64 / mp.result.runtime_cycles as f64;
     println!("\nAt 100-cycle remote misses, sm/mp = {ratio:.2} (Chandra et al. observed ~2x).");
 }

@@ -24,9 +24,7 @@ fn em3d() -> AppSpec {
 
 fn main() {
     let spec = em3d();
-    println!(
-        "EM3D across Table 1's design points (32 emulated nodes, runtime in cycles)\n"
-    );
+    println!("EM3D across Table 1's design points (32 emulated nodes, runtime in cycles)\n");
     println!(
         "{:<16} {:>8} {:>7} {:>10} {:>10} {:>10} {:>10}  sm+pf/mp-int",
         "machine", "B/cycle", "lat", "sm", "sm+pf", "mp-int", "mp-poll"
@@ -52,7 +50,11 @@ fn main() {
             r.results[2].runtime_cycles,
             r.results[3].runtime_cycles,
             r.ratio(1, 2),
-            if r.approx { "  (latency floor-limited)" } else { "" },
+            if r.approx {
+                "  (latency floor-limited)"
+            } else {
+                ""
+            },
         );
     }
     println!(

@@ -28,9 +28,11 @@ impl Program for Ring {
         self.step += 1;
         match self.step {
             1 => Step::Compute(50 + 13 * self.me as u64),
-            2 => Step::Send(ActiveMessage::new((self.me + 1) % self.n, HandlerId(1), vec![
-                self.me as u64,
-            ])),
+            2 => Step::Send(ActiveMessage::new(
+                (self.me + 1) % self.n,
+                HandlerId(1),
+                vec![self.me as u64],
+            )),
             3 => {
                 if self.got_token {
                     Step::Compute(1)
@@ -55,7 +57,10 @@ impl Program for Ring {
 }
 
 fn main() {
-    let focus: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let focus: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let cfg = MachineConfig::alewife();
     let mut heap = Heap::new(cfg.nodes);
     let lines = heap.alloc(cfg.nodes, |i| i);
@@ -72,7 +77,14 @@ fn main() {
         })
         .collect();
     let initial = vec![0.0; heap.total_words()];
-    let mut machine = Machine::new(cfg.clone(), MachineSpec { heap, initial, programs });
+    let mut machine = Machine::new(
+        cfg.clone(),
+        MachineSpec {
+            heap,
+            initial,
+            programs,
+        },
+    );
     machine.enable_trace(100_000);
     let stats = machine.run();
 

@@ -49,7 +49,8 @@ pub use commsense_workloads as workloads;
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
-    pub use commsense_apps::{run_app, AppSpec, RunResult};
+    pub use commsense_apps::{run_app, run_prepared, AppSpec, PreparedWorkload, RunResult};
+    pub use commsense_core::engine::{ExperimentPlan, RunRequest, Runner, WorkloadCache};
     pub use commsense_core::experiment;
     pub use commsense_core::machines;
     pub use commsense_core::regions;

@@ -1,6 +1,6 @@
 //! Property-based tests over the substrates' core invariants.
 
-use commsense::cache::{AccessKind, AccessStart, Heap, Protocol, ProtoConfig, ProtoOut, TxnToken};
+use commsense::cache::{AccessKind, AccessStart, Heap, ProtoConfig, ProtoOut, Protocol, TxnToken};
 use commsense::des::Rng;
 use commsense::mesh::{Endpoint, Mesh};
 use commsense::workloads::moldyn::rcb_partition;

@@ -30,9 +30,18 @@ fn shared_memory_is_bandwidth_sensitive_message_passing_is_not() {
     let mp = sweeps[1].runtimes();
     let sm_growth = sm[1] as f64 / sm[0] as f64;
     let mp_growth = mp[1] as f64 / mp[0] as f64;
-    assert!(sm_growth > 1.05, "shared memory must degrade: {sm_growth:.3}");
-    assert!(mp_growth < 1.10, "message passing must stay near-flat: {mp_growth:.3}");
-    assert!(sm_growth > mp_growth + 0.03, "sm {sm_growth:.3} vs mp {mp_growth:.3}");
+    assert!(
+        sm_growth > 1.05,
+        "shared memory must degrade: {sm_growth:.3}"
+    );
+    assert!(
+        mp_growth < 1.10,
+        "message passing must stay near-flat: {mp_growth:.3}"
+    );
+    assert!(
+        sm_growth > mp_growth + 0.03,
+        "sm {sm_growth:.3} vs mp {mp_growth:.3}"
+    );
 }
 
 #[test]
@@ -49,10 +58,16 @@ fn clock_scaling_changes_relative_latency() {
     );
     let sm = sweeps[0].runtimes();
     let mp = sweeps[1].runtimes();
-    assert!(sm[1] < sm[0], "sm gains from a relatively faster network: {sm:?}");
+    assert!(
+        sm[1] < sm[0],
+        "sm gains from a relatively faster network: {sm:?}"
+    );
     let sm_change = sm[0] as f64 / sm[1] as f64;
     let mp_change = (mp[0] as f64 / mp[1] as f64 - 1.0).abs();
-    assert!(sm_change > 1.0 + mp_change, "sm must be more latency-sensitive than mp");
+    assert!(
+        sm_change > 1.0 + mp_change,
+        "sm must be more latency-sensitive than mp"
+    );
 }
 
 #[test]
@@ -73,7 +88,10 @@ fn latency_emulation_reproduces_the_chandra_comparison() {
     let r200 = sm[1] as f64 / mp[1] as f64;
     assert!(r100 > 1.2, "sm must lose at 100-cycle latency: {r100:.2}");
     assert!(r200 > r100, "the gap must widen with latency");
-    assert!((1.2..4.0).contains(&r200), "factor in the published band: {r200:.2}");
+    assert!(
+        (1.2..4.0).contains(&r200),
+        "factor in the published band: {r200:.2}"
+    );
 }
 
 #[test]
@@ -106,7 +124,10 @@ fn cross_traffic_actually_crosses_the_bisection() {
         cfg.net.height,
     ));
     let r = run_app(&em3d(), Mechanism::MsgPoll, &cfg);
-    assert!(r.stats.bisection.cross_traffic > 0, "cross traffic must load the cut");
+    assert!(
+        r.stats.bisection.cross_traffic > 0,
+        "cross traffic must load the cut"
+    );
     assert!(r.verified);
 }
 

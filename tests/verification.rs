@@ -25,7 +25,11 @@ fn every_app_and_mechanism_verifies() {
 fn runs_are_deterministic() {
     let cfg = MachineConfig::alewife();
     for spec in AppSpec::small_suite() {
-        for mech in [Mechanism::SharedMem, Mechanism::MsgInterrupt, Mechanism::Bulk] {
+        for mech in [
+            Mechanism::SharedMem,
+            Mechanism::MsgInterrupt,
+            Mechanism::Bulk,
+        ] {
             let a = run_app(&spec, mech, &cfg);
             let b = run_app(&spec, mech, &cfg);
             assert_eq!(
@@ -78,6 +82,9 @@ fn mechanism_changes_do_not_change_results() {
     let spec = AppSpec::Em3d(Em3dParams::small());
     for mech in Mechanism::ALL {
         let r = run_app(&spec, mech, &cfg);
-        assert_eq!(r.max_abs_err, 0.0, "EM3D accumulates in a fixed order under {mech}");
+        assert_eq!(
+            r.max_abs_err, 0.0,
+            "EM3D accumulates in a fixed order under {mech}"
+        );
     }
 }

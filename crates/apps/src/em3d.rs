@@ -527,6 +527,7 @@ fn run_sm(w: &Em3dPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
         verified: ok_e && ok_h,
         max_abs_err: err_e.max(err_h),
         stats,
+        wall: std::time::Duration::ZERO,
     }
 }
 
@@ -592,6 +593,7 @@ fn run_mp(w: &Em3dPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
         verified: ok_e && ok_h,
         max_abs_err: err_e.max(err_h),
         stats,
+        wall: std::time::Duration::ZERO,
     }
 }
 

@@ -486,6 +486,7 @@ fn run_sm(w: &IccgPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
         verified: ok,
         max_abs_err: err,
         stats,
+        wall: std::time::Duration::ZERO,
     }
 }
 
@@ -552,6 +553,7 @@ fn run_mp(w: &IccgPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
         verified: ok,
         max_abs_err: err,
         stats,
+        wall: std::time::Duration::ZERO,
     }
 }
 

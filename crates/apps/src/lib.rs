@@ -150,7 +150,7 @@ impl PreparedWorkload {
 }
 
 /// Result of one application run under one mechanism.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RunResult {
     /// Application name.
     pub app: &'static str,
@@ -164,6 +164,38 @@ pub struct RunResult {
     pub max_abs_err: f64,
     /// Full machine statistics.
     pub stats: RunStats,
+    /// Host wall-clock time spent simulating this run (set by
+    /// [`run_prepared`]). Measurement metadata, not a simulation output.
+    pub wall: std::time::Duration,
+}
+
+/// `Debug` deliberately omits [`RunResult::wall`]: every other field is a
+/// pure function of the request, and the engine's determinism tests compare
+/// runs via their `Debug` rendering. Wall time is host noise.
+impl std::fmt::Debug for RunResult {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunResult")
+            .field("app", &self.app)
+            .field("mechanism", &self.mechanism)
+            .field("runtime_cycles", &self.runtime_cycles)
+            .field("verified", &self.verified)
+            .field("max_abs_err", &self.max_abs_err)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RunResult {
+    /// Simulation events processed per host wall-clock second, if the wall
+    /// time was measured and nonzero.
+    pub fn events_per_sec(&self) -> Option<f64> {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            Some(self.stats.events as f64 / secs)
+        } else {
+            None
+        }
+    }
 }
 
 /// Ensures the configuration's receive mode and barrier style match the
@@ -198,9 +230,12 @@ pub fn run_app(spec: &AppSpec, mech: Mechanism, cfg: &MachineConfig) -> RunResul
 /// was prepared for.
 pub fn run_prepared(w: &PreparedWorkload, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
     let cfg = for_mechanism(cfg, mech);
-    match w {
+    let started = std::time::Instant::now();
+    let mut result = match w {
         PreparedWorkload::Em3d(w) => em3d::run_prepared(w, mech, &cfg),
         PreparedWorkload::Mesh(w) => w.run(mech, &cfg),
         PreparedWorkload::Iccg(w) => iccg::run_prepared(w, mech, &cfg),
-    }
+    };
+    result.wall = started.elapsed();
+    result
 }

@@ -723,6 +723,7 @@ fn run_sm(w: &PreparedModel, mech: Mechanism, cfg: &MachineConfig) -> RunResult 
         verified: ok,
         max_abs_err: err,
         stats,
+        wall: std::time::Duration::ZERO,
     }
 }
 
@@ -782,6 +783,7 @@ fn run_mp(w: &PreparedModel, mech: Mechanism, cfg: &MachineConfig) -> RunResult 
         verified: ok,
         max_abs_err: err,
         stats,
+        wall: std::time::Duration::ZERO,
     }
 }
 

@@ -16,7 +16,7 @@ use std::io::Write;
 use commsense_bench::{
     ablate_associativity, ablate_interrupt_cost, ablate_limitless, ablate_partition,
     ablate_prefetch_buffer, ablate_topology, ablate_write_buffer, ablation_table, miss_penalties,
-    suite, Scale,
+    perf, suite, Scale,
 };
 use commsense_core::engine::{Runner, WorkloadCache};
 use commsense_core::experiment::{
@@ -34,20 +34,27 @@ struct Opts {
     scale: Scale,
     csv_dir: Option<String>,
     jobs: Option<usize>,
+    out: Option<String>,
+    baseline: Option<String>,
+    reps: usize,
 }
 
 const USAGE: &str = "\
 usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N]
+       repro perf [--small] [--out FILE] [--baseline FILE] [--reps N]
   WHAT: all (default) | tab1 | tab2 | fig1 | fig2 | fig3 | fig4 | fig5 |
-        fig7 | fig8 | fig9 | fig10 | ablate | model
-  --paper  use the paper's workload sizes (minutes)
-  --small  use unit-test sizes (seconds)
-  --csv    also write each sweep as CSV into DIR
-  --jobs   worker threads per sweep (default: COMMSENSE_JOBS or all cores)";
+        fig7 | fig8 | fig9 | fig10 | ablate | model | perf
+  --paper    use the paper's workload sizes (minutes)
+  --small    use unit-test sizes (seconds)
+  --csv      also write each sweep as CSV into DIR
+  --jobs     worker threads per sweep (default: COMMSENSE_JOBS or all cores)
+  --out      perf: write the machine-readable report here (default BENCH.json)
+  --baseline perf: a previous report; record its numbers and the speedup
+  --reps     perf: repetitions per mechanism, fastest kept (default 5)";
 
-const KNOWN: [&str; 15] = [
+const KNOWN: [&str; 16] = [
     "all", "tab1", "tab2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
-    "ablate", "model", "fig6",
+    "ablate", "model", "fig6", "perf",
 ];
 
 fn parse_args() -> Opts {
@@ -55,12 +62,30 @@ fn parse_args() -> Opts {
     let mut scale = Scale::Bench;
     let mut csv_dir = None;
     let mut jobs = None;
+    let mut out = None;
+    let mut baseline = None;
+    let mut reps = 5;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--paper" => scale = Scale::Paper,
             "--small" => scale = Scale::Small,
             "--csv" => csv_dir = args.next(),
+            "--out" => out = args.next(),
+            "--baseline" => baseline = args.next(),
+            "--reps" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0);
+                match n {
+                    Some(n) => reps = n,
+                    None => {
+                        eprintln!("--reps needs a positive integer\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--jobs" => {
                 let n = args
                     .next()
@@ -97,7 +122,28 @@ fn parse_args() -> Opts {
         scale,
         csv_dir,
         jobs,
+        out,
+        baseline,
+        reps,
     }
+}
+
+/// `repro perf`: the tracked hot-path benchmark. Runs the fixed
+/// fig4-scale EM3D workload under every mechanism, prints wall time and
+/// events/sec, and writes the machine-readable `BENCH` JSON.
+fn run_perf_harness(opts: &Opts) {
+    let baseline = opts.baseline.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        perf::parse_baseline(&text)
+            .unwrap_or_else(|| panic!("no current aggregates found in baseline {path}"))
+    });
+    println!("== perf: simulator hot-path throughput ==");
+    let report = perf::run_perf(opts.scale, &cfg(), opts.reps);
+    print!("{}", perf::perf_text(&report, baseline.as_ref()));
+    let out = opts.out.as_deref().unwrap_or("BENCH.json");
+    std::fs::write(out, perf::perf_json(&report, baseline.as_ref())).expect("write perf JSON");
+    println!("(wrote {out})");
 }
 
 fn cfg() -> MachineConfig {
@@ -123,6 +169,10 @@ fn main() {
     // Export --jobs so library-internal runners (ablations) see it too.
     if let Some(n) = opts.jobs {
         std::env::set_var("COMMSENSE_JOBS", n.to_string());
+    }
+    if opts.what == "perf" {
+        run_perf_harness(&opts);
+        return;
     }
     let runner = Runner::from_env();
     let mut cache = WorkloadCache::new();
@@ -160,6 +210,7 @@ fn main() {
                 "{}",
                 report::breakdown_bars(spec.name(), &results, &cfg, 48)
             );
+            print!("{}", report::sim_rate_table(spec.name(), &results));
             println!();
         }
     }

@@ -4,6 +4,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use std::any::Any;
 
 use commsense_apps::AppSpec;

@@ -1,0 +1,348 @@
+//! The tracked performance harness behind `repro perf`.
+//!
+//! Every future hot-path PR is accountable to the numbers this module
+//! produces: a fixed fig4-scale EM3D workload is run under every
+//! mechanism, serially, and the resulting wall time and simulation-event
+//! throughput land both on stdout and in a machine-readable
+//! `BENCH_*.json`. A previous report can be supplied as a baseline, in
+//! which case the JSON records both numbers and their ratio.
+
+use std::time::Instant;
+
+use commsense_apps::{run_prepared, AppSpec, RunResult};
+use commsense_machine::{MachineConfig, Mechanism};
+
+use crate::{em3d_spec, Scale};
+
+/// One measured run of the perf workload.
+#[derive(Debug, Clone)]
+pub struct PerfRun {
+    /// Application name.
+    pub app: &'static str,
+    /// Mechanism label.
+    pub mechanism: &'static str,
+    /// Simulated runtime in processor cycles.
+    pub runtime_cycles: u64,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Host wall-clock seconds simulating this run.
+    pub wall_secs: f64,
+    /// Whether the run verified against the sequential reference.
+    pub verified: bool,
+}
+
+impl PerfRun {
+    /// Events per host wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    fn from_result(r: &RunResult) -> Self {
+        PerfRun {
+            app: r.app,
+            mechanism: r.mechanism.label(),
+            runtime_cycles: r.runtime_cycles,
+            events: r.stats.events,
+            wall_secs: r.wall.as_secs_f64(),
+            verified: r.verified,
+        }
+    }
+}
+
+/// Aggregate numbers from a previously recorded report, used as the
+/// comparison point of a new one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfBaseline {
+    /// Total simulation events across all runs.
+    pub total_events: u64,
+    /// Total wall-clock seconds across all runs.
+    pub total_wall_secs: f64,
+    /// Aggregate events per second.
+    pub events_per_sec: f64,
+}
+
+/// A full perf-harness report: the fixed workload under every mechanism.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Human description of the workload.
+    pub workload: String,
+    /// Per-mechanism measurements.
+    pub runs: Vec<PerfRun>,
+    /// Wall-clock seconds spent preparing the workload (not counted in
+    /// the per-run numbers).
+    pub prepare_secs: f64,
+}
+
+impl PerfReport {
+    /// Total simulation events across all runs.
+    pub fn total_events(&self) -> u64 {
+        self.runs.iter().map(|r| r.events).sum()
+    }
+
+    /// Total simulation wall time across all runs.
+    pub fn total_wall_secs(&self) -> f64 {
+        self.runs.iter().map(|r| r.wall_secs).sum()
+    }
+
+    /// Aggregate events per second across all runs.
+    pub fn events_per_sec(&self) -> f64 {
+        let w = self.total_wall_secs();
+        if w > 0.0 {
+            self.total_events() as f64 / w
+        } else {
+            0.0
+        }
+    }
+
+    /// The aggregates of this report, as a baseline for a later one.
+    pub fn as_baseline(&self) -> PerfBaseline {
+        PerfBaseline {
+            total_events: self.total_events(),
+            total_wall_secs: self.total_wall_secs(),
+            events_per_sec: self.events_per_sec(),
+        }
+    }
+}
+
+/// The fixed perf workload: the fig4-scale EM3D spec of the given scale
+/// (`Scale::Bench` is the tracked configuration; `Scale::Small` exists for
+/// CI smoke runs).
+pub fn perf_workload(scale: Scale) -> AppSpec {
+    em3d_spec(scale)
+}
+
+/// Runs the perf workload under every mechanism, serially (parallel
+/// workers would make per-run wall times measure scheduler contention,
+/// not simulator speed). Each mechanism is run `reps` times and the
+/// fastest wall time kept: the simulation itself is deterministic, so
+/// repetitions only differ in host noise (cold caches, frequency
+/// scaling), and the minimum is the most reproducible estimate.
+pub fn run_perf(scale: Scale, cfg: &MachineConfig, reps: usize) -> PerfReport {
+    let reps = reps.max(1);
+    let spec = perf_workload(scale);
+    let prep_start = Instant::now();
+    let prepared = spec.prepare(cfg.nodes);
+    let prepare_secs = prep_start.elapsed().as_secs_f64();
+    let runs = Mechanism::ALL
+        .iter()
+        .map(|&mech| {
+            (0..reps)
+                .map(|_| PerfRun::from_result(&run_prepared(&prepared, mech, cfg)))
+                .min_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs))
+                .expect("reps >= 1")
+        })
+        .collect();
+    PerfReport {
+        workload: format!(
+            "{} ({scale:?} scale, {} nodes, best of {reps})",
+            spec.name(),
+            cfg.nodes
+        ),
+        runs,
+        prepare_secs,
+    }
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    // `format!("{v}")` prints f64 round-trippably; avoid `inf`/`NaN`,
+    // which are not JSON.
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Renders a report (and an optional baseline) as the `BENCH_*.json`
+/// format: a single JSON object with `current`, `baseline` (or `null`),
+/// and the aggregate `speedup_events_per_sec`.
+pub fn perf_json(report: &PerfReport, baseline: Option<&PerfBaseline>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"commsense-perf\",\n");
+    out.push_str(&format!("  \"workload\": \"{}\",\n", report.workload));
+    out.push_str("  \"current\": {\n");
+    out.push_str(&format!(
+        "    \"total_events\": {},\n",
+        report.total_events()
+    ));
+    out.push_str("    \"total_wall_secs\": ");
+    push_json_f64(&mut out, report.total_wall_secs());
+    out.push_str(",\n    \"events_per_sec\": ");
+    push_json_f64(&mut out, report.events_per_sec());
+    out.push_str(",\n    \"prepare_secs\": ");
+    push_json_f64(&mut out, report.prepare_secs);
+    out.push_str(",\n    \"runs\": [\n");
+    for (i, r) in report.runs.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"app\": \"{}\", \"mechanism\": \"{}\", \"runtime_cycles\": {}, \
+             \"events\": {}, \"wall_secs\": ",
+            r.app, r.mechanism, r.runtime_cycles, r.events
+        ));
+        push_json_f64(&mut out, r.wall_secs);
+        out.push_str(", \"events_per_sec\": ");
+        push_json_f64(&mut out, r.events_per_sec());
+        out.push_str(&format!(", \"verified\": {}}}", r.verified));
+        out.push_str(if i + 1 < report.runs.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("    ]\n  },\n");
+    match baseline {
+        Some(b) => {
+            out.push_str("  \"baseline\": {\n");
+            out.push_str(&format!("    \"total_events\": {},\n", b.total_events));
+            out.push_str("    \"total_wall_secs\": ");
+            push_json_f64(&mut out, b.total_wall_secs);
+            out.push_str(",\n    \"events_per_sec\": ");
+            push_json_f64(&mut out, b.events_per_sec);
+            out.push_str("\n  },\n");
+            out.push_str("  \"speedup_events_per_sec\": ");
+            let speedup = if b.events_per_sec > 0.0 {
+                report.events_per_sec() / b.events_per_sec
+            } else {
+                f64::NAN
+            };
+            push_json_f64(&mut out, speedup);
+            out.push('\n');
+        }
+        None => {
+            out.push_str("  \"baseline\": null,\n");
+            out.push_str("  \"speedup_events_per_sec\": null\n");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Pulls one `"key": <number>` field out of a JSON object body.
+fn json_number_field(body: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = body.find(&needle)? + needle.len();
+    let rest = body[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the `current` aggregates of a previously written perf JSON,
+/// for use as the baseline of a new report. This is a targeted scan over
+/// the format [`perf_json`] emits, not a general JSON parser.
+pub fn parse_baseline(json: &str) -> Option<PerfBaseline> {
+    let cur = json.find("\"current\"")?;
+    let body = &json[cur..];
+    // Stop at the runs array so per-run fields cannot shadow aggregates.
+    let body = &body[..body.find("\"runs\"").unwrap_or(body.len())];
+    Some(PerfBaseline {
+        total_events: json_number_field(body, "total_events")? as u64,
+        total_wall_secs: json_number_field(body, "total_wall_secs")?,
+        events_per_sec: json_number_field(body, "events_per_sec")?,
+    })
+}
+
+/// Renders the report as the `repro perf` human output.
+pub fn perf_text(report: &PerfReport, baseline: Option<&PerfBaseline>) -> String {
+    let mut out = format!(
+        "perf workload: {} (prepared in {:.2}s)\n{:<8} {:>14} {:>12} {:>9} {:>12} {:>9}\n",
+        report.workload,
+        report.prepare_secs,
+        "mech",
+        "cycles",
+        "events",
+        "wall(s)",
+        "events/s",
+        "verified"
+    );
+    for r in &report.runs {
+        out.push_str(&format!(
+            "{:<8} {:>14} {:>12} {:>9.3} {:>12.0} {:>9}\n",
+            r.mechanism,
+            r.runtime_cycles,
+            r.events,
+            r.wall_secs,
+            r.events_per_sec(),
+            r.verified
+        ));
+    }
+    out.push_str(&format!(
+        "total: {} events in {:.3}s = {:.0} events/sec\n",
+        report.total_events(),
+        report.total_wall_secs(),
+        report.events_per_sec()
+    ));
+    if let Some(b) = baseline {
+        out.push_str(&format!(
+            "baseline: {:.0} events/sec -> speedup {:.2}x\n",
+            b.events_per_sec,
+            report.events_per_sec() / b.events_per_sec
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report() -> PerfReport {
+        PerfReport {
+            workload: "EM3D (test)".to_string(),
+            runs: vec![
+                PerfRun {
+                    app: "EM3D",
+                    mechanism: "sm",
+                    runtime_cycles: 1000,
+                    events: 500,
+                    wall_secs: 0.25,
+                    verified: true,
+                },
+                PerfRun {
+                    app: "EM3D",
+                    mechanism: "mp-poll",
+                    runtime_cycles: 900,
+                    events: 300,
+                    wall_secs: 0.15,
+                    verified: true,
+                },
+            ],
+            prepare_secs: 0.01,
+        }
+    }
+
+    #[test]
+    fn aggregates_sum_runs() {
+        let r = fake_report();
+        assert_eq!(r.total_events(), 800);
+        assert!((r.total_wall_secs() - 0.4).abs() < 1e-12);
+        assert!((r.events_per_sec() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_roundtrips_aggregates_via_parse_baseline() {
+        let r = fake_report();
+        let json = perf_json(&r, None);
+        let b = parse_baseline(&json).expect("baseline parses");
+        assert_eq!(b.total_events, 800);
+        assert!((b.events_per_sec - 2000.0).abs() < 1e-6);
+        // And a report written *with* that baseline records the speedup.
+        let json2 = perf_json(&r, Some(&b));
+        assert!(json2.contains("\"speedup_events_per_sec\": 1"));
+        assert!(json2.contains("\"baseline\": {"));
+    }
+
+    #[test]
+    fn text_report_lists_every_mechanism() {
+        let r = fake_report();
+        let txt = perf_text(&r, Some(&r.as_baseline()));
+        assert!(txt.contains("sm"));
+        assert!(txt.contains("mp-poll"));
+        assert!(txt.contains("speedup 1.00x"));
+    }
+}

@@ -43,7 +43,12 @@ struct WayEntry {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Vec<WayEntry>>,
+    /// Set-major flattened slot array (`nsets * ways` entries). One flat
+    /// allocation instead of a `Vec` per set: a direct-mapped access
+    /// touches exactly one cache line of this array, with no pointer
+    /// chase through per-set heap buffers.
+    slots: Vec<Option<WayEntry>>,
+    nsets: usize,
     ways: usize,
     tick: u64,
     hits: u64,
@@ -75,7 +80,8 @@ impl Cache {
         let nsets = lines / ways;
         assert!(nsets.is_power_of_two(), "set count must be a power of two");
         Cache {
-            sets: vec![Vec::with_capacity(ways); nsets],
+            slots: vec![None; nsets * ways],
+            nsets,
             ways,
             tick: 0,
             hits: 0,
@@ -94,7 +100,18 @@ impl Cache {
     }
 
     fn set_of(&self, line: LineId) -> usize {
-        (line.0 as usize) & (self.sets.len() - 1)
+        (line.0 as usize) & (self.nsets - 1)
+    }
+
+    fn set_slice(&self, line: LineId) -> &[Option<WayEntry>] {
+        let set = self.set_of(line);
+        &self.slots[set * self.ways..(set + 1) * self.ways]
+    }
+
+    fn set_slice_mut(&mut self, line: LineId) -> &mut [Option<WayEntry>] {
+        let set = self.set_of(line);
+        let ways = self.ways;
+        &mut self.slots[set * ways..(set + 1) * ways]
     }
 
     /// Returns the line's state if resident, recording a hit or miss (and
@@ -102,23 +119,27 @@ impl Cache {
     pub fn access(&mut self, line: LineId) -> Option<LineState> {
         self.tick += 1;
         let tick = self.tick;
-        let set = self.set_of(line);
-        for e in &mut self.sets[set] {
+        let mut state = None;
+        for e in self.set_slice_mut(line).iter_mut().flatten() {
             if e.line == line {
                 e.used = tick;
-                self.hits += 1;
-                return Some(e.state);
+                state = Some(e.state);
+                break;
             }
         }
-        self.misses += 1;
-        None
+        match state {
+            Some(_) => self.hits += 1,
+            None => self.misses += 1,
+        }
+        state
     }
 
     /// Returns the line's state if resident, without touching statistics
     /// or LRU.
     pub fn lookup(&self, line: LineId) -> Option<LineState> {
-        self.sets[self.set_of(line)]
+        self.set_slice(line)
             .iter()
+            .flatten()
             .find(|e| e.line == line)
             .map(|e| e.state)
     }
@@ -128,35 +149,32 @@ impl Cache {
     pub fn fill(&mut self, line: LineId, state: LineState) -> Option<(LineId, LineState)> {
         self.tick += 1;
         let tick = self.tick;
-        let ways = self.ways;
-        let set = self.set_of(line);
-        let entries = &mut self.sets[set];
-        if let Some(e) = entries.iter_mut().find(|e| e.line == line) {
+        let entries = self.set_slice_mut(line);
+        if let Some(e) = entries.iter_mut().flatten().find(|e| e.line == line) {
             e.state = state;
             e.used = tick;
             return None;
         }
-        if entries.len() < ways {
-            entries.push(WayEntry {
+        if let Some(slot) = entries.iter_mut().find(|s| s.is_none()) {
+            *slot = Some(WayEntry {
                 line,
                 state,
                 used: tick,
             });
             return None;
         }
-        // Evict the LRU way.
-        let victim_idx = entries
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| e.used)
-            .map(|(i, _)| i)
+        // Evict the LRU way (`used` values are unique, so the victim does
+        // not depend on slot order).
+        let victim_slot = entries
+            .iter_mut()
+            .min_by_key(|e| e.as_ref().expect("set is full").used)
             .expect("set is full");
-        let victim = entries[victim_idx];
-        entries[victim_idx] = WayEntry {
+        let victim = victim_slot.expect("set is full");
+        *victim_slot = Some(WayEntry {
             line,
             state,
             used: tick,
-        };
+        });
         Some((victim.line, victim.state))
     }
 
@@ -166,8 +184,12 @@ impl Cache {
     ///
     /// Panics if the line is not resident.
     pub fn upgrade(&mut self, line: LineId) {
-        let set = self.set_of(line);
-        match self.sets[set].iter_mut().find(|e| e.line == line) {
+        match self
+            .set_slice_mut(line)
+            .iter_mut()
+            .flatten()
+            .find(|e| e.line == line)
+        {
             Some(e) => e.state = LineState::Modified,
             None => panic!("upgrade of non-resident line {line:?}"),
         }
@@ -176,16 +198,22 @@ impl Cache {
     /// Drops a line if resident (invalidation), returning its previous
     /// state.
     pub fn invalidate(&mut self, line: LineId) -> Option<LineState> {
-        let set = self.set_of(line);
-        let pos = self.sets[set].iter().position(|e| e.line == line)?;
-        Some(self.sets[set].swap_remove(pos).state)
+        self.set_slice_mut(line)
+            .iter_mut()
+            .find(|s| s.as_ref().is_some_and(|e| e.line == line))?
+            .take()
+            .map(|e| e.state)
     }
 
     /// Downgrades a resident `Modified` line to `Shared`, returning whether
     /// it was resident and modified.
     pub fn downgrade(&mut self, line: LineId) -> bool {
-        let set = self.set_of(line);
-        match self.sets[set].iter_mut().find(|e| e.line == line) {
+        match self
+            .set_slice_mut(line)
+            .iter_mut()
+            .flatten()
+            .find(|e| e.line == line)
+        {
             Some(e) if e.state == LineState::Modified => {
                 e.state = LineState::Shared;
                 true

@@ -23,7 +23,9 @@
 //!   they no longer hold. The protocol invariant is therefore one-sided:
 //!   every cached copy is tracked by the directory.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
+
+use commsense_des::{FxHashMap, FxHashSet};
 
 use crate::addr::{Heap, LineId};
 use crate::cachearray::{Cache, LineState};
@@ -220,6 +222,20 @@ pub enum AccessStart {
     },
 }
 
+/// Result of [`Protocol::start_access_into`]: like [`AccessStart`] but with
+/// follow-up actions written to the caller's scratch buffer instead of a
+/// freshly allocated `Vec` (the simulator hot path calls this once per
+/// memory access).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line was in the cache with sufficient permission.
+    Hit,
+    /// The line was promoted from the prefetch buffer.
+    PrefetchHit,
+    /// A coherence transaction was started.
+    Miss,
+}
+
 /// Protocol configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProtoConfig {
@@ -306,6 +322,12 @@ impl DirEntry {
     }
 }
 
+/// Field-precise [`Protocol::dir_mut`], for callers that hold borrows of
+/// other `Protocol` fields (e.g. `stats`) across the entry access.
+fn dir_entry(dirs: &mut FxHashMap<u64, DirEntry>, line: LineId) -> &mut DirEntry {
+    dirs.entry(line.0).or_insert_with(DirEntry::new)
+}
+
 /// The coherence protocol engine: all caches, prefetch buffers, and
 /// directory entries of the machine, plus the transient transaction state.
 ///
@@ -316,9 +338,13 @@ pub struct Protocol {
     heap: Heap,
     caches: Vec<Cache>,
     prefetch: Vec<PrefetchBuffer>,
-    dirs: HashMap<u64, DirEntry>,
-    granted: HashSet<(u16, u64)>,
-    deferred: HashMap<(u16, u64), Vec<(usize, ProtoMsg)>>,
+    /// Directory entries, keyed by line id. Kept sparse: only a fraction
+    /// of the heap's lines ever miss, and `DirEntry` is wide, so a compact
+    /// hash table (with the cheap deterministic hasher) stays
+    /// cache-resident where a dense per-line array would not.
+    dirs: FxHashMap<u64, DirEntry>,
+    granted: FxHashSet<(u16, u64)>,
+    deferred: FxHashMap<(u16, u64), Vec<(usize, ProtoMsg)>>,
     cfg: ProtoConfig,
     stats: ProtoStats,
 }
@@ -336,12 +362,23 @@ impl Protocol {
             prefetch: (0..n)
                 .map(|_| PrefetchBuffer::new(cfg.prefetch_entries))
                 .collect(),
-            dirs: HashMap::new(),
-            granted: HashSet::new(),
-            deferred: HashMap::new(),
+            dirs: FxHashMap::default(),
+            granted: FxHashSet::default(),
+            deferred: FxHashMap::default(),
             cfg,
             stats: ProtoStats::default(),
         }
+    }
+
+    /// The directory entry of `line`, if one has materialized (an absent
+    /// entry is equivalent to `Uncached` and not busy).
+    fn dir(&self, line: LineId) -> Option<&DirEntry> {
+        self.dirs.get(&line.0)
+    }
+
+    /// The directory entry of `line`, materializing it on first touch.
+    fn dir_mut(&mut self, line: LineId) -> &mut DirEntry {
+        dir_entry(&mut self.dirs, line)
     }
 
     /// The home node of a line.
@@ -382,9 +419,27 @@ impl Protocol {
         kind: AccessKind,
         token: TxnToken,
     ) -> AccessStart {
+        let mut outs = Vec::new();
+        match self.start_access_into(node, line, kind, token, &mut outs) {
+            AccessOutcome::Hit => AccessStart::Hit,
+            AccessOutcome::PrefetchHit => AccessStart::PrefetchHit { outs },
+            AccessOutcome::Miss => AccessStart::Miss { outs },
+        }
+    }
+
+    /// Allocation-free form of [`Protocol::start_access`]: follow-up actions
+    /// are appended to `outs`.
+    pub fn start_access_into(
+        &mut self,
+        node: usize,
+        line: LineId,
+        kind: AccessKind,
+        token: TxnToken,
+        outs: &mut Vec<ProtoOut>,
+    ) -> AccessOutcome {
         let state = self.caches[node].access(line);
         match (state, kind.needs_exclusive()) {
-            (Some(_), false) | (Some(LineState::Modified), true) => return AccessStart::Hit,
+            (Some(_), false) | (Some(LineState::Modified), true) => return AccessOutcome::Hit,
             _ => {}
         }
 
@@ -397,22 +452,21 @@ impl Protocol {
                     PrefetchKind::Read => LineState::Shared,
                     PrefetchKind::Exclusive => LineState::Modified,
                 };
-                let mut outs = self.install(node, line, st);
-                outs.extend(self.replay_deferred(node, line));
-                return AccessStart::PrefetchHit { outs };
+                self.install(node, line, st, outs);
+                self.replay_deferred(node, line, outs);
+                return AccessOutcome::PrefetchHit;
             }
             // A read-prefetched line cannot satisfy a write: promote the
             // Shared copy and fall through to an upgrade miss.
             self.prefetch[node].take(line);
-            let mut outs = self.install(node, line, LineState::Shared);
-            outs.extend(self.replay_deferred(node, line));
-            outs.extend(self.request(node, line, kind, token));
-            return AccessStart::Miss { outs };
+            self.install(node, line, LineState::Shared, outs);
+            self.replay_deferred(node, line, outs);
+            self.request(node, line, kind, token, outs);
+            return AccessOutcome::Miss;
         }
 
-        AccessStart::Miss {
-            outs: self.request(node, line, kind, token),
-        }
+        self.request(node, line, kind, token, outs);
+        AccessOutcome::Miss
     }
 
     fn request(
@@ -421,7 +475,8 @@ impl Protocol {
         line: LineId,
         kind: AccessKind,
         token: TxnToken,
-    ) -> Vec<ProtoOut> {
+        outs: &mut Vec<ProtoOut>,
+    ) {
         let home = self.home(line);
         let msg = if kind.needs_exclusive() {
             self.stats.write_misses += 1;
@@ -430,11 +485,11 @@ impl Protocol {
             self.stats.read_misses += 1;
             ProtoMsg::ReadReq { line, token }
         };
-        vec![ProtoOut::Send {
+        outs.push(ProtoOut::Send {
             from: node,
             to: home,
             msg,
-        }]
+        });
     }
 
     /// Installs a granted line into `node`'s cache (demand miss completion).
@@ -443,131 +498,155 @@ impl Protocol {
     /// evicted, plus replays of any intruder messages deferred behind the
     /// grant.
     pub fn fill_cache(&mut self, node: usize, line: LineId, exclusive: bool) -> Vec<ProtoOut> {
+        let mut outs = Vec::new();
+        self.fill_cache_into(node, line, exclusive, &mut outs);
+        outs
+    }
+
+    /// Allocation-free form of [`Protocol::fill_cache`].
+    pub fn fill_cache_into(
+        &mut self,
+        node: usize,
+        line: LineId,
+        exclusive: bool,
+        outs: &mut Vec<ProtoOut>,
+    ) {
         self.granted.remove(&(node as u16, line.0));
         let st = if exclusive {
             LineState::Modified
         } else {
             LineState::Shared
         };
-        let mut outs = self.install(node, line, st);
-        outs.extend(self.replay_deferred(node, line));
-        outs
+        self.install(node, line, st, outs);
+        self.replay_deferred(node, line, outs);
     }
 
     /// Installs a granted line into `node`'s prefetch buffer (prefetch
     /// completion).
     pub fn fill_prefetch(&mut self, node: usize, line: LineId, exclusive: bool) -> Vec<ProtoOut> {
+        let mut outs = Vec::new();
+        self.fill_prefetch_into(node, line, exclusive, &mut outs);
+        outs
+    }
+
+    /// Allocation-free form of [`Protocol::fill_prefetch`].
+    pub fn fill_prefetch_into(
+        &mut self,
+        node: usize,
+        line: LineId,
+        exclusive: bool,
+        outs: &mut Vec<ProtoOut>,
+    ) {
         self.granted.remove(&(node as u16, line.0));
         let kind = if exclusive {
             PrefetchKind::Exclusive
         } else {
             PrefetchKind::Read
         };
-        let mut outs = Vec::new();
         if let Some((victim, vkind)) = self.prefetch[node].insert(line, kind) {
             // Dropping a buffered line loses its permission; dirty-capable
             // (exclusive) victims write back like cache victims.
             if vkind == PrefetchKind::Exclusive {
-                outs.extend(self.oracle_evict(node, victim));
+                self.oracle_evict(node, victim, outs);
             }
         }
-        outs.extend(self.replay_deferred(node, line));
-        outs
+        self.replay_deferred(node, line, outs);
     }
 
-    fn install(&mut self, node: usize, line: LineId, st: LineState) -> Vec<ProtoOut> {
-        match self.caches[node].fill(line, st) {
-            Some((victim, LineState::Modified)) => self.oracle_evict(node, victim),
-            _ => Vec::new(),
+    fn install(&mut self, node: usize, line: LineId, st: LineState, outs: &mut Vec<ProtoOut>) {
+        if let Some((victim, LineState::Modified)) = self.caches[node].fill(line, st) {
+            self.oracle_evict(node, victim, outs);
         }
     }
 
     /// Oracle eviction of a dirty line: the directory transitions now; a
     /// writeback packet is emitted for bandwidth accounting only.
-    fn oracle_evict(&mut self, node: usize, line: LineId) -> Vec<ProtoOut> {
+    fn oracle_evict(&mut self, node: usize, line: LineId, outs: &mut Vec<ProtoOut>) {
         self.stats.writebacks += 1;
         let home = self.home(line);
-        let mut outs = vec![ProtoOut::Send {
+        outs.push(ProtoOut::Send {
             from: node,
             to: home,
             msg: ProtoMsg::Writeback { line },
-        }];
-        let entry = self.dirs.entry(line.0).or_insert_with(DirEntry::new);
+        });
+        let entry = self.dir_mut(line);
         let waiting = entry
             .busy
             .as_ref()
             .is_some_and(|t| t.waiting_wb_from == Some(node as u16));
         if waiting {
-            outs.extend(self.finish_wb(line));
+            self.finish_wb(line, outs);
         } else if let DirState::Modified(o) = entry.state {
             if o == node as u16 {
                 entry.state = DirState::Uncached;
             }
         }
-        outs
     }
 
-    fn replay_deferred(&mut self, node: usize, line: LineId) -> Vec<ProtoOut> {
+    fn replay_deferred(&mut self, node: usize, line: LineId, outs: &mut Vec<ProtoOut>) {
         let Some(msgs) = self.deferred.remove(&(node as u16, line.0)) else {
-            return Vec::new();
+            return;
         };
-        let mut outs = Vec::new();
         for (from, msg) in msgs {
-            outs.extend(self.handle(node, from, msg));
+            self.handle_into(node, from, msg, outs);
         }
-        outs
     }
 
     /// Processes a delivered protocol message at node `at` (sent by `from`).
     pub fn handle(&mut self, at: usize, from: usize, msg: ProtoMsg) -> Vec<ProtoOut> {
+        let mut outs = Vec::new();
+        self.handle_into(at, from, msg, &mut outs);
+        outs
+    }
+
+    /// Allocation-free form of [`Protocol::handle`]: outputs are appended
+    /// to `outs`.
+    pub fn handle_into(&mut self, at: usize, from: usize, msg: ProtoMsg, outs: &mut Vec<ProtoOut>) {
         match msg {
             ProtoMsg::ReadReq { line, token } => {
-                self.dir_request(at, from, line, AccessKind::Read, token)
+                self.dir_request(at, from, line, AccessKind::Read, token, outs);
             }
             ProtoMsg::WriteReq { line, token } => {
-                self.dir_request(at, from, line, AccessKind::Write, token)
+                self.dir_request(at, from, line, AccessKind::Write, token, outs);
             }
             ProtoMsg::Fetch { line } | ProtoMsg::Recall { line } | ProtoMsg::Inv { line } => {
-                self.intruder(at, from, line, msg)
+                self.intruder(at, from, line, msg, outs);
             }
             ProtoMsg::InvAck { line } => {
-                let entry = self.dirs.get_mut(&line.0).expect("directory entry exists");
-                match &mut entry.busy {
-                    Some(txn) if txn.pending_invacks > 0 => {
+                let entry = self.dir_mut(line);
+                if let Some(txn) = &mut entry.busy {
+                    // Anything else is a stale ack.
+                    if txn.pending_invacks > 0 {
                         txn.pending_invacks -= 1;
                         if txn.pending_invacks == 0 {
-                            return self.finish_txn(line);
+                            self.finish_txn(line, outs);
                         }
-                        Vec::new()
                     }
-                    _ => Vec::new(), // stale ack
                 }
             }
             ProtoMsg::WbData { line } => {
                 let waiting = self
-                    .dirs
-                    .get(&line.0)
+                    .dir(line)
                     .and_then(|e| e.busy.as_ref())
                     .is_some_and(|t| t.waiting_wb_from == Some(from as u16));
                 if waiting {
-                    self.finish_wb(line)
-                } else {
-                    Vec::new() // stale: oracle eviction already resolved it
+                    self.finish_wb(line, outs);
                 }
+                // Otherwise stale: oracle eviction already resolved it.
             }
             ProtoMsg::Grant {
                 line,
                 exclusive,
                 token,
             } => {
-                vec![ProtoOut::Granted {
+                outs.push(ProtoOut::Granted {
                     node: at,
                     line,
                     exclusive,
                     token,
-                }]
+                });
             }
-            ProtoMsg::Writeback { .. } => Vec::new(), // bandwidth only
+            ProtoMsg::Writeback { .. } => {} // bandwidth only
         }
     }
 
@@ -579,9 +658,10 @@ impl Protocol {
         line: LineId,
         kind: AccessKind,
         token: TxnToken,
-    ) -> Vec<ProtoOut> {
+        outs: &mut Vec<ProtoOut>,
+    ) {
         debug_assert_eq!(at, self.home(line), "request must arrive at home");
-        let entry = self.dirs.entry(line.0).or_insert_with(DirEntry::new);
+        let entry = self.dir_mut(line);
         if entry.busy.is_some() {
             let msg = if kind.needs_exclusive() {
                 ProtoMsg::WriteReq { line, token }
@@ -589,9 +669,9 @@ impl Protocol {
                 ProtoMsg::ReadReq { line, token }
             };
             entry.queue.push_back((from, msg));
-            return Vec::new();
+            return;
         }
-        self.process_request(line, from, kind, token)
+        self.process_request(line, from, kind, token, outs);
     }
 
     fn process_request(
@@ -600,14 +680,14 @@ impl Protocol {
         from: usize,
         kind: AccessKind,
         token: TxnToken,
-    ) -> Vec<ProtoOut> {
+        outs: &mut Vec<ProtoOut>,
+    ) {
         let home = self.home(line);
         let r = from as u16;
         let hw_ptrs = self.cfg.hw_ptrs;
         let sw_read = self.cfg.sw_read_cycles;
         let sw_write = self.cfg.sw_write_cycles;
-        let entry = self.dirs.get_mut(&line.0).expect("entry exists");
-        let mut outs = Vec::new();
+        let entry = dir_entry(&mut self.dirs, line);
         if !kind.needs_exclusive() {
             match &mut entry.state {
                 DirState::Uncached => {
@@ -641,24 +721,24 @@ impl Protocol {
                         to: o as usize,
                         msg: ProtoMsg::Fetch { line },
                     });
-                    return outs;
+                    return;
                 }
             }
-            outs.extend(self.grant(line, r, false, token));
-            return outs;
+            self.grant(line, r, false, token, outs);
+            return;
         }
         // Exclusive request.
         match &mut entry.state {
             DirState::Uncached => {
                 entry.state = DirState::Modified(r);
-                outs.extend(self.grant(line, r, true, token));
+                self.grant(line, r, true, token, outs);
             }
             DirState::Shared(s) => {
                 let others: Vec<u16> = s.iter().copied().filter(|&x| x != r).collect();
                 let overflow = s.len() > hw_ptrs;
                 if others.is_empty() {
                     entry.state = DirState::Modified(r);
-                    outs.extend(self.grant(line, r, true, token));
+                    self.grant(line, r, true, token, outs);
                 } else {
                     entry.busy = Some(Txn {
                         kind,
@@ -702,13 +782,19 @@ impl Protocol {
                 });
             }
         }
-        outs
     }
 
-    fn grant(&mut self, line: LineId, to: u16, exclusive: bool, token: TxnToken) -> Vec<ProtoOut> {
+    fn grant(
+        &mut self,
+        line: LineId,
+        to: u16,
+        exclusive: bool,
+        token: TxnToken,
+        outs: &mut Vec<ProtoOut>,
+    ) {
         let home = self.home(line);
         self.granted.insert((to, line.0));
-        vec![ProtoOut::Send {
+        outs.push(ProtoOut::Send {
             from: home,
             to: to as usize,
             msg: ProtoMsg::Grant {
@@ -716,13 +802,13 @@ impl Protocol {
                 exclusive,
                 token,
             },
-        }]
+        });
     }
 
     /// The owner's data came back (WbData or oracle eviction): finish the
     /// waiting transaction.
-    fn finish_wb(&mut self, line: LineId) -> Vec<ProtoOut> {
-        let entry = self.dirs.get_mut(&line.0).expect("entry exists");
+    fn finish_wb(&mut self, line: LineId, outs: &mut Vec<ProtoOut>) {
+        let entry = self.dir_mut(line);
         let txn = entry.busy.as_mut().expect("busy txn");
         let old_owner = txn.waiting_wb_from.take().expect("was waiting");
         let requester = txn.requester;
@@ -735,26 +821,26 @@ impl Protocol {
                 entry.state = DirState::Modified(requester);
             }
         }
-        self.complete_txn(line)
+        self.complete_txn(line, outs);
     }
 
-    fn finish_txn(&mut self, line: LineId) -> Vec<ProtoOut> {
-        let entry = self.dirs.get_mut(&line.0).expect("entry exists");
+    fn finish_txn(&mut self, line: LineId, outs: &mut Vec<ProtoOut>) {
+        let entry = self.dir_mut(line);
         let txn = entry.busy.as_ref().expect("busy txn");
         debug_assert_eq!(txn.pending_invacks, 0);
         entry.state = DirState::Modified(txn.requester);
-        self.complete_txn(line)
+        self.complete_txn(line, outs);
     }
 
     /// Grants to the waiting requester, clears busy, and drains the queue.
-    fn complete_txn(&mut self, line: LineId) -> Vec<ProtoOut> {
-        let entry = self.dirs.get_mut(&line.0).expect("entry exists");
+    fn complete_txn(&mut self, line: LineId, outs: &mut Vec<ProtoOut>) {
+        let entry = self.dir_mut(line);
         let txn = entry.busy.take().expect("busy txn");
         let exclusive = txn.kind.needs_exclusive();
-        let mut outs = self.grant(line, txn.requester, exclusive, txn.token);
+        self.grant(line, txn.requester, exclusive, txn.token, outs);
         // Drain queued requests until the line goes busy again (or empty).
         loop {
-            let entry = self.dirs.get_mut(&line.0).expect("entry exists");
+            let entry = self.dir_mut(line);
             if entry.busy.is_some() {
                 break;
             }
@@ -766,13 +852,19 @@ impl Protocol {
                 ProtoMsg::WriteReq { token, .. } => (AccessKind::Write, token),
                 other => unreachable!("only requests are queued, got {other:?}"),
             };
-            outs.extend(self.process_request(line, from, kind, token));
+            self.process_request(line, from, kind, token, outs);
         }
-        outs
     }
 
     /// Handles Inv/Fetch/Recall at a (possibly ex-) holder.
-    fn intruder(&mut self, at: usize, from: usize, line: LineId, msg: ProtoMsg) -> Vec<ProtoOut> {
+    fn intruder(
+        &mut self,
+        at: usize,
+        from: usize,
+        line: LineId,
+        msg: ProtoMsg,
+        outs: &mut Vec<ProtoOut>,
+    ) {
         if self.granted.contains(&(at as u16, line.0)) {
             // The grant for this line is still in flight to us: the home
             // serialized this intruder *after* our transaction, so replay it
@@ -782,36 +874,36 @@ impl Protocol {
                 .entry((at as u16, line.0))
                 .or_default()
                 .push((from, msg));
-            return Vec::new();
+            return;
         }
         let home = self.home(line);
         match msg {
             ProtoMsg::Inv { .. } => {
                 self.caches[at].invalidate(line);
                 self.prefetch[at].invalidate(line);
-                vec![ProtoOut::Send {
+                outs.push(ProtoOut::Send {
                     from: at,
                     to: home,
                     msg: ProtoMsg::InvAck { line },
-                }]
+                });
             }
             ProtoMsg::Fetch { .. } => {
                 self.caches[at].downgrade(line);
                 self.prefetch[at].downgrade(line);
-                vec![ProtoOut::Send {
+                outs.push(ProtoOut::Send {
                     from: at,
                     to: home,
                     msg: ProtoMsg::WbData { line },
-                }]
+                });
             }
             ProtoMsg::Recall { .. } => {
                 self.caches[at].invalidate(line);
                 self.prefetch[at].invalidate(line);
-                vec![ProtoOut::Send {
+                outs.push(ProtoOut::Send {
                     from: at,
                     to: home,
                     msg: ProtoMsg::WbData { line },
-                }]
+                });
             }
             other => unreachable!("not an intruder: {other:?}"),
         }
@@ -820,7 +912,7 @@ impl Protocol {
     /// Testing/verification hook: the set of nodes caching `line` according
     /// to the directory (over-approximation), or the owner.
     pub fn directory_view(&self, line: LineId) -> (bool, Vec<usize>) {
-        match self.dirs.get(&line.0).map(|e| &e.state) {
+        match self.dir(line).map(|e| &e.state) {
             None | Some(DirState::Uncached) => (false, Vec::new()),
             Some(DirState::Shared(s)) => (false, s.iter().map(|&x| x as usize).collect()),
             Some(DirState::Modified(o)) => (true, vec![*o as usize]),
@@ -841,7 +933,7 @@ impl Protocol {
             if self.granted.iter().any(|&(_, l)| l == line.0) {
                 continue;
             }
-            if self.dirs.get(&line.0).is_some_and(|e| e.busy.is_some()) {
+            if self.dir(line).is_some_and(|e| e.busy.is_some()) {
                 continue;
             }
             let (dir_modified, holders) = self.directory_view(line);

@@ -37,6 +37,30 @@ pub fn breakdown_table(app: &str, results: &[RunResult], cfg: &MachineConfig) ->
     out
 }
 
+/// Host-side measurement footer for a set of runs: simulated events,
+/// wall-clock seconds and events per second for each mechanism. This is
+/// measurement metadata about the simulator itself (see `repro perf`),
+/// not a figure from the paper, so it is kept out of [`breakdown_table`].
+pub fn sim_rate_table(app: &str, results: &[RunResult]) -> String {
+    let mut out = format!(
+        "{app}: simulator cost (host measurement)\n{:<8} {:>12} {:>9} {:>12}\n",
+        "mech", "events", "wall(s)", "events/s"
+    );
+    for r in results {
+        let rate = match r.events_per_sec() {
+            Some(e) => format!("{e:>12.0}"),
+            None => format!("{:>12}", "N/A"),
+        };
+        out.push_str(&format!(
+            "{:<8} {:>12} {:>9.3} {rate}\n",
+            r.mechanism.label(),
+            r.stats.events,
+            r.wall.as_secs_f64(),
+        ));
+    }
+    out
+}
+
 /// Figure 4 as ASCII stacked bars: one row per mechanism, scaled to the
 /// slowest, with the four buckets drawn as distinct glyphs
 /// (`s` sync, `o` msg overhead, `m` memory+NI, `#` compute).
@@ -212,11 +236,16 @@ mod tests {
         let table = breakdown_table("EM3D", &results, &cfg);
         let bars = breakdown_bars("EM3D", &results, &cfg, 40);
         let vols = volume_table("EM3D", &results);
+        let rates = sim_rate_table("EM3D", &results);
         for mech in commsense_machine::Mechanism::ALL {
             assert!(table.contains(mech.label()), "table missing {mech}");
             assert!(bars.contains(mech.label()), "bars missing {mech}");
             assert!(vols.contains(mech.label()), "volumes missing {mech}");
+            assert!(rates.contains(mech.label()), "rates missing {mech}");
         }
+        // These runs were actually simulated, so the wall clock is nonzero
+        // and every row reports a concrete event rate.
+        assert!(!rates.contains("N/A"), "measured runs should have a rate");
         // The slowest mechanism's bar reaches (close to) full width.
         assert!(bars.lines().skip(1).any(|l| l.len() > 40));
     }

@@ -1,0 +1,138 @@
+//! A minimal Fx-style hasher for small integer keys.
+//!
+//! The simulator's hot maps are keyed by small sequential integers (line
+//! ids, node ids, tokens). `std`'s default SipHash is DoS-resistant but an
+//! order of magnitude slower than needed for trusted keys, and external
+//! hash crates are off-limits for this workspace. This is the classic
+//! multiply-rotate mix used by rustc's FxHasher: one wrapping multiply per
+//! word, no finalization, deterministic across runs and platforms.
+//!
+//! Determinism matters here: the simulation must be a pure function of its
+//! inputs, so the hasher has no per-process random seed. Do not use these
+//! maps for untrusted external input.
+//!
+//! # Examples
+//!
+//! ```
+//! use commsense_des::FxHashMap;
+//!
+//! let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+//! m.insert(7, "line seven");
+//! assert_eq!(m.get(&7), Some(&"line seven"));
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` using the deterministic [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` using the deterministic [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// 64-bit multiply constant (derived from the golden ratio, as in rustc).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fast multiply-rotate hasher for trusted integer-like keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, BuildHasherDefault};
+
+    fn hash_of<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+        BuildHasherDefault::<FxHasher>::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_of(&(3u16, 17u64)), hash_of(&(3u16, 17u64)));
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        // Sequential small integers (the dominant key shape) must not
+        // collide in the low bits the table indexes with.
+        let hashes: Vec<u64> = (0u64..64).map(|i| hash_of(&i) >> 57).collect();
+        let distinct: std::collections::HashSet<u64> = hashes.iter().copied().collect();
+        assert!(distinct.len() > 16, "high bits too clumpy: {distinct:?}");
+    }
+
+    #[test]
+    fn map_and_set_roundtrip() {
+        let mut m: FxHashMap<(u16, u64), u32> = FxHashMap::default();
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..100u64 {
+            m.insert((i as u16, i), i as u32);
+            s.insert(i * 3);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&(7, 7)), Some(&7));
+        assert!(s.contains(&33));
+        assert!(!s.contains(&34));
+    }
+
+    #[test]
+    fn byte_slices_hash_tail_correctly() {
+        assert_ne!(hash_of(&b"abcdefgh1"[..]), hash_of(&b"abcdefgh2"[..]));
+        assert_ne!(hash_of(&b"a"[..]), hash_of(&b"b"[..]));
+    }
+}

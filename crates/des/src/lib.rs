@@ -17,6 +17,10 @@
 //!   reproducible without pulling a heavyweight dependency into the
 //!   simulation core.
 //!
+//! It also provides [`FxHashMap`]/[`FxHashSet`], deterministic unseeded hash
+//! containers for the simulator's trusted small-integer keys (line ids,
+//! tokens), where `std`'s DoS-resistant SipHash is wasted cost.
+//!
 //! # Examples
 //!
 //! ```
@@ -35,10 +39,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod hash;
 mod queue;
 mod rng;
 mod time;
 
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use queue::EventQueue;
 pub use rng::Rng;
 pub use time::{Clock, Time};

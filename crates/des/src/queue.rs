@@ -1,41 +1,36 @@
 //! A deterministic event queue.
+//!
+//! The pending-event set is the hottest data structure in the whole
+//! simulator, so instead of a binary heap (`O(log n)` per operation, with
+//! cache-hostile percolation and an explicit `(time, seq)` tag on every
+//! element) it is a *calendar* specialised for the schedules a machine
+//! simulation produces — a small pending set, near-monotone times, and
+//! heavy bursts of events at the same instant:
+//!
+//! * every distinct pending instant owns a **bucket**, a FIFO ring of the
+//!   events scheduled for it, so same-instant ordering is the bucket's
+//!   insertion order — the tie-breaking `seq` counter of the old heap is
+//!   now structural rather than stored — and both the burst-append and
+//!   the pop are O(1);
+//! * the pending instants live in a small **sorted index** (a `Vec` with
+//!   a consumed-prefix head, kept ascending by time), so advancing to the
+//!   next instant is O(1) and registering a brand-new instant is a binary
+//!   search plus a short shift towards whichever end is closer — paid
+//!   once per *instant*, not once per event;
+//! * the bucket at the head is cached in `current`, making the dominant
+//!   operations — schedule-at-now and pop — branch-light and
+//!   allocation-free (drained buckets are recycled through a free list
+//!   with their capacity intact).
+//!
+//! Determinism is structural: buckets are FIFO and the index is ordered
+//! by time, so the pop sequence is identical to the old heap's ordering
+//! by `(time, insertion seq)` on every schedule — a property test in
+//! `tests/prop.rs` checks this against a reference heap on adversarial
+//! schedules.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 use crate::Time;
-
-/// A pending event: ordered by time, ties broken by insertion sequence.
-#[derive(Debug)]
-struct Scheduled<E> {
-    time: Time,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we want earliest-first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 /// A deterministic min-priority queue of timestamped events.
 ///
@@ -58,8 +53,22 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    next_seq: u64,
+    /// The earliest pending instant and its bucket. `None` iff the queue
+    /// is empty (so `peek_time` never has to search).
+    current: Option<(Time, u32)>,
+    /// The remaining pending instants, ascending by time, all strictly
+    /// later than `current`. `instants[..ihead]` is consumed slack kept
+    /// so a front insertion can shift left in O(1).
+    instants: Vec<(Time, u32)>,
+    /// First live entry of `instants`.
+    ihead: usize,
+    /// Bucket storage, indexed by the ids in `current`/`instants`. A
+    /// bucket is a FIFO of the events of one instant.
+    buckets: Vec<VecDeque<E>>,
+    /// Drained buckets available for reuse, capacity intact.
+    free: Vec<u32>,
+    /// Total pending events.
+    count: usize,
     last_popped: Time,
 }
 
@@ -67,9 +76,43 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+            current: None,
+            instants: Vec::new(),
+            ihead: 0,
+            buckets: Vec::new(),
+            free: Vec::new(),
+            count: 0,
             last_popped: Time::ZERO,
+        }
+    }
+
+    /// Takes a bucket from the free list (or creates one) and seeds it
+    /// with `event`.
+    fn new_bucket(&mut self, event: E) -> u32 {
+        match self.free.pop() {
+            Some(bi) => {
+                self.buckets[bi as usize].push_back(event);
+                bi
+            }
+            None => {
+                let bi = self.buckets.len() as u32;
+                let mut b = VecDeque::with_capacity(4);
+                b.push_back(event);
+                self.buckets.push(b);
+                bi
+            }
+        }
+    }
+
+    /// Registers a new instant `t` with bucket `bi` at index `p` of the
+    /// live region, shifting towards whichever end is closer.
+    fn insert_instant(&mut self, p: usize, t: Time, bi: u32) {
+        if self.ihead > 0 && p - self.ihead <= self.instants.len() - p {
+            self.instants[self.ihead - 1..p].rotate_left(1);
+            self.ihead -= 1;
+            self.instants[p - 1] = (t, bi);
+        } else {
+            self.instants.insert(p, (t, bi));
         }
     }
 
@@ -85,31 +128,85 @@ impl<E> EventQueue<E> {
             "event scheduled into the past: {time} < {}",
             self.last_popped
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        match self.current {
+            // The dominant case: another event for the earliest pending
+            // instant (usually "now") — a plain FIFO append.
+            Some((ct, cbi)) if time == ct => {
+                self.buckets[cbi as usize].push_back(event);
+            }
+            Some((ct, _)) if time > ct => {
+                let p =
+                    self.ihead + self.instants[self.ihead..].partition_point(|&(ti, _)| ti < time);
+                match self.instants.get(p) {
+                    Some(&(ti, bi)) if ti == time => {
+                        self.buckets[bi as usize].push_back(event);
+                    }
+                    _ => {
+                        let bi = self.new_bucket(event);
+                        self.insert_instant(p, time, bi);
+                    }
+                }
+            }
+            // Earlier than every pending instant (but not in the past):
+            // demote the current head into the index front.
+            Some(cur) => {
+                if self.ihead > 0 {
+                    self.ihead -= 1;
+                    self.instants[self.ihead] = cur;
+                } else {
+                    self.instants.insert(0, cur);
+                }
+                let bi = self.new_bucket(event);
+                self.current = Some((time, bi));
+            }
+            None => {
+                let bi = self.new_bucket(event);
+                self.current = Some((time, bi));
+            }
+        }
+        self.count += 1;
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        let s = self.heap.pop()?;
-        self.last_popped = s.time;
-        Some((s.time, s.event))
+        let (t, bi) = self.current?;
+        let e = self.buckets[bi as usize]
+            .pop_front()
+            .expect("current bucket is never empty");
+        self.count -= 1;
+        self.last_popped = t;
+        if self.buckets[bi as usize].is_empty() {
+            self.free.push(bi);
+            match self.instants.get(self.ihead) {
+                Some(&next) => {
+                    self.current = Some(next);
+                    self.ihead += 1;
+                }
+                None => {
+                    self.current = None;
+                    // The index is fully consumed: reclaim the prefix
+                    // slack while it costs nothing.
+                    self.instants.clear();
+                    self.ihead = 0;
+                }
+            }
+        }
+        Some((t, e))
     }
 
     /// Returns the time of the earliest pending event without removing it.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|s| s.time)
+        self.current.map(|(t, _)| t)
     }
 
     /// Returns the number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.count
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.count == 0
     }
 }
 
@@ -145,6 +242,63 @@ mod tests {
     }
 
     #[test]
+    fn ties_break_by_insertion_order_while_draining() {
+        // Same-instant events appended while that instant's bucket is
+        // already being popped still come out FIFO.
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(5), 0);
+        q.schedule(Time::from_ns(5), 1);
+        assert_eq!(q.pop(), Some((Time::from_ns(5), 0)));
+        q.schedule(Time::from_ns(5), 2);
+        q.schedule(Time::from_ns(5), 3);
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(got, [1, 2, 3]);
+    }
+
+    #[test]
+    fn earlier_than_every_pending_instant_becomes_the_head() {
+        // After popping at t=10 with t=30 pending, scheduling t=20 (and
+        // then t=15) must displace the cached head instant each time.
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(10), 1);
+        q.schedule(Time::from_ns(30), 30);
+        assert_eq!(q.pop(), Some((Time::from_ns(10), 1)));
+        q.schedule(Time::from_ns(20), 20);
+        q.schedule(Time::from_ns(15), 15);
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(got, [15, 20, 30]);
+    }
+
+    #[test]
+    fn interleaves_inserts_with_pops() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.schedule(Time::from_ns(100 + i), i);
+        }
+        assert_eq!(q.pop(), Some((Time::from_ns(100), 0)));
+        // Insert at, just above, and well above the next pending time.
+        q.schedule(Time::from_ns(100), 90);
+        q.schedule(Time::from_ns(101), 91);
+        q.schedule(Time::from_ns(105), 95);
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(got, [90, 1, 91, 2, 3, 4, 5, 95, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn buckets_are_recycled() {
+        let mut q = EventQueue::new();
+        for round in 0..50u64 {
+            q.schedule(Time::from_ns(round * 10), round);
+            q.schedule(Time::from_ns(round * 10), round + 100);
+            assert_eq!(q.pop().map(|(_, e)| e), Some(round));
+            assert_eq!(q.pop().map(|(_, e)| e), Some(round + 100));
+        }
+        // One live instant at a time: the storage must not have grown a
+        // bucket per round.
+        assert!(q.buckets.len() <= 2, "buckets grew to {}", q.buckets.len());
+    }
+
+    #[test]
     fn peek_does_not_remove() {
         let mut q = EventQueue::new();
         q.schedule(Time::from_ns(7), "x");
@@ -154,6 +308,30 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn peek_tracks_new_minimum() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_us(1000), 1);
+        assert_eq!(q.peek_time(), Some(Time::from_us(1000)));
+        q.schedule(Time::from_ns(3), 2);
+        assert_eq!(q.peek_time(), Some(Time::from_ns(3)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(Time::from_us(1000)));
+    }
+
+    #[test]
+    fn wide_time_spread_drains_fully() {
+        let mut q = EventQueue::new();
+        let mut t = 1u64;
+        for i in 0..40 {
+            q.schedule(Time::from_ps(t), i);
+            t = t.saturating_mul(3);
+        }
+        let got: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        let want: Vec<_> = (0..40).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

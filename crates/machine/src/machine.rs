@@ -1,9 +1,7 @@
 //! The machine: event loop, node driver, and mechanism orchestration.
 
-use std::collections::HashMap;
-
 use commsense_cache::{
-    AccessKind, AccessStart, Heap, LineId, MsgClass, ProtoMsg, ProtoOut, Protocol, TxnToken, Word,
+    AccessKind, AccessOutcome, Heap, LineId, MsgClass, ProtoMsg, ProtoOut, Protocol, TxnToken, Word,
 };
 use commsense_des::{Clock, EventQueue, Time};
 use commsense_mesh::{CrossTraffic, Endpoint, NetEvent, Network, Packet, PacketClass};
@@ -135,6 +133,120 @@ enum OutKind {
 struct OutstandingEntry {
     token: u64,
     kind: OutKind,
+}
+
+/// Slab of live transaction purposes, indexed directly by token value.
+///
+/// Tokens are minted from a free list, so values stay small and every
+/// lookup is an array index instead of a hash. Values are unique among
+/// *live* tokens only (slots are recycled); the protocol treats tokens as
+/// opaque completion handles and never orders or arithmetizes them, so
+/// recycling cannot change simulated behavior.
+#[derive(Debug)]
+struct TokenTable {
+    slots: Vec<Option<Purpose>>,
+    free: Vec<u32>,
+}
+
+impl TokenTable {
+    fn new() -> Self {
+        TokenTable {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Allocates a token for a transaction with the given purpose.
+    fn mint(&mut self, purpose: Purpose) -> u64 {
+        match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize] = Some(purpose);
+                i as u64
+            }
+            None => {
+                self.slots.push(Some(purpose));
+                (self.slots.len() - 1) as u64
+            }
+        }
+    }
+
+    fn get(&self, token: u64) -> Option<Purpose> {
+        self.slots.get(token as usize).copied().flatten()
+    }
+
+    fn get_mut(&mut self, token: u64) -> Option<&mut Purpose> {
+        self.slots.get_mut(token as usize).and_then(|s| s.as_mut())
+    }
+
+    /// Frees a token, returning its purpose (slot goes back on the free
+    /// list for the next mint).
+    fn remove(&mut self, token: u64) -> Option<Purpose> {
+        let p = self.slots.get_mut(token as usize).and_then(Option::take);
+        if p.is_some() {
+            self.free.push(token as u32);
+        }
+        p
+    }
+
+    /// Live entries, for the deadlock diagnostic.
+    fn live(&self) -> impl Iterator<Item = (u64, &Purpose)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|p| (i as u64, p)))
+    }
+}
+
+/// Outstanding coherence transactions, keyed by `(node, line)`.
+///
+/// A node has at most a handful outstanding at once (one blocked demand
+/// plus the prefetch/write-buffer depth), so a per-node linear vector beats
+/// a hash map: lookups are a short scan of a cache-resident array.
+#[derive(Debug)]
+struct OutstandingTable {
+    per_node: Vec<Vec<(u64, OutstandingEntry)>>,
+}
+
+impl OutstandingTable {
+    fn new(nodes: usize) -> Self {
+        OutstandingTable {
+            per_node: vec![Vec::new(); nodes],
+        }
+    }
+
+    fn get(&self, node: usize, line: u64) -> Option<OutstandingEntry> {
+        self.per_node[node]
+            .iter()
+            .find(|(l, _)| *l == line)
+            .map(|&(_, e)| e)
+    }
+
+    fn contains(&self, node: usize, line: u64) -> bool {
+        self.per_node[node].iter().any(|(l, _)| *l == line)
+    }
+
+    fn insert(&mut self, node: usize, line: u64, entry: OutstandingEntry) {
+        debug_assert!(
+            !self.contains(node, line),
+            "duplicate outstanding entry for node {node} line {line}"
+        );
+        self.per_node[node].push((line, entry));
+    }
+
+    fn remove(&mut self, node: usize, line: u64) {
+        let v = &mut self.per_node[node];
+        if let Some(i) = v.iter().position(|(l, _)| *l == line) {
+            v.swap_remove(i);
+        }
+    }
+
+    /// Live entries, for the deadlock diagnostic.
+    fn live(&self) -> impl Iterator<Item = (usize, u64, &OutstandingEntry)> {
+        self.per_node
+            .iter()
+            .enumerate()
+            .flat_map(|(n, v)| v.iter().map(move |(l, e)| (n, *l, e)))
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -322,9 +434,12 @@ pub struct Machine {
     nodes: Vec<NodeState>,
     envelopes: Vec<Option<Envelope>>,
     free_envelopes: Vec<usize>,
-    tokens: HashMap<u64, Purpose>,
-    next_token: u64,
-    outstanding: HashMap<(usize, u64), OutstandingEntry>,
+    tokens: TokenTable,
+    outstanding: OutstandingTable,
+    /// Pool of scratch buffers for protocol outputs. A pool (not a single
+    /// buffer) because processing one batch of outputs can re-enter the
+    /// protocol (a grant completes, its fill emits more outputs).
+    outs_pool: Vec<Vec<ProtoOut>>,
     barrier: BarrierCtl,
     cross: Option<CrossTraffic>,
     finished: usize,
@@ -393,9 +508,9 @@ impl Machine {
             nodes: (0..n).map(|_| NodeState::new()).collect(),
             envelopes: Vec::new(),
             free_envelopes: Vec::new(),
-            tokens: HashMap::new(),
-            next_token: 0,
-            outstanding: HashMap::new(),
+            tokens: TokenTable::new(),
+            outstanding: OutstandingTable::new(n),
+            outs_pool: Vec::new(),
             barrier: BarrierCtl {
                 tree: BarrierTree::new(n),
                 lines,
@@ -429,24 +544,43 @@ impl Machine {
     pub fn run(&mut self) -> RunStats {
         while self.finished < self.cfg.nodes {
             let Some((t, ev)) = self.queue.pop() else {
-                let stuck: Vec<String> = self
-                    .nodes
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, n)| n.status != Status::Done)
-                    .map(|(i, n)| format!("{i}:{:?}", n.status))
-                    .collect();
-                panic!(
-                    "deadlock: nodes blocked with no pending events: {stuck:?}; \
-                     outstanding={:?} tokens={:?} barrier={:?}",
-                    self.outstanding, self.tokens, self.barrier.sm
-                );
+                self.deadlock_panic();
             };
             self.now = t;
             self.events += 1;
             self.dispatch(ev);
         }
         self.collect_stats()
+    }
+
+    /// Formats and raises the application-deadlock diagnostic. Kept out of
+    /// line so the hot loop carries no formatting machinery: `run` stays a
+    /// pop/dispatch kernel and this never-taken path costs one cold call.
+    #[cold]
+    #[inline(never)]
+    fn deadlock_panic(&self) -> ! {
+        let stuck: Vec<String> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.status != Status::Done)
+            .map(|(i, n)| format!("{i}:{:?}", n.status))
+            .collect();
+        let outstanding: Vec<String> = self
+            .outstanding
+            .live()
+            .map(|(node, line, e)| format!("({node},{line}): {e:?}"))
+            .collect();
+        let tokens: Vec<String> = self
+            .tokens
+            .live()
+            .map(|(t, p)| format!("{t}: {p:?}"))
+            .collect();
+        panic!(
+            "deadlock: nodes blocked with no pending events: {stuck:?}; \
+             outstanding={outstanding:?} tokens={tokens:?} barrier={:?}",
+            self.barrier.sm
+        );
     }
 
     /// The master copy of shared memory (valid after [`Machine::run`]).
@@ -526,12 +660,6 @@ impl Machine {
         self.nodes[node].stats.charge(bucket, d);
     }
 
-    fn mint_token(&mut self) -> u64 {
-        let t = self.next_token;
-        self.next_token += 1;
-        t
-    }
-
     fn schedule_wake(&mut self, node: usize, at: Time) {
         self.nodes[node].gen += 1;
         let gen = self.nodes[node].gen;
@@ -556,13 +684,14 @@ impl Machine {
                 self.run_node(node);
             }
             Ev::Net(nev) => {
-                let mut sched: Vec<(Time, NetEvent)> = Vec::new();
+                // Follow-up hops go straight into the event queue: the
+                // closure captures only `self.queue`, disjoint from the
+                // `self.net` receiver, so no intermediate buffer is needed.
+                let now = self.now;
+                let queue = &mut self.queue;
                 let delivery = self
                     .net
-                    .handle(self.now, nev, &mut |t, e| sched.push((t, e)));
-                for (t, e) in sched {
-                    self.queue.schedule(t, Ev::Net(e));
-                }
+                    .handle(now, nev, &mut |t, e| queue.schedule(t, Ev::Net(e)));
                 if let Some(d) = delivery {
                     self.deliver(d.packet);
                 }
@@ -574,8 +703,10 @@ impl Machine {
                     return;
                 }
                 let occ = self.proto_msg_occupancy(at, from, &msg);
-                let outs = self.proto.handle(at, from, msg);
-                self.process_controller_outs(at, occ, outs);
+                let mut outs = self.take_outs();
+                self.proto.handle_into(at, from, msg, &mut outs);
+                self.process_controller_outs(at, occ, &mut outs);
+                self.put_outs(outs);
             }
             Ev::FillPrefetch {
                 token,
@@ -585,22 +716,21 @@ impl Machine {
                 self.finish_prefetch(token, line, exclusive, self.now);
             }
             Ev::CrossTick => {
-                let Some(cross) = self.cross.clone() else {
+                // Move the injector out for the duration of the tick so
+                // its packet stream can be drained while `self` is
+                // mutably borrowed (no per-tick clone).
+                let Some(cross) = self.cross.take() else {
                     return;
                 };
                 for pkt in cross.tick_packets() {
-                    let mut sched: Vec<(Time, NetEvent)> = Vec::new();
-                    self.net
-                        .inject(self.now, pkt, &mut |t, e| sched.push((t, e)));
-                    for (t, e) in sched {
-                        self.queue.schedule(t, Ev::Net(e));
-                    }
+                    self.inject(pkt, self.now);
                 }
                 if self.finished < self.cfg.nodes {
                     if let Some(iv) = cross.interval() {
                         self.queue.schedule(self.now + iv, Ev::CrossTick);
                     }
                 }
+                self.cross = Some(cross);
             }
         }
     }
@@ -635,27 +765,36 @@ impl Machine {
     /// occupancy, dispatches sends, and completes grants. Occupancy
     /// entries for `at` itself are folded into this message's processing
     /// time (and must not be re-applied downstream).
-    fn process_controller_outs(&mut self, at: usize, base_occ: u64, outs: Vec<ProtoOut>) {
+    /// Grabs a scratch output buffer from the pool (empty, capacity
+    /// retained from earlier use).
+    fn take_outs(&mut self) -> Vec<ProtoOut> {
+        self.outs_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a scratch output buffer to the pool.
+    fn put_outs(&mut self, mut outs: Vec<ProtoOut>) {
+        outs.clear();
+        self.outs_pool.push(outs);
+    }
+
+    fn process_controller_outs(&mut self, at: usize, base_occ: u64, outs: &mut Vec<ProtoOut>) {
         let mut extra = 0u64;
-        let rest: Vec<ProtoOut> = outs
-            .into_iter()
-            .filter(|o| match o {
-                ProtoOut::HomeOccupancy { node, cycles } if *node == at => {
-                    extra += *cycles as u64;
-                    false
-                }
-                _ => true,
-            })
-            .collect();
+        outs.retain(|o| match o {
+            ProtoOut::HomeOccupancy { node, cycles } if *node == at => {
+                extra += *cycles as u64;
+                false
+            }
+            _ => true,
+        });
         let done = self.now + self.cycles(base_occ + extra);
         self.nodes[at].ctrl_free_at = done;
-        self.process_aux_outs(rest, done);
+        self.process_aux_outs(outs, done);
     }
 
     /// Dispatches sends/grants at time `t` (occupancy entries bump the
     /// controller availability of their node but do not delay `t`).
-    fn process_aux_outs(&mut self, outs: Vec<ProtoOut>, t: Time) {
-        for out in outs {
+    fn process_aux_outs(&mut self, outs: &mut Vec<ProtoOut>, t: Time) {
+        for out in outs.drain(..) {
             match out {
                 ProtoOut::Send { from, to, msg } => self.dispatch_proto(from, to, msg, t),
                 ProtoOut::Granted {
@@ -712,11 +851,9 @@ impl Machine {
     }
 
     fn inject(&mut self, pkt: Packet, t: Time) {
-        let mut sched: Vec<(Time, NetEvent)> = Vec::new();
-        self.net.inject(t, pkt, &mut |t2, e| sched.push((t2, e)));
-        for (t2, e) in sched {
-            self.queue.schedule(t2, Ev::Net(e));
-        }
+        let queue = &mut self.queue;
+        self.net
+            .inject(t, pkt, &mut |t2, e| queue.schedule(t2, Ev::Net(e)));
     }
 
     fn deliver(&mut self, pkt: Packet) {
@@ -890,7 +1027,7 @@ impl Machine {
     /// block for a transaction.
     fn try_access(&mut self, node: usize, op: MemOp, purpose: Purpose, t: Time) -> Option<u64> {
         let line = op.line();
-        if let Some(entry) = self.outstanding.get(&(node, line.0)).copied() {
+        if let Some(entry) = self.outstanding.get(node, line.0) {
             match entry.kind {
                 OutKind::Prefetch | OutKind::Posted => {
                     // Merge the demand into the outstanding transaction:
@@ -898,7 +1035,7 @@ impl Machine {
                     let Purpose::Demand { .. } = purpose else {
                         panic!("only demand accesses can merge into outstanding lines");
                     };
-                    match self.tokens.get_mut(&entry.token) {
+                    match self.tokens.get_mut(entry.token) {
                         Some(Purpose::Prefetch { merged, .. })
                         | Some(Purpose::Posted { merged, .. }) => *merged = Some(op),
                         other => panic!("outstanding token mismatch: {other:?}"),
@@ -908,47 +1045,53 @@ impl Machine {
                 _ => panic!("duplicate outstanding access to line {line:?} by node {node}"),
             }
         }
-        let token = self.mint_token();
-        match self
-            .proto
-            .start_access(node, line, op.kind(), TxnToken(token))
-        {
-            AccessStart::Hit => {
+        let token = self.tokens.mint(purpose);
+        let mut outs = self.take_outs();
+        let outcome =
+            self.proto
+                .start_access_into(node, line, op.kind(), TxnToken(token), &mut outs);
+        let result = match outcome {
+            AccessOutcome::Hit => {
+                self.tokens.remove(token);
                 self.apply_mem_op(node, op);
                 Some(self.hit_cost(op))
             }
-            AccessStart::PrefetchHit { outs } => {
-                self.process_aux_outs(outs, t);
+            AccessOutcome::PrefetchHit => {
+                self.tokens.remove(token);
+                self.process_aux_outs(&mut outs, t);
                 self.apply_mem_op(node, op);
                 Some(self.cfg.costs.prefetch_promote)
             }
-            AccessStart::Miss { outs } => {
+            AccessOutcome::Miss => {
                 let kind = match purpose {
                     Purpose::Prefetch { .. } => OutKind::Prefetch,
                     Purpose::Posted { .. } => OutKind::Posted,
                     Purpose::Demand { .. } => OutKind::Demand,
                     Purpose::Bar { .. } => OutKind::Sys,
                 };
-                self.tokens.insert(token, purpose);
                 self.outstanding
-                    .insert((node, line.0), OutstandingEntry { token, kind });
+                    .insert(node, line.0, OutstandingEntry { token, kind });
                 let at = t + self.cycles(self.cfg.costs.miss_issue);
-                self.process_aux_outs(outs, at);
+                self.process_aux_outs(&mut outs, at);
                 None
             }
-        }
+        };
+        self.put_outs(outs);
+        result
     }
 
     /// A coherence grant arrived for `token` at `node`'s controller.
     fn granted(&mut self, node: usize, line: LineId, exclusive: bool, token: u64, t: Time) {
-        let purpose = *self.tokens.get(&token).expect("live token");
+        let purpose = self.tokens.get(token).expect("live token");
         match purpose {
             Purpose::Demand { node: n, op } => {
                 debug_assert_eq!(n, node);
-                self.tokens.remove(&token);
-                self.outstanding.remove(&(node, line.0));
-                let outs = self.proto.fill_cache(node, line, exclusive);
-                self.process_aux_outs(outs, t);
+                self.tokens.remove(token);
+                self.outstanding.remove(node, line.0);
+                let mut outs = self.take_outs();
+                self.proto.fill_cache_into(node, line, exclusive, &mut outs);
+                self.process_aux_outs(&mut outs, t);
+                self.put_outs(outs);
                 self.apply_mem_op(node, op);
                 let resume_at = self.demand_resume_time(node, line, t);
                 if self.proto.home(line) != node {
@@ -983,10 +1126,12 @@ impl Machine {
                 merged,
             } => {
                 debug_assert_eq!(n, node);
-                self.tokens.remove(&token);
-                self.outstanding.remove(&(node, line.0));
-                let outs = self.proto.fill_cache(node, line, exclusive);
-                self.process_aux_outs(outs, t);
+                self.tokens.remove(token);
+                self.outstanding.remove(node, line.0);
+                let mut outs = self.take_outs();
+                self.proto.fill_cache_into(node, line, exclusive, &mut outs);
+                self.process_aux_outs(&mut outs, t);
+                self.put_outs(outs);
                 self.apply_mem_op(node, op);
                 self.nodes[node].posted -= 1;
                 if let Some(m) = merged {
@@ -1007,10 +1152,12 @@ impl Machine {
                 parity,
             } => {
                 debug_assert_eq!(n, node);
-                self.tokens.remove(&token);
-                self.outstanding.remove(&(node, line.0));
-                let outs = self.proto.fill_cache(node, line, exclusive);
-                self.process_aux_outs(outs, t);
+                self.tokens.remove(token);
+                self.outstanding.remove(node, line.0);
+                let mut outs = self.take_outs();
+                self.proto.fill_cache_into(node, line, exclusive, &mut outs);
+                self.process_aux_outs(&mut outs, t);
+                self.put_outs(outs);
                 let at = t + self.cycles(self.cfg.costs.grant_fill);
                 self.barrier_transition(node, stage, parity, at);
             }
@@ -1032,12 +1179,15 @@ impl Machine {
     }
 
     fn finish_prefetch(&mut self, token: u64, line: LineId, exclusive: bool, t: Time) {
-        let Some(Purpose::Prefetch { node, merged, .. }) = self.tokens.remove(&token) else {
+        let Some(Purpose::Prefetch { node, merged, .. }) = self.tokens.remove(token) else {
             panic!("prefetch token vanished");
         };
-        self.outstanding.remove(&(node, line.0));
-        let outs = self.proto.fill_prefetch(node, line, exclusive);
-        self.process_aux_outs(outs, t);
+        self.outstanding.remove(node, line.0);
+        let mut outs = self.take_outs();
+        self.proto
+            .fill_prefetch_into(node, line, exclusive, &mut outs);
+        self.process_aux_outs(&mut outs, t);
+        self.put_outs(outs);
         if let Some(op) = merged {
             // A demand access was waiting on this prefetch: retry it now.
             if let Some(cycles) = self.try_access(node, op, Purpose::Demand { node, op }, t) {
@@ -1125,7 +1275,7 @@ impl Machine {
                     let c = self.cfg.costs.prefetch_issue;
                     self.charge(node, Bucket::Compute, self.cycles(c));
                     t += self.cycles(c);
-                    let outstanding = self.outstanding.contains_key(&(node, line.0));
+                    let outstanding = self.outstanding.contains(node, line.0);
                     if self.proto.is_local(node, line) || outstanding {
                         self.useless_prefetches += 1;
                     } else {
@@ -1134,31 +1284,39 @@ impl Machine {
                         } else {
                             AccessKind::Read
                         };
-                        let token = self.mint_token();
-                        match self.proto.start_access(node, line, kind, TxnToken(token)) {
-                            AccessStart::Hit | AccessStart::PrefetchHit { .. } => {
-                                // Raced with is_local: treat as useless.
+                        let token = self.tokens.mint(Purpose::Prefetch {
+                            node,
+                            merged: None,
+                            issued: t,
+                        });
+                        let mut outs = self.take_outs();
+                        match self.proto.start_access_into(
+                            node,
+                            line,
+                            kind,
+                            TxnToken(token),
+                            &mut outs,
+                        ) {
+                            AccessOutcome::Hit | AccessOutcome::PrefetchHit => {
+                                // Raced with is_local: treat as useless
+                                // (any buffered outputs are dropped, as
+                                // before — put_outs clears them).
+                                self.tokens.remove(token);
                                 self.useless_prefetches += 1;
                             }
-                            AccessStart::Miss { outs } => {
-                                self.tokens.insert(
-                                    token,
-                                    Purpose::Prefetch {
-                                        node,
-                                        merged: None,
-                                        issued: t,
-                                    },
-                                );
+                            AccessOutcome::Miss => {
                                 self.outstanding.insert(
-                                    (node, line.0),
+                                    node,
+                                    line.0,
                                     OutstandingEntry {
                                         token,
                                         kind: OutKind::Prefetch,
                                     },
                                 );
-                                self.process_aux_outs(outs, t);
+                                self.process_aux_outs(&mut outs, t);
                             }
                         }
+                        self.put_outs(outs);
                     }
                 }
                 Step::Send(am) => {
@@ -1288,7 +1446,7 @@ impl Machine {
     /// Posts a relaxed store. Returns the inline cost, a line conflict, or
     /// `BufferFull`.
     fn posted_store(&mut self, node: usize, op: MemOp, t: Time) -> PostOutcome {
-        if self.outstanding.contains_key(&(node, op.line().0)) {
+        if self.outstanding.contains(node, op.line().0) {
             return PostOutcome::Conflict;
         }
         if self.nodes[node].posted >= self.cfg.write_buffer {

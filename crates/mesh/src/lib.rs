@@ -61,4 +61,4 @@ pub use crosstraffic::{CrossTraffic, CrossTrafficConfig};
 pub use network::{Delivery, NetConfig, NetEvent, Network};
 pub use packet::{Endpoint, Packet, PacketClass};
 pub use stats::{NetStats, VolumeBreakdown};
-pub use topology::{Mesh, RouteDir, RouterCoord};
+pub use topology::{Mesh, RouteDir, RouteTable, RouterCoord};

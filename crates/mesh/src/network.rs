@@ -6,7 +6,7 @@ use commsense_des::Time;
 
 use crate::packet::{Endpoint, Packet};
 use crate::stats::NetStats;
-use crate::topology::Mesh;
+use crate::topology::{Mesh, RouteTable};
 
 /// Physical parameters of the mesh network.
 ///
@@ -96,8 +96,9 @@ pub struct Delivery {
 #[derive(Debug)]
 struct InFlight {
     packet: Packet,
-    route: Vec<usize>,
-    hop: usize,
+    /// Key into the network's precomputed [`RouteTable`].
+    route: u32,
+    hop: u32,
     injected_at: Time,
     head_ready_at: Time,
 }
@@ -118,6 +119,7 @@ struct LinkState {
 pub struct Network {
     cfg: NetConfig,
     mesh: Mesh,
+    routes: RouteTable,
     links: Vec<LinkState>,
     flights: Vec<Option<InFlight>>,
     free_slots: Vec<u32>,
@@ -130,6 +132,7 @@ impl Network {
     /// Creates a network.
     pub fn new(cfg: NetConfig) -> Self {
         let mesh = Mesh::new(cfg.width, cfg.height);
+        let routes = RouteTable::new(&mesh);
         let links = (0..mesh.num_links())
             .map(|_| LinkState::default())
             .collect();
@@ -137,6 +140,7 @@ impl Network {
         Network {
             cfg,
             mesh,
+            routes,
             links,
             flights: Vec::new(),
             free_slots: Vec::new(),
@@ -196,7 +200,7 @@ impl Network {
     ///
     /// Panics if source and destination are the same compute node.
     pub fn inject(&mut self, now: Time, packet: Packet, sched: &mut impl FnMut(Time, NetEvent)) {
-        let route = self.mesh.route(packet.src, packet.dst);
+        let route = self.routes.key(packet.src, packet.dst);
         self.stats.packets_injected += 1;
         self.stats
             .injected
@@ -265,13 +269,14 @@ impl Network {
 
     fn try_hop(&mut self, now: Time, pkt: u32, sched: &mut impl FnMut(Time, NetEvent)) {
         let flight = self.flights[pkt as usize].as_ref().expect("flight exists");
-        if flight.hop >= flight.route.len() {
+        let route = self.routes.route(flight.route);
+        if flight.hop as usize >= route.len() {
             // Zero-hop routes cannot occur (local traffic never injects),
             // but a final ejection after the last link is handled in
             // start_hop; reaching here means the route was empty.
             unreachable!("try_hop past end of route");
         }
-        let link = flight.route[flight.hop];
+        let link = route[flight.hop as usize] as usize;
         if self.links[link].busy_until > now {
             self.links[link].waiters.push_back(pkt);
         } else {
@@ -283,9 +288,10 @@ impl Network {
         let cfg_router = Time::from_ps(self.cfg.router_delay_ps);
         let (link, ser, last, class, hdr, pay) = {
             let flight = self.flights[pkt as usize].as_ref().expect("flight exists");
-            let link = flight.route[flight.hop];
+            let route = self.routes.route(flight.route);
+            let link = route[flight.hop as usize] as usize;
             let ser = self.serialize_time(flight.packet.wire_bytes());
-            let last = flight.hop + 1 == flight.route.len();
+            let last = flight.hop as usize + 1 == route.len();
             (
                 link,
                 ser,

@@ -261,6 +261,107 @@ impl Mesh {
     }
 }
 
+/// Every dimension-order route of a mesh, precomputed.
+///
+/// Dimension-order routes are static, so the network computes each one
+/// exactly once up front and hands out `&[u32]` slices into a single flat
+/// arena instead of allocating a fresh `Vec` per injected packet. Covers
+/// all ordered compute-node pairs plus the full-row cross-traffic routes
+/// of each I/O row ([`Endpoint::IoWest`]/[`Endpoint::IoEast`]).
+///
+/// # Examples
+///
+/// ```
+/// use commsense_mesh::{Endpoint, Mesh, RouteTable};
+///
+/// let mesh = Mesh::new(8, 4);
+/// let table = RouteTable::new(&mesh);
+/// let key = table.key(Endpoint::node(0), Endpoint::node(31));
+/// assert_eq!(table.route(key).len(), mesh.hops(0, 31));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RouteTable {
+    nodes: usize,
+    height: usize,
+    /// All routes back to back, as link ids.
+    arena: Vec<u32>,
+    /// `(offset, len)` into `arena` per route key.
+    spans: Vec<(u32, u32)>,
+}
+
+impl RouteTable {
+    /// Precomputes every route of `mesh`.
+    pub fn new(mesh: &Mesh) -> Self {
+        let n = mesh.num_nodes();
+        let h = mesh.height() as usize;
+        let mut arena = Vec::new();
+        let mut spans = Vec::with_capacity(n * n + 2 * h);
+        let push = |arena: &mut Vec<u32>, links: Vec<usize>| {
+            let span = (arena.len() as u32, links.len() as u32);
+            arena.extend(links.into_iter().map(|l| l as u32));
+            span
+        };
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    // Local traffic never enters the network; keep the
+                    // keys dense with an empty span.
+                    spans.push((arena.len() as u32, 0));
+                } else {
+                    let links = mesh.route(Endpoint::node(a), Endpoint::node(b));
+                    spans.push(push(&mut arena, links));
+                }
+            }
+        }
+        for row in 0..h as u16 {
+            let links = mesh.route(Endpoint::IoWest(row), Endpoint::IoEast(row));
+            spans.push(push(&mut arena, links));
+        }
+        for row in 0..h as u16 {
+            let links = mesh.route(Endpoint::IoEast(row), Endpoint::IoWest(row));
+            spans.push(push(&mut arena, links));
+        }
+        RouteTable {
+            nodes: n,
+            height: h,
+            arena,
+            spans,
+        }
+    }
+
+    /// The table key of the `src -> dst` route.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the route kinds [`Mesh::route`] rejects: identical
+    /// compute nodes, out-of-range I/O rows, and unsupported endpoint
+    /// combinations.
+    pub fn key(&self, src: Endpoint, dst: Endpoint) -> u32 {
+        let k = match (src, dst) {
+            (Endpoint::Node(a), Endpoint::Node(b)) => {
+                assert_ne!(a, b, "local traffic must not enter the network");
+                a as usize * self.nodes + b as usize
+            }
+            (Endpoint::IoWest(row), Endpoint::IoEast(_)) => {
+                assert!((row as usize) < self.height, "I/O row {row} out of range");
+                self.nodes * self.nodes + row as usize
+            }
+            (Endpoint::IoEast(row), Endpoint::IoWest(_)) => {
+                assert!((row as usize) < self.height, "I/O row {row} out of range");
+                self.nodes * self.nodes + self.height + row as usize
+            }
+            (s, d) => panic!("unsupported route {s:?} -> {d:?}"),
+        };
+        k as u32
+    }
+
+    /// The route behind a key, as link ids.
+    pub fn route(&self, key: u32) -> &[u32] {
+        let (off, len) = self.spans[key as usize];
+        &self.arena[off as usize..(off + len) as usize]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,5 +477,41 @@ mod tests {
     fn local_route_panics() {
         let m = alewife();
         let _ = m.route(Endpoint::node(3), Endpoint::node(3));
+    }
+
+    #[test]
+    fn route_table_matches_fresh_routes() {
+        let m = alewife();
+        let table = RouteTable::new(&m);
+        for a in 0..m.num_nodes() {
+            for b in 0..m.num_nodes() {
+                if a == b {
+                    continue;
+                }
+                let fresh: Vec<u32> = m
+                    .route(Endpoint::node(a), Endpoint::node(b))
+                    .into_iter()
+                    .map(|l| l as u32)
+                    .collect();
+                let key = table.key(Endpoint::node(a), Endpoint::node(b));
+                assert_eq!(table.route(key), &fresh[..], "{a}->{b}");
+            }
+        }
+        for row in 0..m.height() {
+            for (src, dst) in [
+                (Endpoint::IoWest(row), Endpoint::IoEast(row)),
+                (Endpoint::IoEast(row), Endpoint::IoWest(row)),
+            ] {
+                let fresh: Vec<u32> = m.route(src, dst).into_iter().map(|l| l as u32).collect();
+                assert_eq!(table.route(table.key(src, dst)), &fresh[..]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "local traffic")]
+    fn route_table_local_key_panics() {
+        let table = RouteTable::new(&alewife());
+        let _ = table.key(Endpoint::node(3), Endpoint::node(3));
     }
 }

@@ -528,6 +528,7 @@ fn run_sm(w: &Em3dPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
         max_abs_err: err_e.max(err_h),
         stats,
         wall: std::time::Duration::ZERO,
+        observation: machine.take_observation().map(Arc::new),
     }
 }
 
@@ -568,6 +569,7 @@ fn run_mp(w: &Em3dPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
         },
     );
     let stats = machine.run();
+    let observation = machine.take_observation().map(Arc::new);
 
     // Gather owned values from each program.
     let mut got_e = vec![0.0; g.e.len()];
@@ -594,6 +596,7 @@ fn run_mp(w: &Em3dPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
         max_abs_err: err_e.max(err_h),
         stats,
         wall: std::time::Duration::ZERO,
+        observation,
     }
 }
 

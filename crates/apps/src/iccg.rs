@@ -487,6 +487,7 @@ fn run_sm(w: &IccgPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
         max_abs_err: err,
         stats,
         wall: std::time::Duration::ZERO,
+        observation: machine.take_observation().map(Arc::new),
     }
 }
 
@@ -533,6 +534,7 @@ fn run_mp(w: &IccgPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
         },
     );
     let stats = machine.run();
+    let observation = machine.take_observation().map(Arc::new);
     let mut got = vec![0.0; n];
     for prog in machine.into_programs() {
         let p = prog
@@ -554,6 +556,7 @@ fn run_mp(w: &IccgPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
         max_abs_err: err,
         stats,
         wall: std::time::Duration::ZERO,
+        observation,
     }
 }
 

@@ -167,11 +167,17 @@ pub struct RunResult {
     /// Host wall-clock time spent simulating this run (set by
     /// [`run_prepared`]). Measurement metadata, not a simulation output.
     pub wall: std::time::Duration,
+    /// Observability recording, present when the config enabled
+    /// [`commsense_machine::ObserveConfig`]. Shared via `Arc` so cloning a
+    /// result (plans cache run outputs) does not duplicate the series.
+    pub observation: Option<std::sync::Arc<commsense_machine::Observation>>,
 }
 
-/// `Debug` deliberately omits [`RunResult::wall`]: every other field is a
-/// pure function of the request, and the engine's determinism tests compare
-/// runs via their `Debug` rendering. Wall time is host noise.
+/// `Debug` deliberately omits [`RunResult::wall`] and
+/// [`RunResult::observation`]: every rendered field is a pure function of
+/// the request, and the engine's determinism tests compare runs via their
+/// `Debug` rendering. Wall time is host noise, and the observation is a
+/// bulky recording of the same run, not an extra output.
 impl std::fmt::Debug for RunResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RunResult")

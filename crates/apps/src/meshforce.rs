@@ -724,6 +724,7 @@ fn run_sm(w: &PreparedModel, mech: Mechanism, cfg: &MachineConfig) -> RunResult 
         max_abs_err: err,
         stats,
         wall: std::time::Duration::ZERO,
+        observation: machine.take_observation().map(Arc::new),
     }
 }
 
@@ -765,6 +766,7 @@ fn run_mp(w: &PreparedModel, mech: Mechanism, cfg: &MachineConfig) -> RunResult 
         },
     );
     let stats = machine.run();
+    let observation = machine.take_observation().map(Arc::new);
     let mut got = vec![0.0; m.len()];
     for prog in machine.into_programs() {
         let p = prog
@@ -784,6 +786,7 @@ fn run_mp(w: &PreparedModel, mech: Mechanism, cfg: &MachineConfig) -> RunResult 
         max_abs_err: err,
         stats,
         wall: std::time::Duration::ZERO,
+        observation,
     }
 }
 

@@ -10,6 +10,10 @@
 //! [`Runner`]/[`WorkloadCache`] pair, so each application's workload is
 //! generated and solved once, and points run on `--jobs` worker threads
 //! (default: `COMMSENSE_JOBS` or all cores).
+//!
+//! `repro observe` instruments a single run instead: it enables the
+//! observability layer, writes a Perfetto/Chrome trace and a validated run
+//! manifest, and prints the per-link utilization heatmap.
 
 use std::io::Write;
 
@@ -24,6 +28,7 @@ use commsense_core::experiment::{
     one_way_latency_cycles, Sweep,
 };
 use commsense_core::machines::table1;
+use commsense_core::manifest;
 use commsense_core::model::{fit_bandwidth, fit_latency};
 use commsense_core::regions::{classify, crossover};
 use commsense_core::report;
@@ -37,24 +42,38 @@ struct Opts {
     out: Option<String>,
     baseline: Option<String>,
     reps: usize,
+    app: String,
+    mech: String,
+    cross: Option<f64>,
+    latency: Option<u64>,
+    epoch: u64,
+    dir: String,
 }
 
 const USAGE: &str = "\
 usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N]
        repro perf [--small] [--out FILE] [--baseline FILE] [--reps N]
+       repro observe [--app NAME] [--mech LABEL] [--small|--paper]
+                     [--cross B_PER_CYCLE] [--latency CYCLES] [--epoch N] [--dir DIR]
   WHAT: all (default) | tab1 | tab2 | fig1 | fig2 | fig3 | fig4 | fig5 |
-        fig7 | fig8 | fig9 | fig10 | ablate | model | perf
+        fig7 | fig8 | fig9 | fig10 | ablate | model | perf | observe
   --paper    use the paper's workload sizes (minutes)
   --small    use unit-test sizes (seconds)
   --csv      also write each sweep as CSV into DIR
   --jobs     worker threads per sweep (default: COMMSENSE_JOBS or all cores)
   --out      perf: write the machine-readable report here (default BENCH.json)
   --baseline perf: a previous report; record its numbers and the speedup
-  --reps     perf: repetitions per mechanism, fastest kept (default 5)";
+  --reps     perf: repetitions per mechanism, fastest kept (default 5)
+  --app      observe: application (EM3D|UNSTRUC|ICCG|MOLDYN; default EM3D)
+  --mech     observe: mechanism label (sm|sm+pf|mp-int|mp-poll|bulk; default mp-poll)
+  --cross    observe: consume N bytes/cycle of bisection with cross-traffic
+  --latency  observe: emulate a uniform remote-miss latency of N cycles
+  --epoch    observe: metric sampling period in cycles (default 1000)
+  --dir      observe: output directory for trace + manifest (default .)";
 
-const KNOWN: [&str; 16] = [
+const KNOWN: [&str; 17] = [
     "all", "tab1", "tab2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
-    "ablate", "model", "fig6", "perf",
+    "ablate", "model", "fig6", "perf", "observe",
 ];
 
 fn parse_args() -> Opts {
@@ -65,6 +84,12 @@ fn parse_args() -> Opts {
     let mut out = None;
     let mut baseline = None;
     let mut reps = 5;
+    let mut app = "EM3D".to_string();
+    let mut mech = "mp-poll".to_string();
+    let mut cross = None;
+    let mut latency = None;
+    let mut epoch = 1_000u64;
+    let mut dir = ".".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -73,6 +98,45 @@ fn parse_args() -> Opts {
             "--csv" => csv_dir = args.next(),
             "--out" => out = args.next(),
             "--baseline" => baseline = args.next(),
+            "--app" => {
+                app = args.next().unwrap_or_else(|| {
+                    eprintln!("--app needs an application name\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--mech" => {
+                mech = args.next().unwrap_or_else(|| {
+                    eprintln!("--mech needs a mechanism label\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--dir" => {
+                dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--dir needs a directory\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--cross" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(c) if c >= 0.0 => cross = Some(c),
+                _ => {
+                    eprintln!("--cross needs a non-negative number\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--latency" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(l) => latency = Some(l),
+                None => {
+                    eprintln!("--latency needs a cycle count\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--epoch" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => epoch = n,
+                _ => {
+                    eprintln!("--epoch needs a positive cycle count\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
             "--reps" => {
                 let n = args
                     .next()
@@ -125,7 +189,101 @@ fn parse_args() -> Opts {
         out,
         baseline,
         reps,
+        app,
+        mech,
+        cross,
+        latency,
+        epoch,
+        dir,
     }
+}
+
+/// `repro observe`: one deeply-instrumented run — writes a Perfetto trace
+/// and a run manifest, and prints the per-link utilization heatmap.
+fn run_observe(opts: &Opts) {
+    let spec = suite(opts.scale)
+        .into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(&opts.app))
+        .unwrap_or_else(|| {
+            eprintln!("unknown --app {:?} (EM3D|UNSTRUC|ICCG|MOLDYN)", opts.app);
+            std::process::exit(2);
+        });
+    let mech = Mechanism::ALL
+        .into_iter()
+        .find(|m| m.label() == opts.mech)
+        .unwrap_or_else(|| {
+            eprintln!(
+                "unknown --mech {:?} (sm|sm+pf|mp-int|mp-poll|bulk)",
+                opts.mech
+            );
+            std::process::exit(2);
+        });
+    let mut cfg = cfg().with_mechanism(mech);
+    if let Some(c) = opts.cross {
+        cfg.cross_traffic = Some(commsense_mesh::CrossTrafficConfig::consuming(
+            c,
+            cfg.clock(),
+            64,
+            cfg.net.height,
+        ));
+    }
+    if let Some(l) = opts.latency {
+        cfg.latency_emulation = Some(commsense_machine::LatencyEmulation::uniform(l));
+    }
+    cfg.observe = Some(commsense_machine::ObserveConfig {
+        epoch_cycles: opts.epoch,
+        ..Default::default()
+    });
+
+    println!(
+        "== observe: {} under {} ({} cross, {} latency emulation) ==",
+        spec.name(),
+        mech.label(),
+        opts.cross
+            .map_or("no".to_string(), |c| format!("{c} B/cycle")),
+        opts.latency
+            .map_or("no".to_string(), |l| format!("{l}-cycle")),
+    );
+    let req = commsense_core::engine::RunRequest {
+        spec,
+        mechanism: mech,
+        cfg,
+    };
+    let result = commsense_apps::run_app(&req.spec, req.mechanism, &req.cfg);
+    let obs = result
+        .observation
+        .as_ref()
+        .expect("observe config implies an observation");
+
+    println!(
+        "runtime {} cycles, verified: {}, {} samples, {} trace events \
+         ({} dropped), {} packets recorded ({} dropped)",
+        result.runtime_cycles,
+        result.verified,
+        obs.series.samples(),
+        obs.trace.events().len(),
+        obs.trace.dropped(),
+        obs.net.packets.len(),
+        obs.net.dropped_packets,
+    );
+    print!("{}", report::link_heatmap(obs, 64));
+
+    std::fs::create_dir_all(&opts.dir).expect("create output dir");
+    let stem = format!(
+        "{}/observe_{}_{}",
+        opts.dir,
+        req.spec.name().to_lowercase(),
+        mech.label().replace('+', "p"),
+    );
+    let trace_path = format!("{stem}.perfetto.json");
+    std::fs::write(&trace_path, commsense_machine::perfetto::export_trace(obs))
+        .expect("write perfetto trace");
+    let manifest = manifest::manifest_json(&req, opts.cross, &result);
+    manifest::validate_manifest(&manifest).expect("fresh manifest must validate");
+    let manifest_path = format!("{stem}.manifest.json");
+    std::fs::write(&manifest_path, manifest).expect("write manifest");
+    println!("(wrote {trace_path})");
+    println!("(wrote {manifest_path} — open the trace at https://ui.perfetto.dev)");
 }
 
 /// `repro perf`: the tracked hot-path benchmark. Runs the fixed
@@ -172,6 +330,10 @@ fn main() {
     }
     if opts.what == "perf" {
         run_perf_harness(&opts);
+        return;
+    }
+    if opts.what == "observe" {
+        run_observe(&opts);
         return;
     }
     let runner = Runner::from_env();

@@ -1,0 +1,43 @@
+//! Pins the observability layer's central invariant: turning recording on
+//! must not change what the machine simulates.
+//!
+//! The sampler reads machine state between event pops and never schedules
+//! events, so the event interleaving — and with it every cycle count, stat,
+//! and verification result — is bit-identical with observation on or off.
+//! `RunResult`'s `Debug` rendering covers runtime cycles, verification, and
+//! the full `RunStats` (it deliberately omits wall time and the observation
+//! itself), which makes it the same equality witness the engine's
+//! determinism tests use.
+
+use commsense_apps::{run_app, AppSpec};
+use commsense_machine::{MachineConfig, Mechanism, ObserveConfig};
+
+#[test]
+fn observation_is_invisible_to_the_simulation() {
+    let cfg_off = MachineConfig::alewife();
+    let mut cfg_on = cfg_off.clone();
+    cfg_on.observe = Some(ObserveConfig {
+        epoch_cycles: 250,
+        trace_capacity: 1 << 12, // deliberately small: truncation must not leak either
+        max_packets: 1 << 12,
+    });
+
+    for spec in AppSpec::small_suite() {
+        for mech in [Mechanism::SharedMem, Mechanism::MsgPoll, Mechanism::Bulk] {
+            let off = run_app(&spec, mech, &cfg_off);
+            let on = run_app(&spec, mech, &cfg_on);
+            assert!(off.observation.is_none());
+            assert!(
+                on.observation.is_some(),
+                "{} {mech}: no observation",
+                spec.name()
+            );
+            assert_eq!(
+                format!("{off:?}"),
+                format!("{on:?}"),
+                "{} under {mech}: observation changed simulation results",
+                spec.name()
+            );
+        }
+    }
+}

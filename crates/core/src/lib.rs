@@ -24,13 +24,18 @@
 //!   Latency Hiding / Latency Dominated / Congestion Dominated regions
 //!   (Figures 1 and 2), and crossover detection between mechanisms.
 //! * [`report`] — ASCII tables and CSV output for every figure and table.
+//! * [`manifest`] — self-describing JSON run manifests (versioned by
+//!   [`manifest::MANIFEST_SCHEMA_VERSION`]) for observability artifacts,
+//!   validated with the dependency-free parser in [`json`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
 pub mod experiment;
+pub mod json;
 pub mod machines;
+pub mod manifest;
 pub mod model;
 pub mod regions;
 pub mod report;

@@ -1,0 +1,409 @@
+//! Self-describing run manifests: one JSON record per executed
+//! [`RunRequest`] capturing what was run (workload, mechanism, machine
+//! configuration, sweep point), what came out ([`RunResult`] summary), and —
+//! when observation was enabled — the epoch-sampled metric series.
+//!
+//! A manifest makes an artifact directory self-contained: a reader can
+//! reconstruct the experimental point from the manifest alone, without the
+//! command line that produced it. The format is versioned by
+//! [`MANIFEST_SCHEMA_VERSION`] and checked by [`validate_manifest`], which
+//! CI runs against freshly produced manifests.
+//!
+//! # Examples
+//!
+//! ```
+//! use commsense_core::engine::RunRequest;
+//! use commsense_core::manifest::{manifest_json, validate_manifest};
+//! use commsense_apps::{run_app, AppSpec};
+//! use commsense_machine::{MachineConfig, Mechanism};
+//! use commsense_workloads::sparse::IccgParams;
+//!
+//! let req = RunRequest {
+//!     spec: AppSpec::Iccg(IccgParams::small()),
+//!     mechanism: Mechanism::MsgPoll,
+//!     cfg: MachineConfig::tiny(),
+//! };
+//! let result = run_app(&req.spec, req.mechanism, &req.cfg);
+//! let text = manifest_json(&req, None, &result);
+//! validate_manifest(&text).unwrap();
+//! ```
+
+use commsense_apps::RunResult;
+use commsense_machine::{Bucket, RunState};
+
+use crate::engine::RunRequest;
+use crate::json::{push_escaped, Json};
+
+/// Version stamp written into every manifest; bump on breaking layout
+/// changes so downstream readers can dispatch.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    push_escaped(out, key);
+    out.push(':');
+    push_escaped(out, value);
+}
+
+fn push_u64_field(out: &mut String, key: &str, value: u64) {
+    push_escaped(out, key);
+    out.push_str(&format!(":{value}"));
+}
+
+fn push_f64_field(out: &mut String, key: &str, value: f64) {
+    push_escaped(out, key);
+    if value.is_finite() {
+        out.push_str(&format!(":{value}"));
+    } else {
+        out.push_str(":null");
+    }
+}
+
+fn push_bool_field(out: &mut String, key: &str, value: bool) {
+    push_escaped(out, key);
+    out.push_str(if value { ":true" } else { ":false" });
+}
+
+/// Renders the manifest for one executed request as a JSON document.
+///
+/// `sweep_x` is the x-coordinate of the sweep point the request measures
+/// (bisection width, added latency cycles, ...), if the request came from a
+/// sweep. The metric-series block is present exactly when the result
+/// carries an observation.
+pub fn manifest_json(req: &RunRequest, sweep_x: Option<f64>, result: &RunResult) -> String {
+    let cfg = &req.cfg;
+    let clock = cfg.clock();
+    let mut out = String::with_capacity(4096);
+    out.push('{');
+    push_u64_field(&mut out, "schema_version", MANIFEST_SCHEMA_VERSION as u64);
+    out.push(',');
+    push_str_field(&mut out, "kind", "commsense-run-manifest");
+    out.push(',');
+
+    // The request: workload, mechanism, sweep point.
+    push_str_field(&mut out, "app", result.app);
+    out.push(',');
+    push_str_field(&mut out, "spec", &format!("{:?}", req.spec));
+    out.push(',');
+    push_str_field(&mut out, "mechanism", req.mechanism.label());
+    out.push(',');
+    push_escaped(&mut out, "sweep_x");
+    match sweep_x {
+        Some(x) if x.is_finite() => out.push_str(&format!(":{x}")),
+        _ => out.push_str(":null"),
+    }
+    out.push(',');
+
+    // The machine.
+    push_escaped(&mut out, "config");
+    out.push_str(":{");
+    push_u64_field(&mut out, "nodes", cfg.nodes as u64);
+    out.push(',');
+    push_u64_field(&mut out, "mesh_width", cfg.net.width as u64);
+    out.push(',');
+    push_u64_field(&mut out, "mesh_height", cfg.net.height as u64);
+    out.push(',');
+    push_f64_field(&mut out, "cpu_mhz", cfg.cpu_mhz);
+    out.push(',');
+    push_u64_field(&mut out, "net_ps_per_byte", cfg.net.ps_per_byte);
+    out.push(',');
+    push_u64_field(&mut out, "net_router_delay_ps", cfg.net.router_delay_ps);
+    out.push(',');
+    push_str_field(&mut out, "receive", &format!("{:?}", cfg.receive));
+    out.push(',');
+    push_str_field(&mut out, "barrier", &format!("{:?}", cfg.barrier));
+    out.push(',');
+    push_u64_field(&mut out, "write_buffer", cfg.write_buffer as u64);
+    out.push(',');
+    push_bool_field(&mut out, "cross_traffic", cfg.cross_traffic.is_some());
+    out.push(',');
+    push_escaped(&mut out, "latency_emulation_cycles");
+    match cfg.latency_emulation {
+        Some(emu) => out.push_str(&format!(":{}", emu.remote_miss_cycles)),
+        None => out.push_str(":null"),
+    }
+    out.push(',');
+    push_escaped(&mut out, "observe");
+    match cfg.observe {
+        Some(o) => out.push_str(&format!(
+            ":{{\"epoch_cycles\":{},\"trace_capacity\":{},\"max_packets\":{}}}",
+            o.epoch_cycles, o.trace_capacity, o.max_packets
+        )),
+        None => out.push_str(":null"),
+    }
+    out.push_str("},");
+
+    // The result summary.
+    push_escaped(&mut out, "result");
+    out.push_str(":{");
+    push_u64_field(&mut out, "runtime_cycles", result.runtime_cycles);
+    out.push(',');
+    push_bool_field(&mut out, "verified", result.verified);
+    out.push(',');
+    push_f64_field(&mut out, "max_abs_err", result.max_abs_err);
+    out.push(',');
+    push_u64_field(&mut out, "events", result.stats.events);
+    out.push(',');
+    push_u64_field(&mut out, "messages_sent", result.stats.messages_sent);
+    out.push(',');
+    push_u64_field(
+        &mut out,
+        "app_volume_bytes",
+        result.stats.volume.app_total(),
+    );
+    out.push(',');
+    push_u64_field(
+        &mut out,
+        "bisection_bytes",
+        result.stats.bisection.app_total(),
+    );
+    out.push(',');
+    push_u64_field(&mut out, "cache_hits", result.stats.cache_hit_miss.0);
+    out.push(',');
+    push_u64_field(&mut out, "cache_misses", result.stats.cache_hit_miss.1);
+    out.push(',');
+    push_escaped(&mut out, "mean_packet_latency_cycles");
+    match result.stats.mean_packet_latency {
+        Some(t) => out.push_str(&format!(":{}", clock.cycles_at_f64(t))),
+        None => out.push_str(":null"),
+    }
+    out.push(',');
+    push_escaped(&mut out, "bucket_mean_cycles");
+    out.push_str(":{");
+    for (i, b) in Bucket::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64_field(
+            &mut out,
+            b.label(),
+            result.stats.mean_bucket_cycles(*b, clock),
+        );
+    }
+    out.push_str("}}");
+
+    // The metric series, when observation was on.
+    if let Some(obs) = &result.observation {
+        let series = &obs.series;
+        out.push(',');
+        push_escaped(&mut out, "series");
+        out.push_str(":{");
+        push_u64_field(&mut out, "epoch_ps", series.epoch_ps);
+        out.push(',');
+        push_u64_field(&mut out, "samples", series.samples() as u64);
+        out.push(',');
+        push_escaped(&mut out, "at_ps");
+        out.push_str(":[");
+        for (i, t) in series.at_ps.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{t}"));
+        }
+        out.push_str("],");
+        push_escaped(&mut out, "state_fraction");
+        out.push_str(":{");
+        for (si, state) in RunState::ALL.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            push_escaped(&mut out, state.label());
+            out.push_str(":[");
+            for s in 0..series.samples() {
+                if s > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{:.4}", series.state_fraction(s, *state)));
+            }
+            out.push(']');
+        }
+        out.push_str("},");
+        push_escaped(&mut out, "event_queue_depth");
+        out.push_str(":[");
+        for (i, d) in series.event_queue_depth.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{d}"));
+        }
+        out.push_str("],");
+        push_escaped(&mut out, "barrier_occupancy");
+        out.push_str(":[");
+        for (i, d) in series.barrier_occupancy.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{d}"));
+        }
+        out.push_str("],");
+        push_escaped(&mut out, "mean_link_utilization");
+        out.push_str(":[");
+        for link in 0..series.links {
+            if link > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{:.4}", obs.mean_link_utilization(link)));
+        }
+        out.push_str("],");
+        push_u64_field(&mut out, "trace_events_dropped", obs.trace.dropped());
+        out.push(',');
+        push_u64_field(&mut out, "net_packets_dropped", obs.net.dropped_packets);
+        out.push('}');
+    }
+    out.push('}');
+    out
+}
+
+/// Checks that `text` parses as JSON and satisfies the manifest schema:
+/// required keys present with the right types, the schema version known,
+/// and (when present) every series array consistent with the advertised
+/// sample count.
+pub fn validate_manifest(text: &str) -> Result<(), String> {
+    let v = Json::parse(text)?;
+    let version = v
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("missing schema_version")?;
+    if version != MANIFEST_SCHEMA_VERSION as u64 {
+        return Err(format!("unknown schema_version {version}"));
+    }
+    if v.get("kind").and_then(Json::as_str) != Some("commsense-run-manifest") {
+        return Err("missing or wrong kind".to_string());
+    }
+    for key in ["app", "spec", "mechanism"] {
+        v.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing string field {key:?}"))?;
+    }
+    let cfg = v.get("config").ok_or("missing config")?;
+    for key in ["nodes", "mesh_width", "mesh_height", "write_buffer"] {
+        cfg.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing config field {key:?}"))?;
+    }
+    cfg.get("cpu_mhz")
+        .and_then(Json::as_f64)
+        .ok_or("missing config field \"cpu_mhz\"")?;
+    let result = v.get("result").ok_or("missing result")?;
+    for key in ["runtime_cycles", "events", "messages_sent"] {
+        result
+            .get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing result field {key:?}"))?;
+    }
+    result
+        .get("verified")
+        .and_then(Json::as_bool)
+        .ok_or("missing result field \"verified\"")?;
+    let buckets = result
+        .get("bucket_mean_cycles")
+        .and_then(Json::as_obj)
+        .ok_or("missing result field \"bucket_mean_cycles\"")?;
+    if buckets.len() != Bucket::ALL.len() {
+        return Err("bucket_mean_cycles must cover every bucket".to_string());
+    }
+    if let Some(series) = v.get("series") {
+        let samples = series
+            .get("samples")
+            .and_then(Json::as_u64)
+            .ok_or("missing series field \"samples\"")? as usize;
+        for key in ["at_ps", "event_queue_depth", "barrier_occupancy"] {
+            let arr = series
+                .get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("missing series array {key:?}"))?;
+            if arr.len() != samples {
+                return Err(format!(
+                    "series array {key:?} has {} entries, expected {samples}",
+                    arr.len()
+                ));
+            }
+        }
+        let fractions = series
+            .get("state_fraction")
+            .and_then(Json::as_obj)
+            .ok_or("missing series field \"state_fraction\"")?;
+        for (state, arr) in fractions {
+            let arr = arr
+                .as_arr()
+                .ok_or_else(|| format!("state_fraction[{state:?}] is not an array"))?;
+            if arr.len() != samples {
+                return Err(format!(
+                    "state_fraction[{state:?}] has {} entries, expected {samples}",
+                    arr.len()
+                ));
+            }
+        }
+        series
+            .get("mean_link_utilization")
+            .and_then(Json::as_arr)
+            .ok_or("missing series array \"mean_link_utilization\"")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use commsense_apps::{run_app, AppSpec};
+    use commsense_machine::{MachineConfig, Mechanism, ObserveConfig};
+    use commsense_workloads::bipartite::Em3dParams;
+
+    fn tiny_request(observe: bool) -> RunRequest {
+        let mut p = Em3dParams::small();
+        p.iterations = 1;
+        let mut cfg = MachineConfig::tiny();
+        if observe {
+            cfg.observe = Some(ObserveConfig {
+                epoch_cycles: 100,
+                trace_capacity: 1 << 14,
+                max_packets: 1 << 14,
+            });
+        }
+        RunRequest {
+            spec: AppSpec::Em3d(p),
+            mechanism: Mechanism::MsgInterrupt,
+            cfg,
+        }
+    }
+
+    #[test]
+    fn manifest_without_observation_validates() {
+        let req = tiny_request(false);
+        let result = run_app(&req.spec, req.mechanism, &req.cfg);
+        let text = manifest_json(&req, Some(12.0), &result);
+        validate_manifest(&text).unwrap();
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.get("mechanism").and_then(Json::as_str), Some("mp-int"));
+        assert_eq!(v.get("sweep_x").and_then(Json::as_f64), Some(12.0));
+        assert!(v.get("series").is_none());
+    }
+
+    #[test]
+    fn manifest_with_observation_embeds_series() {
+        let req = tiny_request(true);
+        let result = run_app(&req.spec, req.mechanism, &req.cfg);
+        assert!(result.observation.is_some());
+        let text = manifest_json(&req, None, &result);
+        validate_manifest(&text).unwrap();
+        let v = Json::parse(&text).unwrap();
+        let series = v.get("series").expect("series present");
+        let samples = series.get("samples").and_then(Json::as_u64).unwrap();
+        assert!(samples > 0);
+        assert_eq!(
+            series.get("at_ps").and_then(Json::as_arr).unwrap().len(),
+            samples as usize
+        );
+    }
+
+    #[test]
+    fn validation_rejects_tampering() {
+        let req = tiny_request(false);
+        let result = run_app(&req.spec, req.mechanism, &req.cfg);
+        let text = manifest_json(&req, None, &result);
+        let wrong_version = text.replace("\"schema_version\":1", "\"schema_version\":99");
+        assert!(validate_manifest(&wrong_version).is_err());
+        let no_result = text.replace("\"result\"", "\"resultx\"");
+        assert!(validate_manifest(&no_result).is_err());
+        assert!(validate_manifest("not json").is_err());
+    }
+}

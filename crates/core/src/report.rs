@@ -1,7 +1,7 @@
 //! ASCII-table and CSV reporting for the experiment harness.
 
 use commsense_apps::RunResult;
-use commsense_machine::{Bucket, MachineConfig};
+use commsense_machine::{Bucket, MachineConfig, Observation};
 use commsense_mesh::PacketClass;
 
 use crate::experiment::Sweep;
@@ -96,6 +96,54 @@ pub fn breakdown_bars(
             bar,
             r.runtime_cycles
         ));
+    }
+    out
+}
+
+/// Per-link utilization over time as an ASCII heatmap: one row per link
+/// that carried traffic, epochs resampled down to at most `max_cols`
+/// columns, shaded ` .:-=+*#%@` from idle to saturated, with the run-mean
+/// utilization on the right. Links that never carried a packet are
+/// summarized in a trailing count instead of printed as blank rows.
+pub fn link_heatmap(obs: &Observation, max_cols: usize) -> String {
+    const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let series = &obs.series;
+    let samples = series.samples();
+    let max_cols = max_cols.max(1);
+    let mut out =
+        String::from("link utilization heatmap (rows: links, cols: time, ` `..`@` = 0..100%)\n");
+    if samples == 0 {
+        out.push_str("  (no samples recorded)\n");
+        return out;
+    }
+    let cols = samples.min(max_cols);
+    let mut idle = 0usize;
+    for link in 0..series.links {
+        let total_busy = series.link_busy_ps[(samples - 1) * series.links + link];
+        if total_busy == 0 {
+            idle += 1;
+            continue;
+        }
+        let mut row = String::new();
+        for c in 0..cols {
+            // Each column averages the utilization of its sample bucket.
+            let lo = c * samples / cols;
+            let hi = ((c + 1) * samples / cols).max(lo + 1);
+            let mean: f64 = (lo..hi)
+                .map(|s| series.link_utilization(s, link))
+                .sum::<f64>()
+                / (hi - lo) as f64;
+            let shade = ((mean * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+            row.push(SHADES[shade]);
+        }
+        let label = obs.link_labels.get(link).map(String::as_str).unwrap_or("?");
+        out.push_str(&format!(
+            "{label:>8} |{row}| mean {:5.1}%\n",
+            obs.mean_link_utilization(link) * 100.0
+        ));
+    }
+    if idle > 0 {
+        out.push_str(&format!("  ({idle} links carried no traffic)\n"));
     }
     out
 }
@@ -248,6 +296,31 @@ mod tests {
         assert!(!rates.contains("N/A"), "measured runs should have a rate");
         // The slowest mechanism's bar reaches (close to) full width.
         assert!(bars.lines().skip(1).any(|l| l.len() > 40));
+    }
+
+    #[test]
+    fn heatmap_shades_busy_links() {
+        use commsense_apps::{run_app, AppSpec};
+        use commsense_machine::{MachineConfig, Mechanism, ObserveConfig};
+        let mut p = commsense_workloads::bipartite::Em3dParams::small();
+        p.iterations = 1;
+        let mut cfg = MachineConfig::tiny();
+        cfg.observe = Some(ObserveConfig {
+            epoch_cycles: 100,
+            trace_capacity: 1 << 14,
+            max_packets: 1 << 14,
+        });
+        let result = run_app(&AppSpec::Em3d(p), Mechanism::MsgPoll, &cfg);
+        let obs = result.observation.expect("observation recorded");
+        let map = link_heatmap(&obs, 40);
+        // At least one link carried traffic, labelled with its mesh name.
+        assert!(map.contains("| mean"), "no link rows rendered:\n{map}");
+        assert!(map.contains('('), "link labels should name endpoints");
+        // Column count is bounded by the requested width.
+        for line in map.lines().filter(|l| l.contains('|')) {
+            let row = line.split('|').nth(1).unwrap();
+            assert!(row.len() <= 40, "row too wide: {line}");
+        }
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Golden structural tests for the observability artifacts: the Perfetto
+//! trace export and the run manifest produced from one tiny 4-node run.
+
+use commsense_apps::{run_app, AppSpec, RunResult};
+use commsense_core::engine::RunRequest;
+use commsense_core::json::Json;
+use commsense_core::manifest::{manifest_json, validate_manifest};
+use commsense_machine::perfetto::{export_trace, TRACE_SCHEMA_VERSION};
+use commsense_machine::{MachineConfig, Mechanism, ObserveConfig};
+use commsense_workloads::bipartite::Em3dParams;
+
+fn observed_run() -> (RunRequest, RunResult) {
+    let mut p = Em3dParams::small();
+    p.iterations = 1;
+    let mut cfg = MachineConfig::tiny();
+    cfg.observe = Some(ObserveConfig {
+        epoch_cycles: 100,
+        trace_capacity: 1 << 16,
+        max_packets: 1 << 16,
+    });
+    let req = RunRequest {
+        spec: AppSpec::Em3d(p),
+        mechanism: Mechanism::MsgInterrupt,
+        cfg,
+    };
+    let result = run_app(&req.spec, req.mechanism, &req.cfg);
+    (req, result)
+}
+
+#[test]
+fn perfetto_export_is_structurally_valid() {
+    let (_, result) = observed_run();
+    let obs = result.observation.as_ref().expect("observation recorded");
+    let text = export_trace(obs);
+    let v = Json::parse(&text).expect("export parses as JSON");
+
+    let other = v.get("otherData").expect("otherData present");
+    assert_eq!(
+        other.get("schema_version").and_then(Json::as_u64),
+        Some(TRACE_SCHEMA_VERSION as u64)
+    );
+    assert_eq!(
+        other.get("trace_dropped_events").and_then(Json::as_u64),
+        Some(0)
+    );
+    assert_eq!(
+        other.get("net_dropped_packets").and_then(Json::as_u64),
+        Some(0)
+    );
+
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents");
+    assert!(!events.is_empty());
+
+    // Within every (pid, tid) track, timestamps must be non-decreasing and
+    // every event well-formed.
+    let mut last_ts: std::collections::HashMap<(u64, u64), f64> = std::collections::HashMap::new();
+    let mut flows: std::collections::HashMap<u64, (u32, u32)> = std::collections::HashMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("event has ph");
+        if ph == "M" {
+            continue; // metadata carries no timestamp
+        }
+        let pid = e.get("pid").and_then(Json::as_u64).expect("event has pid");
+        let tid = e.get("tid").and_then(Json::as_u64).expect("event has tid");
+        let ts = e.get("ts").and_then(Json::as_f64).expect("event has ts");
+        let prev = last_ts.insert((pid, tid), ts);
+        if let Some(prev) = prev {
+            assert!(
+                ts >= prev,
+                "ts regression on track ({pid},{tid}): {prev} -> {ts}"
+            );
+        }
+        if matches!(ph, "s" | "t" | "f") {
+            let id = e.get("id").and_then(Json::as_u64).expect("flow has id");
+            let counts = flows.entry(id).or_insert((0, 0));
+            match ph {
+                "s" => counts.0 += 1,
+                "f" => counts.1 += 1,
+                _ => {}
+            }
+        }
+    }
+
+    // Every flow id pairs exactly one send with exactly one receive.
+    assert!(!flows.is_empty(), "expected message flows in the trace");
+    for (id, (starts, finishes)) in &flows {
+        assert_eq!(*starts, 1, "flow {id} has {starts} starts");
+        assert_eq!(*finishes, 1, "flow {id} has {finishes} finishes");
+    }
+}
+
+#[test]
+fn perfetto_export_is_deterministic() {
+    let (_, a) = observed_run();
+    let (_, b) = observed_run();
+    let ta = export_trace(a.observation.as_ref().unwrap());
+    let tb = export_trace(b.observation.as_ref().unwrap());
+    assert_eq!(ta, tb, "identical runs must export byte-identical traces");
+}
+
+#[test]
+fn manifest_for_observed_run_validates() {
+    let (req, result) = observed_run();
+    let text = manifest_json(&req, Some(18.0), &result);
+    validate_manifest(&text).expect("manifest validates");
+
+    let v = Json::parse(&text).unwrap();
+    assert_eq!(v.get("app").and_then(Json::as_str), Some("EM3D"));
+    assert_eq!(v.get("mechanism").and_then(Json::as_str), Some("mp-int"));
+    let series = v.get("series").expect("observed run embeds series");
+    let samples = series.get("samples").and_then(Json::as_u64).unwrap() as usize;
+    assert!(samples > 0);
+    // Utilization series stays within [0, 1].
+    for u in series
+        .get("mean_link_utilization")
+        .and_then(Json::as_arr)
+        .unwrap()
+    {
+        let u = u.as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+    }
+    // State fractions at each sample sum to ~1 across the five states.
+    let fractions = series.get("state_fraction").and_then(Json::as_obj).unwrap();
+    for s in 0..samples {
+        let total: f64 = fractions
+            .iter()
+            .map(|(_, arr)| arr.as_arr().unwrap()[s].as_f64().unwrap())
+            .sum();
+        assert!(
+            (total - 1.0).abs() < 0.01,
+            "state fractions at sample {s} sum to {total}"
+        );
+    }
+}

@@ -30,6 +30,12 @@ impl Time {
     /// Time zero: the start of the simulation.
     pub const ZERO: Time = Time(0);
 
+    /// The far future: later than any reachable simulation instant. Useful
+    /// as a "never" sentinel for periodic activities that are disabled
+    /// (comparing against it is one branch, with no `Option` unwrapping on
+    /// a hot path).
+    pub const MAX: Time = Time(u64::MAX);
+
     /// Creates a time from raw picoseconds.
     pub const fn from_ps(ps: u64) -> Self {
         Time(ps)

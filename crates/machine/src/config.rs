@@ -187,6 +187,47 @@ impl Default for CostModel {
     }
 }
 
+/// Configuration of the time-resolved observability layer.
+///
+/// When present on a [`MachineConfig`], the machine records an epoch-sampled
+/// metric series, a full execution trace, and the network packet lifecycle,
+/// all retrievable after the run via `Machine::take_observation`. Observation
+/// is pure bookkeeping: it never schedules events, so simulated cycle counts
+/// are bit-identical with and without it.
+///
+/// # Examples
+///
+/// ```
+/// use commsense_machine::{MachineConfig, ObserveConfig};
+///
+/// let mut cfg = MachineConfig::tiny();
+/// cfg.observe = Some(ObserveConfig::default());
+/// assert_eq!(cfg.observe.unwrap().epoch_cycles, 1_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserveConfig {
+    /// Sampling period of the metric series, in processor cycles.
+    pub epoch_cycles: u64,
+    /// Capacity of the per-node execution trace (events beyond this are
+    /// counted but not stored).
+    pub trace_capacity: usize,
+    /// Maximum number of network packets whose lifecycle is recorded
+    /// individually (link utilization still counts every packet).
+    pub max_packets: usize,
+}
+
+impl Default for ObserveConfig {
+    /// 1000-cycle epochs, 1M trace events, 1M packet records — enough for
+    /// the paper's kernels at full problem size.
+    fn default() -> Self {
+        ObserveConfig {
+            epoch_cycles: 1_000,
+            trace_capacity: 1 << 20,
+            max_packets: 1 << 20,
+        }
+    }
+}
+
 /// Full configuration of an emulated machine.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -217,6 +258,9 @@ pub struct MachineConfig {
     /// barriers acting as release fences — the §2 technique for tolerating
     /// latency that the paper contrasts with SC.
     pub write_buffer: usize,
+    /// Optional observability recording (epoch metrics, trace, packet
+    /// lifecycle). `None` (the default) costs nothing on the hot path.
+    pub observe: Option<ObserveConfig>,
 }
 
 impl MachineConfig {
@@ -234,6 +278,7 @@ impl MachineConfig {
             cross_traffic: None,
             latency_emulation: None,
             write_buffer: 0,
+            observe: None,
         }
     }
 
@@ -328,6 +373,15 @@ mod tests {
         let mut cfg = MachineConfig::alewife();
         cfg.nodes = 16;
         cfg.validate();
+    }
+
+    #[test]
+    fn observe_defaults_are_sane() {
+        let o = ObserveConfig::default();
+        assert!(o.epoch_cycles > 0);
+        assert!(o.trace_capacity > 0);
+        assert!(o.max_packets > 0);
+        assert_eq!(MachineConfig::alewife().observe, None);
     }
 
     #[test]

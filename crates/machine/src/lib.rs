@@ -20,6 +20,11 @@
 //!   fixed-wall-clock network. A third mode emulates arbitrary uniform
 //!   remote-miss latencies on an ideal network (the paper's context-switch
 //!   experiment, Figure 10).
+//! * An optional observability layer (see [`ObserveConfig`]) records an
+//!   epoch-sampled metric time series, a full execution trace, and the
+//!   network packet lifecycle, exportable as a Perfetto/Chrome trace via
+//!   [`perfetto::export_trace`] — with bit-identical simulated cycle
+//!   counts whether recording is on or off.
 //!
 //! See `commsense-apps` for complete programs and the crate tests for
 //! minimal ones.
@@ -29,12 +34,17 @@
 
 pub mod config;
 pub mod machine;
+pub mod metrics;
+pub mod perfetto;
 pub mod program;
 pub mod stats;
 pub mod trace;
 
-pub use config::{CostModel, LatencyEmulation, MachineConfig, Mechanism, ReceiveMode};
+pub use config::{
+    CostModel, LatencyEmulation, MachineConfig, Mechanism, ObserveConfig, ReceiveMode,
+};
 pub use machine::{Machine, MachineSpec};
+pub use metrics::{MetricsSeries, Observation, RunState};
 pub use program::{HandlerCtx, NodeCtx, Program, RmwOp, Step};
 pub use stats::{Bucket, NodeStats, RunStats};
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -1,13 +1,16 @@
 //! The machine: event loop, node driver, and mechanism orchestration.
 
+use std::collections::VecDeque;
+
 use commsense_cache::{
     AccessKind, AccessOutcome, Heap, LineId, MsgClass, ProtoMsg, ProtoOut, Protocol, TxnToken, Word,
 };
 use commsense_des::{Clock, EventQueue, Time};
-use commsense_mesh::{CrossTraffic, Endpoint, NetEvent, Network, Packet, PacketClass};
+use commsense_mesh::{CrossTraffic, Endpoint, NetEvent, Network, Packet, PacketClass, NO_RECORD};
 use commsense_msgpass::{ActiveMessage, BarrierTree, HandlerId, RemoteQueue};
 
 use crate::config::{BarrierStyle, MachineConfig, ReceiveMode};
+use crate::metrics::{MetricsSeries, Observation, RunState};
 use crate::program::{HandlerCtx, NodeCtx, Program, RmwOp, Step};
 use crate::stats::{Bucket, LatencyHistogram, NodeStats, RunStats};
 use crate::trace::{Trace, TraceKind};
@@ -301,6 +304,10 @@ struct NodeState {
     /// When the node's current handler activity finishes; a blocked node
     /// cannot resume earlier (handlers occupy the processor).
     handler_busy_until: Time,
+    /// Packet-record ids parallel to `rq`, correlating queued messages
+    /// with their network lifecycle for the trace. Only populated while
+    /// tracing (empty otherwise; drains fall back to [`NO_RECORD`]).
+    rq_ids: VecDeque<u32>,
 }
 
 /// What a node does after its write buffer drains.
@@ -330,6 +337,7 @@ impl NodeState {
             stalled_store: None,
             fence: None,
             handler_busy_until: Time::ZERO,
+            rq_ids: VecDeque::new(),
         }
     }
 }
@@ -448,6 +456,13 @@ pub struct Machine {
     useless_prefetches: u64,
     miss_latency: LatencyHistogram,
     trace: Option<Trace>,
+    /// Epoch-sampled metric series (observation mode only).
+    metrics: Option<Box<MetricsSeries>>,
+    /// Next epoch boundary to sample; [`Time::MAX`] when observation is
+    /// off, so the hot loop pays one never-taken comparison.
+    metrics_next: Time,
+    /// Sampling period (picoseconds).
+    metrics_epoch: Time,
 }
 
 impl Machine {
@@ -525,7 +540,20 @@ impl Machine {
             useless_prefetches: 0,
             miss_latency: LatencyHistogram::default(),
             trace: None,
+            metrics: None,
+            metrics_next: Time::MAX,
+            metrics_epoch: Time::ZERO,
         };
+        if let Some(o) = m.cfg.observe {
+            assert!(o.epoch_cycles > 0, "observe epoch must be positive");
+            m.trace = Some(Trace::new(o.trace_capacity));
+            m.net.enable_recording(o.max_packets);
+            let links = m.net.num_links();
+            let epoch = clock.cycles(o.epoch_cycles);
+            m.metrics = Some(Box::new(MetricsSeries::new(n, links, epoch.as_ps())));
+            m.metrics_epoch = epoch;
+            m.metrics_next = epoch;
+        }
         for node in 0..n {
             m.schedule_wake(node, Time::ZERO);
         }
@@ -546,6 +574,12 @@ impl Machine {
             let Some((t, ev)) = self.queue.pop() else {
                 self.deadlock_panic();
             };
+            // One comparison against a Time::MAX sentinel when observation
+            // is off; sampling happens between events, so it can never
+            // change dispatch order or any simulated time.
+            if t >= self.metrics_next {
+                self.metrics_tick(t);
+            }
             self.now = t;
             self.events += 1;
             self.dispatch(ev);
@@ -581,6 +615,79 @@ impl Machine {
              outstanding={outstanding:?} tokens={tokens:?} barrier={:?}",
             self.barrier.sm
         );
+    }
+
+    /// Samples every epoch boundary in `(previous boundary, t]`. Kept cold
+    /// and out of line: with observation off the call never happens, and
+    /// with it on the cost is bounded by one snapshot per epoch regardless
+    /// of event rate. Sampling only reads machine state — it must never
+    /// schedule events or mutate anything the simulation consults.
+    #[cold]
+    #[inline(never)]
+    fn metrics_tick(&mut self, t: Time) {
+        let Some(mut m) = self.metrics.take() else {
+            return;
+        };
+        while self.metrics_next <= t {
+            let at = self.metrics_next;
+            m.at_ps.push(at.as_ps());
+            let mut in_barrier = 0u32;
+            for (i, n) in self.nodes.iter().enumerate() {
+                if matches!(n.status, Status::InBarrier { .. }) {
+                    in_barrier += 1;
+                }
+                let state = match n.status {
+                    Status::Done => RunState::Done,
+                    // A handler (or send/receive overhead) occupies the
+                    // processor past this instant.
+                    _ if n.handler_busy_until > at => RunState::MsgOverhead,
+                    Status::BlockedMem { bucket, .. } => {
+                        if bucket == Bucket::Sync {
+                            RunState::Sync
+                        } else {
+                            RunState::MemWait
+                        }
+                    }
+                    Status::BlockedSend { .. } => RunState::MemWait,
+                    Status::BlockedMsg { .. } | Status::InBarrier { .. } => RunState::Sync,
+                    Status::Running => RunState::Compute,
+                };
+                m.node_state.push(state as u8);
+                let out = self.outstanding.per_node[i].len();
+                m.outstanding.push(out.min(u16::MAX as usize) as u16);
+            }
+            for l in 0..m.links {
+                m.link_busy_ps.push(self.net.link_busy(l).as_ps());
+                let q = self.net.link_queue_len(l);
+                m.link_queue.push(q.min(u16::MAX as usize) as u16);
+            }
+            m.event_queue_depth
+                .push(self.queue.len().min(u32::MAX as usize) as u32);
+            m.barrier_occupancy.push(in_barrier);
+            self.metrics_next += self.metrics_epoch;
+        }
+        self.metrics = Some(m);
+    }
+
+    /// Detaches everything the observability layer collected (metric
+    /// series, trace, network recording), or `None` if the machine was not
+    /// configured with [`crate::ObserveConfig`]. Call after [`Machine::run`]
+    /// and before [`Machine::into_programs`].
+    pub fn take_observation(&mut self) -> Option<Observation> {
+        let series = *self.metrics.take()?;
+        self.metrics_next = Time::MAX;
+        let trace = self.trace.take().unwrap_or_else(|| Trace::new(0));
+        let net = self.net.take_recording().unwrap_or_default();
+        let mesh = self.net.mesh();
+        let link_labels = (0..mesh.num_links()).map(|l| mesh.link_label(l)).collect();
+        Some(Observation {
+            series,
+            trace,
+            net,
+            clock: self.clock,
+            nodes: self.cfg.nodes,
+            link_labels,
+        })
     }
 
     /// The master copy of shared memory (valid after [`Machine::run`]).
@@ -693,7 +800,7 @@ impl Machine {
                     .net
                     .handle(now, nev, &mut |t, e| queue.schedule(t, Ev::Net(e)));
                 if let Some(d) = delivery {
-                    self.deliver(d.packet);
+                    self.deliver(d.packet, d.record);
                 }
             }
             Ev::Proto { at, from, msg } => {
@@ -856,7 +963,7 @@ impl Machine {
             .inject(t, pkt, &mut |t2, e| queue.schedule(t2, Ev::Net(e)));
     }
 
-    fn deliver(&mut self, pkt: Packet) {
+    fn deliver(&mut self, pkt: Packet, rec: u32) {
         let Endpoint::Node(dst) = pkt.dst else { return };
         let dst = dst as usize;
         let env = self.envelopes[pkt.tag as usize]
@@ -877,33 +984,37 @@ impl Machine {
                 let until = self.now + self.cycles(drain);
                 self.net.stall_ejection(dst, until);
                 if am.handler.is_system() {
-                    self.sys_am(dst, &am);
+                    self.sys_am(dst, &am, rec);
                 } else if polled {
                     self.nodes[dst].rq.push(am);
+                    if self.trace.is_some() {
+                        self.nodes[dst].rq_ids.push_back(rec);
+                    }
                     if let Status::BlockedMsg { since } = self.nodes[dst].status {
                         // The node may have blocked at a batched time ahead
                         // of the event clock; the handler runs at the later
                         // of block start, now, and any in-flight handler.
                         let start = self.now.max(since).max(self.nodes[dst].handler_busy_until);
                         let am = self.nodes[dst].rq.pop().expect("just pushed");
-                        let d = self.run_handler(dst, &am, true, start);
+                        let rid = self.nodes[dst].rq_ids.pop_front().unwrap_or(NO_RECORD);
+                        let d = self.run_handler(dst, &am, true, start, rid);
                         self.charge(dst, Bucket::MsgOverhead, d);
                         self.nodes[dst].handler_in_block += d;
                         self.nodes[dst].handler_busy_until = start + d;
                         self.resume_from_block(dst, start + d);
                     }
                 } else {
-                    self.interrupt_delivery(dst, &am);
+                    self.interrupt_delivery(dst, &am, rec);
                 }
             }
         }
     }
 
-    fn interrupt_delivery(&mut self, dst: usize, am: &ActiveMessage) {
+    fn interrupt_delivery(&mut self, dst: usize, am: &ActiveMessage, rec: u32) {
         let status = self.nodes[dst].status;
         match status {
             Status::Running => {
-                let d = self.run_handler(dst, am, false, self.now);
+                let d = self.run_handler(dst, am, false, self.now, rec);
                 self.charge(dst, Bucket::MsgOverhead, d);
                 self.nodes[dst].pending_delay += d;
             }
@@ -915,7 +1026,7 @@ impl Machine {
                 // start and serialize after any in-flight handler; the
                 // block cannot resume before they finish.
                 let start = self.now.max(since).max(self.nodes[dst].handler_busy_until);
-                let d = self.run_handler(dst, am, false, start);
+                let d = self.run_handler(dst, am, false, start, rec);
                 self.charge(dst, Bucket::MsgOverhead, d);
                 self.nodes[dst].handler_in_block += d;
                 self.nodes[dst].handler_busy_until = start + d;
@@ -927,14 +1038,22 @@ impl Machine {
                 // A retired program still fields interrupts (its handlers
                 // may carry replies others wait on); the time is not
                 // charged — the node's lifetime already ended.
-                let _ = self.run_handler(dst, am, false, self.now);
+                let _ = self.run_handler(dst, am, false, self.now, rec);
             }
         }
     }
 
     /// Runs an application handler, returning its total duration (receive
-    /// overhead + handler work + sends it issued).
-    fn run_handler(&mut self, node: usize, am: &ActiveMessage, polled: bool, t: Time) -> Time {
+    /// overhead + handler work + sends it issued). `rec` is the packet
+    /// record of the triggering message, for trace correlation.
+    fn run_handler(
+        &mut self,
+        node: usize,
+        am: &ActiveMessage,
+        polled: bool,
+        t: Time,
+        rec: u32,
+    ) -> Time {
         let mut ctx = HandlerCtx::new(node, self.cfg.nodes);
         self.programs[node].on_message(am.handler.0, &am.args, &am.bulk_data, &mut ctx);
         let mut dur = self.cycles(self.cfg.msg.receive_cycles(am, polled) + ctx.extra_cycles);
@@ -944,6 +1063,7 @@ impl Machine {
             TraceKind::Handler {
                 handler: am.handler.0,
                 cycles: self.clock.cycles_at(dur) as u32,
+                msg: rec,
             },
         );
         let sends = std::mem::take(&mut ctx.sends);
@@ -957,14 +1077,6 @@ impl Machine {
 
     fn send_am(&mut self, from: usize, am: ActiveMessage, t: Time) {
         assert_ne!(from, am.dst, "active message to self");
-        self.trace_event(
-            t,
-            from,
-            TraceKind::Send {
-                dst: am.dst as u16,
-                bytes: am.wire_bytes(),
-            },
-        );
         self.messages_sent += 1;
         let bytes = am.wire_bytes();
         let dst = am.dst;
@@ -976,7 +1088,21 @@ impl Machine {
             PacketClass::Data,
             tag as u64,
         );
+        // Inject first so the trace event can carry the packet's record id
+        // (assigned at injection); the event time is unchanged.
         self.inject(pkt, t);
+        if self.trace.is_some() {
+            let msg = self.net.last_record_id();
+            self.trace_event(
+                t,
+                from,
+                TraceKind::Send {
+                    dst: dst as u16,
+                    bytes,
+                    msg,
+                },
+            );
+        }
     }
 
     fn resume_from_block(&mut self, node: usize, at: Time) {
@@ -1341,7 +1467,8 @@ impl Machine {
                         cost += self.cycles(self.cfg.msg.poll_empty);
                     } else {
                         while let Some(am) = self.nodes[node].rq.pop() {
-                            cost += self.run_handler(node, &am, true, t + cost);
+                            let rid = self.nodes[node].rq_ids.pop_front().unwrap_or(NO_RECORD);
+                            cost += self.run_handler(node, &am, true, t + cost, rid);
                         }
                     }
                     self.charge(node, Bucket::MsgOverhead, cost);
@@ -1354,7 +1481,8 @@ impl Machine {
                         // than sleeping past a non-empty queue.
                         let mut cost = Time::ZERO;
                         while let Some(am) = self.nodes[node].rq.pop() {
-                            cost += self.run_handler(node, &am, true, t + cost);
+                            let rid = self.nodes[node].rq_ids.pop_front().unwrap_or(NO_RECORD);
+                            cost += self.run_handler(node, &am, true, t + cost, rid);
                         }
                         self.charge(node, Bucket::MsgOverhead, cost);
                         t += cost;
@@ -1730,9 +1858,18 @@ impl Machine {
         self.resume_from_block(node, t2 + self.cycles(1));
     }
 
-    fn sys_am(&mut self, dst: usize, am: &ActiveMessage) {
+    fn sys_am(&mut self, dst: usize, am: &ActiveMessage, rec: u32) {
         let cost = self.cycles(self.cfg.msg.system_msg);
         let parity = am.args[0] as usize;
+        self.trace_event(
+            self.now,
+            dst,
+            TraceKind::Handler {
+                handler: am.handler.0,
+                cycles: self.clock.cycles_at(cost) as u32,
+                msg: rec,
+            },
+        );
         match am.handler.0 {
             SYS_BAR_ARRIVE => {
                 // Count the subtree arrival; charge the receive to sync.

@@ -478,6 +478,123 @@ fn deterministic_across_runs() {
 }
 
 #[test]
+fn observation_does_not_change_simulated_cycles() {
+    // The observability layer must be pure bookkeeping: every stat the
+    // simulation produces (cycle counts, event counts, per-node buckets)
+    // has to be bit-identical with recording on and off.
+    let run = |observe: bool| {
+        let mut cfg = MachineConfig::tiny().with_mechanism(Mechanism::MsgPoll);
+        if observe {
+            cfg.observe = Some(crate::config::ObserveConfig {
+                epoch_cycles: 50,
+                trace_capacity: 1 << 16,
+                max_packets: 1 << 16,
+            });
+        }
+        let programs: Vec<Box<dyn Program>> = (0..4)
+            .map(|n| {
+                Script::new(vec![
+                    Step::Compute(10 + n as u64),
+                    Step::Send(ActiveMessage::new(
+                        (n + 1) % 4,
+                        HandlerId(1),
+                        vec![n as u64],
+                    )),
+                    Step::WaitMsg,
+                    Step::Barrier,
+                    Step::Compute(5),
+                ]) as Box<dyn Program>
+            })
+            .collect();
+        let spec = empty_spec(&cfg, programs);
+        let mut m = Machine::new(cfg, spec);
+        let s = m.run();
+        format!(
+            "{:?}",
+            (s.runtime_cycles, s.events, s.messages_sent, s.nodes)
+        )
+    };
+    assert_eq!(run(false), run(true));
+}
+
+#[test]
+fn observation_collects_series_trace_and_packets() {
+    let mut cfg = MachineConfig::tiny().with_mechanism(Mechanism::MsgInterrupt);
+    cfg.observe = Some(crate::config::ObserveConfig {
+        epoch_cycles: 20,
+        trace_capacity: 4096,
+        max_packets: 4096,
+    });
+    let programs: Vec<Box<dyn Program>> = (0..4)
+        .map(|n| {
+            Script::new(vec![
+                Step::Compute(10 + n as u64),
+                Step::Send(ActiveMessage::new(
+                    (n + 1) % 4,
+                    HandlerId(1),
+                    vec![n as u64],
+                )),
+                Step::WaitMsg,
+                Step::Barrier,
+            ]) as Box<dyn Program>
+        })
+        .collect();
+    let spec = empty_spec(&cfg, programs);
+    let mut m = Machine::new(cfg, spec);
+    let _ = m.run();
+    let obs = m.take_observation().expect("observation enabled");
+    assert!(m.take_observation().is_none(), "observation is taken once");
+
+    let s = &obs.series;
+    assert!(s.samples() > 0, "run spans at least one epoch");
+    assert_eq!(s.nodes, 4);
+    assert_eq!(s.node_state.len(), s.samples() * s.nodes);
+    assert_eq!(s.outstanding.len(), s.samples() * s.nodes);
+    assert_eq!(s.link_busy_ps.len(), s.samples() * s.links);
+    assert_eq!(s.link_queue.len(), s.samples() * s.links);
+    assert_eq!(s.event_queue_depth.len(), s.samples());
+    assert_eq!(obs.link_labels.len(), s.links);
+    // Cumulative link busy time never decreases, and utilization is sane.
+    for l in 0..s.links {
+        for i in 1..s.samples() {
+            assert!(s.link_busy_ps[i * s.links + l] >= s.link_busy_ps[(i - 1) * s.links + l]);
+            let u = s.link_utilization(i, l);
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    assert!(!obs.trace.events().is_empty());
+    assert!(!obs.net.packets.is_empty());
+    for p in &obs.net.packets {
+        if let Some(d) = p.delivered_at {
+            assert!(d >= p.injected_at);
+        }
+    }
+    // Every barrier message and user message got a Send trace event with a
+    // live record id, and the matching handler saw the same id.
+    use crate::trace::TraceKind;
+    use commsense_mesh::NO_RECORD;
+    let mut send_ids = Vec::new();
+    let mut handler_ids = Vec::new();
+    for e in obs.trace.events() {
+        match e.kind {
+            TraceKind::Send { msg, .. } => send_ids.push(msg),
+            TraceKind::Handler { msg, .. } => handler_ids.push(msg),
+            _ => {}
+        }
+    }
+    assert!(send_ids.iter().any(|&m| m != NO_RECORD));
+    for &m in &send_ids {
+        if m != NO_RECORD {
+            assert!(
+                handler_ids.contains(&m),
+                "send record {m} must reach a handler"
+            );
+        }
+    }
+}
+
+#[test]
 fn cross_traffic_slows_shared_memory() {
     // Each node reads lines owned by its partner across the bisection, so
     // every miss crosses the contended cut (and no line is shared widely,

@@ -1,0 +1,236 @@
+//! Epoch-sampled machine metrics: flat time series recorded while a run
+//! executes, answering *when* the Figure-4 buckets, link loads, and queue
+//! depths happened rather than only their end-of-run totals.
+//!
+//! The sampler lives inside the machine's event loop: when observation is
+//! enabled (see [`crate::ObserveConfig`]), every popped event whose time has
+//! crossed the next epoch boundary triggers one snapshot per elapsed epoch.
+//! Sampling reads machine state but never writes it and never schedules
+//! events, so simulated cycle counts are bit-identical with observation on
+//! or off (the machine's tie-ordering is untouched because no new events
+//! enter the queue). When observation is off, the per-pop cost is a single
+//! integer comparison against a [`commsense_des::Time::MAX`] sentinel.
+
+use commsense_des::Clock;
+use commsense_mesh::NetRecording;
+
+use crate::trace::Trace;
+
+/// What a node was doing at a sample instant — the Figure-4 buckets as an
+/// instantaneous state, plus `Done` for retired programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RunState {
+    /// Executing application work.
+    Compute = 0,
+    /// Stalled on a cache miss or a network-interface resource.
+    MemWait = 1,
+    /// Running a message handler or paying send/receive overhead.
+    MsgOverhead = 2,
+    /// In a barrier, or waiting for a message.
+    Sync = 3,
+    /// Program retired.
+    Done = 4,
+}
+
+impl RunState {
+    /// All states, in encoding order.
+    pub const ALL: [RunState; 5] = [
+        RunState::Compute,
+        RunState::MemWait,
+        RunState::MsgOverhead,
+        RunState::Sync,
+        RunState::Done,
+    ];
+
+    /// Short label used in reports and trace tracks.
+    pub fn label(self) -> &'static str {
+        match self {
+            RunState::Compute => "compute",
+            RunState::MemWait => "mem-wait",
+            RunState::MsgOverhead => "msg-overhead",
+            RunState::Sync => "sync",
+            RunState::Done => "done",
+        }
+    }
+
+    /// Decodes the byte stored in [`MetricsSeries::node_state`].
+    pub fn from_u8(v: u8) -> RunState {
+        match v {
+            0 => RunState::Compute,
+            1 => RunState::MemWait,
+            2 => RunState::MsgOverhead,
+            3 => RunState::Sync,
+            _ => RunState::Done,
+        }
+    }
+}
+
+/// Epoch-sampled metric series for one run.
+///
+/// All series are flat `Vec`s indexed `sample * width + item` (width =
+/// `nodes` for node series, `links` for link series) so recording is a
+/// handful of pushes with no per-sample allocation after warmup.
+#[derive(Debug, Clone)]
+pub struct MetricsSeries {
+    /// Number of nodes sampled per epoch.
+    pub nodes: usize,
+    /// Number of links sampled per epoch.
+    pub links: usize,
+    /// Sampling period in picoseconds.
+    pub epoch_ps: u64,
+    /// Sample timestamps (picoseconds); strictly increasing, one entry per
+    /// epoch boundary crossed.
+    pub at_ps: Vec<u64>,
+    /// Per-node [`RunState`] encoded as `u8` (`sample * nodes + node`).
+    pub node_state: Vec<u8>,
+    /// Per-node outstanding coherence transactions (`sample * nodes + node`).
+    pub outstanding: Vec<u16>,
+    /// Per-link cumulative busy picoseconds (`sample * links + link`); take
+    /// deltas between samples for utilization (see
+    /// [`MetricsSeries::link_utilization`]).
+    pub link_busy_ps: Vec<u64>,
+    /// Per-link queued-waiter count (`sample * links + link`).
+    pub link_queue: Vec<u16>,
+    /// DES event-queue depth at each sample.
+    pub event_queue_depth: Vec<u32>,
+    /// Nodes inside the barrier at each sample.
+    pub barrier_occupancy: Vec<u32>,
+}
+
+impl MetricsSeries {
+    pub(crate) fn new(nodes: usize, links: usize, epoch_ps: u64) -> Self {
+        MetricsSeries {
+            nodes,
+            links,
+            epoch_ps,
+            at_ps: Vec::new(),
+            node_state: Vec::new(),
+            outstanding: Vec::new(),
+            link_busy_ps: Vec::new(),
+            link_queue: Vec::new(),
+            event_queue_depth: Vec::new(),
+            barrier_occupancy: Vec::new(),
+        }
+    }
+
+    /// Number of samples collected.
+    pub fn samples(&self) -> usize {
+        self.at_ps.len()
+    }
+
+    /// The [`RunState`] of `node` at sample `s`.
+    pub fn state(&self, s: usize, node: usize) -> RunState {
+        RunState::from_u8(self.node_state[s * self.nodes + node])
+    }
+
+    /// Fraction of `link`'s time spent serializing packets during the epoch
+    /// ending at sample `s`, in `[0, 1]`.
+    pub fn link_utilization(&self, s: usize, link: usize) -> f64 {
+        let busy = self.link_busy_ps[s * self.links + link];
+        let prev = if s == 0 {
+            0
+        } else {
+            self.link_busy_ps[(s - 1) * self.links + link]
+        };
+        let span = if s == 0 {
+            self.at_ps[0]
+        } else {
+            self.at_ps[s] - self.at_ps[s - 1]
+        };
+        if span == 0 {
+            return 0.0;
+        }
+        ((busy - prev) as f64 / span as f64).min(1.0)
+    }
+
+    /// Fraction of nodes in `state` at sample `s`.
+    pub fn state_fraction(&self, s: usize, state: RunState) -> f64 {
+        if self.nodes == 0 {
+            return 0.0;
+        }
+        let row = &self.node_state[s * self.nodes..(s + 1) * self.nodes];
+        row.iter().filter(|&&v| v == state as u8).count() as f64 / self.nodes as f64
+    }
+}
+
+/// Everything the observability layer collected during one run, detached
+/// from the machine.
+///
+/// Produced by `Machine::take_observation` after `run` when the machine was
+/// configured with an [`crate::ObserveConfig`]; feeds the Perfetto exporter
+/// ([`crate::perfetto::export_trace`]) and run manifests.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// The epoch-sampled metric series.
+    pub series: MetricsSeries,
+    /// The full execution trace (send/handler/block/resume events).
+    pub trace: Trace,
+    /// Network packet-lifecycle records.
+    pub net: NetRecording,
+    /// The processor clock of the run (for cycle conversions).
+    pub clock: Clock,
+    /// Node count.
+    pub nodes: usize,
+    /// Human-readable label per dense link id (e.g. `"E(2,1)"`).
+    pub link_labels: Vec<String>,
+}
+
+impl Observation {
+    /// Mean utilization of `link` over the whole run, in `[0, 1]`.
+    pub fn mean_link_utilization(&self, link: usize) -> f64 {
+        let n = self.series.samples();
+        if n == 0 {
+            return 0.0;
+        }
+        let total = self.series.at_ps[n - 1];
+        if total == 0 {
+            return 0.0;
+        }
+        let busy = self.series.link_busy_ps[(n - 1) * self.series.links + link];
+        (busy as f64 / total as f64).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_state_roundtrip() {
+        for s in RunState::ALL {
+            assert_eq!(RunState::from_u8(s as u8), s);
+            assert!(!s.label().is_empty());
+        }
+        assert_eq!(RunState::from_u8(200), RunState::Done);
+    }
+
+    #[test]
+    fn series_indexing_and_utilization() {
+        let mut m = MetricsSeries::new(2, 1, 1_000_000);
+        // Sample 1 at t=1us: node0 compute, node1 sync; link busy 250ns.
+        m.at_ps.push(1_000_000);
+        m.node_state.extend([0u8, 3]);
+        m.outstanding.extend([0u16, 2]);
+        m.link_busy_ps.push(250_000);
+        m.link_queue.push(1);
+        m.event_queue_depth.push(5);
+        m.barrier_occupancy.push(0);
+        // Sample 2 at t=2us: link busy 1.25us cumulative (full epoch busy).
+        m.at_ps.push(2_000_000);
+        m.node_state.extend([4u8, 4]);
+        m.outstanding.extend([0u16, 0]);
+        m.link_busy_ps.push(1_250_000);
+        m.link_queue.push(0);
+        m.event_queue_depth.push(1);
+        m.barrier_occupancy.push(0);
+
+        assert_eq!(m.samples(), 2);
+        assert_eq!(m.state(0, 1), RunState::Sync);
+        assert_eq!(m.state(1, 0), RunState::Done);
+        assert!((m.link_utilization(0, 0) - 0.25).abs() < 1e-9);
+        assert!((m.link_utilization(1, 0) - 1.0).abs() < 1e-9);
+        assert!((m.state_fraction(0, RunState::Compute) - 0.5).abs() < 1e-9);
+        assert!((m.state_fraction(1, RunState::Done) - 1.0).abs() < 1e-9);
+    }
+}

@@ -90,6 +90,9 @@ pub struct LatencyHistogram {
     pub count: u64,
     /// Sum of latencies (cycles) for mean computation.
     pub sum_cycles: u64,
+    /// Largest latency recorded (cycles); bounds the overflow bucket,
+    /// whose power-of-two edge would otherwise be unknown.
+    pub max_cycles: u64,
 }
 
 impl LatencyHistogram {
@@ -99,6 +102,7 @@ impl LatencyHistogram {
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum_cycles += cycles;
+        self.max_cycles = self.max_cycles.max(cycles);
     }
 
     /// Mean latency in cycles, if any misses occurred.
@@ -111,6 +115,10 @@ impl LatencyHistogram {
     }
 
     /// An upper bound on the `q`-quantile (0..=1), from bucket edges.
+    ///
+    /// The overflow bucket has no power-of-two edge, so when it decides the
+    /// quantile the bound is the largest latency actually recorded rather
+    /// than a meaningless `u64::MAX`.
     ///
     /// # Panics
     ///
@@ -125,10 +133,14 @@ impl LatencyHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some(1u64 << (i + 1));
+                return if i + 1 < self.buckets.len() {
+                    Some(1u64 << (i + 1))
+                } else {
+                    Some(self.max_cycles)
+                };
             }
         }
-        Some(u64::MAX)
+        Some(self.max_cycles)
     }
 }
 
@@ -218,6 +230,23 @@ mod tests {
         assert!(h.mean().unwrap() > 100.0);
         assert!(h.quantile_upper_bound(0.5).unwrap() <= 128);
         assert_eq!(LatencyHistogram::default().mean(), None);
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_uses_recorded_max() {
+        let mut h = LatencyHistogram::default();
+        h.record(10);
+        h.record(1 << 20); // lands in the overflow bucket
+        assert_eq!(h.max_cycles, 1 << 20);
+        // The upper quantile is decided by the overflow bucket: the bound
+        // must be the recorded maximum, not u64::MAX.
+        assert_eq!(h.quantile_upper_bound(1.0), Some(1 << 20));
+        // Even all-overflow histograms report a finite bound.
+        let mut all_over = LatencyHistogram::default();
+        all_over.record(123_456);
+        assert_eq!(all_over.quantile_upper_bound(0.5), Some(123_456));
+        // Lower quantiles still come from power-of-two edges.
+        assert_eq!(h.quantile_upper_bound(0.25), Some(16));
     }
 
     #[test]

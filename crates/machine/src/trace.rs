@@ -30,6 +30,9 @@ pub enum TraceKind {
         dst: u16,
         /// Wire bytes.
         bytes: u32,
+        /// Network packet-record id correlating this send with its hops
+        /// and handler ([`commsense_mesh::NO_RECORD`] when unrecorded).
+        msg: u32,
     },
     /// A handler ran for `cycles` processor cycles.
     Handler {
@@ -37,6 +40,9 @@ pub enum TraceKind {
         handler: u16,
         /// Duration in cycles.
         cycles: u32,
+        /// Packet-record id of the message that triggered the handler
+        /// ([`commsense_mesh::NO_RECORD`] when unrecorded).
+        msg: u32,
     },
     /// The node's program retired.
     Done,
@@ -123,6 +129,11 @@ impl Trace {
         self.dropped > 0
     }
 
+    /// How many events were dropped after the trace filled up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Renders one node's timeline as text (for debugging sessions).
     pub fn render_node(&self, node: usize, clock: Clock) -> String {
         let mut out = format!("node {node} timeline (cycles):\n");
@@ -135,18 +146,21 @@ impl Trace {
             ));
             match e.kind {
                 TraceKind::BlockMem { line } => out.push_str(&format!(" line={line}")),
-                TraceKind::Send { dst, bytes } => {
+                TraceKind::Send { dst, bytes, .. } => {
                     out.push_str(&format!(" dst={dst} bytes={bytes}"))
                 }
-                TraceKind::Handler { handler, cycles } => {
-                    out.push_str(&format!(" id={handler} cycles={cycles}"))
-                }
+                TraceKind::Handler {
+                    handler, cycles, ..
+                } => out.push_str(&format!(" id={handler} cycles={cycles}")),
                 _ => {}
             }
             out.push('\n');
         }
         if self.truncated() {
-            out.push_str("  ... (trace truncated at capacity)\n");
+            out.push_str(&format!(
+                "  ... (trace truncated at capacity; {} events dropped)\n",
+                self.dropped
+            ));
         }
         out
     }
@@ -169,7 +183,10 @@ mod tests {
         }
         assert_eq!(t.events().len(), 3);
         assert!(t.truncated());
+        assert_eq!(t.dropped(), 2);
         assert!(t.events().windows(2).all(|w| w[0].at <= w[1].at));
+        let rendered = t.render_node(0, Clock::from_mhz(20.0));
+        assert!(rendered.contains("2 events dropped"));
     }
 
     #[test]
@@ -189,7 +206,11 @@ mod tests {
             Time::from_us(1),
             Time::from_us(1),
             2,
-            TraceKind::Send { dst: 5, bytes: 24 },
+            TraceKind::Send {
+                dst: 5,
+                bytes: 24,
+                msg: 0,
+            },
         );
         t.record(
             Time::from_us(2),

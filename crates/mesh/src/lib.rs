@@ -54,11 +54,13 @@
 mod crosstraffic;
 mod network;
 mod packet;
+mod recorder;
 mod stats;
 mod topology;
 
 pub use crosstraffic::{CrossTraffic, CrossTrafficConfig};
 pub use network::{Delivery, NetConfig, NetEvent, Network};
 pub use packet::{Endpoint, Packet, PacketClass};
+pub use recorder::{HopRecord, NetRecording, PacketRecord, NO_RECORD};
 pub use stats::{NetStats, VolumeBreakdown};
 pub use topology::{Mesh, RouteDir, RouteTable, RouterCoord};

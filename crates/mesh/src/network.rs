@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use commsense_des::Time;
 
 use crate::packet::{Endpoint, Packet};
+use crate::recorder::{NetRecorder, NetRecording, NO_RECORD};
 use crate::stats::NetStats;
 use crate::topology::{Mesh, RouteTable};
 
@@ -91,6 +92,9 @@ pub struct Delivery {
     pub packet: Packet,
     /// When it was injected.
     pub injected_at: Time,
+    /// The packet's lifecycle-record id ([`crate::NO_RECORD`] when
+    /// recording is off or the record table was full).
+    pub record: u32,
 }
 
 #[derive(Debug)]
@@ -101,6 +105,8 @@ struct InFlight {
     hop: u32,
     injected_at: Time,
     head_ready_at: Time,
+    /// Lifecycle-record id ([`crate::NO_RECORD`] when not recorded).
+    rec: u32,
 }
 
 #[derive(Debug, Default)]
@@ -126,6 +132,10 @@ pub struct Network {
     inject_free: Vec<Time>,
     eject_free: Vec<Time>,
     stats: NetStats,
+    /// Optional packet-lifecycle recorder (boxed: the common case is off,
+    /// and the network struct stays small). Pure bookkeeping — never
+    /// consulted for any time computation.
+    recorder: Option<Box<NetRecorder>>,
 }
 
 impl Network {
@@ -147,7 +157,47 @@ impl Network {
             inject_free: vec![Time::ZERO; n],
             eject_free: vec![Time::ZERO; n],
             stats: NetStats::new(),
+            recorder: None,
         }
+    }
+
+    /// Turns on packet-lifecycle recording, keeping at most `max_packets`
+    /// individual packet records (link busy totals always cover all
+    /// traffic). Call before any packet is injected.
+    pub fn enable_recording(&mut self, max_packets: usize) {
+        self.recorder = Some(Box::new(NetRecorder::new(
+            max_packets,
+            self.mesh.num_links(),
+        )));
+    }
+
+    /// Detaches and returns the recording, if recording was enabled.
+    pub fn take_recording(&mut self) -> Option<NetRecording> {
+        self.recorder.take().map(|r| r.into_recording())
+    }
+
+    /// The record id assigned to the most recently injected packet
+    /// ([`crate::NO_RECORD`] when recording is off or the table was full).
+    pub fn last_record_id(&self) -> u32 {
+        self.recorder.as_ref().map_or(NO_RECORD, |r| r.last_id())
+    }
+
+    /// Number of unidirectional links in the mesh.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Packets currently queued waiting for link `id`.
+    pub fn link_queue_len(&self, id: usize) -> usize {
+        self.links[id].waiters.len()
+    }
+
+    /// Cumulative serialization time on link `id` so far (requires
+    /// recording; [`Time::ZERO`] otherwise).
+    pub fn link_busy(&self, id: usize) -> Time {
+        self.recorder
+            .as_ref()
+            .map_or(Time::ZERO, |r| r.link_busy()[id])
     }
 
     /// The topology.
@@ -217,12 +267,17 @@ impl Network {
             _ => now,
         };
 
+        let rec = match &mut self.recorder {
+            Some(r) => r.on_inject(&packet, now),
+            None => NO_RECORD,
+        };
         let flight = InFlight {
             packet,
             route,
             hop: 0,
             injected_at: now,
             head_ready_at,
+            rec,
         };
         let id = match self.free_slots.pop() {
             Some(slot) => {
@@ -286,7 +341,7 @@ impl Network {
 
     fn start_hop(&mut self, now: Time, pkt: u32, sched: &mut impl FnMut(Time, NetEvent)) {
         let cfg_router = Time::from_ps(self.cfg.router_delay_ps);
-        let (link, ser, last, class, hdr, pay) = {
+        let (link, ser, last, class, hdr, pay, rec) = {
             let flight = self.flights[pkt as usize].as_ref().expect("flight exists");
             let route = self.routes.route(flight.route);
             let link = route[flight.hop as usize] as usize;
@@ -299,9 +354,13 @@ impl Network {
                 flight.packet.class,
                 flight.packet.header_bytes,
                 flight.packet.payload_bytes,
+                flight.rec,
             )
         };
 
+        if let Some(r) = &mut self.recorder {
+            r.on_hop(rec, link, now, now + ser);
+        }
         self.links[link].busy_until = now + ser;
         sched(now + ser, NetEvent::LinkFree { link: link as u32 });
         if self.mesh.crosses_bisection(link) {
@@ -334,10 +393,14 @@ impl Network {
         self.free_slots.push(pkt);
         self.stats
             .record_delivery(now.saturating_sub(flight.injected_at));
+        if let Some(r) = &mut self.recorder {
+            r.on_deliver(flight.rec, now);
+        }
         match flight.packet.dst {
             Endpoint::Node(_) => Some(Delivery {
                 packet: flight.packet,
                 injected_at: flight.injected_at,
+                record: flight.rec,
             }),
             _ => None,
         }

@@ -141,6 +141,50 @@ impl Mesh {
         }
     }
 
+    /// Inverts [`Mesh::link_id`]: the source coordinate and direction of a
+    /// dense link id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn link_endpoints(&self, id: usize) -> (RouterCoord, RouteDir) {
+        assert!(id < self.num_links(), "link {id} out of range");
+        let w = self.width as usize;
+        let h = self.height as usize;
+        let h_count = (w - 1) * h;
+        let v_count = w * h.saturating_sub(1);
+        if id < h_count {
+            let (y, x) = (id / (w - 1), id % (w - 1));
+            (RouterCoord::new(x as u16, y as u16), RouteDir::East)
+        } else if id < 2 * h_count {
+            let i = id - h_count;
+            let (y, x) = (i / (w - 1), i % (w - 1));
+            (RouterCoord::new((x + 1) as u16, y as u16), RouteDir::West)
+        } else if id < 2 * h_count + v_count {
+            let i = id - 2 * h_count;
+            let (y, x) = (i / w, i % w);
+            (RouterCoord::new(x as u16, y as u16), RouteDir::South)
+        } else {
+            let i = id - 2 * h_count - v_count;
+            let (y, x) = (i / w, i % w);
+            (RouterCoord::new(x as u16, (y + 1) as u16), RouteDir::North)
+        }
+    }
+
+    /// A human-readable label for link `id`, e.g. `"E(2,1)"` for the
+    /// eastward link leaving router `(2,1)`. Used for per-link tracks in
+    /// trace exports and utilization tables.
+    pub fn link_label(&self, id: usize) -> String {
+        let (from, dir) = self.link_endpoints(id);
+        let d = match dir {
+            RouteDir::East => 'E',
+            RouteDir::West => 'W',
+            RouteDir::South => 'S',
+            RouteDir::North => 'N',
+        };
+        format!("{d}({},{})", from.x, from.y)
+    }
+
     /// Whether link `id` crosses the bisection cut between columns
     /// `width/2 - 1` and `width/2` (either direction).
     pub fn crosses_bisection(&self, id: usize) -> bool {

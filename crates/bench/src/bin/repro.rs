@@ -48,10 +48,11 @@ struct Opts {
     latency: Option<u64>,
     epoch: u64,
     dir: String,
+    check: bool,
 }
 
 const USAGE: &str = "\
-usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N]
+usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check]
        repro perf [--small] [--out FILE] [--baseline FILE] [--reps N]
        repro observe [--app NAME] [--mech LABEL] [--small|--paper]
                      [--cross B_PER_CYCLE] [--latency CYCLES] [--epoch N] [--dir DIR]
@@ -61,6 +62,9 @@ usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N]
   --small    use unit-test sizes (seconds)
   --csv      also write each sweep as CSV into DIR
   --jobs     worker threads per sweep (default: COMMSENSE_JOBS or all cores)
+  --check    run every machine with the correctness harness (protocol
+             invariants, message conservation, SC oracle); on a violation
+             the process prints one CHECK-FAIL line and exits non-zero
   --out      perf: write the machine-readable report here (default BENCH.json)
   --baseline perf: a previous report; record its numbers and the speedup
   --reps     perf: repetitions per mechanism, fastest kept (default 5)
@@ -90,11 +94,13 @@ fn parse_args() -> Opts {
     let mut latency = None;
     let mut epoch = 1_000u64;
     let mut dir = ".".to_string();
+    let mut check = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--paper" => scale = Scale::Paper,
             "--small" => scale = Scale::Small,
+            "--check" => check = true,
             "--csv" => csv_dir = args.next(),
             "--out" => out = args.next(),
             "--baseline" => baseline = args.next(),
@@ -195,6 +201,7 @@ fn parse_args() -> Opts {
         latency,
         epoch,
         dir,
+        check,
     }
 }
 
@@ -218,7 +225,7 @@ fn run_observe(opts: &Opts) {
             );
             std::process::exit(2);
         });
-    let mut cfg = cfg().with_mechanism(mech);
+    let mut cfg = cfg(opts.check).with_mechanism(mech);
     if let Some(c) = opts.cross {
         cfg.cross_traffic = Some(commsense_mesh::CrossTrafficConfig::consuming(
             c,
@@ -297,15 +304,19 @@ fn run_perf_harness(opts: &Opts) {
             .unwrap_or_else(|| panic!("no current aggregates found in baseline {path}"))
     });
     println!("== perf: simulator hot-path throughput ==");
-    let report = perf::run_perf(opts.scale, &cfg(), opts.reps);
+    let report = perf::run_perf(opts.scale, &cfg(opts.check), opts.reps);
     print!("{}", perf::perf_text(&report, baseline.as_ref()));
     let out = opts.out.as_deref().unwrap_or("BENCH.json");
     std::fs::write(out, perf::perf_json(&report, baseline.as_ref())).expect("write perf JSON");
     println!("(wrote {out})");
 }
 
-fn cfg() -> MachineConfig {
-    MachineConfig::alewife()
+fn cfg(check: bool) -> MachineConfig {
+    let mut cfg = MachineConfig::alewife();
+    if check {
+        cfg.check = Some(commsense_machine::CheckConfig::full());
+    }
+    cfg
 }
 
 fn dump_csv(opts: &Opts, name: &str, x_label: &str, sweeps: &[Sweep]) {
@@ -328,6 +339,9 @@ fn main() {
     if let Some(n) = opts.jobs {
         std::env::set_var("COMMSENSE_JOBS", n.to_string());
     }
+    if opts.check {
+        commsense_bench::harness::install_check_fail_hook();
+    }
     if opts.what == "perf" {
         run_perf_harness(&opts);
         return;
@@ -338,7 +352,7 @@ fn main() {
     }
     let runner = Runner::from_env();
     let mut cache = WorkloadCache::new();
-    let cfg = cfg();
+    let cfg = cfg(opts.check);
     let all_mechs = Mechanism::ALL;
     let sm_mp = [Mechanism::SharedMem, Mechanism::MsgPoll];
 

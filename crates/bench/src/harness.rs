@@ -1,0 +1,92 @@
+//! Machine-readable failure reporting for the correctness-harness
+//! binaries.
+//!
+//! The CI contract (see DESIGN.md, "Correctness harness") is that `repro
+//! --check` and `litmus` exit non-zero on any invariant or oracle
+//! violation *and* print exactly one machine-readable summary line per
+//! failure, so the workflow can grep for it and a human can paste it back
+//! into a replay command. Checker and oracle violations surface as panics
+//! carrying a marker prefix ([`INVARIANT_MARKER`] / [`ORACLE_MARKER`]);
+//! the helpers here turn those into `CHECK-FAIL {json}` lines.
+
+use commsense_machine::{INVARIANT_MARKER, ORACLE_MARKER};
+
+/// Renders `s` as a JSON string literal, quotes included.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    commsense_core::json::push_escaped(&mut out, s);
+    out
+}
+
+/// Extracts a panic payload as a string (panics almost always carry
+/// `&str` or `String`).
+pub fn payload_str(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Classifies a harness panic message: `Some("invariant")` /
+/// `Some("oracle")` for marker panics, `None` for anything else.
+pub fn check_class(msg: &str) -> Option<&'static str> {
+    if msg.contains(INVARIANT_MARKER) {
+        Some("invariant")
+    } else if msg.contains(ORACLE_MARKER) {
+        Some("oracle")
+    } else {
+        None
+    }
+}
+
+/// Installs a panic hook that prints a one-line `CHECK-FAIL {json}`
+/// summary to stderr for harness-marker panics, then delegates to the
+/// previously installed hook (so the normal panic report still appears).
+/// The process exits non-zero through the panic itself.
+pub fn install_check_fail_hook() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let msg = payload_str(info.payload());
+        if let Some(class) = check_class(&msg) {
+            eprintln!(
+                "CHECK-FAIL {{\"class\":{},\"detail\":{}}}",
+                json_str(class),
+                json_str(&msg)
+            );
+        }
+        prev(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn classes_follow_markers() {
+        assert_eq!(
+            check_class("PROTOCOL-INVARIANT violated: x"),
+            Some("invariant")
+        );
+        assert_eq!(check_class("SC-ORACLE violated: y"), Some("oracle"));
+        assert_eq!(check_class("some other panic"), None);
+    }
+
+    #[test]
+    fn payloads_extract() {
+        let b: Box<dyn std::any::Any + Send> = Box::new("static");
+        assert_eq!(payload_str(b.as_ref()), "static");
+        let b: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(payload_str(b.as_ref()), "owned");
+        let b: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(payload_str(b.as_ref()), "non-string panic payload");
+    }
+}

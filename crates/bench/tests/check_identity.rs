@@ -1,0 +1,35 @@
+//! Pins the correctness harness's central invariant: turning checking on
+//! must not change what the machine simulates.
+//!
+//! The checker (and the SC oracle it can carry) only reads protocol and
+//! network state between transitions and never schedules events, so the
+//! event interleaving — and with it every cycle count and stat — is
+//! bit-identical with checking on or off. Same equality witness as the
+//! observe-identity pin: `RunResult`'s `Debug` rendering.
+//!
+//! Running the full small suite here doubles as the per-PR clean budget:
+//! every application, under three mechanisms, passes the invariant checker
+//! and the SC oracle.
+
+use commsense_apps::{run_app, AppSpec};
+use commsense_machine::{CheckConfig, MachineConfig, Mechanism};
+
+#[test]
+fn checking_is_invisible_to_the_simulation() {
+    let cfg_off = MachineConfig::alewife();
+    let mut cfg_on = cfg_off.clone();
+    cfg_on.check = Some(CheckConfig::full());
+
+    for spec in AppSpec::small_suite() {
+        for mech in [Mechanism::SharedMem, Mechanism::MsgPoll, Mechanism::Bulk] {
+            let off = run_app(&spec, mech, &cfg_off);
+            let on = run_app(&spec, mech, &cfg_on);
+            assert_eq!(
+                format!("{off:?}"),
+                format!("{on:?}"),
+                "{} under {mech}: checking changed simulation results",
+                spec.name()
+            );
+        }
+    }
+}

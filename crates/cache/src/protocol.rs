@@ -347,6 +347,10 @@ pub struct Protocol {
     deferred: FxHashMap<(u16, u64), Vec<(usize, ProtoMsg)>>,
     cfg: ProtoConfig,
     stats: ProtoStats,
+    /// Verification-harness fault injection: number of upcoming `Inv`
+    /// messages whose cache invalidation will be skipped (the ack is still
+    /// sent). Always 0 outside mutation tests.
+    fault_skip_invs: u32,
 }
 
 impl Protocol {
@@ -367,6 +371,7 @@ impl Protocol {
             deferred: FxHashMap::default(),
             cfg,
             stats: ProtoStats::default(),
+            fault_skip_invs: 0,
         }
     }
 
@@ -879,8 +884,14 @@ impl Protocol {
         let home = self.home(line);
         match msg {
             ProtoMsg::Inv { .. } => {
-                self.caches[at].invalidate(line);
-                self.prefetch[at].invalidate(line);
+                if self.fault_skip_invs > 0 {
+                    // Injected fault: pretend the invalidation was applied
+                    // (ack it) while actually keeping the stale copy.
+                    self.fault_skip_invs -= 1;
+                } else {
+                    self.caches[at].invalidate(line);
+                    self.prefetch[at].invalidate(line);
+                }
                 outs.push(ProtoOut::Send {
                     from: at,
                     to: home,
@@ -919,58 +930,101 @@ impl Protocol {
         }
     }
 
-    /// Testing/verification hook: checks the one-sided coherence invariant —
-    /// every cached copy is tracked by the directory, and `Modified` copies
-    /// are unique and exclusive. Lines with a grant still in flight are
-    /// skipped: a run may legitimately end with dangling (e.g. prefetch)
-    /// transactions whose fills never happened.
+    /// Verification-harness fault injection: makes the next `Inv` message
+    /// processed anywhere in the machine acknowledge without invalidating,
+    /// leaving a stale copy behind. Used by mutation tests to prove the
+    /// invariant checker can actually fail; never call this in real runs.
+    #[doc(hidden)]
+    pub fn fault_ignore_next_invalidation(&mut self) {
+        self.fault_skip_invs += 1;
+    }
+
+    /// Total number of heap lines (every line the directory can govern).
+    pub fn num_lines(&self) -> u64 {
+        self.heap.total_lines()
+    }
+
+    /// Checks the coherence invariants on one line, returning a description
+    /// of the first violation found.
+    ///
+    /// The invariants (one-sided because stale sharers are tolerated, see
+    /// the module docs):
+    /// * at most one `Modified` copy exists machine-wide (single writer);
+    /// * a `Modified` copy excludes every `Shared` copy (no stale readers);
+    /// * a `Modified` copy is the directory's tracked owner;
+    /// * every `Shared` copy is in the directory's sharer set.
+    ///
+    /// Lines with a grant still in flight, or whose directory entry has a
+    /// busy transaction, are transient and skipped: a run may legitimately
+    /// end with dangling (e.g. prefetch) transactions whose fills never
+    /// happened.
+    pub fn verify_line(&self, line: LineId) -> Result<(), String> {
+        if self.granted.iter().any(|&(_, l)| l == line.0) {
+            return Ok(());
+        }
+        if self.dir(line).is_some_and(|e| e.busy.is_some()) {
+            return Ok(());
+        }
+        let (dir_modified, holders) = self.directory_view(line);
+        let mut cached_m = Vec::new();
+        let mut cached_s = Vec::new();
+        for node in 0..self.caches.len() {
+            match self.caches[node].lookup(line) {
+                Some(LineState::Modified) => cached_m.push(node),
+                Some(LineState::Shared) => cached_s.push(node),
+                None => {}
+            }
+            match self.prefetch[node].lookup(line) {
+                Some(PrefetchKind::Exclusive) => cached_m.push(node),
+                Some(PrefetchKind::Read) => cached_s.push(node),
+                None => {}
+            }
+        }
+        if cached_m.len() > 1 {
+            return Err(format!(
+                "line {line:?}: multiple Modified copies {cached_m:?}"
+            ));
+        }
+        if let Some(&m) = cached_m.first() {
+            if !cached_s.is_empty() {
+                return Err(format!(
+                    "line {line:?}: Modified at {m} with Shared copies {cached_s:?}"
+                ));
+            }
+            if !(dir_modified && holders == vec![m]) {
+                return Err(format!(
+                    "line {line:?}: untracked owner {m} (dir: {holders:?})"
+                ));
+            }
+        }
+        for s in cached_s {
+            if dir_modified || !holders.contains(&s) {
+                return Err(format!(
+                    "line {line:?}: untracked sharer {s} (dir: {holders:?})"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the coherence invariants (see [`Protocol::verify_line`]) on
+    /// every line of `lines`, returning the first violation.
+    pub fn verify_invariants(&self, lines: impl Iterator<Item = LineId>) -> Result<(), String> {
+        for line in lines {
+            self.verify_line(line)?;
+        }
+        Ok(())
+    }
+
+    /// Testing/verification hook: panicking form of
+    /// [`Protocol::verify_invariants`].
     ///
     /// # Panics
     ///
     /// Panics (with a description) if the invariant is violated.
     pub fn check_invariants(&self, lines: impl Iterator<Item = LineId>) {
-        for line in lines {
-            if self.granted.iter().any(|&(_, l)| l == line.0) {
-                continue;
-            }
-            if self.dir(line).is_some_and(|e| e.busy.is_some()) {
-                continue;
-            }
-            let (dir_modified, holders) = self.directory_view(line);
-            let mut cached_m = Vec::new();
-            let mut cached_s = Vec::new();
-            for node in 0..self.caches.len() {
-                match self.caches[node].lookup(line) {
-                    Some(LineState::Modified) => cached_m.push(node),
-                    Some(LineState::Shared) => cached_s.push(node),
-                    None => {}
-                }
-                match self.prefetch[node].lookup(line) {
-                    Some(PrefetchKind::Exclusive) => cached_m.push(node),
-                    Some(PrefetchKind::Read) => cached_s.push(node),
-                    None => {}
-                }
-            }
-            assert!(
-                cached_m.len() <= 1,
-                "line {line:?}: multiple Modified copies {cached_m:?}"
-            );
-            if let Some(&m) = cached_m.first() {
-                assert!(
-                    cached_s.is_empty(),
-                    "line {line:?}: Modified at {m} with Shared copies {cached_s:?}"
-                );
-                assert!(
-                    dir_modified && holders == vec![m],
-                    "line {line:?}: untracked owner {m} (dir: {holders:?})"
-                );
-            }
-            for s in cached_s {
-                assert!(
-                    !dir_modified && holders.contains(&s),
-                    "line {line:?}: untracked sharer {s} (dir: {holders:?})"
-                );
-            }
+        if let Err(e) = self.verify_invariants(lines) {
+            panic!("{e}");
         }
     }
 }
@@ -1468,6 +1522,22 @@ mod tests {
         assert_eq!(ProtoMsg::Inv { line: l }.class(), MsgClass::Invalidate);
         assert_eq!(ProtoMsg::Fetch { line: l }.class(), MsgClass::Request);
         assert_eq!(ProtoMsg::Writeback { line: l }.class(), MsgClass::Data);
+    }
+
+    #[test]
+    fn fault_injection_leaves_stale_sharer_the_checker_detects() {
+        let (mut p, h) = proto(4, 4);
+        let line = h.line(0);
+        read(&mut p, 1, line);
+        read(&mut p, 2, line);
+        assert!(p.verify_line(line).is_ok());
+        // Drop exactly one invalidation: the victim acks but keeps its copy.
+        p.fault_ignore_next_invalidation();
+        write(&mut p, 3, line);
+        let err = p
+            .verify_line(line)
+            .expect_err("stale sharer must be caught");
+        assert!(err.contains("Shared copies") || err.contains("untracked sharer"));
     }
 
     #[test]

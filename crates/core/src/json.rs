@@ -39,11 +39,16 @@ pub enum Json {
 impl Json {
     /// Parses a complete JSON document. Trailing non-whitespace input is an
     /// error, as is any grammar violation; the message includes the byte
-    /// offset where parsing stopped.
+    /// offset where parsing stopped. Malformed input always yields `Err`,
+    /// never a panic: container nesting is capped (so adversarially deep
+    /// input cannot overflow the recursion stack) and duplicate object
+    /// keys are rejected (our own writers never emit them, so one
+    /// silently shadowing another in a manifest would hide corruption).
     pub fn parse(text: &str) -> Result<Json, String> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -139,9 +144,17 @@ pub fn push_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Maximum container nesting the parser accepts. This is a recursive-
+/// descent parser, so unbounded nesting in malformed (or adversarial)
+/// input would overflow the call stack and abort the process; validation
+/// must fail with an error instead. 128 is far beyond anything our own
+/// artifacts produce.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -190,17 +203,33 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
-        let mut pairs = Vec::new();
+        self.enter()?;
+        let mut pairs: Vec<(String, Json)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
             self.skip_ws();
             let key = self.string()?;
+            if pairs.iter().any(|(k, _)| k == &key) {
+                return Err(format!("duplicate key {key:?} at byte {}", self.pos));
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -211,6 +240,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -220,10 +250,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -234,6 +266,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -379,6 +412,55 @@ mod tests {
         assert!(Json::parse(r#"{"a" 1}"#).is_err());
         assert!(Json::parse("1 2").is_err());
         assert!(Json::parse("tru").is_err());
+    }
+
+    #[test]
+    fn truncated_documents_error_cleanly() {
+        // Every prefix of a valid manifest-shaped document must produce an
+        // error (not a panic): validation sees torn files after crashes.
+        let doc = r#"{"schema_version": 1, "runs": [{"mech": "sm", "cycles": 123}], "ok": true}"#;
+        for cut in 1..doc.len() {
+            if doc.is_char_boundary(cut) {
+                assert!(Json::parse(&doc[..cut]).is_err(), "prefix of {cut} bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_escapes_are_errors() {
+        assert!(Json::parse(r#""\q""#).is_err(), "unknown escape letter");
+        assert!(Json::parse(r#""\u12"#).is_err(), "truncated \\u escape");
+        assert!(Json::parse(r#""\u12zx""#).is_err(), "non-hex \\u escape");
+        assert!(Json::parse("\"\\").is_err(), "escape at end of input");
+        // Lone surrogates decode to U+FFFD rather than erroring.
+        assert_eq!(
+            Json::parse(r#""\ud800""#).unwrap().as_str(),
+            Some("\u{fffd}")
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let err = Json::parse(r#"{"a": 1, "b": 2, "a": 3}"#).unwrap_err();
+        assert!(err.contains("duplicate key \"a\""), "{err}");
+        // Same key at different depths is fine.
+        assert!(Json::parse(r#"{"a": {"a": 1}}"#).is_ok());
+    }
+
+    #[test]
+    fn deep_nesting_is_capped_not_fatal() {
+        // Far past any real artifact: must error, not overflow the stack.
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let deep = format!("{}1{}", open.repeat(4096), close.repeat(4096));
+            let err = Json::parse(&deep).unwrap_err();
+            assert!(err.contains("nesting deeper than"), "{err}");
+        }
+        // Within the cap still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
+        // Siblings do not accumulate depth.
+        let wide = format!("[{}]", vec!["[1]"; 1000].join(","));
+        assert!(Json::parse(&wide).is_ok());
     }
 
     #[test]

@@ -228,6 +228,60 @@ impl Default for ObserveConfig {
     }
 }
 
+/// Configuration of the runtime correctness checker.
+///
+/// When present on a [`MachineConfig`], the machine verifies protocol
+/// invariants after every coherence transition (single writer / multiple
+/// readers, directory/cache consistency, no lost invalidations), tracks
+/// message-channel conservation against the network recorder's packet ids,
+/// and — when [`CheckConfig::oracle`] is set — records the applied
+/// load/store stream and verifies it against a sequential-consistency
+/// oracle at the end of the run. Checking is pure bookkeeping plus
+/// assertions: it never schedules events, so simulated cycle counts are
+/// bit-identical with and without it. Violations panic with a
+/// machine-readable `PROTOCOL-INVARIANT` / `SC-ORACLE` marker.
+///
+/// # Examples
+///
+/// ```
+/// use commsense_machine::{CheckConfig, MachineConfig};
+///
+/// let mut cfg = MachineConfig::tiny();
+/// cfg.check = Some(CheckConfig::default());
+/// assert!(!cfg.check.unwrap().oracle);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Record the applied memory-access stream and verify it against the
+    /// sequential-consistency oracle when the run finishes. Off by default:
+    /// the log grows with every access, which is fine for litmus programs
+    /// but heavy for full application runs.
+    pub oracle: bool,
+    /// Maximum number of network packets tracked individually for the
+    /// conservation check (shared with the observability recorder; packets
+    /// beyond this are counted but not id-checked).
+    pub max_packets: usize,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            oracle: false,
+            max_packets: 1 << 20,
+        }
+    }
+}
+
+impl CheckConfig {
+    /// The full harness: invariants, conservation, and the SC oracle.
+    pub fn full() -> Self {
+        CheckConfig {
+            oracle: true,
+            ..CheckConfig::default()
+        }
+    }
+}
+
 /// Full configuration of an emulated machine.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -261,6 +315,10 @@ pub struct MachineConfig {
     /// Optional observability recording (epoch metrics, trace, packet
     /// lifecycle). `None` (the default) costs nothing on the hot path.
     pub observe: Option<ObserveConfig>,
+    /// Optional runtime correctness checking (protocol invariants, message
+    /// conservation, SC oracle). `None` (the default) costs nothing on the
+    /// hot path; `Some` never changes simulated cycles.
+    pub check: Option<CheckConfig>,
 }
 
 impl MachineConfig {
@@ -279,6 +337,7 @@ impl MachineConfig {
             latency_emulation: None,
             write_buffer: 0,
             observe: None,
+            check: None,
         }
     }
 
@@ -382,6 +441,15 @@ mod tests {
         assert!(o.trace_capacity > 0);
         assert!(o.max_packets > 0);
         assert_eq!(MachineConfig::alewife().observe, None);
+    }
+
+    #[test]
+    fn check_defaults_are_sane() {
+        let c = CheckConfig::default();
+        assert!(!c.oracle);
+        assert!(c.max_packets > 0);
+        assert!(CheckConfig::full().oracle);
+        assert_eq!(MachineConfig::alewife().check, None);
     }
 
     #[test]

@@ -25,6 +25,11 @@
 //!   network packet lifecycle, exportable as a Perfetto/Chrome trace via
 //!   [`perfetto::export_trace`] — with bit-identical simulated cycle
 //!   counts whether recording is on or off.
+//! * An optional correctness harness (see [`CheckConfig`]) asserts the
+//!   coherence-protocol invariants after every transition, tracks message
+//!   conservation against the network recorder, and can replay the applied
+//!   load/store stream against a sequential-consistency oracle — also
+//!   without perturbing simulated cycles.
 //!
 //! See `commsense-apps` for complete programs and the crate tests for
 //! minimal ones.
@@ -33,16 +38,19 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod invariants;
 pub mod machine;
 pub mod metrics;
+pub mod oracle;
 pub mod perfetto;
 pub mod program;
 pub mod stats;
 pub mod trace;
 
 pub use config::{
-    CostModel, LatencyEmulation, MachineConfig, Mechanism, ObserveConfig, ReceiveMode,
+    CheckConfig, CostModel, LatencyEmulation, MachineConfig, Mechanism, ObserveConfig, ReceiveMode,
 };
+pub use invariants::{INVARIANT_MARKER, ORACLE_MARKER};
 pub use machine::{Machine, MachineSpec};
 pub use metrics::{MetricsSeries, Observation, RunState};
 pub use program::{HandlerCtx, NodeCtx, Program, RmwOp, Step};

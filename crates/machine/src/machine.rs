@@ -10,7 +10,9 @@ use commsense_mesh::{CrossTraffic, Endpoint, NetEvent, Network, Packet, PacketCl
 use commsense_msgpass::{ActiveMessage, BarrierTree, HandlerId, RemoteQueue};
 
 use crate::config::{BarrierStyle, MachineConfig, ReceiveMode};
+use crate::invariants::{Checker, INVARIANT_MARKER, ORACLE_MARKER};
 use crate::metrics::{MetricsSeries, Observation, RunState};
+use crate::oracle::{OracleLog, OracleOp};
 use crate::program::{HandlerCtx, NodeCtx, Program, RmwOp, Step};
 use crate::stats::{Bucket, LatencyHistogram, NodeStats, RunStats};
 use crate::trace::{Trace, TraceKind};
@@ -104,10 +106,12 @@ enum Purpose {
     Demand {
         node: usize,
         op: MemOp,
+        /// Oracle issue-order sequence number (0 when the oracle is off).
+        seq: u64,
     },
     Prefetch {
         node: usize,
-        merged: Option<MemOp>,
+        merged: Option<(MemOp, u64)>,
         issued: Time,
     },
     /// A relaxed (release-consistent) store posted to the write buffer:
@@ -115,7 +119,8 @@ enum Purpose {
     Posted {
         node: usize,
         op: MemOp,
-        merged: Option<MemOp>,
+        seq: u64,
+        merged: Option<(MemOp, u64)>,
     },
     Bar {
         node: usize,
@@ -463,6 +468,11 @@ pub struct Machine {
     metrics_next: Time,
     /// Sampling period (picoseconds).
     metrics_epoch: Time,
+    /// Runtime protocol-invariant checker (check mode only).
+    checker: Option<Box<Checker>>,
+    /// Applied memory-access log for the SC oracle (check mode with
+    /// [`crate::CheckConfig::oracle`] only).
+    oracle: Option<Box<OracleLog>>,
 }
 
 impl Machine {
@@ -543,16 +553,36 @@ impl Machine {
             metrics: None,
             metrics_next: Time::MAX,
             metrics_epoch: Time::ZERO,
+            checker: None,
+            oracle: None,
         };
         if let Some(o) = m.cfg.observe {
             assert!(o.epoch_cycles > 0, "observe epoch must be positive");
             m.trace = Some(Trace::new(o.trace_capacity));
-            m.net.enable_recording(o.max_packets);
             let links = m.net.num_links();
             let epoch = clock.cycles(o.epoch_cycles);
             m.metrics = Some(Box::new(MetricsSeries::new(n, links, epoch.as_ps())));
             m.metrics_epoch = epoch;
             m.metrics_next = epoch;
+        }
+        if let Some(c) = m.cfg.check {
+            m.checker = Some(Box::new(Checker::new(c)));
+            if c.oracle {
+                // The master copy already includes the machine-internal
+                // barrier words appended above.
+                m.oracle = Some(Box::new(OracleLog::new(n, m.master.clone())));
+            }
+        }
+        // Observation and checking share the network recorder; size it for
+        // whichever needs more.
+        let record_packets = match (m.cfg.observe, m.cfg.check) {
+            (Some(o), Some(c)) => Some(o.max_packets.max(c.max_packets)),
+            (Some(o), None) => Some(o.max_packets),
+            (None, Some(c)) => Some(c.max_packets),
+            (None, None) => None,
+        };
+        if let Some(cap) = record_packets {
+            m.net.enable_recording(cap);
         }
         for node in 0..n {
             m.schedule_wake(node, Time::ZERO);
@@ -584,7 +614,33 @@ impl Machine {
             self.events += 1;
             self.dispatch(ev);
         }
+        if self.checker.is_some() {
+            self.final_run_checks();
+        }
         self.collect_stats()
+    }
+
+    /// End-of-run verification (check mode only): whole-heap protocol
+    /// invariants, message conservation against the recorder, and the SC
+    /// oracle replay.
+    #[cold]
+    #[inline(never)]
+    fn final_run_checks(&mut self) {
+        if let Err(e) = self
+            .proto
+            .verify_invariants((0..self.proto.num_lines()).map(LineId))
+        {
+            panic!("{INVARIANT_MARKER} violated at end of run: {e}");
+        }
+        let live = self.envelopes.iter().filter(|e| e.is_some()).count();
+        if let Some(ch) = self.checker.as_ref() {
+            ch.final_check(live, self.net.peek_recording());
+        }
+        if let Some(o) = self.oracle.as_ref() {
+            if let Err(e) = crate::oracle::verify(o, self.cfg.write_buffer > 0) {
+                panic!("{ORACLE_MARKER} violated: {e}");
+            }
+        }
     }
 
     /// Formats and raises the application-deadlock diagnostic. Kept out of
@@ -810,10 +866,12 @@ impl Machine {
                     return;
                 }
                 let occ = self.proto_msg_occupancy(at, from, &msg);
+                let line = msg.line();
                 let mut outs = self.take_outs();
                 self.proto.handle_into(at, from, msg, &mut outs);
                 self.process_controller_outs(at, occ, &mut outs);
                 self.put_outs(outs);
+                self.check_line(line);
             }
             Ev::FillPrefetch {
                 token,
@@ -958,14 +1016,27 @@ impl Machine {
     }
 
     fn inject(&mut self, pkt: Packet, t: Time) {
+        // Conservation accounting covers machine traffic only: packets
+        // destined for a compute node (cross-traffic is absorbed at the
+        // mesh edge and never consumed by the machine layer).
+        let node_dst = matches!(pkt.dst, Endpoint::Node(_));
         let queue = &mut self.queue;
         self.net
             .inject(t, pkt, &mut |t2, e| queue.schedule(t2, Ev::Net(e)));
+        if node_dst {
+            let rec = self.net.last_record_id();
+            if let Some(ch) = self.checker.as_mut() {
+                ch.on_inject(rec);
+            }
+        }
     }
 
     fn deliver(&mut self, pkt: Packet, rec: u32) {
         let Endpoint::Node(dst) = pkt.dst else { return };
         let dst = dst as usize;
+        if let Some(ch) = self.checker.as_mut() {
+            ch.on_deliver(rec);
+        }
         let env = self.envelopes[pkt.tag as usize]
             .take()
             .expect("live envelope");
@@ -1141,6 +1212,84 @@ impl Machine {
         }
     }
 
+    /// Applies a user-level access and, when the oracle is on, logs it with
+    /// its issue-order `seq` and the node's current barrier epoch. Demand
+    /// accesses block the node and posted stores drain before any barrier
+    /// fence completes, so the epoch at apply time equals the epoch at
+    /// issue time.
+    fn apply_user_op(&mut self, node: usize, op: MemOp, seq: u64) {
+        self.apply_mem_op(node, op);
+        if let Some(o) = self.oracle.as_mut() {
+            let epoch = self.barrier.node_epoch[node];
+            let oop = match op {
+                MemOp::Read { word, .. } => OracleOp::Read {
+                    word: word.flat_index() as u64,
+                    value: self.nodes[node].loaded,
+                },
+                MemOp::Write { word, val } => OracleOp::Write {
+                    word: word.flat_index() as u64,
+                    value: val,
+                },
+                MemOp::Rmw { line, op } => OracleOp::Rmw {
+                    line: line.0,
+                    op,
+                    result: self.nodes[node].rmw,
+                },
+            };
+            o.record(node, epoch, seq, oop);
+        }
+    }
+
+    /// Applies the access carried by a completed transaction, routing
+    /// user-level purposes through the oracle log. Prefetches never reach
+    /// here (they carry no access of their own).
+    fn apply_purpose_op(&mut self, node: usize, op: MemOp, purpose: Purpose) {
+        match purpose {
+            Purpose::Demand { seq, .. } | Purpose::Posted { seq, .. } => {
+                self.apply_user_op(node, op, seq);
+            }
+            Purpose::Bar { .. } => self.apply_mem_op(node, op),
+            Purpose::Prefetch { .. } => unreachable!("prefetches carry no memory op"),
+        }
+    }
+
+    /// Mints the next oracle issue-sequence number for `node` (0 when the
+    /// oracle is off; real seqs start at 1).
+    fn next_seq(&mut self, node: usize) -> u64 {
+        match self.oracle.as_mut() {
+            Some(o) => o.next_seq(node),
+            None => 0,
+        }
+    }
+
+    /// Verifies the coherence invariants on `line` after a protocol
+    /// transition (no-op unless checking is on).
+    #[inline]
+    fn check_line(&mut self, line: LineId) {
+        if let Some(ch) = self.checker.as_mut() {
+            ch.check_line(&self.proto, line);
+        }
+    }
+
+    /// Number of coherence transitions the invariant checker has verified
+    /// so far, or `None` when checking is off.
+    pub fn checked_transitions(&self) -> Option<u64> {
+        self.checker.as_ref().map(|c| c.transitions())
+    }
+
+    /// The applied memory-access log, when the SC oracle is enabled.
+    pub fn oracle_log(&self) -> Option<&OracleLog> {
+        self.oracle.as_deref()
+    }
+
+    /// Test hook: makes the protocol skip the cache invalidation for the
+    /// next `Inv` message it processes (the ack is still sent), seeding the
+    /// exact stale-copy fault the invariant checker must catch.
+    #[doc(hidden)]
+    pub fn fault_ignore_next_invalidation(&mut self) {
+        self.proto.fault_ignore_next_invalidation();
+    }
+
     fn hit_cost(&self, op: MemOp) -> u64 {
         match op {
             MemOp::Rmw { .. } => self.cfg.costs.rmw_hit,
@@ -1158,12 +1307,12 @@ impl Machine {
                 OutKind::Prefetch | OutKind::Posted => {
                     // Merge the demand into the outstanding transaction:
                     // retried when it completes.
-                    let Purpose::Demand { .. } = purpose else {
+                    let Purpose::Demand { seq, .. } = purpose else {
                         panic!("only demand accesses can merge into outstanding lines");
                     };
                     match self.tokens.get_mut(entry.token) {
                         Some(Purpose::Prefetch { merged, .. })
-                        | Some(Purpose::Posted { merged, .. }) => *merged = Some(op),
+                        | Some(Purpose::Posted { merged, .. }) => *merged = Some((op, seq)),
                         other => panic!("outstanding token mismatch: {other:?}"),
                     }
                     return None;
@@ -1179,13 +1328,16 @@ impl Machine {
         let result = match outcome {
             AccessOutcome::Hit => {
                 self.tokens.remove(token);
-                self.apply_mem_op(node, op);
+                self.apply_purpose_op(node, op, purpose);
                 Some(self.hit_cost(op))
             }
             AccessOutcome::PrefetchHit => {
                 self.tokens.remove(token);
                 self.process_aux_outs(&mut outs, t);
-                self.apply_mem_op(node, op);
+                self.apply_purpose_op(node, op, purpose);
+                // Promotion moved the line from the prefetch buffer into
+                // the cache: a transition worth checking.
+                self.check_line(line);
                 Some(self.cfg.costs.prefetch_promote)
             }
             AccessOutcome::Miss => {
@@ -1210,7 +1362,7 @@ impl Machine {
     fn granted(&mut self, node: usize, line: LineId, exclusive: bool, token: u64, t: Time) {
         let purpose = self.tokens.get(token).expect("live token");
         match purpose {
-            Purpose::Demand { node: n, op } => {
+            Purpose::Demand { node: n, op, seq } => {
                 debug_assert_eq!(n, node);
                 self.tokens.remove(token);
                 self.outstanding.remove(node, line.0);
@@ -1218,7 +1370,8 @@ impl Machine {
                 self.proto.fill_cache_into(node, line, exclusive, &mut outs);
                 self.process_aux_outs(&mut outs, t);
                 self.put_outs(outs);
-                self.apply_mem_op(node, op);
+                self.check_line(line);
+                self.apply_user_op(node, op, seq);
                 let resume_at = self.demand_resume_time(node, line, t);
                 if self.proto.home(line) != node {
                     if let Status::BlockedMem { since, .. } = self.nodes[node].status {
@@ -1249,6 +1402,7 @@ impl Machine {
             Purpose::Posted {
                 node: n,
                 op,
+                seq,
                 merged,
             } => {
                 debug_assert_eq!(n, node);
@@ -1258,13 +1412,21 @@ impl Machine {
                 self.proto.fill_cache_into(node, line, exclusive, &mut outs);
                 self.process_aux_outs(&mut outs, t);
                 self.put_outs(outs);
-                self.apply_mem_op(node, op);
+                self.check_line(line);
+                self.apply_user_op(node, op, seq);
                 self.nodes[node].posted -= 1;
-                if let Some(m) = merged {
+                if let Some((m, mseq)) = merged {
                     // A demand access was waiting behind this posted store.
-                    if let Some(cycles) =
-                        self.try_access(node, m, Purpose::Demand { node, op: m }, t)
-                    {
+                    if let Some(cycles) = self.try_access(
+                        node,
+                        m,
+                        Purpose::Demand {
+                            node,
+                            op: m,
+                            seq: mseq,
+                        },
+                        t,
+                    ) {
                         let at = t + self.cycles(cycles);
                         self.resume_from_block(node, at);
                     }
@@ -1284,6 +1446,7 @@ impl Machine {
                 self.proto.fill_cache_into(node, line, exclusive, &mut outs);
                 self.process_aux_outs(&mut outs, t);
                 self.put_outs(outs);
+                self.check_line(line);
                 let at = t + self.cycles(self.cfg.costs.grant_fill);
                 self.barrier_transition(node, stage, parity, at);
             }
@@ -1314,9 +1477,10 @@ impl Machine {
             .fill_prefetch_into(node, line, exclusive, &mut outs);
         self.process_aux_outs(&mut outs, t);
         self.put_outs(outs);
-        if let Some(op) = merged {
+        self.check_line(line);
+        if let Some((op, seq)) = merged {
             // A demand access was waiting on this prefetch: retry it now.
-            if let Some(cycles) = self.try_access(node, op, Purpose::Demand { node, op }, t) {
+            if let Some(cycles) = self.try_access(node, op, Purpose::Demand { node, op, seq }, t) {
                 let at = t + self.cycles(cycles);
                 self.resume_from_block(node, at);
             }
@@ -1542,7 +1706,8 @@ impl Machine {
         t: &mut Time,
         hit_bucket: Bucket,
     ) -> bool {
-        match self.try_access(node, op, Purpose::Demand { node, op }, *t) {
+        let seq = self.next_seq(node);
+        match self.try_access(node, op, Purpose::Demand { node, op, seq }, *t) {
             Some(cycles) => {
                 self.charge(node, hit_bucket, self.cycles(cycles));
                 *t += self.cycles(cycles);
@@ -1583,6 +1748,7 @@ impl Machine {
         let purpose = Purpose::Posted {
             node,
             op,
+            seq: self.next_seq(node),
             merged: None,
         };
         match self.try_access(node, op, purpose, t) {

@@ -8,7 +8,7 @@ use commsense_des::Time;
 use commsense_mesh::CrossTrafficConfig;
 use commsense_msgpass::{ActiveMessage, HandlerId};
 
-use crate::config::{LatencyEmulation, MachineConfig, Mechanism};
+use crate::config::{CheckConfig, LatencyEmulation, MachineConfig, Mechanism};
 use crate::program::{bits_f64, f64_bits, HandlerCtx, NodeCtx, Program, Step};
 
 use super::{Machine, MachineSpec};
@@ -592,6 +592,157 @@ fn observation_collects_series_trace_and_packets() {
             );
         }
     }
+}
+
+/// A small mixed workload (sharing, RMW contention, barriers) that feeds
+/// the checking tests: `wb` selects the write-buffer depth.
+fn checked_run(mech: Mechanism, wb: usize, check: Option<CheckConfig>, fault: bool) -> String {
+    let mut heap = Heap::new(4);
+    let arr = heap.alloc(8, |i| i % 4);
+    let ctr = heap.alloc(1, |_| 0);
+    let w = |i: usize| Word::new(arr.line(i), 0);
+    let programs: Vec<Box<dyn Program>> = (0..4)
+        .map(|n| {
+            let mut steps = vec![
+                Step::Load(w(4)), // everyone shares line 4...
+                Step::Compute(5),
+                Step::Rmw(ctr.line(0), crate::program::RmwOp::IncW0),
+                Step::Barrier,
+            ];
+            if n == 0 {
+                steps.push(Step::Store(w(4), 9.0)); // ...then node 0 invalidates them
+            }
+            steps.extend([
+                Step::Store(w(n), n as f64),
+                Step::Load(w((n + 1) % 4)),
+                Step::Barrier,
+                Step::Load(w(4)),
+                Step::Compute(1),
+            ]);
+            Script::new(steps) as Box<dyn Program>
+        })
+        .collect();
+    let mut cfg = MachineConfig::tiny().with_mechanism(mech);
+    cfg.write_buffer = wb;
+    cfg.check = check;
+    let mut m = Machine::new(
+        cfg,
+        MachineSpec {
+            heap,
+            initial: vec![0.0; 18],
+            programs,
+        },
+    );
+    if fault {
+        m.fault_ignore_next_invalidation();
+    }
+    let s = m.run();
+    if check.is_some() {
+        assert!(
+            m.checked_transitions().unwrap() > 0,
+            "checker saw no transitions"
+        );
+    }
+    format!(
+        "{:?}",
+        (s.runtime_cycles, s.events, s.messages_sent, s.nodes)
+    )
+}
+
+#[test]
+fn checked_run_is_clean_across_mechanisms_and_buffers() {
+    for mech in [Mechanism::SharedMem, Mechanism::MsgPoll] {
+        for wb in [0, 4] {
+            checked_run(mech, wb, Some(CheckConfig::full()), false);
+        }
+    }
+}
+
+#[test]
+fn checking_does_not_change_simulated_cycles() {
+    // The harness invariant: the full checker (invariants + conservation +
+    // oracle) is pure bookkeeping, so every simulated stat is bit-identical
+    // with checking on and off.
+    for wb in [0, 4] {
+        assert_eq!(
+            checked_run(Mechanism::SharedMem, wb, None, false),
+            checked_run(Mechanism::SharedMem, wb, Some(CheckConfig::full()), false),
+            "wb={wb}: checking changed simulation results"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "PROTOCOL-INVARIANT")]
+fn seeded_dropped_invalidation_is_caught() {
+    // Mutation test for the checker itself: skip one cache invalidation
+    // (the ack still flows, so the protocol does not hang) and the
+    // single-writer check must trip when the write completes. The clean
+    // variant of this exact run passes in
+    // `checked_run_is_clean_across_mechanisms_and_buffers`.
+    checked_run(Mechanism::SharedMem, 0, Some(CheckConfig::full()), true);
+}
+
+#[test]
+fn seeded_fault_without_checker_goes_unnoticed() {
+    // The same mutated run with checking off completes silently — the
+    // checker, not the machine, is what catches the corruption.
+    checked_run(Mechanism::SharedMem, 0, None, true);
+}
+
+#[test]
+fn oracle_log_records_the_applied_stream() {
+    let mut heap = Heap::new(4);
+    let arr = heap.alloc(2, |_| 2);
+    let w = Word::new(arr.line(0), 1);
+    let programs: Vec<Box<dyn Program>> = (0..4)
+        .map(|n| match n {
+            0 => Script::new(vec![Step::Store(w, 42.5), Step::Barrier]),
+            1 => Script::new(vec![Step::Barrier, Step::Load(w), Step::Compute(1)]),
+            _ => Script::new(vec![Step::Barrier]),
+        } as Box<dyn Program>)
+        .collect();
+    let mut cfg = MachineConfig::tiny();
+    cfg.check = Some(CheckConfig::full());
+    let mut m = Machine::new(
+        cfg,
+        MachineSpec {
+            heap,
+            initial: vec![0.0; 4],
+            programs,
+        },
+    );
+    let _ = m.run();
+    let log = m.oracle_log().expect("oracle on");
+    use crate::oracle::OracleOp;
+    let flat = w.flat_index() as u64;
+    let store = log
+        .events()
+        .iter()
+        .position(|e| {
+            e.node == 0
+                && e.op
+                    == OracleOp::Write {
+                        word: flat,
+                        value: 42.5,
+                    }
+        })
+        .expect("store logged");
+    let load = log
+        .events()
+        .iter()
+        .position(|e| {
+            e.node == 1
+                && e.op
+                    == OracleOp::Read {
+                        word: flat,
+                        value: 42.5,
+                    }
+        })
+        .expect("load logged with the stored value");
+    assert!(store < load, "store applies before the dependent load");
+    // The load is on the far side of the barrier from the store.
+    assert!(log.events()[load].epoch > log.events()[store].epoch);
 }
 
 #[test]

@@ -182,6 +182,14 @@ impl Network {
         self.recorder.as_ref().map_or(NO_RECORD, |r| r.last_id())
     }
 
+    /// The packet records accumulated so far, without detaching the
+    /// recorder (`None` if recording is off). Record ids index this slice.
+    /// Used by the machine's invariant checker to cross-check message
+    /// conservation against the recorder's delivery log.
+    pub fn peek_recording(&self) -> Option<&[crate::recorder::PacketRecord]> {
+        self.recorder.as_ref().map(|r| r.packets())
+    }
+
     /// Number of unidirectional links in the mesh.
     pub fn num_links(&self) -> usize {
         self.links.len()

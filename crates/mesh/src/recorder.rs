@@ -116,6 +116,10 @@ impl NetRecorder {
         self.last_id
     }
 
+    pub(crate) fn packets(&self) -> &[PacketRecord] {
+        &self.packets
+    }
+
     pub(crate) fn link_busy(&self) -> &[Time] {
         &self.link_busy
     }

@@ -19,11 +19,18 @@
 //!   level schedule (§4.3: BCSSTK32-like).
 //! * [`moldyn`] — MOLDYN's molecules, interaction pairs, and the RCB
 //!   partitioner (§4.4).
+//!
+//! Separately, [`litmus`] generates small seed-reproducible stress
+//! programs (false sharing, producer/consumer races, barrier-adjacent
+//! stores, DMA overlapping coherent lines) and drives them through the
+//! machine's correctness harness across mechanisms and sweep extremes —
+//! the engine behind the `litmus` CI binary in `commsense-bench`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bipartite;
+pub mod litmus;
 pub mod moldyn;
 pub mod partition;
 pub mod sparse;

@@ -96,6 +96,46 @@ impl AppSpec {
         ]
     }
 
+    /// Canonical field encoding for content-addressed result caching (see
+    /// `commsense_des::stable`): the app name plus every workload
+    /// parameter, so two specs hash equal exactly when they generate the
+    /// same workload.
+    pub fn stable_encode(&self, enc: &mut commsense_des::StableEncoder) {
+        enc.put("app.name", self.name());
+        match self {
+            AppSpec::Em3d(p) => {
+                enc.put("app.nodes", p.nodes);
+                enc.put("app.degree", p.degree);
+                enc.put_f64("app.pct_nonlocal", p.pct_nonlocal);
+                enc.put("app.span", p.span);
+                enc.put("app.iterations", p.iterations);
+                enc.put("app.seed", p.seed);
+            }
+            AppSpec::Unstruc(p) => {
+                enc.put("app.nodes", p.nodes);
+                enc.put("app.avg_degree", p.avg_degree);
+                enc.put("app.flops_per_edge", p.flops_per_edge);
+                enc.put("app.iterations", p.iterations);
+                enc.put("app.seed", p.seed);
+            }
+            AppSpec::Iccg(p) => {
+                enc.put("app.rows", p.rows);
+                enc.put("app.avg_band", p.avg_band);
+                enc.put_f64("app.far_fraction", p.far_fraction);
+                enc.put("app.chunk_rows", p.chunk_rows);
+                enc.put("app.seed", p.seed);
+            }
+            AppSpec::Moldyn(p) => {
+                enc.put("app.molecules", p.molecules);
+                enc.put_f64("app.box_size", p.box_size);
+                enc.put_f64("app.cutoff", p.cutoff);
+                enc.put("app.iterations", p.iterations);
+                enc.put("app.rebuild_every", p.rebuild_every);
+                enc.put("app.seed", p.seed);
+            }
+        }
+    }
+
     /// Performs the expensive mechanism-independent work once: generates
     /// the workload for `nprocs` processors, solves the sequential
     /// reference, and builds the communication plans. The result is

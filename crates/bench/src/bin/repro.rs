@@ -16,13 +16,14 @@
 //! manifest, and prints the per-link utilization heatmap.
 
 use std::io::Write;
+use std::sync::Arc;
 
 use commsense_bench::{
     ablate_associativity, ablate_interrupt_cost, ablate_limitless, ablate_partition,
     ablate_prefetch_buffer, ablate_topology, ablate_write_buffer, ablation_table, miss_penalties,
     perf, suite, Scale,
 };
-use commsense_core::engine::{Runner, WorkloadCache};
+use commsense_core::engine::{PlanRun, RunOutcome, RunRequest, Runner, WorkloadCache};
 use commsense_core::experiment::{
     base_comparison_requests, bisection_plan, clock_plan, ctx_switch_plan, msg_len_plan,
     one_way_latency_cycles, Sweep,
@@ -32,10 +33,12 @@ use commsense_core::manifest;
 use commsense_core::model::{fit_bandwidth, fit_latency};
 use commsense_core::regions::{classify, crossover};
 use commsense_core::report;
+use commsense_core::store::ResultStore;
 use commsense_machine::{MachineConfig, Mechanism};
 
 struct Opts {
     what: String,
+    store_action: Option<String>,
     scale: Scale,
     csv_dir: Option<String>,
     jobs: Option<usize>,
@@ -49,19 +52,27 @@ struct Opts {
     epoch: u64,
     dir: String,
     check: bool,
+    /// `Some("")` = enabled with the directory resolved from
+    /// `COMMSENSE_STORE` (or the default); `Some(dir)` = explicit.
+    store: Option<String>,
 }
 
 const USAGE: &str = "\
-usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check]
+usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check] [--store [DIR]]
+       repro store stats|gc|verify [--store [DIR]]
        repro perf [--small] [--out FILE] [--baseline FILE] [--reps N]
        repro observe [--app NAME] [--mech LABEL] [--small|--paper]
                      [--cross B_PER_CYCLE] [--latency CYCLES] [--epoch N] [--dir DIR]
   WHAT: all (default) | tab1 | tab2 | fig1 | fig2 | fig3 | fig4 | fig5 |
-        fig7 | fig8 | fig9 | fig10 | ablate | model | perf | observe
+        fig7 | fig8 | fig9 | fig10 | ablate | model | perf | observe | store
   --paper    use the paper's workload sizes (minutes)
   --small    use unit-test sizes (seconds)
   --csv      also write each sweep as CSV into DIR
   --jobs     worker threads per sweep (default: COMMSENSE_JOBS or all cores)
+  --store    persist results in DIR (default: $COMMSENSE_STORE, then
+             .commsense-store); warm re-runs replay from the store and an
+             interrupted sweep resumes where it stopped. The COMMSENSE_STORE
+             environment variable alone also enables it.
   --check    run every machine with the correctness harness (protocol
              invariants, message conservation, SC oracle); on a violation
              the process prints one CHECK-FAIL line and exits non-zero
@@ -73,15 +84,21 @@ usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check]
   --cross    observe: consume N bytes/cycle of bisection with cross-traffic
   --latency  observe: emulate a uniform remote-miss latency of N cycles
   --epoch    observe: metric sampling period in cycles (default 1000)
-  --dir      observe: output directory for trace + manifest (default .)";
+  --dir      observe: output directory for trace + manifest (default .)
+  store stats   print store record/quarantine counts and sizes
+  store verify  validate every record's framing and checksum (read-only)
+  store gc      delete corrupt and stale-model-version records";
 
-const KNOWN: [&str; 17] = [
+const KNOWN: [&str; 18] = [
     "all", "tab1", "tab2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
-    "ablate", "model", "fig6", "perf", "observe",
+    "ablate", "model", "fig6", "perf", "observe", "store",
 ];
+
+const STORE_ACTIONS: [&str; 3] = ["stats", "gc", "verify"];
 
 fn parse_args() -> Opts {
     let mut what = "all".to_string();
+    let mut store_action = None;
     let mut scale = Scale::Bench;
     let mut csv_dir = None;
     let mut jobs = None;
@@ -95,48 +112,70 @@ fn parse_args() -> Opts {
     let mut epoch = 1_000u64;
     let mut dir = ".".to_string();
     let mut check = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    let mut store = None;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = argv[i].clone();
+        i += 1;
+        let mut next = || {
+            let v = argv.get(i).cloned();
+            i += 1;
+            v
+        };
         match a.as_str() {
             "--paper" => scale = Scale::Paper,
             "--small" => scale = Scale::Small,
             "--check" => check = true,
-            "--csv" => csv_dir = args.next(),
-            "--out" => out = args.next(),
-            "--baseline" => baseline = args.next(),
+            "--csv" => csv_dir = next(),
+            "--out" => out = next(),
+            "--baseline" => baseline = next(),
+            "--store" => {
+                // The directory operand is optional: a following token
+                // that is a command or another flag belongs to the rest of
+                // the line, and the directory comes from COMMSENSE_STORE
+                // (or the default) instead.
+                match argv.get(i) {
+                    Some(v) if !v.starts_with('-') && !KNOWN.contains(&v.as_str()) => {
+                        store = Some(v.clone());
+                        i += 1;
+                    }
+                    _ => store = Some(String::new()),
+                }
+            }
             "--app" => {
-                app = args.next().unwrap_or_else(|| {
+                app = next().unwrap_or_else(|| {
                     eprintln!("--app needs an application name\n{USAGE}");
                     std::process::exit(2);
                 })
             }
             "--mech" => {
-                mech = args.next().unwrap_or_else(|| {
+                mech = next().unwrap_or_else(|| {
                     eprintln!("--mech needs a mechanism label\n{USAGE}");
                     std::process::exit(2);
                 })
             }
             "--dir" => {
-                dir = args.next().unwrap_or_else(|| {
+                dir = next().unwrap_or_else(|| {
                     eprintln!("--dir needs a directory\n{USAGE}");
                     std::process::exit(2);
                 })
             }
-            "--cross" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+            "--cross" => match next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(c) if c >= 0.0 => cross = Some(c),
                 _ => {
                     eprintln!("--cross needs a non-negative number\n{USAGE}");
                     std::process::exit(2);
                 }
             },
-            "--latency" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+            "--latency" => match next().and_then(|v| v.parse::<u64>().ok()) {
                 Some(l) => latency = Some(l),
                 None => {
                     eprintln!("--latency needs a cycle count\n{USAGE}");
                     std::process::exit(2);
                 }
             },
-            "--epoch" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+            "--epoch" => match next().and_then(|v| v.parse::<u64>().ok()) {
                 Some(n) if n > 0 => epoch = n,
                 _ => {
                     eprintln!("--epoch needs a positive cycle count\n{USAGE}");
@@ -144,8 +183,7 @@ fn parse_args() -> Opts {
                 }
             },
             "--reps" => {
-                let n = args
-                    .next()
+                let n = next()
                     .and_then(|v| v.parse::<usize>().ok())
                     .filter(|&n| n > 0);
                 match n {
@@ -157,8 +195,7 @@ fn parse_args() -> Opts {
                 }
             }
             "--jobs" => {
-                let n = args
-                    .next()
+                let n = next()
                     .and_then(|v| v.parse::<usize>().ok())
                     .filter(|&n| n > 0);
                 match n {
@@ -172,6 +209,9 @@ fn parse_args() -> Opts {
             "-h" | "--help" => {
                 println!("{USAGE}");
                 std::process::exit(0);
+            }
+            action if what == "store" && STORE_ACTIONS.contains(&action) => {
+                store_action = Some(action.to_string())
             }
             other if KNOWN.contains(&other) => what = other.to_string(),
             other => {
@@ -189,6 +229,7 @@ fn parse_args() -> Opts {
     }
     Opts {
         what,
+        store_action,
         scale,
         csv_dir,
         jobs,
@@ -202,6 +243,117 @@ fn parse_args() -> Opts {
         epoch,
         dir,
         check,
+        store,
+    }
+}
+
+/// Resolves the persistent store from `--store` / `COMMSENSE_STORE`, or
+/// `None` when neither enables it.
+fn open_store(opts: &Opts) -> Option<Arc<ResultStore>> {
+    let env_dir = std::env::var("COMMSENSE_STORE")
+        .ok()
+        .filter(|s| !s.is_empty());
+    let dir = match (&opts.store, env_dir) {
+        (Some(d), _) if !d.is_empty() => d.clone(),
+        (Some(_), Some(env)) => env,
+        (Some(_), None) => ".commsense-store".to_string(),
+        (None, Some(env)) => env,
+        (None, None) => return None,
+    };
+    match ResultStore::open(&dir) {
+        Ok(s) => Some(Arc::new(s)),
+        Err(e) => {
+            eprintln!("cannot open store {dir}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `repro store stats|gc|verify`: inspect or maintain the store.
+fn run_store_admin(opts: &Opts) {
+    let action = opts.store_action.as_deref().unwrap_or("stats");
+    let store = open_store(opts).unwrap_or_else(|| {
+        eprintln!("repro store {action}: pass --store DIR or set COMMSENSE_STORE\n{USAGE}");
+        std::process::exit(2);
+    });
+    let report = match action {
+        "gc" => store.gc(),
+        _ => store.verify(),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("store scan failed: {e}");
+        std::process::exit(1);
+    });
+    let quarantined = std::fs::read_dir(store.root().join("quarantine"))
+        .map(|d| d.count())
+        .unwrap_or(0);
+    println!("store {} ({action})", store.root().display());
+    println!(
+        "  records: {} ok ({} bytes), {} stale, {} corrupt, {} quarantined",
+        report.ok, report.live_bytes, report.stale, report.corrupt, quarantined
+    );
+    if action == "gc" {
+        println!("  removed: {}", report.removed);
+    }
+    if action == "verify" && report.corrupt > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Prints one figure's store traffic as the delta against the counters
+/// captured when the figure started.
+fn report_figure_store(
+    store: Option<&Arc<ResultStore>>,
+    figure: &str,
+    before: commsense_core::store::StoreStats,
+) -> commsense_core::store::StoreStats {
+    let Some(store) = store else {
+        return before;
+    };
+    let now = store.stats();
+    println!(
+        "store[{figure}]: hits={} misses={}",
+        now.hits - before.hits,
+        now.misses - before.misses
+    );
+    now
+}
+
+/// Runs a list of base-comparison requests fault-tolerantly, printing a
+/// warning per failed request and returning the survivors in order.
+fn run_base(
+    runner: &Runner,
+    reqs: &[RunRequest],
+    cache: &mut WorkloadCache,
+) -> Vec<commsense_apps::RunResult> {
+    runner
+        .run_outcomes(reqs, cache)
+        .into_iter()
+        .zip(reqs)
+        .filter_map(|(o, r)| match o {
+            RunOutcome::Done { result, .. } => Some(result),
+            RunOutcome::Failed { attempts, message } => {
+                eprintln!(
+                    "  FAILED {}/{} after {attempts} attempts: {message}",
+                    r.spec.name(),
+                    r.mechanism.label()
+                );
+                None
+            }
+        })
+        .collect()
+}
+
+/// Prints warnings for the failed points of a fault-tolerant plan run.
+fn warn_failed(app: &str, run: &PlanRun) {
+    for f in &run.failed {
+        eprintln!(
+            "  FAILED {app}/{} at x={} after {} attempts: {}",
+            f.mechanism.label(),
+            f.x,
+            f.attempts,
+            f.message
+        );
     }
 }
 
@@ -297,11 +449,22 @@ fn run_observe(opts: &Opts) {
 /// fig4-scale EM3D workload under every mechanism, prints wall time and
 /// events/sec, and writes the machine-readable `BENCH` JSON.
 fn run_perf_harness(opts: &Opts) {
-    let baseline = opts.baseline.as_ref().map(|path| {
-        let text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        perf::parse_baseline(&text)
-            .unwrap_or_else(|| panic!("no current aggregates found in baseline {path}"))
+    // A bad baseline degrades the report (no speedup column) rather than
+    // aborting the measurement: `parse_baseline` warns and returns `None`
+    // on malformed or wrong-schema JSON.
+    let baseline = opts.baseline.as_ref().and_then(|path| {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("warning: cannot read perf baseline {path}: {e}");
+                return None;
+            }
+        };
+        let parsed = perf::parse_baseline(&text);
+        if parsed.is_none() {
+            eprintln!("warning: running without a baseline (from {path})");
+        }
+        parsed
     });
     println!("== perf: simulator hot-path throughput ==");
     let report = perf::run_perf(opts.scale, &cfg(opts.check), opts.reps);
@@ -350,7 +513,16 @@ fn main() {
         run_observe(&opts);
         return;
     }
-    let runner = Runner::from_env();
+    if opts.what == "store" {
+        run_store_admin(&opts);
+        return;
+    }
+    let store = open_store(&opts);
+    let mut runner = Runner::from_env();
+    if let Some(s) = &store {
+        println!("(persistent store: {})", s.root().display());
+        runner = runner.with_store(s.clone());
+    }
     let mut cache = WorkloadCache::new();
     let cfg = cfg(opts.check);
     let all_mechs = Mechanism::ALL;
@@ -379,47 +551,64 @@ fn main() {
     }
     if want(&opts, "fig4") {
         println!("== Figure 4: per-application breakdown, all mechanisms ==");
+        let mark = store.as_ref().map(|s| s.stats()).unwrap_or_default();
         for spec in suite(opts.scale) {
-            let results = runner.run_cached(&base_comparison_requests(&spec, &cfg), &mut cache);
+            let results = run_base(&runner, &base_comparison_requests(&spec, &cfg), &mut cache);
             print!("{}", report::breakdown_table(spec.name(), &results, &cfg));
             print!(
                 "{}",
                 report::breakdown_bars(spec.name(), &results, &cfg, 48)
             );
             print!("{}", report::sim_rate_table(spec.name(), &results));
+            if let Some(dir) = &opts.csv_dir {
+                std::fs::create_dir_all(dir).expect("create csv dir");
+                let path = format!("{dir}/fig4_{}.csv", spec.name().to_lowercase());
+                std::fs::write(&path, report::breakdown_csv(spec.name(), &results, &cfg))
+                    .expect("write csv");
+                println!("  (wrote {path})");
+            }
             println!();
         }
+        report_figure_store(store.as_ref(), "fig4", mark);
     }
     if want(&opts, "fig5") {
         println!("== Figure 5: communication volume breakdown ==");
+        let mark = store.as_ref().map(|s| s.stats()).unwrap_or_default();
         for spec in suite(opts.scale) {
-            let results = runner.run_cached(&base_comparison_requests(&spec, &cfg), &mut cache);
+            let results = run_base(&runner, &base_comparison_requests(&spec, &cfg), &mut cache);
             print!("{}", report::volume_table(spec.name(), &results));
             println!();
         }
+        report_figure_store(store.as_ref(), "fig5", mark);
     }
     if want(&opts, "fig7") {
         println!("== Figure 7: sensitivity to cross-traffic message length ==");
+        let mark = store.as_ref().map(|s| s.stats()).unwrap_or_default();
         let spec = suite(opts.scale).remove(0);
         let lens = [16u32, 32, 64, 128, 256, 512];
-        let sweeps = msg_len_plan(&spec, &sm_mp, &cfg, 10.0, &lens).run_with(&runner, &mut cache);
+        let run = msg_len_plan(&spec, &sm_mp, &cfg, 10.0, &lens).run_reported(&runner, &mut cache);
+        warn_failed(spec.name(), &run);
         print!(
             "{}",
             report::sweep_table(
                 "EM3D runtime at 8 B/cycle emulated bisection",
                 "msg bytes",
-                &sweeps
+                &run.sweeps
             )
         );
-        dump_csv(&opts, "fig7", "msg_bytes", &sweeps);
+        dump_csv(&opts, "fig7", "msg_bytes", &run.sweeps);
+        report_figure_store(store.as_ref(), "fig7", mark);
         println!();
     }
     if want(&opts, "fig8") || want(&opts, "fig1") {
         let consumed = [0.0, 4.0, 8.0, 12.0, 14.0, 16.0];
         println!("== Figure 8: execution time vs bisection bandwidth ==");
+        let mark = store.as_ref().map(|s| s.stats()).unwrap_or_default();
         for spec in suite(opts.scale) {
-            let sweeps = bisection_plan(&spec, &all_mechs, &cfg, &consumed, 64)
-                .run_with(&runner, &mut cache);
+            let run = bisection_plan(&spec, &all_mechs, &cfg, &consumed, 64)
+                .run_reported(&runner, &mut cache);
+            warn_failed(spec.name(), &run);
+            let sweeps = run.sweeps;
             print!("{}", report::sweep_table(spec.name(), "B/cycle", &sweeps));
             for s in &sweeps {
                 s.assert_verified();
@@ -465,6 +654,7 @@ fn main() {
             );
             println!();
         }
+        report_figure_store(store.as_ref(), "fig8", mark);
     }
     if opts.what == "model" {
         println!("== Section 2 model fits over measured sweeps ==\n");
@@ -564,9 +754,12 @@ not capacity/conflict misses:",
     }
     if want(&opts, "fig9") {
         println!("== Figure 9: execution time vs relative network latency (clock scaling) ==");
+        let mark = store.as_ref().map(|s| s.stats()).unwrap_or_default();
         let mhz = [20.0, 18.0, 16.0, 14.0];
         for spec in suite(opts.scale) {
-            let sweeps = clock_plan(&spec, &all_mechs, &cfg, &mhz).run_with(&runner, &mut cache);
+            let run = clock_plan(&spec, &all_mechs, &cfg, &mhz).run_reported(&runner, &mut cache);
+            warn_failed(spec.name(), &run);
+            let sweeps = run.sweeps;
             print!("{}", report::sweep_table(spec.name(), "lat (cyc)", &sweeps));
             dump_csv(
                 &opts,
@@ -576,6 +769,7 @@ not capacity/conflict misses:",
             );
             println!();
         }
+        report_figure_store(store.as_ref(), "fig9", mark);
         println!(
             "(base machine one-way 24B latency: {:.1} cycles)",
             one_way_latency_cycles(&cfg, 24)
@@ -584,10 +778,13 @@ not capacity/conflict misses:",
     }
     if want(&opts, "fig10") || want(&opts, "fig2") {
         println!("== Figure 10: latency emulation via context switching ==");
+        let mark = store.as_ref().map(|s| s.stats()).unwrap_or_default();
         let lats = [30u64, 50, 100, 200, 400, 800];
         for spec in suite(opts.scale) {
-            let sweeps =
-                ctx_switch_plan(&spec, &all_mechs, &cfg, &lats).run_with(&runner, &mut cache);
+            let run =
+                ctx_switch_plan(&spec, &all_mechs, &cfg, &lats).run_reported(&runner, &mut cache);
+            warn_failed(spec.name(), &run);
+            let sweeps = run.sweeps;
             print!(
                 "{}",
                 report::sweep_table(spec.name(), "miss (cyc)", &sweeps)
@@ -611,8 +808,8 @@ not capacity/conflict misses:",
             // The Chandra et al. comparison point (§6): at ~100-cycle
             // latency, message passing ran EM3D about twice as fast.
             if spec.name() == "EM3D" {
-                let sm_100 = sweeps[0].point_at(100.0);
-                let mp_100 = sweeps[3].point_at(100.0);
+                let sm_100 = sweeps.first().and_then(|s| s.point_at(100.0));
+                let mp_100 = sweeps.get(3).and_then(|s| s.point_at(100.0));
                 if let (Some(sm), Some(mp)) = (sm_100, mp_100) {
                     println!(
                         "  EM3D at 100-cycle latency: sm/mp = {:.2} (Chandra et al. saw ~2x)",
@@ -628,5 +825,13 @@ not capacity/conflict misses:",
             );
             println!();
         }
+        report_figure_store(store.as_ref(), "fig10", mark);
+    }
+    if let Some(s) = &store {
+        let st = s.stats();
+        println!(
+            "store summary: hits={} misses={} corrupt={} evicted={} read={}B written={}B",
+            st.hits, st.misses, st.corrupt, st.evictions, st.bytes_read, st.bytes_written
+        );
     }
 }

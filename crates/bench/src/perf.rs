@@ -10,6 +10,7 @@
 use std::time::Instant;
 
 use commsense_apps::{run_prepared, AppSpec, RunResult};
+use commsense_core::json::Json;
 use commsense_machine::{MachineConfig, Mechanism};
 
 use crate::{em3d_spec, Scale};
@@ -221,29 +222,46 @@ pub fn perf_json(report: &PerfReport, baseline: Option<&PerfBaseline>) -> String
     out
 }
 
-/// Pulls one `"key": <number>` field out of a JSON object body.
-fn json_number_field(body: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let at = body.find(&needle)? + needle.len();
-    let rest = body[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 /// Extracts the `current` aggregates of a previously written perf JSON,
-/// for use as the baseline of a new report. This is a targeted scan over
-/// the format [`perf_json`] emits, not a general JSON parser.
+/// for use as the baseline of a new report.
+///
+/// The whole document is parsed and validated, not pattern-scanned: a
+/// truncated file, invalid JSON, or a document of the wrong schema (no
+/// `"bench": "commsense-perf"` marker, missing aggregates, non-numeric
+/// fields) all return `None` with a warning on stderr rather than
+/// yielding garbage aggregates.
 pub fn parse_baseline(json: &str) -> Option<PerfBaseline> {
-    let cur = json.find("\"current\"")?;
-    let body = &json[cur..];
-    // Stop at the runs array so per-run fields cannot shadow aggregates.
-    let body = &body[..body.find("\"runs\"").unwrap_or(body.len())];
+    let warn = |why: &str| {
+        eprintln!("warning: ignoring perf baseline: {why}");
+        None
+    };
+    let doc = match Json::parse(json) {
+        Ok(doc) => doc,
+        Err(e) => return warn(&format!("not valid JSON ({e})")),
+    };
+    match doc.get("bench").and_then(Json::as_str) {
+        Some("commsense-perf") => {}
+        Some(other) => return warn(&format!("unexpected bench kind {other:?}")),
+        None => return warn("missing \"bench\" schema marker"),
+    }
+    let Some(cur) = doc.get("current") else {
+        return warn("missing \"current\" aggregates");
+    };
+    let num = |key: &str| cur.get(key).and_then(Json::as_f64);
+    let (Some(total_events), Some(total_wall_secs), Some(events_per_sec)) = (
+        num("total_events"),
+        num("total_wall_secs"),
+        num("events_per_sec"),
+    ) else {
+        return warn("\"current\" aggregates missing or non-numeric");
+    };
+    if !(total_events.fract() == 0.0 && total_events >= 0.0) {
+        return warn("\"total_events\" is not a non-negative integer");
+    }
     Some(PerfBaseline {
-        total_events: json_number_field(body, "total_events")? as u64,
-        total_wall_secs: json_number_field(body, "total_wall_secs")?,
-        events_per_sec: json_number_field(body, "events_per_sec")?,
+        total_events: total_events as u64,
+        total_wall_secs,
+        events_per_sec,
     })
 }
 
@@ -335,6 +353,33 @@ mod tests {
         let json2 = perf_json(&r, Some(&b));
         assert!(json2.contains("\"speedup_events_per_sec\": 1"));
         assert!(json2.contains("\"baseline\": {"));
+    }
+
+    #[test]
+    fn parse_baseline_rejects_malformed_input() {
+        // Truncated mid-document: a prefix of real output.
+        let full = perf_json(&fake_report(), None);
+        assert!(parse_baseline(&full[..full.len() / 2]).is_none());
+        // Not JSON at all.
+        assert!(parse_baseline("").is_none());
+        assert!(parse_baseline("not json {").is_none());
+        // Valid JSON, wrong schema.
+        assert!(parse_baseline("{\"bench\": \"other-tool\"}").is_none());
+        assert!(parse_baseline("{\"current\": {\"total_events\": 1}}").is_none());
+        // Right marker but missing aggregates.
+        assert!(parse_baseline("{\"bench\": \"commsense-perf\"}").is_none());
+        // Right shape, non-numeric aggregate.
+        assert!(parse_baseline(
+            "{\"bench\": \"commsense-perf\", \"current\": {\"total_events\": \"x\", \
+             \"total_wall_secs\": 1.0, \"events_per_sec\": 2.0}}"
+        )
+        .is_none());
+        // Negative or fractional event counts cannot be a u64 total.
+        assert!(parse_baseline(
+            "{\"bench\": \"commsense-perf\", \"current\": {\"total_events\": -3, \
+             \"total_wall_secs\": 1.0, \"events_per_sec\": 2.0}}"
+        )
+        .is_none());
     }
 
     #[test]

@@ -253,6 +253,19 @@ pub struct ProtoConfig {
     pub prefetch_entries: usize,
 }
 
+impl ProtoConfig {
+    /// Canonical field encoding for content-addressed result caching (see
+    /// `commsense_des::stable`).
+    pub fn stable_encode(&self, enc: &mut commsense_des::StableEncoder, prefix: &str) {
+        enc.put(&format!("{prefix}.hw_ptrs"), self.hw_ptrs);
+        enc.put(&format!("{prefix}.sw_read_cycles"), self.sw_read_cycles);
+        enc.put(&format!("{prefix}.sw_write_cycles"), self.sw_write_cycles);
+        enc.put(&format!("{prefix}.cache_lines"), self.cache_lines);
+        enc.put(&format!("{prefix}.cache_ways"), self.cache_ways);
+        enc.put(&format!("{prefix}.prefetch_entries"), self.prefetch_entries);
+    }
+}
+
 impl Default for ProtoConfig {
     /// Alewife: 5 hardware pointers, 64 KB direct-mapped cache, 16-entry
     /// prefetch (transaction) buffer. Software-handling occupancies are

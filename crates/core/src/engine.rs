@@ -12,7 +12,11 @@
 //!   [`crate::experiment`]; contains no execution policy.
 //! * [`Runner`] — executes a request list on a scoped thread pool,
 //!   collecting results keyed by request index so the output is
-//!   *bit-identical* to serial execution regardless of job count.
+//!   *bit-identical* to serial execution regardless of job count. A
+//!   runner may carry a persistent [`ResultStore`] (read-through /
+//!   write-through) and isolates each run behind `catch_unwind` with
+//!   bounded retry, so one poisoned point yields a reported-failed
+//!   [`RunOutcome`] and a completed sweep instead of a dead process.
 //! * [`WorkloadCache`] — memoizes [`AppSpec::prepare`] per
 //!   `(spec, nprocs)`, so a sweep generates each graph/system and
 //!   sequential reference once and shares it (via `Arc`) across every
@@ -41,13 +45,15 @@
 //! assert_eq!(sweeps[0].points.len(), 2);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use commsense_apps::{run_prepared, AppSpec, PreparedWorkload, RunResult};
 use commsense_machine::{MachineConfig, Mechanism};
 
 use crate::experiment::{Sweep, SweepPoint};
+use crate::store::ResultStore;
 
 /// One fully specified simulation: which workload, which mechanism, which
 /// machine. Requests are pure data — executing one has no effect on any
@@ -107,20 +113,68 @@ impl WorkloadCache {
     }
 }
 
+/// How one request ended: a result (simulated or replayed from the
+/// store), or a failure that exhausted its retries.
+// The variants are deliberately unboxed: outcome vectors are short-lived
+// (one slot per request, immediately folded into sweeps) and the `Done`
+// payload is moved out by value in `run_cached`.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The request produced a result.
+    Done {
+        /// The run's result.
+        result: RunResult,
+        /// Whether it was replayed from the store rather than simulated.
+        cached: bool,
+    },
+    /// Every attempt panicked (or the request was already quarantined).
+    Failed {
+        /// Simulation attempts made this invocation (0 when the request
+        /// was skipped because the store had it quarantined).
+        attempts: usize,
+        /// The panic message of the last attempt (or the quarantine note).
+        message: String,
+    },
+}
+
+impl RunOutcome {
+    /// The result, if the request succeeded.
+    pub fn result(&self) -> Option<&RunResult> {
+        match self {
+            RunOutcome::Done { result, .. } => Some(result),
+            RunOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Whether the result came from the store.
+    pub fn is_cached(&self) -> bool {
+        matches!(self, RunOutcome::Done { cached: true, .. })
+    }
+}
+
 /// Executes [`RunRequest`]s, optionally in parallel.
 ///
 /// Results are keyed by request index, and each simulation is a pure
 /// function of its request, so the output vector is bit-identical whatever
 /// the job count: `Runner::new(8).run(reqs) == Runner::serial().run(reqs)`.
+/// The same holds with a [`ResultStore`] attached: a replayed record is
+/// the bit-identical serialization of what the simulation would produce.
 #[derive(Debug, Clone)]
 pub struct Runner {
     jobs: usize,
+    store: Option<Arc<ResultStore>>,
+    retries: usize,
 }
 
 impl Runner {
     /// A runner with a fixed worker count (clamped to at least 1).
     pub fn new(jobs: usize) -> Self {
-        Runner { jobs: jobs.max(1) }
+        Runner {
+            jobs: jobs.max(1),
+            store: None,
+            retries: 1,
+        }
     }
 
     /// A single-threaded runner.
@@ -148,6 +202,25 @@ impl Runner {
         self.jobs
     }
 
+    /// Attaches a persistent result store (builder style): requests are
+    /// looked up before simulating and written through after.
+    pub fn with_store(mut self, store: Arc<ResultStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Sets how many times a panicking run is retried before being
+    /// reported failed (builder style; default 1, i.e. two attempts).
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&Arc<ResultStore>> {
+        self.store.as_ref()
+    }
+
     /// Runs every request, sharing workload preparations through a private
     /// cache. Results are in request order.
     pub fn run(&self, requests: &[RunRequest]) -> Vec<RunResult> {
@@ -157,9 +230,42 @@ impl Runner {
     /// Runs every request, sharing workload preparations through `cache`
     /// (use one cache across several plans to prepare each workload only
     /// once for a whole session). Results are in request order.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a request's panic if it fails every retry: this is the
+    /// all-or-nothing interface. Use [`Runner::run_outcomes`] (or
+    /// [`ExperimentPlan::run_reported`]) to complete a sweep around
+    /// failed points instead.
     pub fn run_cached(&self, requests: &[RunRequest], cache: &mut WorkloadCache) -> Vec<RunResult> {
+        self.run_outcomes(requests, cache)
+            .into_iter()
+            .map(|o| match o {
+                RunOutcome::Done { result, .. } => result,
+                RunOutcome::Failed { message, .. } => panic!("{message}"),
+            })
+            .collect()
+    }
+
+    /// Runs every request, reporting per-request outcomes instead of
+    /// panicking: each simulation runs behind `catch_unwind`, a panicking
+    /// run is retried [`Runner::with_retries`] times, and a request that
+    /// fails every attempt yields [`RunOutcome::Failed`] while the rest of
+    /// the list completes. With a store attached, results are read through
+    /// (hits skip simulation) and written through, and exhausted failures
+    /// are quarantined so warm re-runs fail them fast.
+    ///
+    /// Outcomes are in request order and identical for any job count.
+    pub fn run_outcomes(
+        &self,
+        requests: &[RunRequest],
+        cache: &mut WorkloadCache,
+    ) -> Vec<RunOutcome> {
         // Preparation is serial (the cache is a simple &mut structure) but
         // happens once per distinct workload; the simulations dominate.
+        // Store hits still prepare — a hit usually shares its workload
+        // with live points of the same sweep, and a fully warm sweep is
+        // already orders of magnitude faster than a cold one.
         let prepared: Vec<PreparedWorkload> = requests
             .iter()
             .map(|r| cache.get(&r.spec, r.cfg.nodes))
@@ -169,11 +275,11 @@ impl Runner {
             return requests
                 .iter()
                 .zip(&prepared)
-                .map(|(r, w)| run_prepared(w, r.mechanism, &r.cfg))
+                .map(|(r, w)| self.execute_one(r, w))
                 .collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunResult>>> =
+        let slots: Vec<Mutex<Option<RunOutcome>>> =
             requests.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
             for _ in 0..jobs {
@@ -182,9 +288,8 @@ impl Runner {
                     if i >= requests.len() {
                         break;
                     }
-                    let r = &requests[i];
-                    let result = run_prepared(&prepared[i], r.mechanism, &r.cfg);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    let outcome = self.execute_one(&requests[i], &prepared[i]);
+                    *slots[i].lock().expect("outcome slot poisoned") = Some(outcome);
                 });
             }
         });
@@ -192,10 +297,79 @@ impl Runner {
             .into_iter()
             .map(|m| {
                 m.into_inner()
-                    .expect("result slot poisoned")
+                    .expect("outcome slot poisoned")
                     .expect("request ran")
             })
             .collect()
+    }
+
+    /// Executes one request: store lookup, bounded-retry simulation,
+    /// write-through, quarantine on exhaustion.
+    fn execute_one(&self, req: &RunRequest, w: &PreparedWorkload) -> RunOutcome {
+        // Check-enabled runs bypass both the store and the catch: a
+        // CHECK-FAIL panic hook (see the bench harness) reports at the
+        // panic site either way, but the whole point of a checked run is
+        // to fail loudly, not to be retried or replayed.
+        if req.cfg.check.is_some() {
+            return RunOutcome::Done {
+                result: run_prepared(w, req.mechanism, &req.cfg),
+                cached: false,
+            };
+        }
+        // Observed runs bypass the store only: a cached record carries no
+        // observation, so replaying one would silently drop the recording
+        // the caller asked for.
+        let store = self.store.as_deref().filter(|_| req.cfg.observe.is_none());
+        if let Some(store) = store {
+            if let Some(message) = store.quarantined(req) {
+                return RunOutcome::Failed {
+                    attempts: 0,
+                    message,
+                };
+            }
+            if let Some(result) = store.load(req) {
+                return RunOutcome::Done {
+                    result,
+                    cached: true,
+                };
+            }
+        }
+        let attempts = self.retries + 1;
+        let mut message = String::new();
+        for _ in 0..attempts {
+            match catch_unwind(AssertUnwindSafe(|| {
+                run_prepared(w, req.mechanism, &req.cfg)
+            })) {
+                Ok(result) => {
+                    if let Some(store) = store {
+                        if let Err(e) = store.save(req, &result) {
+                            eprintln!("warning: store write failed: {e}");
+                        }
+                    }
+                    return RunOutcome::Done {
+                        result,
+                        cached: false,
+                    };
+                }
+                Err(payload) => message = panic_message(payload.as_ref()),
+            }
+        }
+        if let Some(store) = store {
+            store.quarantine(req, &message);
+        }
+        RunOutcome::Failed { attempts, message }
+    }
+}
+
+/// Renders a caught panic payload (panics carry `&str` or `String` in
+/// practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -312,6 +486,93 @@ impl ExperimentPlan {
     pub fn run(&self, runner: &Runner) -> Vec<Sweep> {
         self.run_with(runner, &mut WorkloadCache::new())
     }
+
+    /// Folds per-request [`RunOutcome`]s into sweeps, dropping failed
+    /// points from their curves (sweeps may come back ragged) and listing
+    /// them separately, with store hit/miss tallies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` does not have one entry per request.
+    pub fn assemble_outcomes(&self, outcomes: &[RunOutcome]) -> PlanRun {
+        assert_eq!(
+            outcomes.len(),
+            self.requests.len(),
+            "outcome count must match request count"
+        );
+        let mut failed = Vec::new();
+        let sweeps = self
+            .curves
+            .iter()
+            .map(|(mech, points)| Sweep {
+                app: self.app,
+                mechanism: *mech,
+                points: points
+                    .iter()
+                    .filter_map(|p| match &outcomes[p.request] {
+                        RunOutcome::Done { result, .. } => Some(SweepPoint {
+                            x: p.x,
+                            result: result.clone(),
+                        }),
+                        RunOutcome::Failed { attempts, message } => {
+                            failed.push(FailedPoint {
+                                mechanism: *mech,
+                                x: p.x,
+                                attempts: *attempts,
+                                message: message.clone(),
+                            });
+                            None
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        let simulated = outcomes
+            .iter()
+            .filter(|o| matches!(o, RunOutcome::Done { cached: false, .. }))
+            .count();
+        let cached = outcomes.iter().filter(|o| o.is_cached()).count();
+        PlanRun {
+            sweeps,
+            failed,
+            simulated,
+            cached,
+        }
+    }
+
+    /// Executes the plan with per-point fault tolerance: a panicking
+    /// request costs its own point (after retries), not the sweep.
+    pub fn run_reported(&self, runner: &Runner, cache: &mut WorkloadCache) -> PlanRun {
+        self.assemble_outcomes(&runner.run_outcomes(&self.requests, cache))
+    }
+}
+
+/// A point dropped from a [`PlanRun`] because its request failed.
+#[derive(Debug, Clone)]
+pub struct FailedPoint {
+    /// The curve the point belonged to.
+    pub mechanism: Mechanism,
+    /// The point's x value.
+    pub x: f64,
+    /// Simulation attempts made (0 = skipped via quarantine).
+    pub attempts: usize,
+    /// The final panic message (or quarantine note).
+    pub message: String,
+}
+
+/// A fault-tolerant plan execution: the completed (possibly ragged)
+/// sweeps, the points that failed, and how the work split between fresh
+/// simulation and store replay.
+#[derive(Debug, Clone)]
+pub struct PlanRun {
+    /// Per-mechanism sweeps, with failed points omitted.
+    pub sweeps: Vec<Sweep>,
+    /// Points whose request failed every retry.
+    pub failed: Vec<FailedPoint>,
+    /// Requests that were freshly simulated.
+    pub simulated: usize,
+    /// Requests replayed from the store.
+    pub cached: usize,
 }
 
 #[cfg(test)]

@@ -27,6 +27,10 @@
 //! * [`manifest`] — self-describing JSON run manifests (versioned by
 //!   [`manifest::MANIFEST_SCHEMA_VERSION`]) for observability artifacts,
 //!   validated with the dependency-free parser in [`json`].
+//! * [`store`] — a persistent, content-addressed [`store::ResultStore`]:
+//!   finished runs are durable units of work keyed by a stable hash of
+//!   their request, so interrupted sweeps resume instead of restarting
+//!   and a poisoned point is quarantined instead of killing the process.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,4 +43,5 @@ pub mod manifest;
 pub mod model;
 pub mod regions;
 pub mod report;
+pub mod store;
 pub mod survey;

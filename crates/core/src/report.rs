@@ -169,26 +169,54 @@ pub fn volume_table(app: &str, results: &[RunResult]) -> String {
     out
 }
 
-/// Figures 7–10: one sweep as an x/runtime series table.
+/// The x values appearing across `sweeps`, in order of first appearance.
+///
+/// Sweeps are usually rectangular (every mechanism measured at every x),
+/// but a fault-tolerant run may drop failed points, leaving curves ragged;
+/// the union keeps every surviving point printable.
+fn sweep_xs(sweeps: &[Sweep]) -> Vec<f64> {
+    let mut xs: Vec<f64> = Vec::new();
+    for s in sweeps {
+        for p in &s.points {
+            if !xs.iter().any(|x| x.to_bits() == p.x.to_bits()) {
+                xs.push(p.x);
+            }
+        }
+    }
+    xs
+}
+
+/// The runtime measured by `s` at exactly `x`, if that point survived.
+fn sweep_runtime_at(s: &Sweep, x: f64) -> Option<u64> {
+    s.points
+        .iter()
+        .find(|p| p.x.to_bits() == x.to_bits())
+        .map(|p| p.result.runtime_cycles)
+}
+
+/// Figures 7–10: one sweep as an x/runtime series table. Points missing
+/// from a curve (dropped by a fault-tolerant run) render as `-`.
 pub fn sweep_table(title: &str, x_label: &str, sweeps: &[Sweep]) -> String {
     let mut out = format!("{title}\n{x_label:>12}");
     for s in sweeps {
         out.push_str(&format!(" {:>12}", s.mechanism.label()));
     }
     out.push('\n');
-    if let Some(first) = sweeps.first() {
-        for i in 0..first.points.len() {
-            out.push_str(&format!("{:>12.2}", first.points[i].x));
-            for s in sweeps {
-                out.push_str(&format!(" {:>12}", s.points[i].result.runtime_cycles));
+    for x in sweep_xs(sweeps) {
+        out.push_str(&format!("{x:>12.2}"));
+        for s in sweeps {
+            match sweep_runtime_at(s, x) {
+                Some(cycles) => out.push_str(&format!(" {cycles:>12}")),
+                None => out.push_str(&format!(" {:>12}", "-")),
             }
-            out.push('\n');
         }
+        out.push('\n');
     }
     out
 }
 
-/// CSV form of [`sweep_table`] (for external plotting).
+/// CSV form of [`sweep_table`] (for external plotting). Missing points
+/// render as empty cells.
 pub fn sweep_csv(x_label: &str, sweeps: &[Sweep]) -> String {
     let mut out = String::from(x_label);
     for s in sweeps {
@@ -196,14 +224,38 @@ pub fn sweep_csv(x_label: &str, sweeps: &[Sweep]) -> String {
         out.push_str(s.mechanism.label());
     }
     out.push('\n');
-    if let Some(first) = sweeps.first() {
-        for i in 0..first.points.len() {
-            out.push_str(&format!("{}", first.points[i].x));
-            for s in sweeps {
-                out.push_str(&format!(",{}", s.points[i].result.runtime_cycles));
+    for x in sweep_xs(sweeps) {
+        out.push_str(&format!("{x}"));
+        for s in sweeps {
+            match sweep_runtime_at(s, x) {
+                Some(cycles) => out.push_str(&format!(",{cycles}")),
+                None => out.push(','),
             }
-            out.push('\n');
         }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV form of [`breakdown_table`] (Figure 4): one row per mechanism with
+/// the runtime and the four-bucket breakdown. This is what the resume
+/// smoke test diffs between cold and warm store runs, so every column is
+/// a pure function of the request.
+pub fn breakdown_csv(app: &str, results: &[RunResult], cfg: &MachineConfig) -> String {
+    let clk = cfg.clock();
+    let mut out =
+        String::from("app,mech,runtime_cycles,sync,msg_overhead,mem_ni_wait,compute,verified\n");
+    for r in results {
+        out.push_str(&format!(
+            "{app},{},{},{:.1},{:.1},{:.1},{:.1},{}\n",
+            r.mechanism.label(),
+            r.runtime_cycles,
+            r.stats.mean_bucket_cycles(Bucket::Sync, clk),
+            r.stats.mean_bucket_cycles(Bucket::MsgOverhead, clk),
+            r.stats.mean_bucket_cycles(Bucket::MemWait, clk),
+            r.stats.mean_bucket_cycles(Bucket::Compute, clk),
+            r.verified,
+        ));
     }
     out
 }

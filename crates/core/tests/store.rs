@@ -1,0 +1,357 @@
+//! Result-store integration and property tests: records round-trip bit
+//! for bit, every single-byte corruption is detected (and the point
+//! recomputed, never trusted), concurrent writers cannot tear a read,
+//! and the content-address is exactly as sensitive as the model.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use commsense_apps::{AppSpec, RunResult};
+use commsense_core::engine::{RunOutcome, RunRequest, Runner, WorkloadCache};
+use commsense_core::store::ResultStore;
+use commsense_des::{Rng, Time};
+use commsense_machine::{
+    LatencyHistogram, MachineConfig, Mechanism, NodeStats, ObserveConfig, RunStats,
+};
+use commsense_mesh::VolumeBreakdown;
+use commsense_workloads::bipartite::Em3dParams;
+use proptest::prelude::*;
+
+/// A store rooted in a fresh per-test temp directory (no tempfile crate
+/// in the offline build; process id keeps concurrent test *processes*
+/// apart, the per-test name keeps the threads of one process apart).
+fn temp_store(name: &str) -> ResultStore {
+    let dir = std::env::temp_dir().join(format!(
+        "commsense-store-test-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    ResultStore::open(&dir).expect("open temp store")
+}
+
+fn em3d_request(cfg: &MachineConfig, mech: Mechanism) -> RunRequest {
+    let mut em = Em3dParams::small();
+    em.iterations = 1;
+    RunRequest {
+        spec: AppSpec::Em3d(em),
+        mechanism: mech,
+        cfg: cfg.clone().with_mechanism(mech),
+    }
+}
+
+/// The one record file of a store holding exactly one result.
+fn single_record_path(store: &ResultStore) -> std::path::PathBuf {
+    fn walk(dir: &std::path::Path, out: &mut Vec<std::path::PathBuf>) {
+        for e in std::fs::read_dir(dir).expect("read store dir") {
+            let p = e.expect("dir entry").path();
+            if p.is_dir() {
+                walk(&p, out);
+            } else if p.extension().is_some_and(|x| x == "rec") {
+                out.push(p);
+            }
+        }
+    }
+    let mut recs = Vec::new();
+    walk(&store.root().join("records"), &mut recs);
+    assert_eq!(recs.len(), 1, "expected exactly one record");
+    recs.pop().unwrap()
+}
+
+/// Every mechanism's real result — histograms, per-node buckets, volume
+/// and protocol counters, the f64 error bound, the wall-time metadata —
+/// must read back exactly as written. `RunResult`'s `Debug` covers all
+/// simulation outputs; `wall` is compared separately (it is excluded
+/// from `Debug`).
+#[test]
+fn real_results_round_trip_bit_identically() {
+    let store = temp_store("roundtrip");
+    let cfg = MachineConfig::alewife();
+    let mut cache = WorkloadCache::new();
+    let reqs: Vec<RunRequest> = Mechanism::ALL
+        .iter()
+        .map(|&m| em3d_request(&cfg, m))
+        .collect();
+    let results = Runner::serial().run_cached(&reqs, &mut cache);
+    for (req, r) in reqs.iter().zip(&results) {
+        store.save(req, r).expect("save record");
+        let back = store.load(req).expect("load saved record");
+        assert_eq!(
+            format!("{back:?}"),
+            format!("{r:?}"),
+            "{}: replayed result diverged",
+            r.mechanism.label()
+        );
+        assert_eq!(back.wall, r.wall, "wall nanos must round-trip");
+        assert!(back.observation.is_none(), "records carry no observation");
+    }
+    let st = store.stats();
+    assert_eq!(st.hits, reqs.len() as u64);
+    assert_eq!((st.misses, st.corrupt), (0, 0));
+    assert!(st.bytes_written > 0 && st.bytes_read > 0);
+}
+
+proptest! {
+    /// Round-tripping is not an artifact of the values real runs happen
+    /// to produce: a result whose every counter, histogram bucket, node
+    /// budget, and f64 bit pattern (including NaN and -0.0 payloads for
+    /// `max_abs_err`) is adversarial still reads back exactly.
+    #[test]
+    fn synthetic_results_round_trip_exactly(seed in 0u64..256) {
+        let store = temp_store("proptest");
+        let cfg = MachineConfig::alewife();
+        let req = em3d_request(&cfg, Mechanism::SharedMem);
+        let mut rng = Rng::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+        let volume = |rng: &mut Rng| VolumeBreakdown {
+            invalidates: rng.next_u64(),
+            requests: rng.next_u64(),
+            headers: rng.next_u64(),
+            data: rng.next_u64(),
+            cross_traffic: rng.next_u64(),
+        };
+        let mut hist = LatencyHistogram::default();
+        for b in hist.buckets.iter_mut() {
+            *b = rng.next_u64();
+        }
+        hist.count = rng.next_u64();
+        hist.sum_cycles = rng.next_u64();
+        hist.max_cycles = rng.next_u64();
+        let stats = RunStats {
+            runtime: Time::from_ps(rng.next_u64()),
+            runtime_cycles: rng.next_u64(),
+            nodes: (0..4)
+                .map(|_| NodeStats {
+                    sync: Time::from_ps(rng.next_u64()),
+                    overhead: Time::from_ps(rng.next_u64()),
+                    mem: Time::from_ps(rng.next_u64()),
+                    compute: Time::from_ps(rng.next_u64()),
+                })
+                .collect(),
+            volume: volume(&mut rng),
+            bisection: volume(&mut rng),
+            proto: commsense_cache::ProtoStats {
+                read_misses: rng.next_u64(),
+                write_misses: rng.next_u64(),
+                invalidations: rng.next_u64(),
+                interventions: rng.next_u64(),
+                limitless_traps: rng.next_u64(),
+                writebacks: rng.next_u64(),
+                deferred: rng.next_u64(),
+            },
+            messages_sent: rng.next_u64(),
+            events: rng.next_u64(),
+            mean_packet_latency: if rng.chance(0.5) {
+                Some(Time::from_ps(rng.next_u64()))
+            } else {
+                None
+            },
+            useless_prefetches: rng.next_u64(),
+            useful_prefetches: rng.next_u64(),
+            cache_hit_miss: (rng.next_u64(), rng.next_u64()),
+            miss_latency: hist,
+        };
+        let max_abs_err = match rng.index(4) {
+            0 => f64::from_bits(rng.next_u64()), // arbitrary, possibly NaN
+            1 => -0.0,
+            2 => f64::INFINITY,
+            _ => rng.f64(),
+        };
+        let result = RunResult {
+            app: req.spec.name(),
+            mechanism: req.mechanism,
+            runtime_cycles: stats.runtime_cycles,
+            verified: rng.chance(0.5),
+            max_abs_err,
+            stats,
+            wall: Duration::from_nanos(rng.next_u64() >> 1),
+            observation: None,
+        };
+        store.save(&req, &result).expect("save synthetic record");
+        let back = store.load(&req).expect("load synthetic record");
+        prop_assert_eq!(format!("{:?}", back.stats), format!("{:?}", result.stats));
+        prop_assert_eq!(back.runtime_cycles, result.runtime_cycles);
+        prop_assert_eq!(back.verified, result.verified);
+        prop_assert_eq!(
+            back.max_abs_err.to_bits(),
+            result.max_abs_err.to_bits(),
+            "f64 bits must survive, including NaN payloads"
+        );
+        prop_assert_eq!(back.wall, result.wall);
+    }
+}
+
+/// Flipping any single byte of a record — magic, length, checksum, or
+/// payload — must be detected. A detected record is evicted and the
+/// point recomputed from scratch: the store never serves bad data.
+#[test]
+fn any_single_byte_flip_is_detected_and_recomputed() {
+    let store = Arc::new(temp_store("corrupt"));
+    let cfg = MachineConfig::alewife();
+    let req = em3d_request(&cfg, Mechanism::SharedMem);
+    let mut cache = WorkloadCache::new();
+    let expected = Runner::serial()
+        .run_cached(std::slice::from_ref(&req), &mut cache)
+        .pop()
+        .unwrap();
+    store.save(&req, &expected).expect("save record");
+    let path = single_record_path(&store);
+    let good = std::fs::read(&path).expect("read record bytes");
+
+    for i in 0..good.len() {
+        let mut bad = good.clone();
+        bad[i] ^= 0x01;
+        std::fs::write(&path, &bad).expect("write corrupted record");
+        assert!(
+            store.load(&req).is_none(),
+            "flip of byte {i}/{} must be detected",
+            good.len()
+        );
+        // Detection evicts the record; restore it for the next position.
+        std::fs::write(&path, &good).expect("restore record");
+    }
+    let st = store.stats();
+    assert_eq!(st.corrupt, good.len() as u64);
+    assert_eq!(st.evictions, good.len() as u64);
+
+    // The pristine record still loads...
+    let back = store.load(&req).expect("pristine record loads");
+    assert_eq!(format!("{back:?}"), format!("{expected:?}"));
+
+    // ...and a corrupted one makes the runner recompute, not trust.
+    std::fs::write(&path, {
+        let mut bad = good.clone();
+        bad[good.len() / 2] ^= 0xff;
+        bad
+    })
+    .expect("corrupt once more");
+    let runner = Runner::serial().with_store(store.clone());
+    let outcomes = runner.run_outcomes(std::slice::from_ref(&req), &mut cache);
+    match &outcomes[0] {
+        RunOutcome::Done { result, cached } => {
+            assert!(!cached, "corrupt record must be recomputed, not replayed");
+            assert_eq!(format!("{result:?}"), format!("{expected:?}"));
+        }
+        other => panic!("expected a recomputed result, got {other:?}"),
+    }
+    // The recomputation healed the store: the next pass replays.
+    let healed = runner.run_outcomes(std::slice::from_ref(&req), &mut cache);
+    assert!(healed[0].is_cached(), "healed record must replay");
+}
+
+/// Writers racing on the same key never expose a torn record: the
+/// tmp-file + rename protocol means a concurrent reader sees either the
+/// old complete record or the new complete record, both valid.
+#[test]
+fn interleaved_writers_never_tear_a_read() {
+    let store = Arc::new(temp_store("torn"));
+    let cfg = MachineConfig::alewife();
+    let req = em3d_request(&cfg, Mechanism::MsgPoll);
+    let mut cache = WorkloadCache::new();
+    let expected = Runner::serial()
+        .run_cached(std::slice::from_ref(&req), &mut cache)
+        .pop()
+        .unwrap();
+    store.save(&req, &expected).expect("initial save");
+    let want = format!("{expected:?}");
+
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let (store, req, expected) = (store.clone(), req.clone(), expected.clone());
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    store.save(&req, &expected).expect("concurrent save");
+                }
+            });
+        }
+        for _ in 0..200 {
+            let got = store
+                .load(&req)
+                .expect("a record must always be present and valid");
+            assert_eq!(format!("{got:?}"), want, "torn or stale-mixed read");
+        }
+    });
+    assert_eq!(store.stats().corrupt, 0);
+}
+
+/// The content-address sees exactly the model: identical requests hash
+/// identically, pure bookkeeping (observability, checking) is invisible,
+/// and the mechanism, every workload parameter, and machine knobs all
+/// perturb the key.
+#[test]
+fn request_keys_are_stable_and_exactly_model_sensitive() {
+    let cfg = MachineConfig::alewife();
+    let base = em3d_request(&cfg, Mechanism::SharedMem);
+    let key = ResultStore::request_key(&base);
+    assert_eq!(
+        key,
+        ResultStore::request_key(&base.clone()),
+        "deterministic"
+    );
+
+    // Bookkeeping that cannot change simulated cycles is excluded.
+    let mut observed = base.clone();
+    observed.cfg.observe = Some(ObserveConfig::default());
+    assert_eq!(key, ResultStore::request_key(&observed));
+    let mut checked = base.clone();
+    checked.cfg.check = Some(commsense_machine::CheckConfig::full());
+    assert_eq!(key, ResultStore::request_key(&checked));
+
+    // Everything that reaches the simulation is included.
+    let mut keys = vec![key];
+    for &mech in &Mechanism::ALL[1..] {
+        keys.push(ResultStore::request_key(&em3d_request(&cfg, mech)));
+    }
+    let mut other_spec = base.clone();
+    if let AppSpec::Em3d(p) = &mut other_spec.spec {
+        p.iterations += 1;
+    }
+    keys.push(ResultStore::request_key(&other_spec));
+    let mut other_seed = base.clone();
+    if let AppSpec::Em3d(p) = &mut other_seed.spec {
+        p.seed ^= 1;
+    }
+    keys.push(ResultStore::request_key(&other_seed));
+    let mut other_clock = base.clone();
+    other_clock.cfg.cpu_mhz += 1.0;
+    keys.push(ResultStore::request_key(&other_clock));
+    let mut other_net = base.clone();
+    other_net.cfg.net.ps_per_byte += 1;
+    keys.push(ResultStore::request_key(&other_net));
+    let n = keys.len();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(
+        keys.len(),
+        n,
+        "every model-visible change must move the key"
+    );
+}
+
+/// `verify` and `gc` agree with the stats counters and leave valid
+/// records alone.
+#[test]
+fn verify_and_gc_report_and_prune() {
+    let store = temp_store("scan");
+    let cfg = MachineConfig::alewife();
+    let req = em3d_request(&cfg, Mechanism::Bulk);
+    let mut cache = WorkloadCache::new();
+    let r = Runner::serial()
+        .run_cached(std::slice::from_ref(&req), &mut cache)
+        .pop()
+        .unwrap();
+    store.save(&req, &r).expect("save");
+    let clean = store.verify().expect("verify");
+    assert_eq!((clean.ok, clean.corrupt, clean.removed), (1, 0, 0));
+    assert!(clean.live_bytes > 0);
+
+    // Plant a garbage record next to the real one; gc removes only it.
+    let path = single_record_path(&store);
+    let junk = path.with_file_name("00000000000000000000000000000000.rec");
+    std::fs::write(&junk, b"not a record").expect("write junk");
+    let seen = store.verify().expect("verify sees junk");
+    assert_eq!((seen.ok, seen.corrupt, seen.removed), (1, 1, 0));
+    let swept = store.gc().expect("gc");
+    assert_eq!((swept.ok, swept.corrupt, swept.removed), (1, 1, 1));
+    assert!(!junk.exists(), "gc removes the corrupt record");
+    assert!(path.exists(), "gc keeps the valid record");
+    assert!(store.load(&req).is_some(), "valid record still replays");
+}

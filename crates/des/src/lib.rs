@@ -42,9 +42,11 @@
 mod hash;
 mod queue;
 mod rng;
+pub mod stable;
 mod time;
 
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use queue::EventQueue;
 pub use rng::Rng;
+pub use stable::{fnv1a_128, fnv1a_64, StableEncoder};
 pub use time::{Clock, Time};

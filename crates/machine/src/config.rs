@@ -40,6 +40,11 @@ impl Mechanism {
         }
     }
 
+    /// Inverse of [`Mechanism::label`], for decoding stored run records.
+    pub fn from_label(label: &str) -> Option<Mechanism> {
+        Mechanism::ALL.into_iter().find(|m| m.label() == label)
+    }
+
     /// Whether programs of this mechanism communicate via shared memory.
     pub fn is_shared_memory(self) -> bool {
         matches!(self, Mechanism::SharedMem | Mechanism::SharedMemPrefetch)
@@ -178,6 +183,27 @@ impl CostModel {
             prefetch_promote: 4,
             emu_ideal_msg: 1,
         }
+    }
+
+    /// Canonical field encoding for content-addressed result caching (see
+    /// `commsense_des::stable`).
+    pub fn stable_encode(&self, enc: &mut commsense_des::StableEncoder, prefix: &str) {
+        enc.put(&format!("{prefix}.cache_hit"), self.cache_hit);
+        enc.put(&format!("{prefix}.rmw_hit"), self.rmw_hit);
+        enc.put(&format!("{prefix}.miss_issue"), self.miss_issue);
+        enc.put(&format!("{prefix}.local_msg"), self.local_msg);
+        enc.put(&format!("{prefix}.dir_request_occ"), self.dir_request_occ);
+        enc.put(
+            &format!("{prefix}.dir_request_occ_local"),
+            self.dir_request_occ_local,
+        );
+        enc.put(&format!("{prefix}.grant_occ"), self.grant_occ);
+        enc.put(&format!("{prefix}.grant_occ_local"), self.grant_occ_local);
+        enc.put(&format!("{prefix}.snoop_occ"), self.snoop_occ);
+        enc.put(&format!("{prefix}.grant_fill"), self.grant_fill);
+        enc.put(&format!("{prefix}.prefetch_issue"), self.prefetch_issue);
+        enc.put(&format!("{prefix}.prefetch_promote"), self.prefetch_promote);
+        enc.put(&format!("{prefix}.emu_ideal_msg"), self.emu_ideal_msg);
     }
 }
 
@@ -319,6 +345,12 @@ pub struct MachineConfig {
     /// conservation, SC oracle). `None` (the default) costs nothing on the
     /// hot path; `Some` never changes simulated cycles.
     pub check: Option<CheckConfig>,
+    /// Deterministic fault injection: when set, [`crate::Machine::run`]
+    /// panics with an `INJECTED-FAULT` marker before simulating anything.
+    /// Exists so the runner's catch/retry/quarantine path can be tested
+    /// (and demonstrated) without a genuinely broken model; follows the
+    /// `Protocol::fault_ignore_next_invalidation` precedent.
+    pub inject_panic: bool,
 }
 
 impl MachineConfig {
@@ -338,6 +370,7 @@ impl MachineConfig {
             write_buffer: 0,
             observe: None,
             check: None,
+            inject_panic: false,
         }
     }
 
@@ -367,6 +400,47 @@ impl MachineConfig {
     /// The processor clock object.
     pub fn clock(&self) -> commsense_des::Clock {
         commsense_des::Clock::from_mhz(self.cpu_mhz)
+    }
+
+    /// Canonical field encoding of everything that can change simulated
+    /// cycles, for content-addressed result caching (see
+    /// `commsense_des::stable`).
+    ///
+    /// Deliberately excluded: `observe` and `check`. Both are pure
+    /// bookkeeping — they never schedule events, so simulated cycle counts
+    /// are bit-identical with and without them (pinned by the machine
+    /// crate's identity tests) — and including them would make an observed
+    /// or checked run miss the store for no reason. `inject_panic` *is*
+    /// included: a faulting request must never alias a healthy one.
+    pub fn stable_encode(&self, enc: &mut commsense_des::StableEncoder) {
+        enc.put("cfg.nodes", self.nodes);
+        enc.put_f64("cfg.cpu_mhz", self.cpu_mhz);
+        enc.put("cfg.receive", format!("{:?}", self.receive));
+        enc.put("cfg.barrier", format!("{:?}", self.barrier));
+        enc.put("cfg.write_buffer", self.write_buffer);
+        enc.put("cfg.inject_panic", self.inject_panic);
+        self.net.stable_encode(enc, "cfg.net");
+        self.costs.stable_encode(enc, "cfg.costs");
+        self.msg.stable_encode(enc, "cfg.msg");
+        self.proto.stable_encode(enc, "cfg.proto");
+        match &self.cross_traffic {
+            Some(ct) => {
+                enc.put("cfg.cross_traffic", "some");
+                ct.stable_encode(enc, "cfg.cross_traffic");
+            }
+            None => enc.put("cfg.cross_traffic", "none"),
+        }
+        match &self.latency_emulation {
+            Some(emu) => {
+                enc.put("cfg.latency_emulation", "some");
+                enc.put(
+                    "cfg.latency_emulation.remote_miss_cycles",
+                    emu.remote_miss_cycles,
+                );
+                enc.put("cfg.latency_emulation.prefetch_cycles", emu.prefetch_cycles);
+            }
+            None => enc.put("cfg.latency_emulation", "none"),
+        }
     }
 
     /// Validates internal consistency.
@@ -457,5 +531,55 @@ mod tests {
         let emu = LatencyEmulation::uniform(100);
         assert_eq!(emu.remote_miss_cycles, 100);
         assert_eq!(emu.prefetch_cycles, 100);
+    }
+
+    #[test]
+    fn from_label_round_trips() {
+        for m in Mechanism::ALL {
+            assert_eq!(Mechanism::from_label(m.label()), Some(m));
+        }
+        assert_eq!(Mechanism::from_label("nope"), None);
+    }
+
+    fn cfg_hash(cfg: &MachineConfig) -> u128 {
+        let mut enc = commsense_des::StableEncoder::new();
+        cfg.stable_encode(&mut enc);
+        enc.finish_hash()
+    }
+
+    #[test]
+    fn stable_encode_ignores_bookkeeping_but_sees_model_fields() {
+        let base = MachineConfig::alewife();
+        let h = cfg_hash(&base);
+        // Observation and checking never change simulated cycles, so they
+        // must not change the store key either.
+        let mut observed = base.clone();
+        observed.observe = Some(ObserveConfig::default());
+        observed.check = Some(CheckConfig::full());
+        assert_eq!(cfg_hash(&observed), h);
+        // Every model-affecting knob must change the hash.
+        let mut c = base.clone();
+        c.cpu_mhz = 14.0;
+        assert_ne!(cfg_hash(&c), h);
+        let mut c = base.clone();
+        c.write_buffer = 4;
+        assert_ne!(cfg_hash(&c), h);
+        let mut c = base.clone();
+        c.inject_panic = true;
+        assert_ne!(cfg_hash(&c), h);
+        let mut c = base.clone();
+        c.latency_emulation = Some(LatencyEmulation::uniform(100));
+        assert_ne!(cfg_hash(&c), h);
+        let mut c = base.clone();
+        c.proto.hw_ptrs = 64;
+        assert_ne!(cfg_hash(&c), h);
+        let mut c = base.clone();
+        c.msg.poll_per_msg += 1;
+        assert_ne!(cfg_hash(&c), h);
+        let mut c = base.clone();
+        c.net.ps_per_byte /= 2;
+        assert_ne!(cfg_hash(&c), h);
+        let with_mech = base.clone().with_mechanism(Mechanism::MsgPoll);
+        assert_ne!(cfg_hash(&with_mech), h);
     }
 }

@@ -54,5 +54,5 @@ pub use invariants::{INVARIANT_MARKER, ORACLE_MARKER};
 pub use machine::{Machine, MachineSpec};
 pub use metrics::{MetricsSeries, Observation, RunState};
 pub use program::{HandlerCtx, NodeCtx, Program, RmwOp, Step};
-pub use stats::{Bucket, NodeStats, RunStats};
+pub use stats::{Bucket, LatencyHistogram, NodeStats, RunStats};
 pub use trace::{Trace, TraceEvent, TraceKind};

@@ -598,8 +598,13 @@ impl Machine {
     /// # Panics
     ///
     /// Panics if the event queue drains while programs are still blocked
-    /// (an application deadlock).
+    /// (an application deadlock), or immediately with an `INJECTED-FAULT`
+    /// marker when [`MachineConfig::inject_panic`] is set.
     pub fn run(&mut self) -> RunStats {
+        assert!(
+            !self.cfg.inject_panic,
+            "INJECTED-FAULT: deliberate panic requested by MachineConfig::inject_panic"
+        );
         while self.finished < self.cfg.nodes {
             let Some((t, ev)) = self.queue.pop() else {
                 self.deadlock_panic();

@@ -51,6 +51,14 @@ impl CrossTrafficConfig {
         let interval_ps = self.message_bytes as f64 / per_stream_bytes_per_ns * 1_000.0;
         Some(Time::from_ps(interval_ps.round() as u64))
     }
+
+    /// Canonical field encoding for content-addressed result caching (see
+    /// `commsense_des::stable`).
+    pub fn stable_encode(&self, enc: &mut commsense_des::StableEncoder, prefix: &str) {
+        enc.put(&format!("{prefix}.message_bytes"), self.message_bytes);
+        enc.put_f64(&format!("{prefix}.bytes_per_ns"), self.bytes_per_ns);
+        enc.put(&format!("{prefix}.rows"), self.rows);
+    }
 }
 
 /// Periodic cross-traffic injector.

@@ -56,6 +56,17 @@ impl NetConfig {
     pub fn bisection_bytes_per_cycle(&self, clock: commsense_des::Clock) -> f64 {
         self.bisection_bytes_per_ns() * clock.cycle_ps() as f64 / 1_000.0
     }
+
+    /// Canonical field encoding for content-addressed result caching (see
+    /// `commsense_des::stable`). Every field that can affect simulated
+    /// cycles must appear here under `prefix`.
+    pub fn stable_encode(&self, enc: &mut commsense_des::StableEncoder, prefix: &str) {
+        enc.put(&format!("{prefix}.width"), self.width);
+        enc.put(&format!("{prefix}.height"), self.height);
+        enc.put(&format!("{prefix}.ps_per_byte"), self.ps_per_byte);
+        enc.put(&format!("{prefix}.router_delay_ps"), self.router_delay_ps);
+        enc.put(&format!("{prefix}.eject_delay_ps"), self.eject_delay_ps);
+    }
 }
 
 impl Default for NetConfig {

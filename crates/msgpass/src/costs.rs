@@ -58,6 +58,21 @@ impl MsgCosts {
         }
     }
 
+    /// Canonical field encoding for content-addressed result caching (see
+    /// `commsense_des::stable`).
+    pub fn stable_encode(&self, enc: &mut commsense_des::StableEncoder, prefix: &str) {
+        enc.put(&format!("{prefix}.send_base"), self.send_base);
+        enc.put(&format!("{prefix}.send_per_arg"), self.send_per_arg);
+        enc.put(&format!("{prefix}.interrupt_base"), self.interrupt_base);
+        enc.put(&format!("{prefix}.poll_per_msg"), self.poll_per_msg);
+        enc.put(&format!("{prefix}.poll_empty"), self.poll_empty);
+        enc.put(&format!("{prefix}.dispatch"), self.dispatch);
+        enc.put(&format!("{prefix}.dma_setup"), self.dma_setup);
+        enc.put(&format!("{prefix}.copy_per_line"), self.copy_per_line);
+        enc.put(&format!("{prefix}.dma_per_line"), self.dma_per_line);
+        enc.put(&format!("{prefix}.system_msg"), self.system_msg);
+    }
+
     /// Sender-side processor overhead for a message, in cycles.
     pub fn send_cycles(&self, am: &ActiveMessage) -> u64 {
         let mut c = self.send_base + self.send_per_arg * am.args.len() as u64;

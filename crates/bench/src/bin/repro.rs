@@ -45,6 +45,7 @@ struct Opts {
     out: Option<String>,
     baseline: Option<String>,
     reps: usize,
+    gate: Option<f64>,
     app: String,
     mech: String,
     cross: Option<f64>,
@@ -60,11 +61,13 @@ struct Opts {
 const USAGE: &str = "\
 usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check] [--store [DIR]]
        repro store stats|gc|verify [--store [DIR]]
-       repro perf [--small] [--out FILE] [--baseline FILE] [--reps N]
+       repro perf [--small] [--out FILE] [--baseline FILE] [--reps N] [--gate PCT]
        repro observe [--app NAME] [--mech LABEL] [--small|--paper]
                      [--cross B_PER_CYCLE] [--latency CYCLES] [--epoch N] [--dir DIR]
+       repro scale [--small] [--csv DIR] [--jobs N] [--store [DIR]] [--dir DIR]
   WHAT: all (default) | tab1 | tab2 | fig1 | fig2 | fig3 | fig4 | fig5 |
-        fig7 | fig8 | fig9 | fig10 | ablate | model | perf | observe | store
+        fig7 | fig8 | fig9 | fig10 | ablate | model | perf | observe |
+        scale | store
   --paper    use the paper's workload sizes (minutes)
   --small    use unit-test sizes (seconds)
   --csv      also write each sweep as CSV into DIR
@@ -79,19 +82,26 @@ usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check] [--store 
   --out      perf: write the machine-readable report here (default BENCH.json)
   --baseline perf: a previous report; record its numbers and the speedup
   --reps     perf: repetitions per mechanism, fastest kept (default 5)
+  --gate     perf: fail (exit 1) if events/sec drops more than PCT percent
+             below the --baseline report
   --app      observe: application (EM3D|UNSTRUC|ICCG|MOLDYN; default EM3D)
   --mech     observe: mechanism label (sm|sm+pf|mp-int|mp-poll|bulk; default mp-poll)
   --cross    observe: consume N bytes/cycle of bisection with cross-traffic
   --latency  observe: emulate a uniform remote-miss latency of N cycles
   --epoch    observe: metric sampling period in cycles (default 1000)
-  --dir      observe: output directory for trace + manifest (default .)
+  --dir      observe/scale: output directory for artifacts (default .)
+  scale      sweep node count x topology through the fig4/8/10 shapes
+             (mesh/torus/fat-tree/dragonfly at 32/256/1024 nodes; --small:
+             mesh+torus at 64/256); the fig10 shape runs under the
+             correctness harness. Writes per-sweep CSVs, scale_summary.csv
+             and scale_manifest.json into --csv DIR (default --dir)
   store stats   print store record/quarantine counts and sizes
   store verify  validate every record's framing and checksum (read-only)
   store gc      delete corrupt and stale-model-version records";
 
-const KNOWN: [&str; 18] = [
+const KNOWN: [&str; 19] = [
     "all", "tab1", "tab2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
-    "ablate", "model", "fig6", "perf", "observe", "store",
+    "ablate", "model", "fig6", "perf", "observe", "scale", "store",
 ];
 
 const STORE_ACTIONS: [&str; 3] = ["stats", "gc", "verify"];
@@ -105,6 +115,7 @@ fn parse_args() -> Opts {
     let mut out = None;
     let mut baseline = None;
     let mut reps = 5;
+    let mut gate = None;
     let mut app = "EM3D".to_string();
     let mut mech = "mp-poll".to_string();
     let mut cross = None;
@@ -161,6 +172,13 @@ fn parse_args() -> Opts {
                     std::process::exit(2);
                 })
             }
+            "--gate" => match next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(p) if p > 0.0 && p < 100.0 => gate = Some(p),
+                _ => {
+                    eprintln!("--gate needs a percentage in (0, 100)\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
             "--cross" => match next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(c) if c >= 0.0 => cross = Some(c),
                 _ => {
@@ -236,6 +254,7 @@ fn parse_args() -> Opts {
         out,
         baseline,
         reps,
+        gate,
         app,
         mech,
         cross,
@@ -383,7 +402,7 @@ fn run_observe(opts: &Opts) {
             c,
             cfg.clock(),
             64,
-            cfg.net.height,
+            cfg.net.topo.build().io_streams(),
         ));
     }
     if let Some(l) = opts.latency {
@@ -472,6 +491,233 @@ fn run_perf_harness(opts: &Opts) {
     let out = opts.out.as_deref().unwrap_or("BENCH.json");
     std::fs::write(out, perf::perf_json(&report, baseline.as_ref())).expect("write perf JSON");
     println!("(wrote {out})");
+    if let Some(pct) = opts.gate {
+        let Some(b) = baseline.as_ref() else {
+            eprintln!("--gate needs a readable --baseline report\n{USAGE}");
+            std::process::exit(2);
+        };
+        match perf::check_gate(&report, b, pct) {
+            Ok(line) => println!("{line} — PASS"),
+            Err(line) => {
+                eprintln!("{line} — FAIL");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// One (topology, node count) line of the `repro scale` summary.
+struct ScaleRow {
+    topo: commsense_mesh::TopoSpec,
+    bisection_bpc: f64,
+    mean_hops: f64,
+    sm_over_mp: Option<f64>,
+    fig8_crossover_bpc: Option<f64>,
+    fig10_crossover_cycles: Option<f64>,
+}
+
+/// [`crossover`] that tolerates fault-tolerant sweeps with dropped points
+/// (misaligned sweeps cannot be interpolated and report no crossover).
+fn safe_crossover(a: &Sweep, b: &Sweep) -> Option<f64> {
+    let aligned = a.points.len() == b.points.len()
+        && a.points
+            .iter()
+            .zip(&b.points)
+            .all(|(pa, pb)| (pa.x - pb.x).abs() < 1e-9);
+    if aligned {
+        crossover(a, b)
+    } else {
+        None
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or(String::new(), |x| format!("{x:.2}"))
+}
+
+/// `repro scale`: sweeps node count × topology through the Figure 4/8/10
+/// experiment shapes and summarizes how the mechanism crossovers move with
+/// machine size. The fig10-shape sweep runs under the full correctness
+/// harness, so the protocol invariants are exercised at every scale.
+fn run_scale(opts: &Opts) {
+    let (kinds, node_counts): (Vec<&str>, Vec<usize>) = match opts.scale {
+        Scale::Small => (vec!["mesh", "torus"], vec![64, 256]),
+        _ => (
+            commsense_mesh::TopoSpec::KINDS.to_vec(),
+            vec![32, 256, 1024],
+        ),
+    };
+    let out_dir = opts.csv_dir.clone().unwrap_or_else(|| opts.dir.clone());
+    std::fs::create_dir_all(&out_dir).expect("create scale output dir");
+
+    let store = open_store(opts);
+    let mut runner = Runner::from_env();
+    if let Some(s) = &store {
+        println!("(persistent store: {})", s.root().display());
+        runner = runner.with_store(s.clone());
+    }
+    let mut cache = WorkloadCache::new();
+    let sm_mp = [Mechanism::SharedMem, Mechanism::MsgPoll];
+    let lats = [50u64, 200, 800];
+
+    println!("== scale: mechanism crossovers vs machine size ==");
+    println!("(topologies {kinds:?} at {node_counts:?} nodes)");
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    for &nodes in &node_counts {
+        // EM3D grows with the machine so each node keeps real work; the
+        // workload is shared across topologies of the same size.
+        let spec = {
+            let mut p = commsense_workloads::bipartite::Em3dParams::small();
+            p.nodes = (4 * nodes).max(2000);
+            p.iterations = 3;
+            commsense_apps::AppSpec::Em3d(p)
+        };
+        for kind in &kinds {
+            let cfg = MachineConfig::scaled(kind, nodes);
+            let topo = cfg.net.topo;
+            let built = topo.build();
+            let bpc = cfg.net.bisection_bytes_per_cycle(cfg.clock());
+            let mean_hops = built.mean_hops();
+            println!(
+                "-- {} ({} nodes, {bpc:.1} B/cycle bisection, mean hops {mean_hops:.2}) --",
+                topo.describe(),
+                cfg.nodes,
+            );
+            let tag = format!("{}_{}", kind.replace('-', ""), cfg.nodes);
+
+            // Figure 8 shape: consume none, half, and three quarters of
+            // this machine's own bisection. The zero-consumption points
+            // double as the Figure 4-shape base comparison.
+            let consumed = [0.0, bpc * 0.5, bpc * 0.75];
+            let run8 = bisection_plan(&spec, &sm_mp, &cfg, &consumed, 64)
+                .run_reported(&runner, &mut cache);
+            warn_failed(spec.name(), &run8);
+            print!(
+                "{}",
+                report::sweep_table(
+                    "fig8 shape (vs emulated bisection)",
+                    "B/cycle",
+                    &run8.sweeps
+                )
+            );
+            let sm_over_mp = match (run8.sweeps[0].point_at(bpc), run8.sweeps[1].point_at(bpc)) {
+                (Some(sm), Some(mp)) => {
+                    let r = sm.result.runtime_cycles as f64 / mp.result.runtime_cycles as f64;
+                    println!("  fig4 shape at full bisection: sm/mp-poll = {r:.2}");
+                    Some(r)
+                }
+                _ => None,
+            };
+            let fig8_crossover_bpc = safe_crossover(&run8.sweeps[0], &run8.sweeps[1]);
+            if let Some(x) = fig8_crossover_bpc {
+                println!("  sm crosses above mp-poll at ~{x:.1} B/cycle");
+            }
+            std::fs::write(
+                format!("{out_dir}/scale_fig8_{tag}.csv"),
+                report::sweep_csv("bytes_per_cycle", &run8.sweeps),
+            )
+            .expect("write fig8-shape csv");
+
+            // Figure 10 shape: latency emulation under the correctness
+            // harness — the invariant checker must hold at every scale.
+            let mut cfg10 = cfg.clone();
+            cfg10.check = Some(commsense_machine::CheckConfig::full());
+            let run10 =
+                ctx_switch_plan(&spec, &sm_mp, &cfg10, &lats).run_reported(&runner, &mut cache);
+            warn_failed(spec.name(), &run10);
+            print!(
+                "{}",
+                report::sweep_table(
+                    "fig10 shape (vs emulated miss latency, checker on)",
+                    "miss (cyc)",
+                    &run10.sweeps
+                )
+            );
+            let fig10_crossover_cycles = safe_crossover(&run10.sweeps[0], &run10.sweeps[1]);
+            if let Some(x) = fig10_crossover_cycles {
+                println!("  sm crosses above mp-poll at ~{x:.0}-cycle misses");
+            }
+            std::fs::write(
+                format!("{out_dir}/scale_fig10_{tag}.csv"),
+                report::sweep_csv("miss_cycles", &run10.sweeps),
+            )
+            .expect("write fig10-shape csv");
+            println!();
+
+            rows.push(ScaleRow {
+                topo,
+                bisection_bpc: bpc,
+                mean_hops,
+                sm_over_mp,
+                fig8_crossover_bpc,
+                fig10_crossover_cycles,
+            });
+        }
+    }
+
+    // Crossover-vs-scale summary: the headline table of the sweep.
+    println!("== crossover vs scale ==");
+    println!(
+        "{:<16} {:>6} {:>8} {:>6} {:>8} {:>10} {:>12}",
+        "topology", "nodes", "bis B/c", "hops", "sm/mp", "x8 (B/c)", "x10 (cyc)"
+    );
+    let mut summary = String::from(
+        "topology,kind,nodes,bisection_bytes_per_cycle,mean_hops,\
+         sm_over_mp_base,fig8_crossover_bpc,fig10_crossover_cycles\n",
+    );
+    let mut manifest = String::from(
+        "{\n  \"kind\": \"commsense-scale-manifest\",\n  \"schema_version\": 1,\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "{:<16} {:>6} {:>8.1} {:>6.2} {:>6} {:>10} {:>12}",
+            r.topo.describe(),
+            r.topo.num_nodes(),
+            r.bisection_bpc,
+            r.mean_hops,
+            fmt_opt(r.sm_over_mp),
+            fmt_opt(r.fig8_crossover_bpc),
+            fmt_opt(r.fig10_crossover_cycles),
+        );
+        summary.push_str(&format!(
+            "{},{},{},{:.3},{:.3},{},{},{}\n",
+            r.topo.describe(),
+            r.topo.kind(),
+            r.topo.num_nodes(),
+            r.bisection_bpc,
+            r.mean_hops,
+            fmt_opt(r.sm_over_mp),
+            fmt_opt(r.fig8_crossover_bpc),
+            fmt_opt(r.fig10_crossover_cycles),
+        ));
+        let json_opt = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{:.3}", x));
+        manifest.push_str(&format!(
+            "    {{\"topology\": \"{}\", \"kind\": \"{}\", \"nodes\": {}, \
+             \"bisection_bytes_per_cycle\": {:.3}, \"mean_hops\": {:.3}, \
+             \"sm_over_mp_base\": {}, \"fig8_crossover_bpc\": {}, \
+             \"fig10_crossover_cycles\": {}}}{}\n",
+            r.topo.describe(),
+            r.topo.kind(),
+            r.topo.num_nodes(),
+            r.bisection_bpc,
+            r.mean_hops,
+            json_opt(r.sm_over_mp),
+            json_opt(r.fig8_crossover_bpc),
+            json_opt(r.fig10_crossover_cycles),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    manifest.push_str("  ]\n}\n");
+    let summary_path = format!("{out_dir}/scale_summary.csv");
+    std::fs::write(&summary_path, summary).expect("write scale summary");
+    let manifest_path = format!("{out_dir}/scale_manifest.json");
+    std::fs::write(&manifest_path, manifest).expect("write scale manifest");
+    println!("(wrote {summary_path})");
+    println!("(wrote {manifest_path})");
+    if let Some(s) = &store {
+        let st = s.stats();
+        println!("store summary: hits={} misses={}", st.hits, st.misses);
+    }
 }
 
 fn cfg(check: bool) -> MachineConfig {
@@ -515,6 +761,10 @@ fn main() {
     }
     if opts.what == "store" {
         run_store_admin(&opts);
+        return;
+    }
+    if opts.what == "scale" {
+        run_scale(&opts);
         return;
     }
     let store = open_store(&opts);

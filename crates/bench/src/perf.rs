@@ -265,6 +265,32 @@ pub fn parse_baseline(json: &str) -> Option<PerfBaseline> {
     })
 }
 
+/// The CI perf-regression gate: passes when the report's aggregate
+/// events/sec is no more than `max_drop_pct` percent below the baseline's.
+/// Returns a one-line verdict either way; `Err` means the gate failed.
+pub fn check_gate(
+    report: &PerfReport,
+    baseline: &PerfBaseline,
+    max_drop_pct: f64,
+) -> Result<String, String> {
+    if baseline.events_per_sec <= 0.0 {
+        return Err("baseline events/sec is zero — cannot gate".to_string());
+    }
+    let current = report.events_per_sec();
+    let floor = baseline.events_per_sec * (1.0 - max_drop_pct / 100.0);
+    let delta_pct = (current / baseline.events_per_sec - 1.0) * 100.0;
+    let line = format!(
+        "perf gate: {current:.0} events/sec vs baseline {:.0} ({delta_pct:+.1}%, \
+         floor {floor:.0} at -{max_drop_pct}%)",
+        baseline.events_per_sec
+    );
+    if current >= floor {
+        Ok(line)
+    } else {
+        Err(line)
+    }
+}
+
 /// Renders the report as the `repro perf` human output.
 pub fn perf_text(report: &PerfReport, baseline: Option<&PerfBaseline>) -> String {
     let mut out = format!(
@@ -380,6 +406,25 @@ mod tests {
              \"total_wall_secs\": 1.0, \"events_per_sec\": 2.0}}"
         )
         .is_none());
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let r = fake_report(); // 2000 events/sec
+        let fast = PerfBaseline {
+            total_events: 800,
+            total_wall_secs: 0.36,
+            events_per_sec: 2200.0,
+        };
+        // 2000 vs 2200 is a 9.1% drop: inside a 10% gate, outside a 5% one.
+        assert!(check_gate(&r, &fast, 10.0).is_ok());
+        assert!(check_gate(&r, &fast, 5.0).is_err());
+        let zero = PerfBaseline {
+            total_events: 0,
+            total_wall_secs: 0.0,
+            events_per_sec: 0.0,
+        };
+        assert!(check_gate(&r, &zero, 10.0).is_err());
     }
 
     #[test]

@@ -20,6 +20,7 @@ fn observation_is_invisible_to_the_simulation() {
         epoch_cycles: 250,
         trace_capacity: 1 << 12, // deliberately small: truncation must not leak either
         max_packets: 1 << 12,
+        ..Default::default()
     });
 
     for spec in AppSpec::small_suite() {

@@ -7,6 +7,8 @@
 //! time, the right frame of reference for memory-bound applications
 //! (§5.4).
 
+use commsense_mesh::TopoSpec;
+
 /// One row of Table 1 (32-processor configuration).
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineRow {
@@ -36,6 +38,24 @@ impl MachineRow {
     /// `bytes/cycle` column).
     pub fn bytes_per_cycle(&self) -> Option<f64> {
         self.bisection_mb_s.map(|mb| mb / self.proc_mhz)
+    }
+
+    /// The nearest emulatable [`TopoSpec`] for this machine's interconnect
+    /// at its 32-processor configuration: meshes and tori collapse to their
+    /// 2-D equivalents, the CM-5's fat tree to an arity the leaf count
+    /// supports. `None` for rings, clustered buses, hypercubes, and rows
+    /// without a simulated network.
+    pub fn native_topo(&self) -> Option<TopoSpec> {
+        let kind = if self.topology.contains("Mesh") {
+            "mesh"
+        } else if self.topology.contains("Torus") {
+            "torus"
+        } else if self.topology.contains("Fat-Tree") {
+            "fat-tree"
+        } else {
+            return None;
+        };
+        Some(TopoSpec::with_nodes(kind, 32))
     }
 
     /// Table 2: bisection bandwidth in bytes per local-miss time.
@@ -274,5 +294,18 @@ mod tests {
     fn estimated_flags() {
         assert!(find("Stanford FLASH").estimated);
         assert!(!find("Cray T3D").estimated);
+    }
+
+    #[test]
+    fn native_topologies_map_to_specs() {
+        assert_eq!(find("MIT Alewife").native_topo(), Some(TopoSpec::alewife()));
+        let cm5 = find("TMC CM5").native_topo().expect("fat tree");
+        assert_eq!(cm5.kind(), "fat-tree");
+        assert_eq!(cm5.num_nodes(), 32);
+        let t3d = find("Cray T3D").native_topo().expect("torus");
+        assert_eq!(t3d.kind(), "torus");
+        assert_eq!(t3d.num_nodes(), 32);
+        assert_eq!(find("KSR-2").native_topo(), None);
+        assert_eq!(find("Wisconsin T0").native_topo(), None);
     }
 }

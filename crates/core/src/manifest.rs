@@ -35,8 +35,10 @@ use crate::engine::RunRequest;
 use crate::json::{push_escaped, Json};
 
 /// Version stamp written into every manifest; bump on breaking layout
-/// changes so downstream readers can dispatch.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+/// changes so downstream readers can dispatch. Version 2 replaced the
+/// mesh-only `mesh_width`/`mesh_height` config fields with `topology`
+/// (human-readable shape) and `topology_kind`.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
 
 fn push_str_field(out: &mut String, key: &str, value: &str) {
     push_escaped(out, key);
@@ -98,9 +100,9 @@ pub fn manifest_json(req: &RunRequest, sweep_x: Option<f64>, result: &RunResult)
     out.push_str(":{");
     push_u64_field(&mut out, "nodes", cfg.nodes as u64);
     out.push(',');
-    push_u64_field(&mut out, "mesh_width", cfg.net.width as u64);
+    push_str_field(&mut out, "topology", &cfg.net.topo.build().describe());
     out.push(',');
-    push_u64_field(&mut out, "mesh_height", cfg.net.height as u64);
+    push_str_field(&mut out, "topology_kind", cfg.net.topo.kind());
     out.push(',');
     push_f64_field(&mut out, "cpu_mhz", cfg.cpu_mhz);
     out.push(',');
@@ -275,9 +277,14 @@ pub fn validate_manifest(text: &str) -> Result<(), String> {
             .ok_or_else(|| format!("missing string field {key:?}"))?;
     }
     let cfg = v.get("config").ok_or("missing config")?;
-    for key in ["nodes", "mesh_width", "mesh_height", "write_buffer"] {
+    for key in ["nodes", "write_buffer"] {
         cfg.get(key)
             .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing config field {key:?}"))?;
+    }
+    for key in ["topology", "topology_kind"] {
+        cfg.get(key)
+            .and_then(Json::as_str)
             .ok_or_else(|| format!("missing config field {key:?}"))?;
     }
     cfg.get("cpu_mhz")
@@ -357,6 +364,7 @@ mod tests {
                 epoch_cycles: 100,
                 trace_capacity: 1 << 14,
                 max_packets: 1 << 14,
+                ..Default::default()
             });
         }
         RunRequest {
@@ -400,7 +408,10 @@ mod tests {
         let req = tiny_request(false);
         let result = run_app(&req.spec, req.mechanism, &req.cfg);
         let text = manifest_json(&req, None, &result);
-        let wrong_version = text.replace("\"schema_version\":1", "\"schema_version\":99");
+        let wrong_version = text.replace(
+            &format!("\"schema_version\":{MANIFEST_SCHEMA_VERSION}"),
+            "\"schema_version\":99",
+        );
         assert!(validate_manifest(&wrong_version).is_err());
         let no_result = text.replace("\"result\"", "\"resultx\"");
         assert!(validate_manifest(&no_result).is_err());

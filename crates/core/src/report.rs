@@ -361,6 +361,7 @@ mod tests {
             epoch_cycles: 100,
             trace_capacity: 1 << 14,
             max_packets: 1 << 14,
+            ..Default::default()
         });
         let result = run_app(&AppSpec::Em3d(p), Mechanism::MsgPoll, &cfg);
         let obs = result.observation.expect("observation recorded");

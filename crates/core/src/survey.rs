@@ -9,7 +9,6 @@
 
 use commsense_apps::{AppSpec, RunResult};
 use commsense_machine::{MachineConfig, Mechanism};
-use commsense_mesh::Mesh;
 
 use crate::engine::{RunRequest, Runner};
 use crate::machines::MachineRow;
@@ -50,10 +49,11 @@ pub fn config_for(row: &MachineRow, base: &MachineConfig) -> Option<(MachineConf
     let lat = row.net_latency_cycles?;
     let mut cfg = base.clone();
     let cycle_ps = cfg.clock().cycle_ps() as f64;
-    let channels = 2.0 * cfg.net.height as f64;
+    let topo = cfg.net.topo.build();
+    let channels = topo.bisection_channels() as f64;
     // bisection B/cycle = channels * cycle_ps / ps_per_byte.
     cfg.net.ps_per_byte = (channels * cycle_ps / bpc).round().max(1.0) as u64;
-    let mean_hops = Mesh::new(cfg.net.width, cfg.net.height).mean_hops();
+    let mean_hops = topo.mean_hops();
     let serial_ps = 24.0 * cfg.net.ps_per_byte as f64;
     let router = (lat * cycle_ps - serial_ps) / mean_hops;
     let approx = router < 1_000.0;

@@ -17,6 +17,7 @@ fn observed_run() -> (RunRequest, RunResult) {
         epoch_cycles: 100,
         trace_capacity: 1 << 16,
         max_packets: 1 << 16,
+        ..Default::default()
     });
     let req = RunRequest {
         spec: AppSpec::Em3d(p),

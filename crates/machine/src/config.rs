@@ -1,7 +1,7 @@
 //! Machine configuration: mechanisms, cost model, sensitivity knobs.
 
 use commsense_cache::ProtoConfig;
-use commsense_mesh::{CrossTrafficConfig, NetConfig};
+use commsense_mesh::{CrossTrafficConfig, NetConfig, TopoSpec};
 use commsense_msgpass::MsgCosts;
 
 /// The five communication mechanisms compared by the paper.
@@ -240,16 +240,24 @@ pub struct ObserveConfig {
     /// Maximum number of network packets whose lifecycle is recorded
     /// individually (link utilization still counts every packet).
     pub max_packets: usize,
+    /// Above this node count, per-node and per-link metric series are
+    /// *sampled*: `sparse_threshold` evenly spaced nodes (and twice that
+    /// many links) get individual columns, while aggregate run-state counts
+    /// stay exact over all nodes. At or below it, every node and link gets
+    /// a column — the seed behavior for the 32-node machine.
+    pub sparse_threshold: usize,
 }
 
 impl Default for ObserveConfig {
     /// 1000-cycle epochs, 1M trace events, 1M packet records — enough for
-    /// the paper's kernels at full problem size.
+    /// the paper's kernels at full problem size. Dense series up to 64
+    /// nodes; sampled above.
     fn default() -> Self {
         ObserveConfig {
             epoch_cycles: 1_000,
             trace_capacity: 1 << 20,
             max_packets: 1 << 20,
+            sparse_threshold: 64,
         }
     }
 }
@@ -311,7 +319,7 @@ impl CheckConfig {
 /// Full configuration of an emulated machine.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
-    /// Number of compute nodes (must equal `net.width * net.height`).
+    /// Number of compute nodes (must equal `net.topo.num_nodes()`).
     pub nodes: usize,
     /// Network parameters.
     pub net: NetConfig,
@@ -378,8 +386,18 @@ impl MachineConfig {
     pub fn tiny() -> Self {
         let mut cfg = MachineConfig::alewife();
         cfg.nodes = 4;
-        cfg.net.width = 2;
-        cfg.net.height = 2;
+        cfg.net.topo = TopoSpec::mesh(2, 2);
+        cfg
+    }
+
+    /// An Alewife-style machine scaled to `nodes` nodes on the given
+    /// topology kind (see `TopoSpec::with_nodes`), for node-count sweeps.
+    /// Per-channel network timing is unchanged, so bisection bandwidth
+    /// scales with the topology's channel count.
+    pub fn scaled(kind: &str, nodes: usize) -> Self {
+        let mut cfg = MachineConfig::alewife();
+        cfg.net.topo = TopoSpec::with_nodes(kind, nodes);
+        cfg.nodes = cfg.net.topo.num_nodes();
         cfg
     }
 
@@ -447,12 +465,16 @@ impl MachineConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `nodes` does not match the mesh dimensions.
+    /// Panics with a message naming the topology shape if `nodes` does not
+    /// match it.
     pub fn validate(&self) {
         assert_eq!(
             self.nodes,
-            self.net.width as usize * self.net.height as usize,
-            "node count must match mesh dimensions"
+            self.net.topo.num_nodes(),
+            "machine configured with {} nodes but its network is a {} with {} nodes",
+            self.nodes,
+            self.net.topo.describe(),
+            self.net.topo.num_nodes()
         );
     }
 }
@@ -501,11 +523,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "mesh dimensions")]
+    #[should_panic(expected = "16 nodes but its network is a mesh 8x4")]
     fn validate_catches_mismatch() {
         let mut cfg = MachineConfig::alewife();
         cfg.nodes = 16;
         cfg.validate();
+    }
+
+    #[test]
+    fn scaled_configs_are_consistent() {
+        for kind in TopoSpec::KINDS {
+            let cfg = MachineConfig::scaled(kind, 1024);
+            cfg.validate();
+            assert_eq!(cfg.nodes, 1024, "{kind}");
+            assert_eq!(cfg.net.topo.kind(), kind);
+        }
     }
 
     #[test]
@@ -578,6 +610,12 @@ mod tests {
         assert_ne!(cfg_hash(&c), h);
         let mut c = base.clone();
         c.net.ps_per_byte /= 2;
+        assert_ne!(cfg_hash(&c), h);
+        let mut c = base.clone();
+        c.net.topo = TopoSpec::torus(8, 4);
+        assert_ne!(cfg_hash(&c), h);
+        let mut c = base.clone();
+        c.net.topo = TopoSpec::mesh(4, 8);
         assert_ne!(cfg_hash(&c), h);
         let with_mech = base.clone().with_mechanism(Mechanism::MsgPoll);
         assert_ne!(cfg_hash(&with_mech), h);

@@ -558,10 +558,20 @@ impl Machine {
         };
         if let Some(o) = m.cfg.observe {
             assert!(o.epoch_cycles > 0, "observe epoch must be positive");
+            assert!(o.sparse_threshold > 0, "sparse threshold must be positive");
             m.trace = Some(Trace::new(o.trace_capacity));
-            let links = m.net.num_links();
             let epoch = clock.cycles(o.epoch_cycles);
-            m.metrics = Some(Box::new(MetricsSeries::new(n, links, epoch.as_ps())));
+            // At or below the threshold every node and link gets a column
+            // (the seed behavior); above it, a deterministic evenly spaced
+            // sample keeps the series size bounded at 1024 nodes.
+            let node_ids = MetricsSeries::sample_ids(n, o.sparse_threshold);
+            let link_ids = MetricsSeries::sample_ids(m.net.num_links(), 2 * o.sparse_threshold);
+            m.metrics = Some(Box::new(MetricsSeries::new(
+                node_ids,
+                link_ids,
+                n,
+                epoch.as_ps(),
+            )));
             m.metrics_epoch = epoch;
             m.metrics_next = epoch;
         }
@@ -693,7 +703,12 @@ impl Machine {
             let at = self.metrics_next;
             m.at_ps.push(at.as_ps());
             let mut in_barrier = 0u32;
-            for (i, n) in self.nodes.iter().enumerate() {
+            // Exact state counts over every node; per-node columns only for
+            // the sampled ids (identity when dense).
+            let mut counts = [0u32; RunState::ALL.len()];
+            let mut states = vec![0u8; 0];
+            states.reserve(self.nodes.len());
+            for n in self.nodes.iter() {
                 if matches!(n.status, Status::InBarrier { .. }) {
                     in_barrier += 1;
                 }
@@ -713,11 +728,18 @@ impl Machine {
                     Status::BlockedMsg { .. } | Status::InBarrier { .. } => RunState::Sync,
                     Status::Running => RunState::Compute,
                 };
-                m.node_state.push(state as u8);
+                counts[state as usize] += 1;
+                states.push(state as u8);
+            }
+            for &i in &m.node_ids {
+                let i = i as usize;
+                m.node_state.push(states[i]);
                 let out = self.outstanding.per_node[i].len();
                 m.outstanding.push(out.min(u16::MAX as usize) as u16);
             }
-            for l in 0..m.links {
+            m.state_counts.extend(counts);
+            for &l in &m.link_ids {
+                let l = l as usize;
                 m.link_busy_ps.push(self.net.link_busy(l).as_ps());
                 let q = self.net.link_queue_len(l);
                 m.link_queue.push(q.min(u16::MAX as usize) as u16);
@@ -739,8 +761,12 @@ impl Machine {
         self.metrics_next = Time::MAX;
         let trace = self.trace.take().unwrap_or_else(|| Trace::new(0));
         let net = self.net.take_recording().unwrap_or_default();
-        let mesh = self.net.mesh();
-        let link_labels = (0..mesh.num_links()).map(|l| mesh.link_label(l)).collect();
+        let topo = self.net.topo();
+        let link_labels = series
+            .link_ids
+            .iter()
+            .map(|&l| topo.link_label(l as usize))
+            .collect();
         Some(Observation {
             series,
             trace,

@@ -489,6 +489,7 @@ fn observation_does_not_change_simulated_cycles() {
                 epoch_cycles: 50,
                 trace_capacity: 1 << 16,
                 max_packets: 1 << 16,
+                ..Default::default()
             });
         }
         let programs: Vec<Box<dyn Program>> = (0..4)
@@ -524,6 +525,7 @@ fn observation_collects_series_trace_and_packets() {
         epoch_cycles: 20,
         trace_capacity: 4096,
         max_packets: 4096,
+        ..Default::default()
     });
     let programs: Vec<Box<dyn Program>> = (0..4)
         .map(|n| {
@@ -775,7 +777,7 @@ fn cross_traffic_slows_shared_memory() {
                 consumed,
                 cfg.clock(),
                 64,
-                cfg.net.height,
+                cfg.net.topo.build().io_streams(),
             ));
         }
         let mut m = Machine::new(
@@ -1172,7 +1174,7 @@ fn congestion_grows_superlinearly() {
                 consumed,
                 cfg.clock(),
                 64,
-                cfg.net.height,
+                cfg.net.topo.build().io_streams(),
             ));
         }
         let mut m = Machine::new(

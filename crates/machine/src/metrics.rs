@@ -71,21 +71,41 @@ impl RunState {
 /// All series are flat `Vec`s indexed `sample * width + item` (width =
 /// `nodes` for node series, `links` for link series) so recording is a
 /// handful of pushes with no per-sample allocation after warmup.
+///
+/// Above the configured sparse threshold (see
+/// [`crate::ObserveConfig::sparse_threshold`]) the per-node and per-link
+/// columns cover a deterministic evenly spaced *sample* of the machine —
+/// [`MetricsSeries::node_ids`] / [`MetricsSeries::link_ids`] name the
+/// sampled items — while [`MetricsSeries::state_counts`] stays exact over
+/// every node. At or below the threshold the sample is the identity and the
+/// series are bit-identical with the pre-sparse seed.
 #[derive(Debug, Clone)]
 pub struct MetricsSeries {
-    /// Number of nodes sampled per epoch.
+    /// Number of node columns sampled per epoch (`node_ids.len()`).
     pub nodes: usize,
-    /// Number of links sampled per epoch.
+    /// Number of link columns sampled per epoch (`link_ids.len()`).
     pub links: usize,
+    /// Total compute nodes in the machine (denominator of
+    /// [`MetricsSeries::state_fraction`]; equals `nodes` when dense).
+    pub total_nodes: usize,
+    /// The node id behind each node column (identity when dense).
+    pub node_ids: Vec<u32>,
+    /// The dense link id behind each link column (identity when dense).
+    pub link_ids: Vec<u32>,
     /// Sampling period in picoseconds.
     pub epoch_ps: u64,
     /// Sample timestamps (picoseconds); strictly increasing, one entry per
     /// epoch boundary crossed.
     pub at_ps: Vec<u64>,
-    /// Per-node [`RunState`] encoded as `u8` (`sample * nodes + node`).
+    /// Per-sampled-node [`RunState`] encoded as `u8` (`sample * nodes +
+    /// column`).
     pub node_state: Vec<u8>,
-    /// Per-node outstanding coherence transactions (`sample * nodes + node`).
+    /// Per-sampled-node outstanding coherence transactions (`sample * nodes
+    /// + column`).
     pub outstanding: Vec<u16>,
+    /// Exact count of nodes in each [`RunState`], over *all* nodes (not
+    /// just the sampled ones): `sample * 5 + state as usize`.
+    pub state_counts: Vec<u32>,
     /// Per-link cumulative busy picoseconds (`sample * links + link`); take
     /// deltas between samples for utilization (see
     /// [`MetricsSeries::link_utilization`]).
@@ -99,18 +119,38 @@ pub struct MetricsSeries {
 }
 
 impl MetricsSeries {
-    pub(crate) fn new(nodes: usize, links: usize, epoch_ps: u64) -> Self {
+    pub(crate) fn new(
+        node_ids: Vec<u32>,
+        link_ids: Vec<u32>,
+        total_nodes: usize,
+        epoch_ps: u64,
+    ) -> Self {
         MetricsSeries {
-            nodes,
-            links,
+            nodes: node_ids.len(),
+            links: link_ids.len(),
+            total_nodes,
+            node_ids,
+            link_ids,
             epoch_ps,
             at_ps: Vec::new(),
             node_state: Vec::new(),
             outstanding: Vec::new(),
+            state_counts: Vec::new(),
             link_busy_ps: Vec::new(),
             link_queue: Vec::new(),
             event_queue_depth: Vec::new(),
             barrier_occupancy: Vec::new(),
+        }
+    }
+
+    /// The deterministic evenly spaced sample of `total` items used when a
+    /// machine exceeds the sparse threshold: `want` ids at stride
+    /// `total/want` (identity when `want >= total`).
+    pub(crate) fn sample_ids(total: usize, want: usize) -> Vec<u32> {
+        if want >= total {
+            (0..total as u32).collect()
+        } else {
+            (0..want).map(|i| (i * total / want) as u32).collect()
         }
     }
 
@@ -119,9 +159,10 @@ impl MetricsSeries {
         self.at_ps.len()
     }
 
-    /// The [`RunState`] of `node` at sample `s`.
-    pub fn state(&self, s: usize, node: usize) -> RunState {
-        RunState::from_u8(self.node_state[s * self.nodes + node])
+    /// The [`RunState`] of node column `col` at sample `s` (the node id is
+    /// `node_ids[col]`).
+    pub fn state(&self, s: usize, col: usize) -> RunState {
+        RunState::from_u8(self.node_state[s * self.nodes + col])
     }
 
     /// Fraction of `link`'s time spent serializing packets during the epoch
@@ -144,13 +185,13 @@ impl MetricsSeries {
         ((busy - prev) as f64 / span as f64).min(1.0)
     }
 
-    /// Fraction of nodes in `state` at sample `s`.
+    /// Fraction of nodes in `state` at sample `s`. Exact over all nodes
+    /// even when the per-node columns are sampled.
     pub fn state_fraction(&self, s: usize, state: RunState) -> f64 {
-        if self.nodes == 0 {
+        if self.total_nodes == 0 {
             return 0.0;
         }
-        let row = &self.node_state[s * self.nodes..(s + 1) * self.nodes];
-        row.iter().filter(|&&v| v == state as u8).count() as f64 / self.nodes as f64
+        self.state_counts[s * RunState::ALL.len() + state as usize] as f64 / self.total_nodes as f64
     }
 }
 
@@ -172,7 +213,8 @@ pub struct Observation {
     pub clock: Clock,
     /// Node count.
     pub nodes: usize,
-    /// Human-readable label per dense link id (e.g. `"E(2,1)"`).
+    /// Human-readable label per *sampled* link column (aligned with
+    /// `series.link_ids`), e.g. `"E(2,1)"`.
     pub link_labels: Vec<String>,
 }
 
@@ -207,11 +249,12 @@ mod tests {
 
     #[test]
     fn series_indexing_and_utilization() {
-        let mut m = MetricsSeries::new(2, 1, 1_000_000);
+        let mut m = MetricsSeries::new(vec![0, 1], vec![0], 2, 1_000_000);
         // Sample 1 at t=1us: node0 compute, node1 sync; link busy 250ns.
         m.at_ps.push(1_000_000);
         m.node_state.extend([0u8, 3]);
         m.outstanding.extend([0u16, 2]);
+        m.state_counts.extend([1u32, 0, 0, 1, 0]);
         m.link_busy_ps.push(250_000);
         m.link_queue.push(1);
         m.event_queue_depth.push(5);
@@ -220,6 +263,7 @@ mod tests {
         m.at_ps.push(2_000_000);
         m.node_state.extend([4u8, 4]);
         m.outstanding.extend([0u16, 0]);
+        m.state_counts.extend([0u32, 0, 0, 0, 2]);
         m.link_busy_ps.push(1_250_000);
         m.link_queue.push(0);
         m.event_queue_depth.push(1);
@@ -232,5 +276,22 @@ mod tests {
         assert!((m.link_utilization(1, 0) - 1.0).abs() < 1e-9);
         assert!((m.state_fraction(0, RunState::Compute) - 0.5).abs() < 1e-9);
         assert!((m.state_fraction(1, RunState::Done) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_ids_dense_and_sparse() {
+        assert_eq!(MetricsSeries::sample_ids(4, 64), vec![0, 1, 2, 3]);
+        assert_eq!(
+            MetricsSeries::sample_ids(8, 8),
+            (0..8).collect::<Vec<u32>>()
+        );
+        let sparse = MetricsSeries::sample_ids(1024, 64);
+        assert_eq!(sparse.len(), 64);
+        assert_eq!(sparse[0], 0);
+        assert_eq!(sparse[1], 16);
+        assert_eq!(sparse[63], 1008);
+        // Strictly increasing, all in range.
+        assert!(sparse.windows(2).all(|w| w[0] < w[1]));
+        assert!(sparse.iter().all(|&id| id < 1024));
     }
 }

@@ -7,7 +7,7 @@
 //! * **pid 1 — nodes**: one thread track per node, with duration slices for
 //!   blocked intervals (`block-mem`, `block-send`, `block-msg`, `barrier`)
 //!   and message handlers, and short slices for sends.
-//! * **pid 2 — links**: one thread track per mesh link (named `E(2,1)`
+//! * **pid 2 — links**: one thread track per sampled link (named `E(2,1)`
 //!   etc.), with a slice for every recorded packet serialization.
 //! * **pid 3 — counters**: DES event-queue depth, barrier occupancy, and
 //!   mean link utilization sampled per epoch.
@@ -290,11 +290,14 @@ pub fn export_trace(obs: &Observation) -> String {
             &format!("node {n}"),
         );
     }
-    for (l, label) in obs.link_labels.iter().enumerate() {
+    // Link tracks are keyed by dense link id (hop records carry it); when
+    // the metric series is sampled, only the sampled links get names, but
+    // ids still line up.
+    for (label, &l) in obs.link_labels.iter().zip(&obs.series.link_ids) {
         metadata(
             &mut events,
             PID_LINKS,
-            Some(l as u32),
+            Some(l),
             "thread_name",
             &format!("link {label}"),
         );

@@ -9,17 +9,20 @@ use crate::packet::{Endpoint, Packet};
 /// The paper attaches 4 I/O nodes to each vertical edge of the 8×4 mesh;
 /// each sends fixed-size messages across the mesh and off the opposite edge,
 /// consuming bisection bandwidth in both directions. The *emulated* bisection
-/// of the machine is the real bisection minus the cross-traffic rate.
+/// of the machine is the real bisection minus the cross-traffic rate. Other
+/// topologies define their own bisection-loading stream paths; the stream
+/// count comes from `Topology::io_streams`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CrossTrafficConfig {
     /// Cross-traffic message size in bytes (the paper settles on 64 after
     /// the Figure 7 sensitivity study).
     pub message_bytes: u32,
     /// Aggregate cross-traffic rate across the bisection, in bytes per
-    /// nanosecond (summed over both directions and all rows).
+    /// nanosecond (summed over both directions and all streams).
     pub bytes_per_ns: f64,
-    /// Number of mesh rows (each contributes one stream per direction).
-    pub rows: u16,
+    /// Number of stream pairs (each contributes one stream per direction);
+    /// the topology's `io_streams` — mesh rows on the Alewife machine.
+    pub streams: u16,
 }
 
 impl CrossTrafficConfig {
@@ -29,24 +32,24 @@ impl CrossTrafficConfig {
         consumed_bytes_per_cycle: f64,
         clock: commsense_des::Clock,
         message_bytes: u32,
-        rows: u16,
+        streams: u16,
     ) -> Self {
         let bytes_per_ns = consumed_bytes_per_cycle * 1_000.0 / clock.cycle_ps() as f64;
         CrossTrafficConfig {
             message_bytes,
             bytes_per_ns,
-            rows,
+            streams,
         }
     }
 
-    /// Per-stream injection interval. There are `2 * rows` streams.
+    /// Per-stream injection interval. There are `2 * streams` streams.
     ///
     /// Returns `None` when the rate is zero (cross-traffic disabled).
     pub fn interval(&self) -> Option<Time> {
         if self.bytes_per_ns <= 0.0 {
             return None;
         }
-        let streams = (2 * self.rows) as f64;
+        let streams = (2 * self.streams) as f64;
         let per_stream_bytes_per_ns = self.bytes_per_ns / streams;
         let interval_ps = self.message_bytes as f64 / per_stream_bytes_per_ns * 1_000.0;
         Some(Time::from_ps(interval_ps.round() as u64))
@@ -57,14 +60,15 @@ impl CrossTrafficConfig {
     pub fn stable_encode(&self, enc: &mut commsense_des::StableEncoder, prefix: &str) {
         enc.put(&format!("{prefix}.message_bytes"), self.message_bytes);
         enc.put_f64(&format!("{prefix}.bytes_per_ns"), self.bytes_per_ns);
-        enc.put(&format!("{prefix}.rows"), self.rows);
+        enc.put(&format!("{prefix}.streams"), self.streams);
     }
 }
 
 /// Periodic cross-traffic injector.
 ///
 /// Each tick emits one message per stream (west→east and east→west for each
-/// row). The embedding machine schedules ticks at [`CrossTraffic::interval`].
+/// stream pair). The embedding machine schedules ticks at
+/// [`CrossTraffic::interval`].
 ///
 /// # Examples
 ///
@@ -76,7 +80,7 @@ impl CrossTrafficConfig {
 /// let cfg = CrossTrafficConfig::consuming(8.0, Clock::from_mhz(20.0), 64, 4);
 /// let ct = CrossTraffic::new(cfg);
 /// let pkts: Vec<_> = ct.tick_packets().collect();
-/// assert_eq!(pkts.len(), 8); // 4 rows x 2 directions
+/// assert_eq!(pkts.len(), 8); // 4 stream pairs x 2 directions
 /// ```
 #[derive(Debug, Clone)]
 pub struct CrossTraffic {
@@ -102,17 +106,17 @@ impl CrossTraffic {
     /// The packets to inject at each tick: one per stream.
     pub fn tick_packets(&self) -> impl Iterator<Item = Packet> + '_ {
         let bytes = self.cfg.message_bytes;
-        (0..self.cfg.rows).flat_map(move |row| {
+        (0..self.cfg.streams).flat_map(move |s| {
             [
-                Packet::cross_traffic(Endpoint::IoWest(row), Endpoint::IoEast(row), bytes),
-                Packet::cross_traffic(Endpoint::IoEast(row), Endpoint::IoWest(row), bytes),
+                Packet::cross_traffic(Endpoint::IoWest(s), Endpoint::IoEast(s), bytes),
+                Packet::cross_traffic(Endpoint::IoEast(s), Endpoint::IoWest(s), bytes),
             ]
         })
     }
 
     /// Bytes injected per tick across all streams.
     pub fn bytes_per_tick(&self) -> u64 {
-        2 * self.cfg.rows as u64 * self.cfg.message_bytes as u64
+        2 * self.cfg.streams as u64 * self.cfg.message_bytes as u64
     }
 }
 
@@ -154,14 +158,14 @@ mod tests {
     }
 
     #[test]
-    fn tick_covers_every_row_both_directions() {
+    fn tick_covers_every_stream_both_directions() {
         let cfg = CrossTrafficConfig::consuming(4.0, Clock::from_mhz(20.0), 64, 4);
         let ct = CrossTraffic::new(cfg);
         let pkts: Vec<_> = ct.tick_packets().collect();
         assert_eq!(pkts.len(), 8);
-        for row in 0..4 {
-            assert!(pkts.iter().any(|p| p.src == Endpoint::IoWest(row)));
-            assert!(pkts.iter().any(|p| p.src == Endpoint::IoEast(row)));
+        for s in 0..4 {
+            assert!(pkts.iter().any(|p| p.src == Endpoint::IoWest(s)));
+            assert!(pkts.iter().any(|p| p.src == Endpoint::IoEast(s)));
         }
     }
 }

@@ -1,9 +1,11 @@
-//! 2-D mesh interconnect model for the `commsense` machine emulator.
+//! Interconnect model for the `commsense` machine emulator.
 //!
 //! The MIT Alewife network is an asynchronous 2-D mesh of Elko-series EMRC
 //! routers (8×4 for the 32-node machine used in the paper) with
-//! dimension-order wormhole routing. This crate models that network at the
-//! level that matters for the paper's experiments:
+//! dimension-order wormhole routing. This crate models that network — and,
+//! through the [`Topology`] trait, a 2-D torus, a fat tree, and a dragonfly
+//! for scaling studies — at the level that matters for the paper's
+//! experiments:
 //!
 //! * **Per-link serialization** — every packet occupies each link on its
 //!   route for `bytes / link_bandwidth`; queued waiters experience the
@@ -63,4 +65,6 @@ pub use network::{Delivery, NetConfig, NetEvent, Network};
 pub use packet::{Endpoint, Packet, PacketClass};
 pub use recorder::{HopRecord, NetRecording, PacketRecord, NO_RECORD};
 pub use stats::{NetStats, VolumeBreakdown};
-pub use topology::{Mesh, RouteDir, RouteTable, RouterCoord};
+pub use topology::{
+    Dragonfly, FatTree, Mesh, RouteDir, RouteTable, RouterCoord, Topo, TopoSpec, Topology, Torus,
+};

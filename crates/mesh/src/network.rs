@@ -7,22 +7,22 @@ use commsense_des::Time;
 use crate::packet::{Endpoint, Packet};
 use crate::recorder::{NetRecorder, NetRecording, NO_RECORD};
 use crate::stats::NetStats;
-use crate::topology::{Mesh, RouteTable};
+use crate::topology::{Topo, TopoSpec};
 
-/// Physical parameters of the mesh network.
+/// Physical parameters of the interconnect.
 ///
 /// Alewife calibration: Table 1 gives the 32-node machine a bisection of
 /// 360 Mbytes/s = 18 bytes per 20 MHz processor cycle. The 8×4 mesh's
 /// bisection cut is crossed by 8 unidirectional channels, so each channel
 /// carries 45 Mbytes/s ⇒ ~22.2 ns/byte. With a 40 ns router delay, a
 /// 24-byte packet over an average ~4-hop path takes ≈0.7 µs ≈ 15 processor
-/// cycles — the paper's Table 1 entry.
+/// cycles — the paper's Table 1 entry. Other topologies reuse the same
+/// per-channel timing, so bisection bandwidth scales with the topology's
+/// channel count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetConfig {
-    /// Mesh width (columns).
-    pub width: u16,
-    /// Mesh height (rows).
-    pub height: u16,
+    /// Interconnect shape.
+    pub topo: TopoSpec,
     /// Serialization time per byte on each link, in picoseconds.
     pub ps_per_byte: u64,
     /// Head latency through one router, in picoseconds.
@@ -38,17 +38,17 @@ impl NetConfig {
     /// 15-cycle one-way latency for 24 bytes at 20 MHz).
     pub fn alewife() -> Self {
         NetConfig {
-            width: 8,
-            height: 4,
+            topo: TopoSpec::alewife(),
             ps_per_byte: 22_222,
             router_delay_ps: 40_000,
             eject_delay_ps: 25_000,
         }
     }
 
-    /// Bisection bandwidth in bytes per nanosecond.
+    /// Bisection bandwidth in bytes per nanosecond (all channels crossing
+    /// the cut, both directions).
     pub fn bisection_bytes_per_ns(&self) -> f64 {
-        let channels = 2 * self.height as u64; // both directions per row
+        let channels = self.topo.build().bisection_channels();
         channels as f64 * (1_000.0 / self.ps_per_byte as f64)
     }
 
@@ -61,8 +61,7 @@ impl NetConfig {
     /// `commsense_des::stable`). Every field that can affect simulated
     /// cycles must appear here under `prefix`.
     pub fn stable_encode(&self, enc: &mut commsense_des::StableEncoder, prefix: &str) {
-        enc.put(&format!("{prefix}.width"), self.width);
-        enc.put(&format!("{prefix}.height"), self.height);
+        self.topo.stable_encode(enc, &format!("{prefix}.topo"));
         enc.put(&format!("{prefix}.ps_per_byte"), self.ps_per_byte);
         enc.put(&format!("{prefix}.router_delay_ps"), self.router_delay_ps);
         enc.put(&format!("{prefix}.eject_delay_ps"), self.eject_delay_ps);
@@ -111,8 +110,11 @@ pub struct Delivery {
 #[derive(Debug)]
 struct InFlight {
     packet: Packet,
-    /// Key into the network's precomputed [`RouteTable`].
-    route: u32,
+    /// Link ids of the full route, materialized once at injection
+    /// (`Topo::route_into`) into a buffer recycled through
+    /// `Network::route_pool`, so the per-hop hot path is an array read.
+    /// Memory is O(in-flight packets x path length), not O(N^2).
+    route: Vec<u32>,
     hop: u32,
     injected_at: Time,
     head_ready_at: Time,
@@ -126,7 +128,7 @@ struct LinkState {
     waiters: VecDeque<u32>,
 }
 
-/// The mesh network simulator.
+/// The interconnect network simulator.
 ///
 /// The network is driven by an external event loop: [`Network::inject`] and
 /// [`Network::handle`] take a `sched` callback through which the network
@@ -135,11 +137,16 @@ struct LinkState {
 #[derive(Debug)]
 pub struct Network {
     cfg: NetConfig,
-    mesh: Mesh,
-    routes: RouteTable,
+    topo: Topo,
     links: Vec<LinkState>,
     flights: Vec<Option<InFlight>>,
     free_slots: Vec<u32>,
+    /// Retired route buffers, recycled to keep injection allocation-free in
+    /// steady state.
+    route_pool: Vec<Vec<u32>>,
+    /// Per-link bisection membership, precomputed so the per-hop bandwidth
+    /// accounting is a mask read instead of topology arithmetic.
+    crosses: Box<[bool]>,
     inject_free: Vec<Time>,
     eject_free: Vec<Time>,
     stats: NetStats,
@@ -152,19 +159,22 @@ pub struct Network {
 impl Network {
     /// Creates a network.
     pub fn new(cfg: NetConfig) -> Self {
-        let mesh = Mesh::new(cfg.width, cfg.height);
-        let routes = RouteTable::new(&mesh);
-        let links = (0..mesh.num_links())
+        let topo = cfg.topo.build();
+        let links = (0..topo.num_links())
             .map(|_| LinkState::default())
             .collect();
-        let n = mesh.num_nodes();
+        let n = topo.num_nodes();
+        let crosses = (0..topo.num_links())
+            .map(|l| topo.crosses_bisection(l))
+            .collect();
         Network {
             cfg,
-            mesh,
-            routes,
+            topo,
             links,
             flights: Vec::new(),
             free_slots: Vec::new(),
+            route_pool: Vec::new(),
+            crosses,
             inject_free: vec![Time::ZERO; n],
             eject_free: vec![Time::ZERO; n],
             stats: NetStats::new(),
@@ -178,7 +188,7 @@ impl Network {
     pub fn enable_recording(&mut self, max_packets: usize) {
         self.recorder = Some(Box::new(NetRecorder::new(
             max_packets,
-            self.mesh.num_links(),
+            self.topo.num_links(),
         )));
     }
 
@@ -201,7 +211,7 @@ impl Network {
         self.recorder.as_ref().map(|r| r.packets())
     }
 
-    /// Number of unidirectional links in the mesh.
+    /// Number of unidirectional links in the topology.
     pub fn num_links(&self) -> usize {
         self.links.len()
     }
@@ -220,8 +230,8 @@ impl Network {
     }
 
     /// The topology.
-    pub fn mesh(&self) -> &Mesh {
-        &self.mesh
+    pub fn topo(&self) -> &Topo {
+        &self.topo
     }
 
     /// The configuration.
@@ -269,7 +279,9 @@ impl Network {
     ///
     /// Panics if source and destination are the same compute node.
     pub fn inject(&mut self, now: Time, packet: Packet, sched: &mut impl FnMut(Time, NetEvent)) {
-        let route = self.routes.key(packet.src, packet.dst);
+        let mut route = self.route_pool.pop().unwrap_or_default();
+        route.clear();
+        self.topo.route_into(packet.src, packet.dst, &mut route);
         self.stats.packets_injected += 1;
         self.stats
             .injected
@@ -343,14 +355,12 @@ impl Network {
 
     fn try_hop(&mut self, now: Time, pkt: u32, sched: &mut impl FnMut(Time, NetEvent)) {
         let flight = self.flights[pkt as usize].as_ref().expect("flight exists");
-        let route = self.routes.route(flight.route);
-        if flight.hop as usize >= route.len() {
-            // Zero-hop routes cannot occur (local traffic never injects),
-            // but a final ejection after the last link is handled in
-            // start_hop; reaching here means the route was empty.
-            unreachable!("try_hop past end of route");
-        }
-        let link = route[flight.hop as usize] as usize;
+        assert!(
+            (flight.hop as usize) < flight.route.len(),
+            "try_hop past end of route (zero-hop routes cannot occur: \
+             local traffic never injects)"
+        );
+        let link = flight.route[flight.hop as usize] as usize;
         if self.links[link].busy_until > now {
             self.links[link].waiters.push_back(pkt);
         } else {
@@ -362,10 +372,9 @@ impl Network {
         let cfg_router = Time::from_ps(self.cfg.router_delay_ps);
         let (link, ser, last, class, hdr, pay, rec) = {
             let flight = self.flights[pkt as usize].as_ref().expect("flight exists");
-            let route = self.routes.route(flight.route);
-            let link = route[flight.hop as usize] as usize;
+            let link = flight.route[flight.hop as usize] as usize;
             let ser = self.serialize_time(flight.packet.wire_bytes());
-            let last = flight.hop as usize + 1 == route.len();
+            let last = flight.hop as usize + 1 == flight.route.len();
             (
                 link,
                 ser,
@@ -382,7 +391,7 @@ impl Network {
         }
         self.links[link].busy_until = now + ser;
         sched(now + ser, NetEvent::LinkFree { link: link as u32 });
-        if self.mesh.crosses_bisection(link) {
+        if self.crosses[link] {
             self.stats.bisection.record(class, hdr, pay);
         }
 
@@ -408,8 +417,9 @@ impl Network {
     }
 
     fn deliver(&mut self, now: Time, pkt: u32) -> Option<Delivery> {
-        let flight = self.flights[pkt as usize].take().expect("flight exists");
+        let mut flight = self.flights[pkt as usize].take().expect("flight exists");
         self.free_slots.push(pkt);
+        self.route_pool.push(std::mem::take(&mut flight.route));
         self.stats
             .record_delivery(now.saturating_sub(flight.injected_at));
         if let Some(r) = &mut self.recorder {
@@ -709,5 +719,83 @@ mod tests {
         }
         assert_eq!(net.flights.iter().filter(|f| f.is_some()).count(), 0);
         assert!(net.flights.len() <= 2, "slots must be reused");
+    }
+
+    #[test]
+    fn all_topologies_deliver_and_load_bisection() {
+        for topo in [
+            crate::TopoSpec::torus(8, 4),
+            crate::TopoSpec::fat_tree(2, 5),
+            crate::TopoSpec::dragonfly(8, 4),
+        ] {
+            let cfg = NetConfig {
+                topo,
+                ..NetConfig::alewife()
+            };
+            let mut net = Network::new(cfg);
+            let mut q = EventQueue::new();
+            let n = net.topo().num_nodes();
+            inject(
+                &mut net,
+                &mut q,
+                Time::ZERO,
+                Packet::protocol(
+                    Endpoint::node(0),
+                    Endpoint::node(n - 1),
+                    24,
+                    PacketClass::Data,
+                    0,
+                ),
+            );
+            inject(
+                &mut net,
+                &mut q,
+                Time::ZERO,
+                Packet::cross_traffic(Endpoint::IoWest(0), Endpoint::IoEast(0), 64),
+            );
+            let out = drain(&mut net, q);
+            assert_eq!(out.len(), 1, "{}: app packet delivered", net.topo().kind());
+            assert_eq!(net.stats().packets_delivered, 2);
+            assert_eq!(
+                net.stats().bisection.cross_traffic,
+                64,
+                "{}: cross traffic crosses the cut exactly once",
+                net.topo().kind()
+            );
+            assert!(net.stats().bisection.app_total() > 0);
+        }
+    }
+
+    #[test]
+    fn thousand_node_torus_delivers() {
+        // Satellite index-audit regression: 1024 nodes, 4096 links, routes
+        // well outside the 32-node id space.
+        let cfg = NetConfig {
+            topo: crate::TopoSpec::torus(32, 32),
+            ..NetConfig::alewife()
+        };
+        let mut net = Network::new(cfg);
+        assert_eq!(net.num_links(), 4096);
+        let mut q = EventQueue::new();
+        for (tag, (src, dst)) in [(0usize, 1023usize), (1023, 0), (500, 777)]
+            .into_iter()
+            .enumerate()
+        {
+            inject(
+                &mut net,
+                &mut q,
+                Time::ZERO,
+                Packet::protocol(
+                    Endpoint::node(src),
+                    Endpoint::node(dst),
+                    24,
+                    PacketClass::Data,
+                    tag as u64,
+                ),
+            );
+        }
+        let out = drain(&mut net, q);
+        assert_eq!(out.len(), 3);
+        assert_eq!(net.in_flight(), 0);
     }
 }

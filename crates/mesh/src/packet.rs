@@ -4,20 +4,35 @@
 ///
 /// The Alewife machine attaches I/O nodes in columns at either side of the
 /// mesh; the paper's bisection-emulation experiment (§5.2) uses them to send
-/// traffic across the bisection in both directions.
+/// traffic across the bisection in both directions. Other topologies map the
+/// stream index `.0` onto their own bisection-loading paths — see
+/// `Topology::io_streams`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Endpoint {
     /// Compute node by id.
     Node(u16),
-    /// I/O port attached to the west edge of row `.0`.
+    /// I/O port on the "west" side of the bisection cut, stream `.0`.
     IoWest(u16),
-    /// I/O port attached to the east edge of row `.0`.
+    /// I/O port on the "east" side of the bisection cut, stream `.0`.
     IoEast(u16),
 }
 
 impl Endpoint {
+    /// The largest machine an `Endpoint` can address: node ids are `u16`.
+    pub const MAX_NODES: usize = 1 << 16;
+
     /// Convenience constructor for a compute-node endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not fit the `u16` node-id space (at or above
+    /// [`Endpoint::MAX_NODES`]).
     pub fn node(id: usize) -> Self {
+        assert!(
+            id < Self::MAX_NODES,
+            "node id {id} does not fit the u16 endpoint space (max {})",
+            Self::MAX_NODES - 1
+        );
         Endpoint::Node(id as u16)
     }
 }

@@ -61,7 +61,9 @@ pub(crate) struct NetRecorder {
 impl NetRecorder {
     pub(crate) fn new(max_packets: usize, links: usize) -> Self {
         NetRecorder {
-            max_packets,
+            // Record ids are u32 with NO_RECORD reserved; clamp the table
+            // capacity so ids can never collide with the sentinel.
+            max_packets: max_packets.min(NO_RECORD as usize - 1),
             packets: Vec::new(),
             hops: Vec::new(),
             dropped_packets: 0,

@@ -49,7 +49,7 @@ proptest! {
             for (t, e) in sched {
                 q.schedule(t, e);
             }
-            let hops = net.mesh().hops(src, dst) as u64;
+            let hops = net.topo().hops(src, dst) as u64;
             let min = hops * cfg.router_delay_ps
                 + bytes.max(8) as u64 * cfg.ps_per_byte;
             expected.push((tag as u64, Time::from_ps(min)));

@@ -470,7 +470,7 @@ impl Extreme {
                     0.1,
                     cfg.clock(),
                     64,
-                    cfg.net.height,
+                    cfg.net.topo.build().io_streams(),
                 ));
             }
             Extreme::HighLatency => cfg.latency_emulation = Some(LatencyEmulation::uniform(400)),

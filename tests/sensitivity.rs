@@ -121,7 +121,7 @@ fn cross_traffic_actually_crosses_the_bisection() {
         8.0,
         cfg.clock(),
         64,
-        cfg.net.height,
+        cfg.net.topo.build().io_streams(),
     ));
     let r = run_app(&em3d(), Mechanism::MsgPoll, &cfg);
     assert!(

@@ -529,6 +529,7 @@ fn run_sm(w: &Em3dPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
         stats,
         wall: std::time::Duration::ZERO,
         observation: machine.take_observation().map(Arc::new),
+        profile: machine.take_dispatch_profile(),
     }
 }
 
@@ -570,6 +571,7 @@ fn run_mp(w: &Em3dPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
     );
     let stats = machine.run();
     let observation = machine.take_observation().map(Arc::new);
+    let profile = machine.take_dispatch_profile();
 
     // Gather owned values from each program.
     let mut got_e = vec![0.0; g.e.len()];
@@ -597,6 +599,7 @@ fn run_mp(w: &Em3dPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
         stats,
         wall: std::time::Duration::ZERO,
         observation,
+        profile,
     }
 }
 

@@ -488,6 +488,7 @@ fn run_sm(w: &IccgPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
         stats,
         wall: std::time::Duration::ZERO,
         observation: machine.take_observation().map(Arc::new),
+        profile: machine.take_dispatch_profile(),
     }
 }
 
@@ -535,6 +536,7 @@ fn run_mp(w: &IccgPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
     );
     let stats = machine.run();
     let observation = machine.take_observation().map(Arc::new);
+    let profile = machine.take_dispatch_profile();
     let mut got = vec![0.0; n];
     for prog in machine.into_programs() {
         let p = prog
@@ -557,6 +559,7 @@ fn run_mp(w: &IccgPrepared, mech: Mechanism, cfg: &MachineConfig) -> RunResult {
         stats,
         wall: std::time::Duration::ZERO,
         observation,
+        profile,
     }
 }
 

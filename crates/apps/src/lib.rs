@@ -211,13 +211,17 @@ pub struct RunResult {
     /// [`commsense_machine::ObserveConfig`]. Shared via `Arc` so cloning a
     /// result (plans cache run outputs) does not duplicate the series.
     pub observation: Option<std::sync::Arc<commsense_machine::Observation>>,
+    /// Host-side dispatch profile, present when the config enabled
+    /// [`commsense_machine::MachineConfig::profile_dispatch`]. Measurement
+    /// metadata, not a simulation output.
+    pub profile: Option<commsense_machine::DispatchProfile>,
 }
 
-/// `Debug` deliberately omits [`RunResult::wall`] and
-/// [`RunResult::observation`]: every rendered field is a pure function of
+/// `Debug` deliberately omits [`RunResult::wall`], [`RunResult::observation`]
+/// and [`RunResult::profile`]: every rendered field is a pure function of
 /// the request, and the engine's determinism tests compare runs via their
-/// `Debug` rendering. Wall time is host noise, and the observation is a
-/// bulky recording of the same run, not an extra output.
+/// `Debug` rendering. Wall time and the dispatch profile are host noise, and
+/// the observation is a bulky recording of the same run, not an extra output.
 impl std::fmt::Debug for RunResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RunResult")

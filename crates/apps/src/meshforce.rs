@@ -725,6 +725,7 @@ fn run_sm(w: &PreparedModel, mech: Mechanism, cfg: &MachineConfig) -> RunResult 
         stats,
         wall: std::time::Duration::ZERO,
         observation: machine.take_observation().map(Arc::new),
+        profile: machine.take_dispatch_profile(),
     }
 }
 
@@ -767,6 +768,7 @@ fn run_mp(w: &PreparedModel, mech: Mechanism, cfg: &MachineConfig) -> RunResult 
     );
     let stats = machine.run();
     let observation = machine.take_observation().map(Arc::new);
+    let profile = machine.take_dispatch_profile();
     let mut got = vec![0.0; m.len()];
     for prog in machine.into_programs() {
         let p = prog
@@ -787,6 +789,7 @@ fn run_mp(w: &PreparedModel, mech: Mechanism, cfg: &MachineConfig) -> RunResult 
         stats,
         wall: std::time::Duration::ZERO,
         observation,
+        profile,
     }
 }
 

@@ -46,6 +46,9 @@ struct Opts {
     baseline: Option<String>,
     reps: usize,
     gate: Option<f64>,
+    nodes: Option<usize>,
+    topo: Option<String>,
+    profile: Option<String>,
     app: String,
     mech: String,
     cross: Option<f64>,
@@ -62,6 +65,7 @@ const USAGE: &str = "\
 usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check] [--store [DIR]]
        repro store stats|gc|verify [--store [DIR]]
        repro perf [--small] [--out FILE] [--baseline FILE] [--reps N] [--gate PCT]
+                  [--nodes N] [--topo KIND] [--profile FILE]
        repro observe [--app NAME] [--mech LABEL] [--small|--paper]
                      [--cross B_PER_CYCLE] [--latency CYCLES] [--epoch N] [--dir DIR]
        repro scale [--small] [--csv DIR] [--jobs N] [--store [DIR]] [--dir DIR]
@@ -84,6 +88,12 @@ usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check] [--store 
   --reps     perf: repetitions per mechanism, fastest kept (default 5)
   --gate     perf: fail (exit 1) if events/sec drops more than PCT percent
              below the --baseline report
+  --nodes    perf: also measure a scaled config with N nodes (extra JSON
+             section, never gated; default 256 when only --topo is given)
+  --topo     perf: topology of the scaled config (mesh|torus|fat-tree|
+             dragonfly; default torus when only --nodes is given)
+  --profile  perf: after the timed reps, rerun each mechanism once with
+             dispatch profiling and write self-time per event kind as CSV
   --app      observe: application (EM3D|UNSTRUC|ICCG|MOLDYN; default EM3D)
   --mech     observe: mechanism label (sm|sm+pf|mp-int|mp-poll|bulk; default mp-poll)
   --cross    observe: consume N bytes/cycle of bisection with cross-traffic
@@ -116,6 +126,9 @@ fn parse_args() -> Opts {
     let mut baseline = None;
     let mut reps = 5;
     let mut gate = None;
+    let mut nodes = None;
+    let mut topo = None;
+    let mut profile = None;
     let mut app = "EM3D".to_string();
     let mut mech = "mp-poll".to_string();
     let mut cross = None;
@@ -179,6 +192,30 @@ fn parse_args() -> Opts {
                     std::process::exit(2);
                 }
             },
+            "--nodes" => match next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 2 => nodes = Some(n),
+                _ => {
+                    eprintln!("--nodes needs an integer >= 2\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--topo" => match next() {
+                Some(k) if commsense_mesh::TopoSpec::KINDS.contains(&k.as_str()) => topo = Some(k),
+                _ => {
+                    eprintln!(
+                        "--topo needs one of {:?}\n{USAGE}",
+                        commsense_mesh::TopoSpec::KINDS
+                    );
+                    std::process::exit(2);
+                }
+            },
+            "--profile" => {
+                profile = next();
+                if profile.is_none() {
+                    eprintln!("--profile needs an output file\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
             "--cross" => match next().and_then(|v| v.parse::<f64>().ok()) {
                 Some(c) if c >= 0.0 => cross = Some(c),
                 _ => {
@@ -255,6 +292,9 @@ fn parse_args() -> Opts {
         baseline,
         reps,
         gate,
+        nodes,
+        topo,
+        profile,
         app,
         mech,
         cross,
@@ -488,9 +528,29 @@ fn run_perf_harness(opts: &Opts) {
     println!("== perf: simulator hot-path throughput ==");
     let report = perf::run_perf(opts.scale, &cfg(opts.check), opts.reps);
     print!("{}", perf::perf_text(&report, baseline.as_ref()));
+    // The auxiliary scaled-config measurement: an extra (never gated)
+    // section tracking how throughput holds up on a bigger machine.
+    let scaled = (opts.nodes.is_some() || opts.topo.is_some()).then(|| {
+        let topo = opts.topo.as_deref().unwrap_or("torus");
+        let nodes = opts.nodes.unwrap_or(256);
+        println!("== perf: scaled config ({topo}, {nodes} nodes) ==");
+        let s = perf::run_perf_scaled(opts.scale, topo, nodes, opts.reps);
+        print!("{}", perf::perf_text(&s.report, None));
+        s
+    });
     let out = opts.out.as_deref().unwrap_or("BENCH.json");
-    std::fs::write(out, perf::perf_json(&report, baseline.as_ref())).expect("write perf JSON");
+    std::fs::write(
+        out,
+        perf::perf_json(&report, baseline.as_ref(), scaled.as_ref()),
+    )
+    .expect("write perf JSON");
     println!("(wrote {out})");
+    if let Some(path) = &opts.profile {
+        println!("== perf: dispatch profile (one instrumented run per mechanism) ==");
+        let profiled = perf::run_perf_profile(opts.scale, &cfg(opts.check));
+        std::fs::write(path, perf::profile_csv(&profiled)).expect("write profile CSV");
+        println!("(wrote {path})");
+    }
     if let Some(pct) = opts.gate {
         let Some(b) = baseline.as_ref() else {
             eprintln!("--gate needs a readable --baseline report\n{USAGE}");

@@ -56,7 +56,7 @@ impl PerfRun {
 
 /// Aggregate numbers from a previously recorded report, used as the
 /// comparison point of a new one.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfBaseline {
     /// Total simulation events across all runs.
     pub total_events: u64,
@@ -64,6 +64,33 @@ pub struct PerfBaseline {
     pub total_wall_secs: f64,
     /// Aggregate events per second.
     pub events_per_sec: f64,
+    /// Per-mechanism measurements of the baseline report, when its JSON
+    /// carried them (reports have since PR 2; an empty vec means an
+    /// aggregate-only baseline). Lets a failing gate name the mechanism
+    /// that regressed instead of just the aggregate.
+    pub runs: Vec<BaselineRun>,
+}
+
+/// One per-mechanism measurement inside a [`PerfBaseline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRun {
+    /// Mechanism label.
+    pub mechanism: String,
+    /// Simulation events processed.
+    pub events: u64,
+    /// Host wall-clock seconds simulating this run.
+    pub wall_secs: f64,
+}
+
+impl BaselineRun {
+    /// Events per host wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
 }
 
 /// A full perf-harness report: the fixed workload under every mechanism.
@@ -105,6 +132,15 @@ impl PerfReport {
             total_events: self.total_events(),
             total_wall_secs: self.total_wall_secs(),
             events_per_sec: self.events_per_sec(),
+            runs: self
+                .runs
+                .iter()
+                .map(|r| BaselineRun {
+                    mechanism: r.mechanism.to_string(),
+                    events: r.events,
+                    wall_secs: r.wall_secs,
+                })
+                .collect(),
         }
     }
 }
@@ -148,6 +184,82 @@ pub fn run_perf(scale: Scale, cfg: &MachineConfig, reps: usize) -> PerfReport {
     }
 }
 
+/// One mechanism's per-event-kind dispatch profile from the profiled pass.
+#[derive(Debug, Clone)]
+pub struct ProfiledRun {
+    /// Mechanism label.
+    pub mechanism: &'static str,
+    /// Per-kind dispatch self-times.
+    pub profile: commsense_machine::DispatchProfile,
+}
+
+/// Runs the perf workload once per mechanism with dispatch profiling
+/// enabled and returns the per-event-kind self-time breakdowns. Kept
+/// separate from the timed reps: the per-event clock reads the profiler
+/// inserts would distort the tracked wall times.
+pub fn run_perf_profile(scale: Scale, cfg: &MachineConfig) -> Vec<ProfiledRun> {
+    let spec = perf_workload(scale);
+    let mut cfg = cfg.clone();
+    cfg.profile_dispatch = true;
+    let prepared = spec.prepare(cfg.nodes);
+    Mechanism::ALL
+        .iter()
+        .map(|&mech| {
+            let r = run_prepared(&prepared, mech, &cfg);
+            ProfiledRun {
+                mechanism: mech.label(),
+                profile: r.profile.expect("profile_dispatch implies a profile"),
+            }
+        })
+        .collect()
+}
+
+/// Renders profiled runs as CSV: one row per (mechanism, event kind) with
+/// the dispatch count, total self-time, and mean cost per event.
+pub fn profile_csv(runs: &[ProfiledRun]) -> String {
+    let mut out = String::from("mechanism,kind,events,self_secs,ns_per_event,batches\n");
+    for run in runs {
+        for k in &run.profile.kinds {
+            let ns = if k.events > 0 {
+                k.self_secs * 1e9 / k.events as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{},{},{},{:.6},{ns:.1},{}\n",
+                run.mechanism, k.kind, k.events, k.self_secs, run.profile.batches
+            ));
+        }
+    }
+    out
+}
+
+/// The auxiliary scaled-configuration measurement of `repro perf --nodes /
+/// --topo`: the same workload shape on a bigger machine. Reported as an
+/// extra JSON section; never gated (the tracked baseline chain is the
+/// fixed 32-node config only).
+#[derive(Debug, Clone)]
+pub struct ScaledReport {
+    /// Topology kind the scaled config was built from.
+    pub topo: String,
+    /// Node count of the scaled config.
+    pub nodes: usize,
+    /// The measurements.
+    pub report: PerfReport,
+}
+
+/// Runs the perf workload on a scaled machine configuration
+/// ([`MachineConfig::scaled`]): same workload generator, `nodes`
+/// processors on a `topo` network.
+pub fn run_perf_scaled(scale: Scale, topo: &str, nodes: usize, reps: usize) -> ScaledReport {
+    let cfg = MachineConfig::scaled(topo, nodes);
+    ScaledReport {
+        topo: topo.to_string(),
+        nodes: cfg.nodes,
+        report: run_perf(scale, &cfg, reps),
+    }
+}
+
 fn push_json_f64(out: &mut String, v: f64) {
     // `format!("{v}")` prints f64 round-trippably; avoid `inf`/`NaN`,
     // which are not JSON.
@@ -158,35 +270,29 @@ fn push_json_f64(out: &mut String, v: f64) {
     }
 }
 
-/// Renders a report (and an optional baseline) as the `BENCH_*.json`
-/// format: a single JSON object with `current`, `baseline` (or `null`),
-/// and the aggregate `speedup_events_per_sec`.
-pub fn perf_json(report: &PerfReport, baseline: Option<&PerfBaseline>) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str("  \"bench\": \"commsense-perf\",\n");
-    out.push_str(&format!("  \"workload\": \"{}\",\n", report.workload));
-    out.push_str("  \"current\": {\n");
+/// Renders one report's aggregates + runs as the fields of a JSON object
+/// body (shared by the `current` and `scaled` sections).
+fn push_report_json(out: &mut String, report: &PerfReport, indent: &str) {
     out.push_str(&format!(
-        "    \"total_events\": {},\n",
+        "{indent}\"total_events\": {},\n",
         report.total_events()
     ));
-    out.push_str("    \"total_wall_secs\": ");
-    push_json_f64(&mut out, report.total_wall_secs());
-    out.push_str(",\n    \"events_per_sec\": ");
-    push_json_f64(&mut out, report.events_per_sec());
-    out.push_str(",\n    \"prepare_secs\": ");
-    push_json_f64(&mut out, report.prepare_secs);
-    out.push_str(",\n    \"runs\": [\n");
+    out.push_str(&format!("{indent}\"total_wall_secs\": "));
+    push_json_f64(out, report.total_wall_secs());
+    out.push_str(&format!(",\n{indent}\"events_per_sec\": "));
+    push_json_f64(out, report.events_per_sec());
+    out.push_str(&format!(",\n{indent}\"prepare_secs\": "));
+    push_json_f64(out, report.prepare_secs);
+    out.push_str(&format!(",\n{indent}\"runs\": [\n"));
     for (i, r) in report.runs.iter().enumerate() {
         out.push_str(&format!(
-            "      {{\"app\": \"{}\", \"mechanism\": \"{}\", \"runtime_cycles\": {}, \
+            "{indent}  {{\"app\": \"{}\", \"mechanism\": \"{}\", \"runtime_cycles\": {}, \
              \"events\": {}, \"wall_secs\": ",
             r.app, r.mechanism, r.runtime_cycles, r.events
         ));
-        push_json_f64(&mut out, r.wall_secs);
+        push_json_f64(out, r.wall_secs);
         out.push_str(", \"events_per_sec\": ");
-        push_json_f64(&mut out, r.events_per_sec());
+        push_json_f64(out, r.events_per_sec());
         out.push_str(&format!(", \"verified\": {}}}", r.verified));
         out.push_str(if i + 1 < report.runs.len() {
             ",\n"
@@ -194,7 +300,35 @@ pub fn perf_json(report: &PerfReport, baseline: Option<&PerfBaseline>) -> String
             "\n"
         });
     }
-    out.push_str("    ]\n  },\n");
+    out.push_str(&format!("{indent}]\n"));
+}
+
+/// Renders a report (and an optional baseline and scaled-config section)
+/// as the `BENCH_*.json` format: a single JSON object with `current`,
+/// `baseline` (or `null`), the aggregate `speedup_events_per_sec`, and
+/// `scaled` (or `null`) for the auxiliary `--nodes/--topo` measurement.
+pub fn perf_json(
+    report: &PerfReport,
+    baseline: Option<&PerfBaseline>,
+    scaled: Option<&ScaledReport>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"commsense-perf\",\n");
+    out.push_str(&format!("  \"workload\": \"{}\",\n", report.workload));
+    out.push_str("  \"current\": {\n");
+    push_report_json(&mut out, report, "    ");
+    out.push_str("  },\n");
+    match scaled {
+        Some(s) => {
+            out.push_str("  \"scaled\": {\n");
+            out.push_str(&format!("    \"topo\": \"{}\",\n", s.topo));
+            out.push_str(&format!("    \"nodes\": {},\n", s.nodes));
+            push_report_json(&mut out, &s.report, "    ");
+            out.push_str("  },\n");
+        }
+        None => out.push_str("  \"scaled\": null,\n"),
+    }
     match baseline {
         Some(b) => {
             out.push_str("  \"baseline\": {\n");
@@ -258,16 +392,40 @@ pub fn parse_baseline(json: &str) -> Option<PerfBaseline> {
     if !(total_events.fract() == 0.0 && total_events >= 0.0) {
         return warn("\"total_events\" is not a non-negative integer");
     }
+    // The per-run breakdown is optional (aggregate-only baselines predate
+    // it), but when a `runs` array is present each entry must be well
+    // formed — a half-parsed breakdown would misattribute a regression.
+    let mut runs = Vec::new();
+    if let Some(arr) = cur.get("runs").and_then(Json::as_arr) {
+        for entry in arr {
+            let (Some(mechanism), Some(events), Some(wall_secs)) = (
+                entry.get("mechanism").and_then(Json::as_str),
+                entry.get("events").and_then(Json::as_u64),
+                entry.get("wall_secs").and_then(Json::as_f64),
+            ) else {
+                return warn("\"runs\" entry missing mechanism/events/wall_secs");
+            };
+            runs.push(BaselineRun {
+                mechanism: mechanism.to_string(),
+                events,
+                wall_secs,
+            });
+        }
+    }
     Some(PerfBaseline {
         total_events: total_events as u64,
         total_wall_secs,
         events_per_sec,
+        runs,
     })
 }
 
 /// The CI perf-regression gate: passes when the report's aggregate
 /// events/sec is no more than `max_drop_pct` percent below the baseline's.
-/// Returns a one-line verdict either way; `Err` means the gate failed.
+/// Returns a one-line verdict on pass; on failure the `Err` verdict also
+/// carries a per-mechanism breakdown (current vs baseline events/sec, when
+/// the baseline recorded its runs), so the failing CI log names the
+/// mechanism that regressed instead of just the aggregate.
 pub fn check_gate(
     report: &PerfReport,
     baseline: &PerfBaseline,
@@ -285,10 +443,34 @@ pub fn check_gate(
         baseline.events_per_sec
     );
     if current >= floor {
-        Ok(line)
-    } else {
-        Err(line)
+        return Ok(line);
     }
+    let mut out = line;
+    if baseline.runs.is_empty() {
+        out.push_str("\n  (aggregate-only baseline: no per-mechanism breakdown)");
+    } else {
+        out.push_str("\n  per-mechanism breakdown (current vs baseline events/sec):");
+        for r in &report.runs {
+            match baseline.runs.iter().find(|b| b.mechanism == r.mechanism) {
+                Some(b) if b.events_per_sec() > 0.0 => {
+                    let d = (r.events_per_sec() / b.events_per_sec() - 1.0) * 100.0;
+                    out.push_str(&format!(
+                        "\n    {:<8} {:>12.0} vs {:>12.0} ({d:+.1}%)",
+                        r.mechanism,
+                        r.events_per_sec(),
+                        b.events_per_sec(),
+                    ));
+                }
+                _ => out.push_str(&format!(
+                    "\n    {:<8} {:>12.0} vs {:>12} (not in baseline)",
+                    r.mechanism,
+                    r.events_per_sec(),
+                    "-",
+                )),
+            }
+        }
+    }
+    Err(out)
 }
 
 /// Renders the report as the `repro perf` human output.
@@ -371,12 +553,12 @@ mod tests {
     #[test]
     fn json_roundtrips_aggregates_via_parse_baseline() {
         let r = fake_report();
-        let json = perf_json(&r, None);
+        let json = perf_json(&r, None, None);
         let b = parse_baseline(&json).expect("baseline parses");
         assert_eq!(b.total_events, 800);
         assert!((b.events_per_sec - 2000.0).abs() < 1e-6);
         // And a report written *with* that baseline records the speedup.
-        let json2 = perf_json(&r, Some(&b));
+        let json2 = perf_json(&r, Some(&b), None);
         assert!(json2.contains("\"speedup_events_per_sec\": 1"));
         assert!(json2.contains("\"baseline\": {"));
     }
@@ -384,7 +566,7 @@ mod tests {
     #[test]
     fn parse_baseline_rejects_malformed_input() {
         // Truncated mid-document: a prefix of real output.
-        let full = perf_json(&fake_report(), None);
+        let full = perf_json(&fake_report(), None, None);
         assert!(parse_baseline(&full[..full.len() / 2]).is_none());
         // Not JSON at all.
         assert!(parse_baseline("").is_none());
@@ -415,6 +597,7 @@ mod tests {
             total_events: 800,
             total_wall_secs: 0.36,
             events_per_sec: 2200.0,
+            runs: Vec::new(),
         };
         // 2000 vs 2200 is a 9.1% drop: inside a 10% gate, outside a 5% one.
         assert!(check_gate(&r, &fast, 10.0).is_ok());
@@ -423,6 +606,7 @@ mod tests {
             total_events: 0,
             total_wall_secs: 0.0,
             events_per_sec: 0.0,
+            runs: Vec::new(),
         };
         assert!(check_gate(&r, &zero, 10.0).is_err());
     }
@@ -434,5 +618,74 @@ mod tests {
         assert!(txt.contains("sm"));
         assert!(txt.contains("mp-poll"));
         assert!(txt.contains("speedup 1.00x"));
+    }
+
+    #[test]
+    fn baseline_runs_roundtrip_and_gate_breakdown() {
+        let r = fake_report();
+        // as_baseline and the JSON round-trip both carry per-run rows.
+        let b = parse_baseline(&perf_json(&r, None, None)).expect("parses");
+        assert_eq!(b.runs.len(), 2);
+        assert_eq!(b.runs[0].mechanism, "sm");
+        assert_eq!(b.runs[0].events, 500);
+        assert_eq!(b, r.as_baseline());
+        // A failing gate names each mechanism with current vs baseline rates.
+        let fast = PerfBaseline {
+            events_per_sec: 4000.0,
+            ..r.as_baseline()
+        };
+        let err = check_gate(&r, &fast, 10.0).expect_err("50% drop fails");
+        assert!(err.contains("per-mechanism breakdown"), "{err}");
+        assert!(err.contains("sm"), "{err}");
+        assert!(err.contains("mp-poll"), "{err}");
+        // Aggregate-only baselines (pre-PR7 files) degrade gracefully.
+        let old = PerfBaseline {
+            runs: Vec::new(),
+            ..fast
+        };
+        let err = check_gate(&r, &old, 10.0).expect_err("still fails");
+        assert!(err.contains("aggregate-only baseline"), "{err}");
+    }
+
+    #[test]
+    fn scaled_section_is_emitted_and_ignored_by_baseline_parsing() {
+        let r = fake_report();
+        let scaled = ScaledReport {
+            topo: "torus".to_string(),
+            nodes: 256,
+            report: fake_report(),
+        };
+        let json = perf_json(&r, None, Some(&scaled));
+        assert!(json.contains("\"scaled\": {"));
+        assert!(json.contains("\"topo\": \"torus\""));
+        assert!(json.contains("\"nodes\": 256"));
+        // The gate baseline comes from the default config only.
+        let b = parse_baseline(&json).expect("parses");
+        assert_eq!(b.total_events, 800);
+        // Without the flags the section is an explicit null.
+        assert!(perf_json(&r, None, None).contains("\"scaled\": null"));
+    }
+
+    #[test]
+    fn profile_csv_shape() {
+        let runs = vec![ProfiledRun {
+            mechanism: "sm",
+            profile: commsense_machine::DispatchProfile {
+                kinds: vec![commsense_machine::DispatchKindProfile {
+                    kind: "wake",
+                    events: 200,
+                    self_secs: 0.0001,
+                }],
+                batches: 40,
+            },
+        }];
+        let csv = profile_csv(&runs);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "mechanism,kind,events,self_secs,ns_per_event,batches"
+        );
+        assert_eq!(lines.next().unwrap(), "sm,wake,200,0.000100,500.0,40");
+        assert_eq!(lines.next(), None);
     }
 }

@@ -302,10 +302,79 @@ pub struct ProtoStats {
     pub deferred: u64,
 }
 
+/// Inline capacity of a [`Sharers`] list, sized above the Alewife
+/// hardware pointer count so LimitLESS-overflowed lines usually still
+/// fit.
+const SHARERS_INLINE: usize = 8;
+
+/// A directory sharer list: insertion-ordered and duplicate-free, like
+/// the `Vec<u16>` it replaces, but with inline storage for the common
+/// case so read/write transitions on narrowly-shared lines never touch
+/// the allocator. Widely read-shared lines (a barrier flag, for
+/// instance) spill to the heap once and stay there.
+#[derive(Debug, Clone, PartialEq)]
+enum Sharers {
+    Inline { len: u8, buf: [u16; SHARERS_INLINE] },
+    Spill(Vec<u16>),
+}
+
+impl Sharers {
+    const EMPTY: Sharers = Sharers::Inline {
+        len: 0,
+        buf: [0; SHARERS_INLINE],
+    };
+
+    fn one(r: u16) -> Self {
+        let mut buf = [0; SHARERS_INLINE];
+        buf[0] = r;
+        Sharers::Inline { len: 1, buf }
+    }
+
+    fn two(a: u16, b: u16) -> Self {
+        let mut buf = [0; SHARERS_INLINE];
+        buf[0] = a;
+        buf[1] = b;
+        Sharers::Inline { len: 2, buf }
+    }
+
+    fn as_slice(&self) -> &[u16] {
+        match self {
+            Sharers::Inline { len, buf } => &buf[..*len as usize],
+            Sharers::Spill(v) => v,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    fn contains(&self, r: u16) -> bool {
+        self.as_slice().contains(&r)
+    }
+
+    /// Appends `r`, which the caller has checked is not already present.
+    fn push(&mut self, r: u16) {
+        match self {
+            Sharers::Inline { len, buf } => {
+                if (*len as usize) < SHARERS_INLINE {
+                    buf[*len as usize] = r;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(SHARERS_INLINE * 2);
+                    v.extend_from_slice(buf);
+                    v.push(r);
+                    *self = Sharers::Spill(v);
+                }
+            }
+            Sharers::Spill(v) => v.push(r),
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 enum DirState {
     Uncached,
-    Shared(Vec<u16>),
+    Shared(Sharers),
     Modified(u16),
 }
 
@@ -709,10 +778,10 @@ impl Protocol {
         if !kind.needs_exclusive() {
             match &mut entry.state {
                 DirState::Uncached => {
-                    entry.state = DirState::Shared(vec![r]);
+                    entry.state = DirState::Shared(Sharers::one(r));
                 }
                 DirState::Shared(s) => {
-                    if !s.contains(&r) {
+                    if !s.contains(r) {
                         s.push(r);
                     }
                     if s.len() > hw_ptrs {
@@ -752,9 +821,14 @@ impl Protocol {
                 self.grant(line, r, true, token, outs);
             }
             DirState::Shared(s) => {
-                let others: Vec<u16> = s.iter().copied().filter(|&x| x != r).collect();
                 let overflow = s.len() > hw_ptrs;
-                if others.is_empty() {
+                // Detach the list so the transaction slot can be written
+                // while the sharers are walked; restored below for the
+                // busy case (sharers keep the line until their Inv
+                // arrives, which the verification harness observes).
+                let s = std::mem::replace(s, Sharers::EMPTY);
+                let others = s.len() - s.contains(r) as usize;
+                if others == 0 {
                     entry.state = DirState::Modified(r);
                     self.grant(line, r, true, token, outs);
                 } else {
@@ -762,7 +836,7 @@ impl Protocol {
                         kind,
                         requester: r,
                         token,
-                        pending_invacks: others.len() as u32,
+                        pending_invacks: others as u32,
                         waiting_wb_from: None,
                     });
                     if overflow {
@@ -772,14 +846,17 @@ impl Protocol {
                             cycles: sw_write,
                         });
                     }
-                    self.stats.invalidations += others.len() as u64;
-                    for o in others {
-                        outs.push(ProtoOut::Send {
-                            from: home,
-                            to: o as usize,
-                            msg: ProtoMsg::Inv { line },
-                        });
+                    self.stats.invalidations += others as u64;
+                    for &o in s.as_slice() {
+                        if o != r {
+                            outs.push(ProtoOut::Send {
+                                from: home,
+                                to: o as usize,
+                                msg: ProtoMsg::Inv { line },
+                            });
+                        }
                     }
+                    entry.state = DirState::Shared(s);
                 }
             }
             DirState::Modified(o) => {
@@ -833,7 +910,7 @@ impl Protocol {
         match txn.kind {
             AccessKind::Read => {
                 // Owner downgraded to Shared; requester joins.
-                entry.state = DirState::Shared(vec![old_owner, requester]);
+                entry.state = DirState::Shared(Sharers::two(old_owner, requester));
             }
             AccessKind::Write | AccessKind::Rmw => {
                 entry.state = DirState::Modified(requester);
@@ -938,7 +1015,9 @@ impl Protocol {
     pub fn directory_view(&self, line: LineId) -> (bool, Vec<usize>) {
         match self.dir(line).map(|e| &e.state) {
             None | Some(DirState::Uncached) => (false, Vec::new()),
-            Some(DirState::Shared(s)) => (false, s.iter().map(|&x| x as usize).collect()),
+            Some(DirState::Shared(s)) => {
+                (false, s.as_slice().iter().map(|&x| x as usize).collect())
+            }
             Some(DirState::Modified(o)) => (true, vec![*o as usize]),
         }
     }

@@ -607,5 +607,6 @@ fn decode_record(bytes: &[u8], key: u128, req: &RunRequest) -> Option<RunResult>
         stats,
         wall: std::time::Duration::from_nanos(str_u64(&v, "wall_nanos")?),
         observation: None,
+        profile: None,
     })
 }

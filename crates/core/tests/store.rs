@@ -164,6 +164,7 @@ proptest! {
             stats,
             wall: Duration::from_nanos(rng.next_u64() >> 1),
             observation: None,
+            profile: None,
         };
         store.save(&req, &result).expect("save synthetic record");
         let back = store.load(&req).expect("load synthetic record");

@@ -194,6 +194,50 @@ impl<E> EventQueue<E> {
         Some((t, e))
     }
 
+    /// Removes *every* event of the earliest pending instant in one
+    /// operation, moving them into `buf` (which must be empty) in their
+    /// FIFO schedule order, and returns that instant. `None` iff the
+    /// queue is empty.
+    ///
+    /// This is the batched form of [`EventQueue::pop`]: the whole head
+    /// bucket is swapped into the caller's buffer in O(1), so per-event
+    /// queue bookkeeping is paid once per *instant*. Draining `buf` and
+    /// then calling `pop_instant_into` again yields exactly the sequence
+    /// [`EventQueue::pop`] would have produced — events scheduled for the
+    /// same instant *while the batch is being processed* land in a fresh
+    /// head bucket and come out on the next call, which is the same
+    /// global order as appending to a bucket that is being popped one
+    /// event at a time (a property test in `tests/prop.rs` checks this
+    /// against the reference heap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is not empty: swapping a non-empty buffer would
+    /// silently discard its events.
+    pub fn pop_instant_into(&mut self, buf: &mut VecDeque<E>) -> Option<Time> {
+        assert!(buf.is_empty(), "pop_instant_into requires an empty buffer");
+        let (t, bi) = self.current?;
+        let bucket = &mut self.buckets[bi as usize];
+        self.count -= bucket.len();
+        self.last_popped = t;
+        // O(1): the bucket's storage becomes the caller's buffer and the
+        // caller's (empty, capacity-bearing) buffer goes on the free list.
+        std::mem::swap(bucket, buf);
+        self.free.push(bi);
+        match self.instants.get(self.ihead) {
+            Some(&next) => {
+                self.current = Some(next);
+                self.ihead += 1;
+            }
+            None => {
+                self.current = None;
+                self.instants.clear();
+                self.ihead = 0;
+            }
+        }
+        Some(t)
+    }
+
     /// Returns the time of the earliest pending event without removing it.
     pub fn peek_time(&self) -> Option<Time> {
         self.current.map(|(t, _)| t)
@@ -356,5 +400,78 @@ mod tests {
     fn default_is_empty() {
         let q: EventQueue<()> = EventQueue::default();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_instant_drains_one_bucket_in_fifo_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(5), 0);
+        q.schedule(Time::from_ns(9), 9);
+        q.schedule(Time::from_ns(5), 1);
+        q.schedule(Time::from_ns(5), 2);
+        let mut buf = VecDeque::new();
+        assert_eq!(q.pop_instant_into(&mut buf), Some(Time::from_ns(5)));
+        assert_eq!(buf.drain(..).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_instant_into(&mut buf), Some(Time::from_ns(9)));
+        assert_eq!(buf.drain(..).collect::<Vec<_>>(), [9]);
+        assert_eq!(q.pop_instant_into(&mut buf), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_instant_schedules_during_batch_form_the_next_batch() {
+        // Events scheduled *at* the drained instant while its batch is
+        // out come back as a second batch at the same time — the order a
+        // one-at-a-time pop interleaved with those schedules produces.
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(7), 0);
+        q.schedule(Time::from_ns(7), 1);
+        let mut buf = VecDeque::new();
+        assert_eq!(q.pop_instant_into(&mut buf), Some(Time::from_ns(7)));
+        assert_eq!(buf.drain(..).collect::<Vec<_>>(), [0, 1]);
+        q.schedule(Time::from_ns(7), 2);
+        q.schedule(Time::from_ns(8), 8);
+        q.schedule(Time::from_ns(7), 3);
+        assert_eq!(q.pop_instant_into(&mut buf), Some(Time::from_ns(7)));
+        assert_eq!(buf.drain(..).collect::<Vec<_>>(), [2, 3]);
+        assert_eq!(q.pop_instant_into(&mut buf), Some(Time::from_ns(8)));
+        assert_eq!(buf.drain(..).collect::<Vec<_>>(), [8]);
+    }
+
+    #[test]
+    fn pop_instant_recycles_bucket_storage() {
+        let mut q = EventQueue::new();
+        let mut buf = VecDeque::new();
+        for round in 0..50u64 {
+            q.schedule(Time::from_ns(round * 10), round);
+            q.schedule(Time::from_ns(round * 10), round + 100);
+            assert_eq!(
+                q.pop_instant_into(&mut buf),
+                Some(Time::from_ns(round * 10))
+            );
+            assert_eq!(buf.drain(..).collect::<Vec<_>>(), [round, round + 100]);
+        }
+        assert!(q.buckets.len() <= 2, "buckets grew to {}", q.buckets.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty buffer")]
+    fn pop_instant_rejects_non_empty_buffer() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(1), 1);
+        let mut buf: VecDeque<u64> = VecDeque::new();
+        buf.push_back(99);
+        let _ = q.pop_instant_into(&mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_before_a_drained_instant_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(10), 1);
+        let mut buf = VecDeque::new();
+        let _ = q.pop_instant_into(&mut buf);
+        q.schedule(Time::from_ns(5), 2);
     }
 }

@@ -120,6 +120,70 @@ proptest! {
     }
 
 
+    /// Batched same-instant draining (`pop_instant_into`) consumes the
+    /// exact sequence the one-at-a-time reference heap produces, on
+    /// adversarial tie-heavy schedules where consuming an event can
+    /// schedule follow-ups *at the instant currently being drained* (the
+    /// machine's dominant pattern: a protocol handler emitting same-cycle
+    /// messages mid-batch). Follow-ups land in a fresh head bucket and
+    /// must come out after every event scheduled before them — the FIFO
+    /// seq-order tie-break of the PR 2 calendar queue.
+    #[test]
+    fn batched_draining_matches_reference_heap(
+        times in proptest::collection::vec(
+            prop_oneof![
+                Just(0u64),        // heavy same-instant ties
+                Just(0u64),
+                0u64..2,           // dense near-zero cluster
+                0u64..40,          // mid-range spread
+            ],
+            1..60,
+        ),
+        spawn_mod in 2usize..5,
+    ) {
+        // Consuming event `id` with `id % spawn_mod == 0` schedules two
+        // follow-ups: one at the same instant, one a little later. The
+        // spawn budget bounds the cascade.
+        let cap = 4 * times.len();
+
+        // Batched consumer over the calendar queue.
+        let mut q = EventQueue::new();
+        for (id, &t) in times.iter().enumerate() {
+            q.schedule(Time::from_ns(t), id);
+        }
+        let mut next_id = times.len();
+        let mut got = Vec::new();
+        let mut buf = std::collections::VecDeque::new();
+        while let Some(t) = q.pop_instant_into(&mut buf) {
+            while let Some(id) = buf.pop_front() {
+                got.push((t, id));
+                if id % spawn_mod == 0 && next_id + 1 < cap {
+                    q.schedule(t, next_id);
+                    q.schedule(t + Time::from_ns(1), next_id + 1);
+                    next_id += 2;
+                }
+            }
+        }
+
+        // One-at-a-time consumer over the reference heap, same rule.
+        let mut r = RefHeap::new();
+        for (id, &t) in times.iter().enumerate() {
+            r.schedule(Time::from_ns(t), id);
+        }
+        let mut next_id = times.len();
+        let mut want = Vec::new();
+        while let Some((t, id)) = r.pop() {
+            want.push((t, id));
+            if id % spawn_mod == 0 && next_id + 1 < cap {
+                r.schedule(t, next_id);
+                r.schedule(t + Time::from_ns(1), next_id + 1);
+                next_id += 2;
+            }
+        }
+
+        prop_assert_eq!(got, want);
+    }
+
     /// The queue pops in exactly the order of a stable sort by time of the
     /// scheduled events (ties by insertion order).
     #[test]

@@ -359,6 +359,14 @@ pub struct MachineConfig {
     /// (and demonstrated) without a genuinely broken model; follows the
     /// `Protocol::fault_ignore_next_invalidation` precedent.
     pub inject_panic: bool,
+    /// Measure per-event-kind dispatch self time during the run (the
+    /// `repro perf --profile` breakdown; see
+    /// `Machine::take_dispatch_profile`). Pure host-side bookkeeping: the
+    /// profiled loop dispatches the same events at the same simulated
+    /// times, so cycle counts are unchanged — but the timing calls make
+    /// the run slower in wall-clock terms, so it is off everywhere except
+    /// explicit profiling.
+    pub profile_dispatch: bool,
 }
 
 impl MachineConfig {
@@ -379,6 +387,7 @@ impl MachineConfig {
             observe: None,
             check: None,
             inject_panic: false,
+            profile_dispatch: false,
         }
     }
 
@@ -424,12 +433,13 @@ impl MachineConfig {
     /// cycles, for content-addressed result caching (see
     /// `commsense_des::stable`).
     ///
-    /// Deliberately excluded: `observe` and `check`. Both are pure
-    /// bookkeeping — they never schedule events, so simulated cycle counts
-    /// are bit-identical with and without them (pinned by the machine
-    /// crate's identity tests) — and including them would make an observed
-    /// or checked run miss the store for no reason. `inject_panic` *is*
-    /// included: a faulting request must never alias a healthy one.
+    /// Deliberately excluded: `observe`, `check`, and `profile_dispatch`.
+    /// All three are pure bookkeeping — they never schedule events, so
+    /// simulated cycle counts are bit-identical with and without them
+    /// (pinned by the machine crate's identity tests) — and including
+    /// them would make an observed, checked, or profiled run miss the
+    /// store for no reason. `inject_panic` *is* included: a faulting
+    /// request must never alias a healthy one.
     pub fn stable_encode(&self, enc: &mut commsense_des::StableEncoder) {
         enc.put("cfg.nodes", self.nodes);
         enc.put_f64("cfg.cpu_mhz", self.cpu_mhz);
@@ -588,6 +598,7 @@ mod tests {
         let mut observed = base.clone();
         observed.observe = Some(ObserveConfig::default());
         observed.check = Some(CheckConfig::full());
+        observed.profile_dispatch = true;
         assert_eq!(cfg_hash(&observed), h);
         // Every model-affecting knob must change the hash.
         let mut c = base.clone();

@@ -51,7 +51,7 @@ pub use config::{
     CheckConfig, CostModel, LatencyEmulation, MachineConfig, Mechanism, ObserveConfig, ReceiveMode,
 };
 pub use invariants::{INVARIANT_MARKER, ORACLE_MARKER};
-pub use machine::{Machine, MachineSpec};
+pub use machine::{DispatchKindProfile, DispatchProfile, Machine, MachineSpec};
 pub use metrics::{MetricsSeries, Observation, RunState};
 pub use program::{HandlerCtx, NodeCtx, Program, RmwOp, Step};
 pub use stats::{Bucket, LatencyHistogram, NodeStats, RunStats};

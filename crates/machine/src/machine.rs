@@ -287,32 +287,37 @@ impl Status {
     }
 }
 
+/// Per-node machine state, struct-of-arrays: one flat `Vec` per field,
+/// indexed by node id. Event handlers touch only the fields they need, so
+/// each access walks one dense array instead of striding over a fat
+/// per-node struct; whole-machine scans (metrics sampling, stat
+/// collection) stream a single column.
 #[derive(Debug)]
-struct NodeState {
-    status: Status,
-    gen: u64,
-    pending_delay: Time,
-    handler_in_block: Time,
-    rq: RemoteQueue,
-    stats: NodeStats,
-    waitmsg_handled: bool,
-    finish: Option<Time>,
-    ctrl_free_at: Time,
-    loaded: f64,
-    rmw: (f64, f64),
+struct Nodes {
+    status: Vec<Status>,
+    gen: Vec<u64>,
+    pending_delay: Vec<Time>,
+    handler_in_block: Vec<Time>,
+    rq: Vec<RemoteQueue>,
+    stats: Vec<NodeStats>,
+    waitmsg_handled: Vec<bool>,
+    finish: Vec<Option<Time>>,
+    ctrl_free_at: Vec<Time>,
+    loaded: Vec<f64>,
+    rmw: Vec<(f64, f64)>,
     /// Outstanding posted (relaxed) stores.
-    posted: usize,
+    posted: Vec<usize>,
     /// A store stalled on a full write buffer, to retry when a slot frees.
-    stalled_store: Option<MemOp>,
+    stalled_store: Vec<Option<MemOp>>,
     /// Pending release fence: what to do once `posted` drains to zero.
-    fence: Option<FenceTarget>,
+    fence: Vec<Option<FenceTarget>>,
     /// When the node's current handler activity finishes; a blocked node
     /// cannot resume earlier (handlers occupy the processor).
-    handler_busy_until: Time,
+    handler_busy_until: Vec<Time>,
     /// Packet-record ids parallel to `rq`, correlating queued messages
     /// with their network lifecycle for the trace. Only populated while
     /// tracing (empty otherwise; drains fall back to [`NO_RECORD`]).
-    rq_ids: VecDeque<u32>,
+    rq_ids: Vec<VecDeque<u32>>,
 }
 
 /// What a node does after its write buffer drains.
@@ -324,25 +329,25 @@ enum FenceTarget {
     Done,
 }
 
-impl NodeState {
-    fn new() -> Self {
-        NodeState {
-            status: Status::Running,
-            gen: 0,
-            pending_delay: Time::ZERO,
-            handler_in_block: Time::ZERO,
-            rq: RemoteQueue::new(),
-            stats: NodeStats::default(),
-            waitmsg_handled: false,
-            finish: None,
-            ctrl_free_at: Time::ZERO,
-            loaded: 0.0,
-            rmw: (0.0, 0.0),
-            posted: 0,
-            stalled_store: None,
-            fence: None,
-            handler_busy_until: Time::ZERO,
-            rq_ids: VecDeque::new(),
+impl Nodes {
+    fn new(n: usize) -> Self {
+        Nodes {
+            status: vec![Status::Running; n],
+            gen: vec![0; n],
+            pending_delay: vec![Time::ZERO; n],
+            handler_in_block: vec![Time::ZERO; n],
+            rq: (0..n).map(|_| RemoteQueue::new()).collect(),
+            stats: vec![NodeStats::default(); n],
+            waitmsg_handled: vec![false; n],
+            finish: vec![None; n],
+            ctrl_free_at: vec![Time::ZERO; n],
+            loaded: vec![0.0; n],
+            rmw: vec![(0.0, 0.0); n],
+            posted: vec![0; n],
+            stalled_store: vec![None; n],
+            fence: vec![None; n],
+            handler_busy_until: vec![Time::ZERO; n],
+            rq_ids: (0..n).map(|_| VecDeque::new()).collect(),
         }
     }
 }
@@ -370,27 +375,98 @@ struct BarrierCtl {
     mp_counts: Vec<[usize; 2]>,
 }
 
-#[derive(Debug, Clone)]
-enum Envelope {
-    Proto { from: usize, msg: ProtoMsg },
-    Am { am: ActiveMessage },
+/// A protocol message in flight (over the network, or on the local /
+/// emulated fast path), parked in the [`Machine::penvs`] arena while a
+/// 16-byte [`Ev`] handle circulates through the event queue.
+#[derive(Debug, Clone, Copy)]
+struct PEnv {
+    from: u32,
+    msg: ProtoMsg,
 }
 
-#[derive(Debug, Clone)]
-enum Ev {
-    Wake(usize, u64),
-    Net(NetEvent),
-    Proto {
-        at: usize,
-        from: usize,
-        msg: ProtoMsg,
-    },
-    FillPrefetch {
-        token: u64,
-        line: LineId,
-        exclusive: bool,
-    },
+/// Packet-tag bit marking an active-message arena handle (clear = a
+/// protocol-message handle into [`Machine::penvs`]).
+const TAG_AM: u64 = 1 << 63;
+
+/// Event-kind tag: one flat byte per kind, so the pop site dispatches
+/// through a single-level jump table — no nested `NetEvent` match, no
+/// enum payload wider than the [`Ev`] scalars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum EvKind {
+    /// Resume a node's execution batch: `a` = node, `b` = wake generation.
+    Wake,
+    /// Network: a packet attempts its next hop; `a` = packet slot.
+    NetTryHop,
+    /// Network: a link frees; `a` = link id.
+    NetLinkFree,
+    /// Network: a packet reached its ejection port; `a` = packet slot.
+    NetDeliver,
+    /// Protocol message arrival: `a` = handling node, `b` = penv slot.
+    Proto,
+    /// Deferred shared-mode prefetch fill: `a` = token, `b` = line.
+    FillPrefetchRd,
+    /// Deferred exclusive-mode prefetch fill: `a` = token, `b` = line.
+    FillPrefetchEx,
+    /// Cross-traffic injector tick.
     CrossTick,
+}
+
+/// A queue entry: 16 bytes, `Copy`, cache-dense. Payloads wider than two
+/// scalars (protocol messages, active messages) live in arenas and are
+/// carried here by slot handle.
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    kind: EvKind,
+    a: u32,
+    b: u64,
+}
+
+impl Ev {
+    fn wake(node: usize, gen: u64) -> Ev {
+        Ev {
+            kind: EvKind::Wake,
+            a: node as u32,
+            b: gen,
+        }
+    }
+
+    fn net(e: NetEvent) -> Ev {
+        let (kind, a) = match e {
+            NetEvent::TryHop { pkt } => (EvKind::NetTryHop, pkt),
+            NetEvent::LinkFree { link } => (EvKind::NetLinkFree, link),
+            NetEvent::Deliver { pkt } => (EvKind::NetDeliver, pkt),
+        };
+        Ev { kind, a, b: 0 }
+    }
+
+    fn proto(at: usize, slot: u32) -> Ev {
+        Ev {
+            kind: EvKind::Proto,
+            a: at as u32,
+            b: slot as u64,
+        }
+    }
+
+    /// Token values are slab indices (see [`TokenTable`]), so they fit
+    /// `u32` structurally.
+    fn fill_prefetch(token: u64, line: LineId, exclusive: bool) -> Ev {
+        Ev {
+            kind: if exclusive {
+                EvKind::FillPrefetchEx
+            } else {
+                EvKind::FillPrefetchRd
+            },
+            a: token as u32,
+            b: line.0,
+        }
+    }
+
+    const CROSS_TICK: Ev = Ev {
+        kind: EvKind::CrossTick,
+        a: 0,
+        b: 0,
+    };
 }
 
 /// The emulated machine. Construct with [`Machine::new`], drive with
@@ -444,9 +520,20 @@ pub struct Machine {
     proto: Protocol,
     master: Vec<f64>,
     programs: Vec<Box<dyn Program>>,
-    nodes: Vec<NodeState>,
-    envelopes: Vec<Option<Envelope>>,
-    free_envelopes: Vec<usize>,
+    nodes: Nodes,
+    /// Arena of in-flight protocol messages; events and packet tags carry
+    /// `u32` slots into it. No occupancy flag: slots are minted exactly
+    /// once per message and freed exactly once when handled.
+    penvs: Vec<PEnv>,
+    free_penvs: Vec<u32>,
+    /// Arena of in-flight active messages (packet tags carry the slot
+    /// with [`TAG_AM`] set).
+    ams: Vec<Option<ActiveMessage>>,
+    free_ams: Vec<u32>,
+    /// Machine packets injected into the network and not yet delivered
+    /// (the message-conservation in-flight count; local fast-path
+    /// messages mint penv slots but never touch the network).
+    net_live: usize,
     tokens: TokenTable,
     outstanding: OutstandingTable,
     /// Pool of scratch buffers for protocol outputs. A pool (not a single
@@ -473,6 +560,52 @@ pub struct Machine {
     /// Applied memory-access log for the SC oracle (check mode with
     /// [`crate::CheckConfig::oracle`] only).
     oracle: Option<Box<OracleLog>>,
+    /// Per-kind dispatch self-time accumulator (profiled runs only).
+    profile: Option<Box<ProfileAccum>>,
+}
+
+/// Per-kind counters of a profiled run, accumulated inside the event
+/// loop. `EvKind` is `repr(u8)`, so each array is indexed by kind tag.
+#[derive(Debug, Default)]
+struct ProfileAccum {
+    count: [u64; 8],
+    nanos: [u64; 8],
+    batches: u64,
+}
+
+/// Human label per event kind, indexed like [`ProfileAccum`].
+const EV_KIND_LABELS: [&str; 8] = [
+    "wake",
+    "net-try-hop",
+    "net-link-free",
+    "net-deliver",
+    "proto",
+    "fill-prefetch-rd",
+    "fill-prefetch-ex",
+    "cross-tick",
+];
+
+/// Self-time per event kind measured by a profiled run (see
+/// [`MachineConfig::profile_dispatch`]): how the event loop's wall time
+/// splits across dispatch targets, for the `repro perf --profile` CSV.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DispatchProfile {
+    /// One row per event kind that fired.
+    pub kinds: Vec<DispatchKindProfile>,
+    /// Same-instant batches drained.
+    pub batches: u64,
+}
+
+/// One event kind's share of a profiled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchKindProfile {
+    /// Stable kind label (e.g. `"proto"`, `"net-try-hop"`).
+    pub kind: &'static str,
+    /// Events of this kind dispatched.
+    pub events: u64,
+    /// Total self time spent in this kind's dispatch target, in seconds
+    /// (excludes queue pop/push bookkeeping between events).
+    pub self_secs: f64,
 }
 
 impl Machine {
@@ -530,9 +663,12 @@ impl Machine {
             proto,
             master: initial,
             programs,
-            nodes: (0..n).map(|_| NodeState::new()).collect(),
-            envelopes: Vec::new(),
-            free_envelopes: Vec::new(),
+            nodes: Nodes::new(n),
+            penvs: Vec::new(),
+            free_penvs: Vec::new(),
+            ams: Vec::new(),
+            free_ams: Vec::new(),
+            net_live: 0,
             tokens: TokenTable::new(),
             outstanding: OutstandingTable::new(n),
             outs_pool: Vec::new(),
@@ -555,7 +691,11 @@ impl Machine {
             metrics_epoch: Time::ZERO,
             checker: None,
             oracle: None,
+            profile: None,
         };
+        if m.cfg.profile_dispatch {
+            m.profile = Some(Box::default());
+        }
         if let Some(o) = m.cfg.observe {
             assert!(o.epoch_cycles > 0, "observe epoch must be positive");
             assert!(o.sparse_threshold > 0, "sparse threshold must be positive");
@@ -598,7 +738,7 @@ impl Machine {
             m.schedule_wake(node, Time::ZERO);
         }
         if let Some(iv) = m.cross.as_ref().and_then(|c| c.interval()) {
-            m.queue.schedule(iv, Ev::CrossTick);
+            m.queue.schedule(iv, Ev::CROSS_TICK);
         }
         m
     }
@@ -615,15 +755,104 @@ impl Machine {
             !self.cfg.inject_panic,
             "INJECTED-FAULT: deliberate panic requested by MachineConfig::inject_panic"
         );
-        while self.finished < self.cfg.nodes {
-            let Some((t, ev)) = self.queue.pop() else {
+        if self.profile.is_some() {
+            self.run_loop_profiled();
+        } else {
+            self.run_loop();
+        }
+        if self.checker.is_some() {
+            self.final_run_checks();
+        }
+        self.collect_stats()
+    }
+
+    /// The hot loop: drains every event of the current instant into a
+    /// reusable batch buffer in one O(1) bucket swap, then dispatches the
+    /// batch. Events scheduled *at* the current instant during the batch
+    /// form the next batch, which is exactly the order a one-at-a-time
+    /// pop produces (same-instant FIFO — pinned by the des property suite
+    /// and the batching identity test). The per-event `finished` check
+    /// stops mid-batch the moment the last program retires, so event
+    /// counts match the unbatched loop bit for bit.
+    fn run_loop(&mut self) {
+        let mut batch: VecDeque<Ev> = VecDeque::new();
+        'run: while self.finished < self.cfg.nodes {
+            let Some(t) = self.queue.pop_instant_into(&mut batch) else {
                 self.deadlock_panic();
             };
             // One comparison against a Time::MAX sentinel when observation
             // is off; sampling happens between events, so it can never
-            // change dispatch order or any simulated time.
+            // change dispatch order or any simulated time. The depth the
+            // sampler sees is computed as if exactly one event had been
+            // popped, matching the unbatched loop's series.
             if t >= self.metrics_next {
-                self.metrics_tick(t);
+                let depth = self.queue.len() + batch.len() - 1;
+                self.metrics_tick(t, depth);
+            }
+            self.now = t;
+            while let Some(ev) = batch.pop_front() {
+                self.events += 1;
+                self.dispatch(ev);
+                if self.finished >= self.cfg.nodes {
+                    batch.clear();
+                    break 'run;
+                }
+            }
+        }
+    }
+
+    /// [`Machine::run_loop`] with per-event self-time accounting (see
+    /// [`MachineConfig::profile_dispatch`]). A separate copy so the
+    /// unprofiled loop carries no timing calls at all.
+    #[cold]
+    fn run_loop_profiled(&mut self) {
+        let mut batch: VecDeque<Ev> = VecDeque::new();
+        'run: while self.finished < self.cfg.nodes {
+            let Some(t) = self.queue.pop_instant_into(&mut batch) else {
+                self.deadlock_panic();
+            };
+            if t >= self.metrics_next {
+                let depth = self.queue.len() + batch.len() - 1;
+                self.metrics_tick(t, depth);
+            }
+            self.now = t;
+            if let Some(p) = self.profile.as_mut() {
+                p.batches += 1;
+            }
+            while let Some(ev) = batch.pop_front() {
+                self.events += 1;
+                let kind = ev.kind as usize;
+                let start = std::time::Instant::now();
+                self.dispatch(ev);
+                let ns = start.elapsed().as_nanos() as u64;
+                let p = self.profile.as_mut().expect("profiled loop");
+                p.count[kind] += 1;
+                p.nanos[kind] += ns;
+                if self.finished >= self.cfg.nodes {
+                    batch.clear();
+                    break 'run;
+                }
+            }
+        }
+    }
+
+    /// Runs the machine popping one event at a time instead of draining
+    /// same-instant batches. The reference loop batching is measured
+    /// against: simulated cycles and event counts must match
+    /// [`Machine::run`] exactly (pinned by the batching identity test).
+    #[doc(hidden)]
+    pub fn run_unbatched(&mut self) -> RunStats {
+        assert!(
+            !self.cfg.inject_panic,
+            "INJECTED-FAULT: deliberate panic requested by MachineConfig::inject_panic"
+        );
+        while self.finished < self.cfg.nodes {
+            let Some((t, ev)) = self.queue.pop() else {
+                self.deadlock_panic();
+            };
+            if t >= self.metrics_next {
+                let depth = self.queue.len();
+                self.metrics_tick(t, depth);
             }
             self.now = t;
             self.events += 1;
@@ -633,6 +862,25 @@ impl Machine {
             self.final_run_checks();
         }
         self.collect_stats()
+    }
+
+    /// The per-kind dispatch self-time breakdown of a profiled run, or
+    /// `None` unless [`MachineConfig::profile_dispatch`] was set. Call
+    /// after [`Machine::run`].
+    pub fn take_dispatch_profile(&mut self) -> Option<DispatchProfile> {
+        let p = self.profile.take()?;
+        let kinds = (0..EV_KIND_LABELS.len())
+            .filter(|&k| p.count[k] > 0)
+            .map(|k| DispatchKindProfile {
+                kind: EV_KIND_LABELS[k],
+                events: p.count[k],
+                self_secs: p.nanos[k] as f64 / 1e9,
+            })
+            .collect();
+        Some(DispatchProfile {
+            kinds,
+            batches: p.batches,
+        })
     }
 
     /// End-of-run verification (check mode only): whole-heap protocol
@@ -647,9 +895,8 @@ impl Machine {
         {
             panic!("{INVARIANT_MARKER} violated at end of run: {e}");
         }
-        let live = self.envelopes.iter().filter(|e| e.is_some()).count();
         if let Some(ch) = self.checker.as_ref() {
-            ch.final_check(live, self.net.peek_recording());
+            ch.final_check(self.net_live, self.net.peek_recording());
         }
         if let Some(o) = self.oracle.as_ref() {
             if let Err(e) = crate::oracle::verify(o, self.cfg.write_buffer > 0) {
@@ -664,12 +911,9 @@ impl Machine {
     #[cold]
     #[inline(never)]
     fn deadlock_panic(&self) -> ! {
-        let stuck: Vec<String> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.status != Status::Done)
-            .map(|(i, n)| format!("{i}:{:?}", n.status))
+        let stuck: Vec<String> = (0..self.cfg.nodes)
+            .filter(|&i| self.nodes.status[i] != Status::Done)
+            .map(|i| format!("{i}:{:?}", self.nodes.status[i]))
             .collect();
         let outstanding: Vec<String> = self
             .outstanding
@@ -695,7 +939,7 @@ impl Machine {
     /// schedule events or mutate anything the simulation consults.
     #[cold]
     #[inline(never)]
-    fn metrics_tick(&mut self, t: Time) {
+    fn metrics_tick(&mut self, t: Time, queue_depth: usize) {
         let Some(mut m) = self.metrics.take() else {
             return;
         };
@@ -707,16 +951,17 @@ impl Machine {
             // the sampled ids (identity when dense).
             let mut counts = [0u32; RunState::ALL.len()];
             let mut states = vec![0u8; 0];
-            states.reserve(self.nodes.len());
-            for n in self.nodes.iter() {
-                if matches!(n.status, Status::InBarrier { .. }) {
+            states.reserve(self.cfg.nodes);
+            for i in 0..self.cfg.nodes {
+                let status = self.nodes.status[i];
+                if matches!(status, Status::InBarrier { .. }) {
                     in_barrier += 1;
                 }
-                let state = match n.status {
+                let state = match status {
                     Status::Done => RunState::Done,
                     // A handler (or send/receive overhead) occupies the
                     // processor past this instant.
-                    _ if n.handler_busy_until > at => RunState::MsgOverhead,
+                    _ if self.nodes.handler_busy_until[i] > at => RunState::MsgOverhead,
                     Status::BlockedMem { bucket, .. } => {
                         if bucket == Bucket::Sync {
                             RunState::Sync
@@ -745,7 +990,7 @@ impl Machine {
                 m.link_queue.push(q.min(u16::MAX as usize) as u16);
             }
             m.event_queue_depth
-                .push(self.queue.len().min(u32::MAX as usize) as u32);
+                .push(queue_depth.min(u32::MAX as usize) as u32);
             m.barrier_occupancy.push(in_barrier);
             self.metrics_next += self.metrics_epoch;
         }
@@ -819,13 +1064,14 @@ impl Machine {
     fn collect_stats(&self) -> RunStats {
         let runtime = self
             .nodes
+            .finish
             .iter()
-            .filter_map(|n| n.finish)
+            .filter_map(|&f| f)
             .fold(Time::ZERO, Time::max);
         RunStats {
             runtime,
             runtime_cycles: self.clock.cycles_at(runtime),
-            nodes: self.nodes.iter().map(|n| n.stats).collect(),
+            nodes: self.nodes.stats.clone(),
             volume: self.net.stats().injected,
             bisection: self.net.stats().bisection,
             proto: self.proto.stats(),
@@ -851,84 +1097,100 @@ impl Machine {
     }
 
     fn charge(&mut self, node: usize, bucket: Bucket, d: Time) {
-        self.nodes[node].stats.charge(bucket, d);
+        self.nodes.stats[node].charge(bucket, d);
     }
 
     fn schedule_wake(&mut self, node: usize, at: Time) {
-        self.nodes[node].gen += 1;
-        let gen = self.nodes[node].gen;
-        self.nodes[node].status = Status::Running;
-        self.queue.schedule(at, Ev::Wake(node, gen));
+        self.nodes.gen[node] += 1;
+        let gen = self.nodes.gen[node];
+        self.nodes.status[node] = Status::Running;
+        self.queue.schedule(at, Ev::wake(node, gen));
     }
 
     // ---- event dispatch -----------------------------------------------
 
+    /// One flat 8-way branch on the kind byte — rustc lowers this to a
+    /// jump table; payloads are two scalars, so no wide enum is moved and
+    /// no nested `NetEvent` match runs at the pop site.
     fn dispatch(&mut self, ev: Ev) {
-        match ev {
-            Ev::Wake(node, gen) => {
-                if self.nodes[node].gen != gen || self.nodes[node].status != Status::Running {
-                    return;
-                }
-                if self.nodes[node].pending_delay > Time::ZERO {
-                    let d = std::mem::take(&mut self.nodes[node].pending_delay);
-                    let at = self.now + d;
-                    self.schedule_wake(node, at);
-                    return;
-                }
-                self.run_node(node);
+        match ev.kind {
+            EvKind::Wake => self.ev_wake(ev.a as usize, ev.b),
+            EvKind::NetTryHop => self.ev_net(NetEvent::TryHop { pkt: ev.a }),
+            EvKind::NetLinkFree => self.ev_net(NetEvent::LinkFree { link: ev.a }),
+            EvKind::NetDeliver => self.ev_net(NetEvent::Deliver { pkt: ev.a }),
+            EvKind::Proto => self.ev_proto(ev.a as usize, ev.b as u32),
+            EvKind::FillPrefetchRd => {
+                self.finish_prefetch(ev.a as u64, LineId(ev.b), false, self.now)
             }
-            Ev::Net(nev) => {
-                // Follow-up hops go straight into the event queue: the
-                // closure captures only `self.queue`, disjoint from the
-                // `self.net` receiver, so no intermediate buffer is needed.
-                let now = self.now;
-                let queue = &mut self.queue;
-                let delivery = self
-                    .net
-                    .handle(now, nev, &mut |t, e| queue.schedule(t, Ev::Net(e)));
-                if let Some(d) = delivery {
-                    self.deliver(d.packet, d.record);
-                }
+            EvKind::FillPrefetchEx => {
+                self.finish_prefetch(ev.a as u64, LineId(ev.b), true, self.now)
             }
-            Ev::Proto { at, from, msg } => {
-                if self.now < self.nodes[at].ctrl_free_at {
-                    let t = self.nodes[at].ctrl_free_at;
-                    self.queue.schedule(t, Ev::Proto { at, from, msg });
-                    return;
-                }
-                let occ = self.proto_msg_occupancy(at, from, &msg);
-                let line = msg.line();
-                let mut outs = self.take_outs();
-                self.proto.handle_into(at, from, msg, &mut outs);
-                self.process_controller_outs(at, occ, &mut outs);
-                self.put_outs(outs);
-                self.check_line(line);
-            }
-            Ev::FillPrefetch {
-                token,
-                line,
-                exclusive,
-            } => {
-                self.finish_prefetch(token, line, exclusive, self.now);
-            }
-            Ev::CrossTick => {
-                // Move the injector out for the duration of the tick so
-                // its packet stream can be drained while `self` is
-                // mutably borrowed (no per-tick clone).
-                let Some(cross) = self.cross.take() else {
-                    return;
-                };
-                for pkt in cross.tick_packets() {
-                    self.inject(pkt, self.now);
-                }
-                if self.finished < self.cfg.nodes {
-                    if let Some(iv) = cross.interval() {
-                        self.queue.schedule(self.now + iv, Ev::CrossTick);
-                    }
-                }
-                self.cross = Some(cross);
+            EvKind::CrossTick => self.ev_cross_tick(),
+        }
+    }
+
+    fn ev_wake(&mut self, node: usize, gen: u64) {
+        if self.nodes.gen[node] != gen || self.nodes.status[node] != Status::Running {
+            return;
+        }
+        if self.nodes.pending_delay[node] > Time::ZERO {
+            let d = std::mem::take(&mut self.nodes.pending_delay[node]);
+            let at = self.now + d;
+            self.schedule_wake(node, at);
+            return;
+        }
+        self.run_node(node);
+    }
+
+    fn ev_net(&mut self, nev: NetEvent) {
+        // Follow-up hops go straight into the event queue: the closure
+        // captures only `self.queue`, disjoint from the `self.net`
+        // receiver, so no intermediate buffer is needed.
+        let now = self.now;
+        let queue = &mut self.queue;
+        let delivery = self
+            .net
+            .handle(now, nev, &mut |t, e| queue.schedule(t, Ev::net(e)));
+        if let Some(d) = delivery {
+            self.deliver(d.packet, d.record);
+        }
+    }
+
+    fn ev_proto(&mut self, at: usize, slot: u32) {
+        if self.now < self.nodes.ctrl_free_at[at] {
+            // Controller busy: requeue the handle, message stays parked.
+            let t = self.nodes.ctrl_free_at[at];
+            self.queue.schedule(t, Ev::proto(at, slot));
+            return;
+        }
+        let PEnv { from, msg } = self.penvs[slot as usize];
+        self.free_penvs.push(slot);
+        let from = from as usize;
+        let occ = self.proto_msg_occupancy(at, from, &msg);
+        let line = msg.line();
+        let mut outs = self.take_outs();
+        self.proto.handle_into(at, from, msg, &mut outs);
+        self.process_controller_outs(at, occ, &mut outs);
+        self.put_outs(outs);
+        self.check_line(line);
+    }
+
+    fn ev_cross_tick(&mut self) {
+        // Move the injector out for the duration of the tick so its
+        // packet stream can be drained while `self` is mutably borrowed
+        // (no per-tick clone).
+        let Some(cross) = self.cross.take() else {
+            return;
+        };
+        for pkt in cross.tick_packets() {
+            self.inject(pkt, self.now);
+        }
+        if self.finished < self.cfg.nodes {
+            if let Some(iv) = cross.interval() {
+                self.queue.schedule(self.now + iv, Ev::CROSS_TICK);
             }
         }
+        self.cross = Some(cross);
     }
 
     /// Controller occupancy to process `msg` at `at` (sent by `from`):
@@ -983,7 +1245,7 @@ impl Machine {
             _ => true,
         });
         let done = self.now + self.cycles(base_occ + extra);
-        self.nodes[at].ctrl_free_at = done;
+        self.nodes.ctrl_free_at[at] = done;
         self.process_aux_outs(outs, done);
     }
 
@@ -1003,7 +1265,7 @@ impl Machine {
                 }
                 ProtoOut::HomeOccupancy { node, cycles } => {
                     let free = t + self.cycles(cycles as u64);
-                    self.nodes[node].ctrl_free_at = self.nodes[node].ctrl_free_at.max(free);
+                    self.nodes.ctrl_free_at[node] = self.nodes.ctrl_free_at[node].max(free);
                 }
             }
         }
@@ -1012,12 +1274,14 @@ impl Machine {
     fn dispatch_proto(&mut self, from: usize, to: usize, msg: ProtoMsg, t: Time) {
         if self.cfg.latency_emulation.is_some() {
             let at = t + self.cycles(self.cfg.costs.emu_ideal_msg);
-            self.queue.schedule(at, Ev::Proto { at: to, from, msg });
+            let slot = self.push_penv(from, msg);
+            self.queue.schedule(at, Ev::proto(to, slot));
             return;
         }
         if from == to {
             let at = t + self.cycles(self.cfg.costs.local_msg);
-            self.queue.schedule(at, Ev::Proto { at: to, from, msg });
+            let slot = self.push_penv(from, msg);
+            self.queue.schedule(at, Ev::proto(to, slot));
             return;
         }
         let class = match msg.class() {
@@ -1025,24 +1289,48 @@ impl Machine {
             MsgClass::Invalidate => PacketClass::Invalidate,
             MsgClass::Data => PacketClass::Data,
         };
-        let tag = self.push_envelope(Envelope::Proto { from, msg });
+        // The packet tag *is* the penv slot: the payload is written to
+        // the arena once here and read once at the destination
+        // controller — nothing is copied through the network layer.
+        let slot = self.push_penv(from, msg);
         let pkt = Packet::protocol(
             Endpoint::node(from),
             Endpoint::node(to),
             msg.bytes(),
             class,
-            tag as u64,
+            slot as u64,
         );
+        self.net_live += 1;
         self.inject(pkt, t);
     }
 
-    fn push_envelope(&mut self, env: Envelope) -> usize {
-        if let Some(i) = self.free_envelopes.pop() {
-            self.envelopes[i] = Some(env);
-            i
-        } else {
-            self.envelopes.push(Some(env));
-            self.envelopes.len() - 1
+    fn push_penv(&mut self, from: usize, msg: ProtoMsg) -> u32 {
+        let env = PEnv {
+            from: from as u32,
+            msg,
+        };
+        match self.free_penvs.pop() {
+            Some(i) => {
+                self.penvs[i as usize] = env;
+                i
+            }
+            None => {
+                self.penvs.push(env);
+                (self.penvs.len() - 1) as u32
+            }
+        }
+    }
+
+    fn push_am(&mut self, am: ActiveMessage) -> u32 {
+        match self.free_ams.pop() {
+            Some(i) => {
+                self.ams[i as usize] = Some(am);
+                i
+            }
+            None => {
+                self.ams.push(Some(am));
+                (self.ams.len() - 1) as u32
+            }
         }
     }
 
@@ -1053,7 +1341,7 @@ impl Machine {
         let node_dst = matches!(pkt.dst, Endpoint::Node(_));
         let queue = &mut self.queue;
         self.net
-            .inject(t, pkt, &mut |t2, e| queue.schedule(t2, Ev::Net(e)));
+            .inject(t, pkt, &mut |t2, e| queue.schedule(t2, Ev::net(e)));
         if node_dst {
             let rec = self.net.last_record_id();
             if let Some(ch) = self.checker.as_mut() {
@@ -1065,60 +1353,59 @@ impl Machine {
     fn deliver(&mut self, pkt: Packet, rec: u32) {
         let Endpoint::Node(dst) = pkt.dst else { return };
         let dst = dst as usize;
+        self.net_live -= 1;
         if let Some(ch) = self.checker.as_mut() {
             ch.on_deliver(rec);
         }
-        let env = self.envelopes[pkt.tag as usize]
-            .take()
-            .expect("live envelope");
-        self.free_envelopes.push(pkt.tag as usize);
-        match env {
-            Envelope::Proto { from, msg } => {
-                self.queue
-                    .schedule(self.now, Ev::Proto { at: dst, from, msg });
+        if pkt.tag & TAG_AM == 0 {
+            // Protocol message: the tag is already a penv slot — hand the
+            // handle straight to the destination controller's event.
+            self.queue
+                .schedule(self.now, Ev::proto(dst, pkt.tag as u32));
+            return;
+        }
+        let slot = (pkt.tag & !TAG_AM) as u32;
+        let am = self.ams[slot as usize].take().expect("live active message");
+        self.free_ams.push(slot);
+        let polled = self.cfg.receive == ReceiveMode::Poll && !am.handler.is_system();
+        let drain = self
+            .cfg
+            .msg
+            .drain_occupancy_cycles(&am, polled, self.nodes.rq[dst].len());
+        let until = self.now + self.cycles(drain);
+        self.net.stall_ejection(dst, until);
+        if am.handler.is_system() {
+            self.sys_am(dst, &am, rec);
+        } else if polled {
+            self.nodes.rq[dst].push(am);
+            if self.trace.is_some() {
+                self.nodes.rq_ids[dst].push_back(rec);
             }
-            Envelope::Am { am } => {
-                let polled = self.cfg.receive == ReceiveMode::Poll && !am.handler.is_system();
-                let drain =
-                    self.cfg
-                        .msg
-                        .drain_occupancy_cycles(&am, polled, self.nodes[dst].rq.len());
-                let until = self.now + self.cycles(drain);
-                self.net.stall_ejection(dst, until);
-                if am.handler.is_system() {
-                    self.sys_am(dst, &am, rec);
-                } else if polled {
-                    self.nodes[dst].rq.push(am);
-                    if self.trace.is_some() {
-                        self.nodes[dst].rq_ids.push_back(rec);
-                    }
-                    if let Status::BlockedMsg { since } = self.nodes[dst].status {
-                        // The node may have blocked at a batched time ahead
-                        // of the event clock; the handler runs at the later
-                        // of block start, now, and any in-flight handler.
-                        let start = self.now.max(since).max(self.nodes[dst].handler_busy_until);
-                        let am = self.nodes[dst].rq.pop().expect("just pushed");
-                        let rid = self.nodes[dst].rq_ids.pop_front().unwrap_or(NO_RECORD);
-                        let d = self.run_handler(dst, &am, true, start, rid);
-                        self.charge(dst, Bucket::MsgOverhead, d);
-                        self.nodes[dst].handler_in_block += d;
-                        self.nodes[dst].handler_busy_until = start + d;
-                        self.resume_from_block(dst, start + d);
-                    }
-                } else {
-                    self.interrupt_delivery(dst, &am, rec);
-                }
+            if let Status::BlockedMsg { since } = self.nodes.status[dst] {
+                // The node may have blocked at a batched time ahead
+                // of the event clock; the handler runs at the later
+                // of block start, now, and any in-flight handler.
+                let start = self.now.max(since).max(self.nodes.handler_busy_until[dst]);
+                let am = self.nodes.rq[dst].pop().expect("just pushed");
+                let rid = self.nodes.rq_ids[dst].pop_front().unwrap_or(NO_RECORD);
+                let d = self.run_handler(dst, &am, true, start, rid);
+                self.charge(dst, Bucket::MsgOverhead, d);
+                self.nodes.handler_in_block[dst] += d;
+                self.nodes.handler_busy_until[dst] = start + d;
+                self.resume_from_block(dst, start + d);
             }
+        } else {
+            self.interrupt_delivery(dst, &am, rec);
         }
     }
 
     fn interrupt_delivery(&mut self, dst: usize, am: &ActiveMessage, rec: u32) {
-        let status = self.nodes[dst].status;
+        let status = self.nodes.status[dst];
         match status {
             Status::Running => {
                 let d = self.run_handler(dst, am, false, self.now, rec);
                 self.charge(dst, Bucket::MsgOverhead, d);
-                self.nodes[dst].pending_delay += d;
+                self.nodes.pending_delay[dst] += d;
             }
             Status::BlockedMem { since, .. }
             | Status::BlockedSend { since }
@@ -1127,11 +1414,11 @@ impl Machine {
                 // Handlers on a blocked node run no earlier than the block
                 // start and serialize after any in-flight handler; the
                 // block cannot resume before they finish.
-                let start = self.now.max(since).max(self.nodes[dst].handler_busy_until);
+                let start = self.now.max(since).max(self.nodes.handler_busy_until[dst]);
                 let d = self.run_handler(dst, am, false, start, rec);
                 self.charge(dst, Bucket::MsgOverhead, d);
-                self.nodes[dst].handler_in_block += d;
-                self.nodes[dst].handler_busy_until = start + d;
+                self.nodes.handler_in_block[dst] += d;
+                self.nodes.handler_busy_until[dst] = start + d;
                 if matches!(status, Status::BlockedMsg { .. }) {
                     self.resume_from_block(dst, start + d);
                 }
@@ -1173,7 +1460,7 @@ impl Machine {
             dur += self.cycles(self.cfg.msg.send_cycles(&send));
             self.send_am(node, send, t + dur);
         }
-        self.nodes[node].waitmsg_handled = true;
+        self.nodes.waitmsg_handled[node] = true;
         dur
     }
 
@@ -1182,14 +1469,15 @@ impl Machine {
         self.messages_sent += 1;
         let bytes = am.wire_bytes();
         let dst = am.dst;
-        let tag = self.push_envelope(Envelope::Am { am });
+        let slot = self.push_am(am);
         let pkt = Packet::protocol(
             Endpoint::node(from),
             Endpoint::node(dst),
             bytes,
             PacketClass::Data,
-            tag as u64,
+            slot as u64 | TAG_AM,
         );
+        self.net_live += 1;
         // Inject first so the trace event can carry the packet's record id
         // (assigned at injection); the event time is unchanged.
         self.inject(pkt, t);
@@ -1208,7 +1496,7 @@ impl Machine {
     }
 
     fn resume_from_block(&mut self, node: usize, at: Time) {
-        let (since, bucket) = match self.nodes[node].status {
+        let (since, bucket) = match self.nodes.status[node] {
             Status::BlockedMem { since, bucket } => (since, bucket),
             Status::BlockedSend { since } => (since, Bucket::MemWait),
             Status::BlockedMsg { since } => (since, Bucket::Sync),
@@ -1218,9 +1506,9 @@ impl Machine {
         // A block cannot end before it logically began (a transaction the
         // node merged into may complete at an earlier event time), nor
         // before an in-flight handler finishes.
-        let at = at.max(since).max(self.nodes[node].handler_busy_until);
-        self.nodes[node].handler_busy_until = Time::ZERO;
-        let handler = std::mem::take(&mut self.nodes[node].handler_in_block);
+        let at = at.max(since).max(self.nodes.handler_busy_until[node]);
+        self.nodes.handler_busy_until[node] = Time::ZERO;
+        let handler = std::mem::take(&mut self.nodes.handler_in_block[node]);
         let blocked = at.saturating_sub(since).saturating_sub(handler);
         self.charge(node, bucket, blocked);
         self.trace_event(at, node, TraceKind::Resume);
@@ -1231,14 +1519,14 @@ impl Machine {
 
     fn apply_mem_op(&mut self, node: usize, op: MemOp) {
         match op {
-            MemOp::Read { word, .. } => self.nodes[node].loaded = self.master[word.flat_index()],
+            MemOp::Read { word, .. } => self.nodes.loaded[node] = self.master[word.flat_index()],
             MemOp::Write { word, val } => self.master[word.flat_index()] = val,
             MemOp::Rmw { line, op } => {
                 let i = (line.0 * 2) as usize;
                 let (a, b) = op.apply(self.master[i], self.master[i + 1]);
                 self.master[i] = a;
                 self.master[i + 1] = b;
-                self.nodes[node].rmw = (a, b);
+                self.nodes.rmw[node] = (a, b);
             }
         }
     }
@@ -1255,7 +1543,7 @@ impl Machine {
             let oop = match op {
                 MemOp::Read { word, .. } => OracleOp::Read {
                     word: word.flat_index() as u64,
-                    value: self.nodes[node].loaded,
+                    value: self.nodes.loaded[node],
                 },
                 MemOp::Write { word, val } => OracleOp::Write {
                     word: word.flat_index() as u64,
@@ -1264,7 +1552,7 @@ impl Machine {
                 MemOp::Rmw { line, op } => OracleOp::Rmw {
                     line: line.0,
                     op,
-                    result: self.nodes[node].rmw,
+                    result: self.nodes.rmw[node],
                 },
             };
             o.record(node, epoch, seq, oop);
@@ -1405,7 +1693,7 @@ impl Machine {
                 self.apply_user_op(node, op, seq);
                 let resume_at = self.demand_resume_time(node, line, t);
                 if self.proto.home(line) != node {
-                    if let Status::BlockedMem { since, .. } = self.nodes[node].status {
+                    if let Status::BlockedMem { since, .. } = self.nodes.status[node] {
                         let lat = resume_at.saturating_sub(since);
                         self.miss_latency.record(self.clock.cycles_at(lat));
                     }
@@ -1418,14 +1706,8 @@ impl Machine {
                     None => t,
                 };
                 if fill_at > t {
-                    self.queue.schedule(
-                        fill_at,
-                        Ev::FillPrefetch {
-                            token,
-                            line,
-                            exclusive,
-                        },
-                    );
+                    self.queue
+                        .schedule(fill_at, Ev::fill_prefetch(token, line, exclusive));
                 } else {
                     self.finish_prefetch(token, line, exclusive, t);
                 }
@@ -1445,7 +1727,7 @@ impl Machine {
                 self.put_outs(outs);
                 self.check_line(line);
                 self.apply_user_op(node, op, seq);
-                self.nodes[node].posted -= 1;
+                self.nodes.posted[node] -= 1;
                 if let Some((m, mseq)) = merged {
                     // A demand access was waiting behind this posted store.
                     if let Some(cycles) = self.try_access(
@@ -1488,7 +1770,7 @@ impl Machine {
         let fill = t + self.cycles(self.cfg.costs.grant_fill);
         match self.cfg.latency_emulation {
             Some(emu) if self.proto.home(line) != node => {
-                let since = match self.nodes[node].status {
+                let since = match self.nodes.status[node] {
                     Status::BlockedMem { since, .. } => since,
                     _ => t,
                 };
@@ -1528,8 +1810,8 @@ impl Machine {
             let mut ctx = NodeCtx {
                 node,
                 nodes: self.cfg.nodes,
-                loaded: self.nodes[node].loaded,
-                rmw: self.nodes[node].rmw,
+                loaded: self.nodes.loaded[node],
+                rmw: self.nodes.rmw[node],
                 now_cycles: self.clock.cycles_at(t),
             };
             let step = self.programs[node].resume(&mut ctx);
@@ -1574,8 +1856,8 @@ impl Machine {
                             }
                             PostOutcome::BufferFull => {
                                 // Stall until a slot frees (Memory + NI wait).
-                                self.nodes[node].stalled_store = Some(op);
-                                self.nodes[node].status = Status::BlockedMem {
+                                self.nodes.stalled_store[node] = Some(op);
+                                self.nodes.status[node] = Status::BlockedMem {
                                     since: t,
                                     bucket: Bucket::MemWait,
                                 };
@@ -1649,7 +1931,7 @@ impl Machine {
                         // Network interface full: stall (Memory + NI Wait).
                         self.send_am(node, am, ready);
                         self.trace_event(launch, node, TraceKind::BlockSend);
-                        self.nodes[node].status = Status::BlockedSend { since: launch };
+                        self.nodes.status[node] = Status::BlockedSend { since: launch };
                         self.resume_from_block(node, ready);
                         return;
                     }
@@ -1658,11 +1940,11 @@ impl Machine {
                 }
                 Step::Poll => {
                     let mut cost = Time::ZERO;
-                    if self.nodes[node].rq.is_empty() {
+                    if self.nodes.rq[node].is_empty() {
                         cost += self.cycles(self.cfg.msg.poll_empty);
                     } else {
-                        while let Some(am) = self.nodes[node].rq.pop() {
-                            let rid = self.nodes[node].rq_ids.pop_front().unwrap_or(NO_RECORD);
+                        while let Some(am) = self.nodes.rq[node].pop() {
+                            let rid = self.nodes.rq_ids[node].pop_front().unwrap_or(NO_RECORD);
                             cost += self.run_handler(node, &am, true, t + cost, rid);
                         }
                     }
@@ -1670,32 +1952,32 @@ impl Machine {
                     t += cost;
                 }
                 Step::WaitMsg => {
-                    if !self.nodes[node].rq.is_empty() {
+                    if !self.nodes.rq[node].is_empty() {
                         // Messages queued (poll mode) while we were
                         // running: drain them as an implicit poll rather
                         // than sleeping past a non-empty queue.
                         let mut cost = Time::ZERO;
-                        while let Some(am) = self.nodes[node].rq.pop() {
-                            let rid = self.nodes[node].rq_ids.pop_front().unwrap_or(NO_RECORD);
+                        while let Some(am) = self.nodes.rq[node].pop() {
+                            let rid = self.nodes.rq_ids[node].pop_front().unwrap_or(NO_RECORD);
                             cost += self.run_handler(node, &am, true, t + cost, rid);
                         }
                         self.charge(node, Bucket::MsgOverhead, cost);
                         t += cost;
-                    } else if self.nodes[node].waitmsg_handled {
-                        self.nodes[node].waitmsg_handled = false;
+                    } else if self.nodes.waitmsg_handled[node] {
+                        self.nodes.waitmsg_handled[node] = false;
                         self.charge(node, Bucket::Sync, self.cycles(1));
                         t += self.cycles(1);
                     } else {
                         self.trace_event(t, node, TraceKind::BlockMsg);
-                        self.nodes[node].status = Status::BlockedMsg { since: t };
+                        self.nodes.status[node] = Status::BlockedMsg { since: t };
                         return;
                     }
                 }
                 Step::Barrier => {
-                    if self.nodes[node].posted > 0 {
+                    if self.nodes.posted[node] > 0 {
                         // Release fence: drain the write buffer first.
-                        self.nodes[node].fence = Some(FenceTarget::Barrier);
-                        self.nodes[node].status = Status::BlockedMem {
+                        self.nodes.fence[node] = Some(FenceTarget::Barrier);
+                        self.nodes.status[node] = Status::BlockedMem {
                             since: t,
                             bucket: Bucket::MemWait,
                         };
@@ -1705,9 +1987,9 @@ impl Machine {
                     return;
                 }
                 Step::Done => {
-                    if self.nodes[node].posted > 0 {
-                        self.nodes[node].fence = Some(FenceTarget::Done);
-                        self.nodes[node].status = Status::BlockedMem {
+                    if self.nodes.posted[node] > 0 {
+                        self.nodes.fence[node] = Some(FenceTarget::Done);
+                        self.nodes.status[node] = Status::BlockedMem {
                             since: t,
                             bucket: Bucket::MemWait,
                         };
@@ -1746,7 +2028,7 @@ impl Machine {
             }
             None => {
                 self.trace_event(*t, node, TraceKind::BlockMem { line: op.line().0 });
-                self.nodes[node].status = Status::BlockedMem {
+                self.nodes.status[node] = Status::BlockedMem {
                     since: *t,
                     bucket: op.block_bucket(),
                 };
@@ -1759,11 +2041,11 @@ impl Machine {
     /// interrupt that arrived during the final batch) extends the node's
     /// lifetime so accounting stays consistent.
     fn retire(&mut self, node: usize, t: Time) {
-        let t = t + std::mem::take(&mut self.nodes[node].pending_delay);
-        let t = t.max(self.nodes[node].handler_busy_until);
+        let t = t + std::mem::take(&mut self.nodes.pending_delay[node]);
+        let t = t.max(self.nodes.handler_busy_until[node]);
         self.trace_event(t, node, TraceKind::Done);
-        self.nodes[node].status = Status::Done;
-        self.nodes[node].finish = Some(t);
+        self.nodes.status[node] = Status::Done;
+        self.nodes.finish[node] = Some(t);
         self.finished += 1;
     }
 
@@ -1773,7 +2055,7 @@ impl Machine {
         if self.outstanding.contains(node, op.line().0) {
             return PostOutcome::Conflict;
         }
-        if self.nodes[node].posted >= self.cfg.write_buffer {
+        if self.nodes.posted[node] >= self.cfg.write_buffer {
             return PostOutcome::BufferFull;
         }
         let purpose = Purpose::Posted {
@@ -1785,7 +2067,7 @@ impl Machine {
         match self.try_access(node, op, purpose, t) {
             Some(cycles) => PostOutcome::Inline(cycles),
             None => {
-                self.nodes[node].posted += 1;
+                self.nodes.posted[node] += 1;
                 PostOutcome::Inline(self.cfg.costs.miss_issue)
             }
         }
@@ -1794,20 +2076,20 @@ impl Machine {
     /// A posted store completed: wake anything waiting on buffer space or
     /// a release fence.
     fn write_slot_freed(&mut self, node: usize, t: Time) {
-        if let Some(op) = self.nodes[node].stalled_store.take() {
+        if let Some(op) = self.nodes.stalled_store[node].take() {
             // Retry the stalled store; the node is blocked in MemWait.
             match self.posted_store(node, op, t) {
                 PostOutcome::Inline(c) => {
                     self.resume_from_block(node, t + self.cycles(c));
                 }
                 PostOutcome::Conflict | PostOutcome::BufferFull => {
-                    self.nodes[node].stalled_store = Some(op);
+                    self.nodes.stalled_store[node] = Some(op);
                 }
             }
             return;
         }
-        if self.nodes[node].posted == 0 {
-            if let Some(target) = self.nodes[node].fence.take() {
+        if self.nodes.posted[node] == 0 {
+            if let Some(target) = self.nodes.fence[node].take() {
                 let at = self.settle_block(node, t);
                 match target {
                     FenceTarget::Barrier => self.barrier_arrive(node, at),
@@ -1823,13 +2105,13 @@ impl Machine {
     /// (clamped past any in-flight handler), which the follow-on state
     /// must start from.
     fn settle_block(&mut self, node: usize, at: Time) -> Time {
-        let (since, bucket) = match self.nodes[node].status {
+        let (since, bucket) = match self.nodes.status[node] {
             Status::BlockedMem { since, bucket } => (since, bucket),
             other => panic!("settle_block in status {other:?}"),
         };
-        let at = at.max(since).max(self.nodes[node].handler_busy_until);
-        self.nodes[node].handler_busy_until = Time::ZERO;
-        let handler = std::mem::take(&mut self.nodes[node].handler_in_block);
+        let at = at.max(since).max(self.nodes.handler_busy_until[node]);
+        self.nodes.handler_busy_until[node] = Time::ZERO;
+        let handler = std::mem::take(&mut self.nodes.handler_in_block[node]);
         let blocked = at.saturating_sub(since).saturating_sub(handler);
         self.charge(node, bucket, blocked);
         at
@@ -1839,7 +2121,7 @@ impl Machine {
 
     fn barrier_arrive(&mut self, node: usize, t: Time) {
         self.trace_event(t, node, TraceKind::BarrierEnter);
-        self.nodes[node].status = Status::InBarrier { since: t };
+        self.nodes.status[node] = Status::InBarrier { since: t };
         if self.cfg.nodes == 1 {
             // Trivial barrier.
             self.barrier.node_epoch[node] += 1;
@@ -2008,17 +2290,17 @@ impl Machine {
     /// running nodes extend their current batch; blocked nodes record
     /// handler-in-block time that the eventual unblock subtracts.
     fn charge_sys(&mut self, node: usize, cost: Time) {
-        match self.nodes[node].status {
+        match self.nodes.status[node] {
             Status::Running => {
-                self.nodes[node].pending_delay += cost;
+                self.nodes.pending_delay[node] += cost;
                 self.charge(node, Bucket::Sync, cost);
             }
             Status::Done => {}
             s => {
                 let since = s.since().expect("blocked state");
-                let start = self.now.max(since).max(self.nodes[node].handler_busy_until);
-                self.nodes[node].handler_in_block += cost;
-                self.nodes[node].handler_busy_until = start + cost;
+                let start = self.now.max(since).max(self.nodes.handler_busy_until[node]);
+                self.nodes.handler_in_block[node] += cost;
+                self.nodes.handler_busy_until[node] = start + cost;
                 self.charge(node, Bucket::Sync, cost);
             }
         }
@@ -2075,7 +2357,7 @@ impl Machine {
             }
             SYS_BAR_RELEASE => {
                 debug_assert!(
-                    matches!(self.nodes[dst].status, Status::InBarrier { .. }),
+                    matches!(self.nodes.status[dst], Status::InBarrier { .. }),
                     "release must find node {dst} in the barrier"
                 );
                 self.charge_sys(dst, cost);

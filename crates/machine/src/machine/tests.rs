@@ -9,7 +9,7 @@ use commsense_mesh::CrossTrafficConfig;
 use commsense_msgpass::{ActiveMessage, HandlerId};
 
 use crate::config::{CheckConfig, LatencyEmulation, MachineConfig, Mechanism};
-use crate::program::{bits_f64, f64_bits, HandlerCtx, NodeCtx, Program, Step};
+use crate::program::{bits_f64, f64_bits, HandlerCtx, NodeCtx, Program, RmwOp, Step};
 
 use super::{Machine, MachineSpec};
 
@@ -101,14 +101,14 @@ fn buckets_sum_to_finish_time() {
         },
     );
     let _ = m.run();
-    for (i, node) in m.nodes.iter().enumerate() {
-        let finish = node.finish.expect("finished");
-        let total = node.stats.total();
+    for i in 0..m.cfg.nodes {
+        let finish = m.nodes.finish[i].expect("finished");
+        let total = m.nodes.stats[i].total();
         assert_eq!(
             total.as_ps(),
             finish.as_ps(),
             "node {i}: buckets {:?} must sum to finish {finish}",
-            node.stats
+            m.nodes.stats[i]
         );
     }
 }
@@ -1372,4 +1372,80 @@ fn ejection_backpressure_under_message_burst() {
     let progs = m.into_programs();
     let p0 = progs[0].as_any().downcast_ref::<Sink>().unwrap();
     assert_eq!(p0.got, 124, "no message lost in the burst");
+}
+
+/// A mixed workload for the batching identity pin: every node computes,
+/// stores to its own slot, barriers, reads a neighbour's slot, and
+/// contends on an Rmw counter; message mechanisms additionally exchange
+/// an active-message ring. Heavy same-instant traffic, so the batched
+/// loop actually coalesces multi-event instants.
+fn batching_identity_spec(cfg: &MachineConfig, mech: Mechanism) -> MachineSpec {
+    let n = cfg.nodes;
+    let mut heap = Heap::new(n);
+    let arr = heap.alloc(n, |i| i % n);
+    let counter = heap.alloc(1, |_| 0);
+    let programs: Vec<Box<dyn Program>> = (0..n)
+        .map(|p| {
+            let w = Word::new(arr.line(p), 0);
+            let neighbour = Word::new(arr.line((p + 1) % n), 0);
+            let mut steps = vec![
+                Step::Compute(1 + 37 * p as u64),
+                Step::Store(w, p as f64),
+                Step::Barrier,
+                Step::Load(neighbour),
+                Step::Rmw(counter.line(0), RmwOp::IncW0),
+            ];
+            match mech {
+                Mechanism::SharedMem | Mechanism::SharedMemPrefetch => {
+                    steps.push(Step::Prefetch {
+                        line: arr.line((p + 2) % n),
+                        exclusive: false,
+                    });
+                }
+                Mechanism::MsgInterrupt | Mechanism::MsgPoll | Mechanism::Bulk => {
+                    steps.push(Step::Send(ActiveMessage::new(
+                        (p + 1) % n,
+                        HandlerId(1),
+                        vec![p as u64],
+                    )));
+                    if mech == Mechanism::MsgPoll {
+                        steps.push(Step::Poll);
+                    }
+                    steps.push(Step::WaitMsg);
+                }
+            }
+            steps.push(Step::Barrier);
+            Script::new(steps) as Box<dyn Program>
+        })
+        .collect();
+    let initial = vec![0.0; heap.total_words()];
+    MachineSpec {
+        heap,
+        initial,
+        programs,
+    }
+}
+
+/// Same-cycle batch draining must be invisible in simulated time: for
+/// every mechanism, `Machine::run` (batched) and `Machine::run_unbatched`
+/// (one event per pop) produce bit-identical `RunStats` — cycles, event
+/// counts, per-node buckets, everything in the Debug rendering.
+#[test]
+fn batched_and_unbatched_runs_are_identical() {
+    for mech in Mechanism::ALL {
+        let cfg = MachineConfig::tiny().with_mechanism(mech);
+        let mut batched = Machine::new(cfg.clone(), batching_identity_spec(&cfg, mech));
+        let stats_batched = batched.run();
+        let mut unbatched = Machine::new(cfg.clone(), batching_identity_spec(&cfg, mech));
+        let stats_unbatched = unbatched.run_unbatched();
+        assert!(
+            stats_batched.events > 0 && stats_batched.runtime_cycles > 0,
+            "{mech:?}: workload must actually run"
+        );
+        assert_eq!(
+            format!("{stats_batched:?}"),
+            format!("{stats_unbatched:?}"),
+            "{mech:?}: batched and unbatched stats diverge"
+        );
+    }
 }

@@ -14,6 +14,13 @@
 //! `repro observe` instruments a single run instead: it enables the
 //! observability layer, writes a Perfetto/Chrome trace and a validated run
 //! manifest, and prints the per-link utilization heatmap.
+//!
+//! `repro analyze` goes one level deeper: it runs each mechanism once
+//! under the observability layer with Figure-10 latency emulation, walks
+//! the packet-lifecycle trace backward to extract the critical path,
+//! prints the per-stage communication breakdown, and predicts each
+//! mechanism's latency sensitivity from the traversal count — validated
+//! against the simulated Figure-10 sweep with `--latency-sweep`.
 
 use std::io::Write;
 use std::sync::Arc;
@@ -50,7 +57,8 @@ struct Opts {
     topo: Option<String>,
     profile: Option<String>,
     app: String,
-    mech: String,
+    mech: Option<String>,
+    latency_sweep: bool,
     cross: Option<f64>,
     latency: Option<u64>,
     epoch: u64,
@@ -68,10 +76,12 @@ usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check] [--store 
                   [--nodes N] [--topo KIND] [--profile FILE]
        repro observe [--app NAME] [--mech LABEL] [--small|--paper]
                      [--cross B_PER_CYCLE] [--latency CYCLES] [--epoch N] [--dir DIR]
+       repro analyze [--app NAME] [--mech LABEL] [--latency CYCLES]
+                     [--latency-sweep] [--gate PCT] [--small|--paper] [--dir DIR]
        repro scale [--small] [--csv DIR] [--jobs N] [--store [DIR]] [--dir DIR]
   WHAT: all (default) | tab1 | tab2 | fig1 | fig2 | fig3 | fig4 | fig5 |
         fig7 | fig8 | fig9 | fig10 | ablate | model | perf | observe |
-        scale | store
+        analyze | scale | store
   --paper    use the paper's workload sizes (minutes)
   --small    use unit-test sizes (seconds)
   --csv      also write each sweep as CSV into DIR
@@ -87,19 +97,26 @@ usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check] [--store 
   --baseline perf: a previous report; record its numbers and the speedup
   --reps     perf: repetitions per mechanism, fastest kept (default 5)
   --gate     perf: fail (exit 1) if events/sec drops more than PCT percent
-             below the --baseline report
+             below the --baseline report; analyze: fail if the worst
+             predicted-vs-simulated relative error exceeds PCT percent
+             (needs --latency-sweep)
   --nodes    perf: also measure a scaled config with N nodes (extra JSON
              section, never gated; default 256 when only --topo is given)
   --topo     perf: topology of the scaled config (mesh|torus|fat-tree|
              dragonfly; default torus when only --nodes is given)
   --profile  perf: after the timed reps, rerun each mechanism once with
              dispatch profiling and write self-time per event kind as CSV
-  --app      observe: application (EM3D|UNSTRUC|ICCG|MOLDYN; default EM3D)
-  --mech     observe: mechanism label (sm|sm+pf|mp-int|mp-poll|bulk; default mp-poll)
+  --app      observe/analyze: application (EM3D|UNSTRUC|ICCG|MOLDYN; default EM3D)
+  --mech     observe/analyze: mechanism label (sm|sm+pf|mp-int|mp-poll|bulk;
+             observe default mp-poll; analyze default all five)
   --cross    observe: consume N bytes/cycle of bisection with cross-traffic
-  --latency  observe: emulate a uniform remote-miss latency of N cycles
-  --epoch    observe: metric sampling period in cycles (default 1000)
-  --dir      observe/scale: output directory for artifacts (default .)
+  --latency  observe: emulate a uniform remote-miss latency of N cycles;
+             analyze: base emulated latency of the traced run (default 30)
+  --epoch    observe/analyze: metric sampling period in cycles (default 1000)
+  --dir      observe/analyze/scale: output directory for artifacts (default .)
+  --latency-sweep  analyze: also run the simulated Figure-10 sweep and
+             write critpath_summary.csv with predicted-vs-simulated
+             runtime and per-point relative error
   scale      sweep node count x topology through the fig4/8/10 shapes
              (mesh/torus/fat-tree/dragonfly at 32/256/1024 nodes; --small:
              mesh+torus at 64/256); the fig10 shape runs under the
@@ -109,9 +126,9 @@ usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check] [--store 
   store verify  validate every record's framing and checksum (read-only)
   store gc      delete corrupt and stale-model-version records";
 
-const KNOWN: [&str; 19] = [
+const KNOWN: [&str; 20] = [
     "all", "tab1", "tab2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
-    "ablate", "model", "fig6", "perf", "observe", "scale", "store",
+    "ablate", "model", "fig6", "perf", "observe", "analyze", "scale", "store",
 ];
 
 const STORE_ACTIONS: [&str; 3] = ["stats", "gc", "verify"];
@@ -130,7 +147,8 @@ fn parse_args() -> Opts {
     let mut topo = None;
     let mut profile = None;
     let mut app = "EM3D".to_string();
-    let mut mech = "mp-poll".to_string();
+    let mut mech = None;
+    let mut latency_sweep = false;
     let mut cross = None;
     let mut latency = None;
     let mut epoch = 1_000u64;
@@ -174,11 +192,12 @@ fn parse_args() -> Opts {
                 })
             }
             "--mech" => {
-                mech = next().unwrap_or_else(|| {
+                mech = Some(next().unwrap_or_else(|| {
                     eprintln!("--mech needs a mechanism label\n{USAGE}");
                     std::process::exit(2);
-                })
+                }))
             }
+            "--latency-sweep" => latency_sweep = true,
             "--dir" => {
                 dir = next().unwrap_or_else(|| {
                     eprintln!("--dir needs a directory\n{USAGE}");
@@ -297,6 +316,7 @@ fn parse_args() -> Opts {
         profile,
         app,
         mech,
+        latency_sweep,
         cross,
         latency,
         epoch,
@@ -416,26 +436,33 @@ fn warn_failed(app: &str, run: &PlanRun) {
     }
 }
 
-/// `repro observe`: one deeply-instrumented run — writes a Perfetto trace
-/// and a run manifest, and prints the per-link utilization heatmap.
-fn run_observe(opts: &Opts) {
-    let spec = suite(opts.scale)
+/// Resolves `--app` against the suite at the selected scale.
+fn resolve_spec(opts: &Opts) -> commsense_apps::AppSpec {
+    suite(opts.scale)
         .into_iter()
         .find(|s| s.name().eq_ignore_ascii_case(&opts.app))
         .unwrap_or_else(|| {
             eprintln!("unknown --app {:?} (EM3D|UNSTRUC|ICCG|MOLDYN)", opts.app);
             std::process::exit(2);
-        });
-    let mech = Mechanism::ALL
+        })
+}
+
+/// Resolves a `--mech` label against the five mechanisms.
+fn resolve_mech(label: &str) -> Mechanism {
+    Mechanism::ALL
         .into_iter()
-        .find(|m| m.label() == opts.mech)
+        .find(|m| m.label() == label)
         .unwrap_or_else(|| {
-            eprintln!(
-                "unknown --mech {:?} (sm|sm+pf|mp-int|mp-poll|bulk)",
-                opts.mech
-            );
+            eprintln!("unknown --mech {label:?} (sm|sm+pf|mp-int|mp-poll|bulk)");
             std::process::exit(2);
-        });
+        })
+}
+
+/// `repro observe`: one deeply-instrumented run — writes a Perfetto trace
+/// and a run manifest, and prints the per-link utilization heatmap.
+fn run_observe(opts: &Opts) {
+    let spec = resolve_spec(opts);
+    let mech = resolve_mech(opts.mech.as_deref().unwrap_or("mp-poll"));
     let mut cfg = cfg(opts.check).with_mechanism(mech);
     if let Some(c) = opts.cross {
         cfg.cross_traffic = Some(commsense_mesh::CrossTrafficConfig::consuming(
@@ -502,6 +529,181 @@ fn run_observe(opts: &Opts) {
     std::fs::write(&manifest_path, manifest).expect("write manifest");
     println!("(wrote {trace_path})");
     println!("(wrote {manifest_path} — open the trace at https://ui.perfetto.dev)");
+}
+
+/// One mechanism's analyzed run: the instrumented base-latency runtime
+/// plus its extracted critical path.
+struct Analyzed {
+    mech: Mechanism,
+    base_runtime: u64,
+    cp: commsense_machine::CritPath,
+}
+
+/// `repro analyze`: critical-path extraction and latency-sensitivity
+/// prediction. Runs each selected mechanism once under the observability
+/// layer with Figure-10 latency emulation at the base latency, walks the
+/// lifecycle trace backward into a per-stage breakdown, and writes per
+/// mechanism a breakdown CSV, a Perfetto trace with the on-path message
+/// flows flagged, and a manifest embedding the analysis. With
+/// `--latency-sweep` it also runs the simulated Figure-10 sweep and
+/// writes `critpath_summary.csv` comparing predicted against simulated
+/// runtime at every latency point (`--gate PCT` fails on excessive
+/// relative error).
+fn run_analyze(opts: &Opts) {
+    let spec = resolve_spec(opts);
+    let mechs: Vec<Mechanism> = match opts.mech.as_deref() {
+        Some(label) => vec![resolve_mech(label)],
+        None => Mechanism::ALL.to_vec(),
+    };
+    let base_lat = opts.latency.unwrap_or(30);
+    std::fs::create_dir_all(&opts.dir).expect("create output dir");
+    println!(
+        "== analyze: {} critical path ({base_lat}-cycle emulated remote misses) ==",
+        spec.name()
+    );
+
+    let mut analyzed: Vec<Analyzed> = Vec::new();
+    for &mech in &mechs {
+        let mut cfg = cfg(opts.check).with_mechanism(mech);
+        // Emulation at the base latency makes traversal counting exact:
+        // every latency-clamped remote stall on the path lasts >= L, and
+        // everything else stays far below it on the ideal protocol
+        // network. The mp mechanisms see (nearly) no such stalls, so
+        // their predicted curves come out flat — as the paper plots them.
+        cfg.latency_emulation = Some(commsense_machine::LatencyEmulation::uniform(base_lat));
+        cfg.observe = Some(commsense_machine::ObserveConfig {
+            epoch_cycles: opts.epoch,
+            ..Default::default()
+        });
+        let req = commsense_core::engine::RunRequest {
+            spec: spec.clone(),
+            mechanism: mech,
+            cfg,
+        };
+        let result = commsense_apps::run_app(&req.spec, req.mechanism, &req.cfg);
+        let obs = result
+            .observation
+            .as_ref()
+            .expect("observe config implies an observation");
+        let cp = commsense_machine::analyze(obs, &req.cfg);
+        print!(
+            "{}",
+            cp.render_table(&format!("{} / {}", spec.name(), mech.label()))
+        );
+        println!();
+
+        let stem = format!(
+            "{}/analyze_{}_{}",
+            opts.dir,
+            spec.name().to_lowercase(),
+            mech.label().replace('+', "p"),
+        );
+        let breakdown_path = format!(
+            "{}/critpath_breakdown_{}_{}.csv",
+            opts.dir,
+            spec.name().to_lowercase(),
+            mech.label().replace('+', "p"),
+        );
+        std::fs::write(&breakdown_path, cp.breakdown_csv()).expect("write breakdown csv");
+        std::fs::write(
+            format!("{stem}.perfetto.json"),
+            commsense_machine::perfetto::export_trace_critical(obs, &cp.critical_records),
+        )
+        .expect("write perfetto trace");
+        let manifest = manifest::manifest_json_with_analysis(&req, None, &result, Some(&cp));
+        manifest::validate_manifest(&manifest).expect("fresh manifest must validate");
+        std::fs::write(format!("{stem}.manifest.json"), manifest).expect("write manifest");
+        println!("(wrote {breakdown_path}, {stem}.perfetto.json, {stem}.manifest.json)");
+        analyzed.push(Analyzed {
+            mech,
+            base_runtime: result.runtime_cycles,
+            cp,
+        });
+    }
+
+    if !opts.latency_sweep {
+        if opts.gate.is_some() {
+            eprintln!("--gate needs --latency-sweep under analyze\n{USAGE}");
+            std::process::exit(2);
+        }
+        return;
+    }
+
+    // Validation: the simulated Figure-10 sweep next to the predicted
+    // curves. The prediction extrapolates the single instrumented run:
+    // T(L) = T(base) + slope * (L - base).
+    println!("== analyze: predicted vs simulated Figure-10 curves ==");
+    let lats = [30u64, 50, 100, 200, 400, 800];
+    let runner = Runner::from_env();
+    let mut cache = WorkloadCache::new();
+    let run =
+        ctx_switch_plan(&spec, &mechs, &cfg(opts.check), &lats).run_reported(&runner, &mut cache);
+    warn_failed(spec.name(), &run);
+    let mut summary = String::from(
+        "app,mechanism,latency_cycles,simulated_cycles,predicted_cycles,rel_err,\
+         predicted_slope,fitted_slope\n",
+    );
+    let mut worst: f64 = 0.0;
+    for a in &analyzed {
+        let Some(sweep) = run.sweeps.iter().find(|s| s.mechanism == a.mech) else {
+            eprintln!(
+                "  no simulated sweep for {} (all points failed)",
+                a.mech.label()
+            );
+            continue;
+        };
+        let fitted = fit_latency(sweep).map(|m| m.d1);
+        println!(
+            "{} / {}: predicted slope {:.2}, fitted simulated slope {}",
+            spec.name(),
+            a.mech.label(),
+            a.cp.predicted_slope(),
+            fitted.map_or("n/a".to_string(), |d| format!("{d:.2}")),
+        );
+        println!(
+            "  {:>10} {:>12} {:>12} {:>8}",
+            "lat (cyc)", "simulated", "predicted", "err"
+        );
+        for p in &sweep.points {
+            let sim = p.result.runtime_cycles as f64;
+            let predicted =
+                a.cp.predict_runtime_cycles(a.base_runtime, base_lat, p.x as u64);
+            let rel = (predicted - sim).abs() / sim;
+            worst = worst.max(rel);
+            println!(
+                "  {:>10.0} {:>12.0} {:>12.0} {:>7.1}%",
+                p.x,
+                sim,
+                predicted,
+                rel * 100.0
+            );
+            summary.push_str(&format!(
+                "{},{},{:.0},{:.0},{:.0},{:.4},{:.2},{}\n",
+                spec.name(),
+                a.mech.label(),
+                p.x,
+                sim,
+                predicted,
+                rel,
+                a.cp.predicted_slope(),
+                fitted.map_or(String::new(), |d| format!("{d:.2}")),
+            ));
+        }
+    }
+    let summary_path = format!("{}/critpath_summary.csv", opts.dir);
+    std::fs::write(&summary_path, summary).expect("write critpath summary");
+    println!("(wrote {summary_path})");
+    if let Some(pct) = opts.gate {
+        let line = format!(
+            "analyze gate: worst predicted-vs-simulated error {:.1}% vs allowed {pct:.1}%",
+            worst * 100.0
+        );
+        if worst * 100.0 > pct {
+            eprintln!("{line} — FAIL");
+            std::process::exit(1);
+        }
+        println!("{line} — PASS");
+    }
 }
 
 /// `repro perf`: the tracked hot-path benchmark. Runs the fixed
@@ -817,6 +1019,10 @@ fn main() {
     }
     if opts.what == "observe" {
         run_observe(&opts);
+        return;
+    }
+    if opts.what == "analyze" {
+        run_analyze(&opts);
         return;
     }
     if opts.what == "store" {

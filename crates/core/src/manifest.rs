@@ -29,6 +29,7 @@
 //! ```
 
 use commsense_apps::RunResult;
+use commsense_machine::critpath::{CritPath, Stage};
 use commsense_machine::{Bucket, RunState};
 
 use crate::engine::RunRequest;
@@ -37,8 +38,10 @@ use crate::json::{push_escaped, Json};
 /// Version stamp written into every manifest; bump on breaking layout
 /// changes so downstream readers can dispatch. Version 2 replaced the
 /// mesh-only `mesh_width`/`mesh_height` config fields with `topology`
-/// (human-readable shape) and `topology_kind`.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
+/// (human-readable shape) and `topology_kind`. Version 3 added the
+/// optional `critpath` block (critical-path stage breakdown and predicted
+/// latency slope, see [`manifest_json_with_analysis`]).
+pub const MANIFEST_SCHEMA_VERSION: u32 = 3;
 
 fn push_str_field(out: &mut String, key: &str, value: &str) {
     push_escaped(out, key);
@@ -72,6 +75,18 @@ fn push_bool_field(out: &mut String, key: &str, value: bool) {
 /// sweep. The metric-series block is present exactly when the result
 /// carries an observation.
 pub fn manifest_json(req: &RunRequest, sweep_x: Option<f64>, result: &RunResult) -> String {
+    manifest_json_with_analysis(req, sweep_x, result, None)
+}
+
+/// Like [`manifest_json`], with an optional critical-path analysis block
+/// (`repro analyze` attaches it): per-stage cycle attribution, the message
+/// and barrier edges crossed, and the predicted Figure-10 latency slope.
+pub fn manifest_json_with_analysis(
+    req: &RunRequest,
+    sweep_x: Option<f64>,
+    result: &RunResult,
+    critpath: Option<&CritPath>,
+) -> String {
     let cfg = &req.cfg;
     let clock = cfg.clock();
     let mut out = String::with_capacity(4096);
@@ -251,6 +266,34 @@ pub fn manifest_json(req: &RunRequest, sweep_x: Option<f64>, result: &RunResult)
         push_u64_field(&mut out, "net_packets_dropped", obs.net.dropped_packets);
         out.push('}');
     }
+
+    // The critical-path analysis, when one was run.
+    if let Some(cp) = critpath {
+        out.push(',');
+        push_escaped(&mut out, "critpath");
+        out.push_str(":{");
+        push_u64_field(&mut out, "total_cycles", cp.total_cycles());
+        out.push(',');
+        push_f64_field(&mut out, "predicted_slope", cp.predicted_slope());
+        out.push(',');
+        push_u64_field(&mut out, "traversals", cp.traversals);
+        out.push(',');
+        push_u64_field(&mut out, "messages", cp.messages);
+        out.push(',');
+        push_u64_field(&mut out, "barrier_joins", cp.barrier_joins);
+        out.push(',');
+        push_bool_field(&mut out, "complete", cp.complete);
+        out.push(',');
+        push_escaped(&mut out, "stage_cycles");
+        out.push_str(":{");
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_u64_field(&mut out, stage.label(), cp.stage_cycles(*stage));
+        }
+        out.push_str("}}");
+    }
     out.push('}');
     out
 }
@@ -345,6 +388,23 @@ pub fn validate_manifest(text: &str) -> Result<(), String> {
             .and_then(Json::as_arr)
             .ok_or("missing series array \"mean_link_utilization\"")?;
     }
+    if let Some(cp) = v.get("critpath") {
+        for key in ["total_cycles", "traversals", "messages", "barrier_joins"] {
+            cp.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing critpath field {key:?}"))?;
+        }
+        cp.get("predicted_slope")
+            .and_then(Json::as_f64)
+            .ok_or("missing critpath field \"predicted_slope\"")?;
+        let stages = cp
+            .get("stage_cycles")
+            .and_then(Json::as_obj)
+            .ok_or("missing critpath field \"stage_cycles\"")?;
+        if stages.len() != Stage::ALL.len() {
+            return Err("stage_cycles must cover every stage".to_string());
+        }
+    }
     Ok(())
 }
 
@@ -401,6 +461,27 @@ mod tests {
             series.get("at_ps").and_then(Json::as_arr).unwrap().len(),
             samples as usize
         );
+    }
+
+    #[test]
+    fn manifest_with_analysis_embeds_critpath() {
+        let req = tiny_request(true);
+        let result = run_app(&req.spec, req.mechanism, &req.cfg);
+        let obs = result.observation.as_ref().expect("observed run");
+        let cp = commsense_machine::critpath::analyze(obs, &req.cfg);
+        let text = manifest_json_with_analysis(&req, None, &result, Some(&cp));
+        validate_manifest(&text).unwrap();
+        let v = Json::parse(&text).unwrap();
+        let block = v.get("critpath").expect("critpath present");
+        assert_eq!(
+            block.get("total_cycles").and_then(Json::as_u64),
+            Some(cp.total_cycles())
+        );
+        let stages = block.get("stage_cycles").and_then(Json::as_obj).unwrap();
+        assert_eq!(stages.len(), Stage::ALL.len());
+        // Tampered critpath blocks must be rejected.
+        let broken = text.replace("\"traversals\"", "\"traversalsx\"");
+        assert!(validate_manifest(&broken).is_err());
     }
 
     #[test]

@@ -105,6 +105,12 @@ pub fn breakdown_bars(
 /// columns, shaded ` .:-=+*#%@` from idle to saturated, with the run-mean
 /// utilization on the right. Links that never carried a packet are
 /// summarized in a trailing count instead of printed as blank rows.
+///
+/// Above the sparse threshold the metric series covers a *sample* of the
+/// machine's links: rows are the sampled columns (labelled with their
+/// dense link ids when no human-readable label was recorded) and a
+/// trailing note reports how many of the machine's links the sample
+/// covers, instead of silently presenting the subset as the whole mesh.
 pub fn link_heatmap(obs: &Observation, max_cols: usize) -> String {
     const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
     let series = &obs.series;
@@ -118,8 +124,8 @@ pub fn link_heatmap(obs: &Observation, max_cols: usize) -> String {
     }
     let cols = samples.min(max_cols);
     let mut idle = 0usize;
-    for link in 0..series.links {
-        let total_busy = series.link_busy_ps[(samples - 1) * series.links + link];
+    for col in 0..series.links {
+        let total_busy = series.link_busy_ps[(samples - 1) * series.links + col];
         if total_busy == 0 {
             idle += 1;
             continue;
@@ -130,20 +136,37 @@ pub fn link_heatmap(obs: &Observation, max_cols: usize) -> String {
             let lo = c * samples / cols;
             let hi = ((c + 1) * samples / cols).max(lo + 1);
             let mean: f64 = (lo..hi)
-                .map(|s| series.link_utilization(s, link))
+                .map(|s| series.link_utilization(s, col))
                 .sum::<f64>()
                 / (hi - lo) as f64;
             let shade = ((mean * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
             row.push(SHADES[shade]);
         }
-        let label = obs.link_labels.get(link).map(String::as_str).unwrap_or("?");
+        let label = match obs.link_labels.get(col) {
+            Some(l) => l.clone(),
+            // Sparse series label gaps fall back to the dense link id the
+            // column samples, never to column position.
+            None => format!(
+                "link{}",
+                series.link_ids.get(col).copied().unwrap_or(col as u32)
+            ),
+        };
         out.push_str(&format!(
             "{label:>8} |{row}| mean {:5.1}%\n",
-            obs.mean_link_utilization(link) * 100.0
+            obs.mean_link_utilization(col) * 100.0
         ));
     }
     if idle > 0 {
-        out.push_str(&format!("  ({idle} links carried no traffic)\n"));
+        out.push_str(&format!("  ({idle} sampled links carried no traffic)\n"));
+    }
+    // The recorder's busy table is dense (one slot per physical link), so
+    // it tells us how much of the machine the sampled series covers.
+    let total_links = obs.net.link_busy.len();
+    if total_links > series.links {
+        out.push_str(&format!(
+            "  (showing {} sampled of {total_links} links)\n",
+            series.links
+        ));
     }
     out
 }
@@ -374,6 +397,39 @@ mod tests {
             let row = line.split('|').nth(1).unwrap();
             assert!(row.len() <= 40, "row too wide: {line}");
         }
+    }
+
+    #[test]
+    fn heatmap_discloses_sparse_link_sampling() {
+        use commsense_apps::{run_app, AppSpec};
+        use commsense_machine::{MachineConfig, Mechanism, ObserveConfig};
+        let mut p = commsense_workloads::bipartite::Em3dParams::small();
+        p.iterations = 1;
+        let mut cfg = MachineConfig::tiny();
+        // Force the sparse path on a tiny machine: sample 2 nodes (and 4
+        // link columns) out of the full mesh.
+        cfg.observe = Some(ObserveConfig {
+            epoch_cycles: 100,
+            trace_capacity: 1 << 14,
+            max_packets: 1 << 14,
+            sparse_threshold: 2,
+            ..Default::default()
+        });
+        let result = run_app(&AppSpec::Em3d(p), Mechanism::MsgPoll, &cfg);
+        let obs = result.observation.expect("observation recorded");
+        let total_links = obs.net.link_busy.len();
+        assert!(
+            obs.series.links < total_links,
+            "threshold 2 must sample a strict subset of {total_links} links"
+        );
+        let map = link_heatmap(&obs, 40);
+        assert!(
+            map.contains(&format!(
+                "showing {} sampled of {total_links} links",
+                obs.series.links
+            )),
+            "sparse heatmap must disclose sampling:\n{map}"
+        );
     }
 
     #[test]

@@ -5,7 +5,7 @@ use commsense_apps::{run_app, AppSpec, RunResult};
 use commsense_core::engine::RunRequest;
 use commsense_core::json::Json;
 use commsense_core::manifest::{manifest_json, validate_manifest};
-use commsense_machine::perfetto::{export_trace, TRACE_SCHEMA_VERSION};
+use commsense_machine::perfetto::{export_trace, export_trace_critical, TRACE_SCHEMA_VERSION};
 use commsense_machine::{MachineConfig, Mechanism, ObserveConfig};
 use commsense_workloads::bipartite::Em3dParams;
 
@@ -91,6 +91,56 @@ fn perfetto_export_is_structurally_valid() {
         assert_eq!(*starts, 1, "flow {id} has {starts} starts");
         assert_eq!(*finishes, 1, "flow {id} has {finishes} finishes");
     }
+}
+
+#[test]
+fn perfetto_export_flags_critical_path_flows() {
+    let (req, result) = observed_run();
+    let obs = result.observation.as_ref().expect("observation recorded");
+    let cp = commsense_machine::critpath::analyze(obs, &req.cfg);
+    assert!(
+        !cp.critical_records.is_empty(),
+        "a message-passing run must cross messages on its critical path"
+    );
+
+    // The plain export carries no critical markers (and stays schema v2).
+    let plain = export_trace(obs);
+    assert!(!plain.contains("msg-critical"));
+
+    let text = export_trace_critical(obs, &cp.critical_records);
+    let v = Json::parse(&text).expect("critical export parses as JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents");
+    let mut critical_ids = std::collections::HashSet::new();
+    for e in events {
+        let Some(cat) = e.get("cat").and_then(Json::as_str) else {
+            continue;
+        };
+        let id = e.get("id").and_then(Json::as_u64).expect("flow has id") as u32;
+        if cat == "msg-critical" {
+            // Flagged flows carry the queryable arg and belong to the path.
+            assert_eq!(
+                e.get("args")
+                    .and_then(|a| a.get("critical"))
+                    .and_then(Json::as_bool),
+                Some(true),
+                "msg-critical flow {id} missing critical arg"
+            );
+            assert!(cp.is_critical(id), "flow {id} flagged but not on path");
+            critical_ids.insert(id);
+        } else {
+            assert!(
+                !cp.is_critical(id),
+                "flow {id} on the critical path but not flagged"
+            );
+        }
+    }
+    assert!(
+        !critical_ids.is_empty(),
+        "critical path messages must appear as flagged flows"
+    );
 }
 
 #[test]

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod critpath;
 pub mod invariants;
 pub mod machine;
 pub mod metrics;
@@ -50,6 +51,7 @@ pub mod trace;
 pub use config::{
     CheckConfig, CostModel, LatencyEmulation, MachineConfig, Mechanism, ObserveConfig, ReceiveMode,
 };
+pub use critpath::{analyze, CritPath, Stage};
 pub use invariants::{INVARIANT_MARKER, ORACLE_MARKER};
 pub use machine::{DispatchKindProfile, DispatchProfile, Machine, MachineSpec};
 pub use metrics::{MetricsSeries, Observation, RunState};

@@ -25,7 +25,10 @@ use crate::trace::TraceKind;
 
 /// Schema version stamped into the trace's `otherData` (bumped whenever the
 /// track or flow layout changes incompatibly).
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: flows on the extracted critical path carry the `msg-critical`
+/// category and a `critical: true` arg (see [`export_trace_critical`]).
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
 
 const PID_NODES: u32 = 1;
 const PID_LINKS: u32 = 2;
@@ -92,15 +95,31 @@ impl Entry {
         }
     }
 
-    fn flow(pid: u32, tid: u32, ts_ps: u64, ph: char, id: u32, bind_end: bool) -> Entry {
+    fn flow(
+        pid: u32,
+        tid: u32,
+        ts_ps: u64,
+        ph: char,
+        id: u32,
+        bind_end: bool,
+        critical: bool,
+    ) -> Entry {
         let bp = if bind_end { ",\"bp\":\"e\"" } else { "" };
+        // Critical-path flows get their own category (so they can be
+        // toggled/colored separately in the Perfetto UI) and an explicit
+        // arg for queries.
+        let (cat, args) = if critical {
+            ("msg-critical", ",\"args\":{\"critical\":true}")
+        } else {
+            ("msg", "")
+        };
         Entry {
             pid,
             tid,
             ts_ps,
             body: format!(
                 "{{\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":{tid},\"ts\":{},\"id\":{id},\
-                 \"cat\":\"msg\",\"name\":\"msg\"{bp}}}",
+                 \"cat\":\"{cat}\",\"name\":\"{cat}\"{args}{bp}}}",
                 fmt_us(ts_us(ts_ps)),
             ),
         }
@@ -161,6 +180,16 @@ fn metadata(out: &mut Vec<String>, pid: u32, tid: Option<u32>, what: &str, name:
 /// assert!(json.starts_with("{\"traceEvents\":["));
 /// ```
 pub fn export_trace(obs: &Observation) -> String {
+    export_trace_critical(obs, &[])
+}
+
+/// Like [`export_trace`], but flags message flows whose packet-record id
+/// appears in `critical` (sorted ascending — pass
+/// [`crate::critpath::CritPath::critical_records`]) with the
+/// `msg-critical` category and a `critical: true` arg, making the
+/// extracted critical path visually traceable in the Perfetto UI.
+pub fn export_trace_critical(obs: &Observation, critical: &[u32]) -> String {
+    let is_critical = |id: u32| critical.binary_search(&id).is_ok();
     let mut entries: Vec<Entry> = Vec::new();
     let cycle_ps = obs.clock.cycle_ps();
 
@@ -204,7 +233,15 @@ pub fn export_trace(obs: &Observation) -> String {
                 let name = format!("send->n{dst} {bytes}B");
                 entries.push(Entry::slice(PID_NODES, node, at, cycle_ps, &name, ""));
                 if paired(msg) {
-                    entries.push(Entry::flow(PID_NODES, node, at, 's', msg, false));
+                    entries.push(Entry::flow(
+                        PID_NODES,
+                        node,
+                        at,
+                        's',
+                        msg,
+                        false,
+                        is_critical(msg),
+                    ));
                 }
             }
             TraceKind::Handler {
@@ -216,7 +253,15 @@ pub fn export_trace(obs: &Observation) -> String {
                 let name = format!("handler {handler}");
                 entries.push(Entry::slice(PID_NODES, node, at, dur, &name, ""));
                 if paired(msg) {
-                    entries.push(Entry::flow(PID_NODES, node, at, 'f', msg, true));
+                    entries.push(Entry::flow(
+                        PID_NODES,
+                        node,
+                        at,
+                        'f',
+                        msg,
+                        true,
+                        is_critical(msg),
+                    ));
                 }
             }
             TraceKind::Done => {
@@ -233,7 +278,15 @@ pub fn export_trace(obs: &Observation) -> String {
         let dur = h.end.as_ps().saturating_sub(start);
         entries.push(Entry::slice(PID_LINKS, h.link, start, dur, &name, ""));
         if paired(h.packet) {
-            entries.push(Entry::flow(PID_LINKS, h.link, start, 't', h.packet, false));
+            entries.push(Entry::flow(
+                PID_LINKS,
+                h.link,
+                start,
+                't',
+                h.packet,
+                false,
+                is_critical(h.packet),
+            ));
         }
     }
 

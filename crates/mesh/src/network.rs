@@ -370,7 +370,7 @@ impl Network {
 
     fn start_hop(&mut self, now: Time, pkt: u32, sched: &mut impl FnMut(Time, NetEvent)) {
         let cfg_router = Time::from_ps(self.cfg.router_delay_ps);
-        let (link, ser, last, class, hdr, pay, rec) = {
+        let (link, ser, last, class, hdr, pay, rec, enqueued) = {
             let flight = self.flights[pkt as usize].as_ref().expect("flight exists");
             let link = flight.route[flight.hop as usize] as usize;
             let ser = self.serialize_time(flight.packet.wire_bytes());
@@ -383,11 +383,15 @@ impl Network {
                 flight.packet.header_bytes,
                 flight.packet.payload_bytes,
                 flight.rec,
+                // At this point `head_ready_at` still holds the time the
+                // head reached this router and requested the link: the gap
+                // to `now` is time spent queued behind other traffic.
+                flight.head_ready_at,
             )
         };
 
         if let Some(r) = &mut self.recorder {
-            r.on_hop(rec, link, now, now + ser);
+            r.on_hop(rec, link, enqueued, now, now + ser);
         }
         self.links[link].busy_until = now + ser;
         sched(now + ser, NetEvent::LinkFree { link: link as u32 });

@@ -35,16 +35,37 @@ pub struct PacketRecord {
 }
 
 /// One link traversal of a recorded packet.
+///
+/// `enqueued..start` is time spent waiting for the link (contention),
+/// `start..end` is time on the wire (serialization). Earlier recordings
+/// collapsed the two into `start..end`, which made queueing invisible
+/// whenever a link was busy at arrival.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HopRecord {
     /// Index into [`NetRecording::packets`].
     pub packet: u32,
     /// Dense link id (see `Mesh::link_id`).
     pub link: u32,
-    /// When the link started serializing the packet.
+    /// When the packet's head arrived at the router and requested the link
+    /// (equal to `start` when the link was idle).
+    pub enqueued: Time,
+    /// When the link started serializing the packet (departure from the
+    /// router's queue).
     pub start: Time,
     /// When the link finished (start + serialization time).
     pub end: Time,
+}
+
+impl HopRecord {
+    /// Time this hop spent queued behind other traffic.
+    pub fn queue_time(&self) -> Time {
+        self.start.saturating_sub(self.enqueued)
+    }
+
+    /// Time this hop spent serializing on the wire.
+    pub fn wire_time(&self) -> Time {
+        self.end.saturating_sub(self.start)
+    }
 }
 
 /// The live recorder owned by the network while a run executes.
@@ -95,13 +116,16 @@ impl NetRecorder {
 
     /// Records a link traversal. Link busy time accumulates for every
     /// packet (utilization counts all traffic), while the per-hop record
-    /// is kept only for packets that made it into the table.
-    pub(crate) fn on_hop(&mut self, rec: u32, link: usize, start: Time, end: Time) {
+    /// is kept only for packets that made it into the table. `enqueued` is
+    /// when the head requested the link; `start` is when the link actually
+    /// began serializing (later when the link was busy).
+    pub(crate) fn on_hop(&mut self, rec: u32, link: usize, enqueued: Time, start: Time, end: Time) {
         self.link_busy[link] += end.saturating_sub(start);
         if rec != NO_RECORD {
             self.hops.push(HopRecord {
                 packet: rec,
                 link: link as u32,
+                enqueued: enqueued.min(start),
                 start,
                 end,
             });
@@ -176,8 +200,8 @@ mod tests {
         let c = r.on_inject(&pkt(), Time::from_ns(20));
         assert_eq!(c, NO_RECORD);
         assert_eq!(r.last_id(), NO_RECORD);
-        r.on_hop(a, 2, Time::ZERO, Time::from_ns(5));
-        r.on_hop(c, 2, Time::from_ns(5), Time::from_ns(9));
+        r.on_hop(a, 2, Time::ZERO, Time::ZERO, Time::from_ns(5));
+        r.on_hop(c, 2, Time::from_ns(5), Time::from_ns(5), Time::from_ns(9));
         r.on_deliver(a, Time::from_ns(7));
         r.on_deliver(c, Time::from_ns(9));
         let rec = r.into_recording();
@@ -188,5 +212,19 @@ mod tests {
         assert_eq!(rec.link_busy[2], Time::from_ns(9));
         assert_eq!(rec.packets[0].delivered_at, Some(Time::from_ns(7)));
         assert_eq!(rec.packets[1].delivered_at, None);
+    }
+
+    #[test]
+    fn hop_splits_queue_from_wire() {
+        let mut r = NetRecorder::new(2, 4);
+        let a = r.on_inject(&pkt(), Time::ZERO);
+        // Head arrived at 2ns, link free only at 6ns, done at 11ns.
+        r.on_hop(a, 1, Time::from_ns(2), Time::from_ns(6), Time::from_ns(11));
+        let rec = r.into_recording();
+        let hop = rec.hops[0];
+        assert_eq!(hop.queue_time(), Time::from_ns(4));
+        assert_eq!(hop.wire_time(), Time::from_ns(5));
+        // Busy time counts wire occupancy only, never queueing.
+        assert_eq!(rec.link_busy[1], Time::from_ns(5));
     }
 }

@@ -52,6 +52,84 @@ use commsense_workloads::moldyn::MoldynParams;
 use commsense_workloads::sparse::IccgParams;
 use commsense_workloads::unstruct::UnstrucParams;
 
+/// Workload scale for harnesses that sweep the whole application suite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-figure profiles (default for `repro` and `cargo bench`).
+    Bench,
+    /// The paper's workload sizes (minutes for the full set).
+    Paper,
+    /// Unit-test sizes (used by the harnesses' own tests).
+    Small,
+}
+
+impl Scale {
+    /// The scale's lower-case protocol label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Bench => "bench",
+            Scale::Paper => "paper",
+            Scale::Small => "small",
+        }
+    }
+
+    /// Parses a protocol label back into a scale.
+    pub fn from_label(label: &str) -> Option<Scale> {
+        match label {
+            "bench" => Some(Scale::Bench),
+            "paper" => Some(Scale::Paper),
+            "small" => Some(Scale::Small),
+            _ => None,
+        }
+    }
+}
+
+/// The four applications at the chosen scale.
+pub fn suite(scale: Scale) -> Vec<AppSpec> {
+    match scale {
+        Scale::Paper => AppSpec::paper_suite(),
+        Scale::Small => AppSpec::small_suite(),
+        Scale::Bench => vec![
+            AppSpec::Em3d(Em3dParams {
+                nodes: 2000,
+                degree: 10,
+                pct_nonlocal: 0.2,
+                span: 3,
+                iterations: 5,
+                seed: 0x3d,
+            }),
+            AppSpec::Unstruc(UnstrucParams {
+                nodes: 1500,
+                avg_degree: 7,
+                flops_per_edge: 75,
+                iterations: 5,
+                seed: 0x05,
+            }),
+            AppSpec::Iccg(IccgParams {
+                rows: 3000,
+                avg_band: 8,
+                far_fraction: 0.08,
+                chunk_rows: 48,
+                seed: 0x1cc6,
+            }),
+            AppSpec::Moldyn(MoldynParams {
+                molecules: 1024,
+                box_size: 16.0,
+                cutoff: 1.2,
+                iterations: 5,
+                rebuild_every: 20,
+                seed: 0x01d,
+            }),
+        ],
+    }
+}
+
+/// The EM3D spec of a suite (the paper's running example for the
+/// sensitivity sweeps).
+pub fn em3d_spec(scale: Scale) -> AppSpec {
+    suite(scale).remove(0)
+}
+
 /// Which application to run, with its workload parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AppSpec {

@@ -67,11 +67,27 @@ struct Opts {
     /// `Some("")` = enabled with the directory resolved from
     /// `COMMSENSE_STORE` (or the default); `Some(dir)` = explicit.
     store: Option<String>,
+    addr: Option<String>,
+    port_file: Option<String>,
+    figure: String,
+    job_id: String,
+    apps: Option<String>,
+    mechs: Option<String>,
+    stats: bool,
+    shutdown: bool,
+    quiet: bool,
+    max_bytes: Option<u64>,
 }
 
 const USAGE: &str = "\
 usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check] [--store [DIR]]
-       repro store stats|gc|verify [--store [DIR]]
+       repro store stats|gc|verify [--store [DIR]] [--max-bytes N]
+       repro serve [--addr HOST:PORT] [--port-file F] [--jobs N]
+                   [--store [DIR]] [--quiet]
+       repro submit [--addr HOST:PORT | --port-file F] [--figure FIG]
+                    [--apps A[,A..]] [--mechs M[,M..]] [--small|--paper]
+                    [--csv DIR] [--id NAME]
+       repro submit (--stats | --shutdown) [--addr HOST:PORT | --port-file F]
        repro perf [--small] [--out FILE] [--baseline FILE] [--reps N] [--gate PCT]
                   [--nodes N] [--topo KIND] [--profile FILE]
        repro observe [--app NAME] [--mech LABEL] [--small|--paper]
@@ -81,7 +97,7 @@ usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check] [--store 
        repro scale [--small] [--csv DIR] [--jobs N] [--store [DIR]] [--dir DIR]
   WHAT: all (default) | tab1 | tab2 | fig1 | fig2 | fig3 | fig4 | fig5 |
         fig7 | fig8 | fig9 | fig10 | ablate | model | perf | observe |
-        analyze | scale | store
+        analyze | scale | store | serve | submit
   --paper    use the paper's workload sizes (minutes)
   --small    use unit-test sizes (seconds)
   --csv      also write each sweep as CSV into DIR
@@ -124,11 +140,29 @@ usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check] [--store 
              and scale_manifest.json into --csv DIR (default --dir)
   store stats   print store record/quarantine counts and sizes
   store verify  validate every record's framing and checksum (read-only)
-  store gc      delete corrupt and stale-model-version records";
+  store gc      delete corrupt and stale-model-version records; with
+                --max-bytes N, also evict least-recently-used records
+                until the store fits in N bytes
+  serve      run the resident sweep daemon: accepts submissions over a
+             local TCP socket, dedups points across clients (in flight
+             and through the store), streams progress per point
+  submit     submit a sweep plan to a running daemon and stream results
+  --addr     serve: address to bind (default 127.0.0.1:7171; port 0 picks
+             an ephemeral port); submit: daemon address to connect to
+  --port-file  serve: write the bound address here once listening;
+             submit: read the daemon address from this file
+  --figure   submit: fig4 | fig8 | fig10 (default fig4)
+  --apps     submit: comma-separated app names (default: whole suite)
+  --mechs    submit: comma-separated mechanism labels (default: all five)
+  --id       submit: job id echoed in every response line (default job-PID)
+  --stats    submit: print a daemon statistics snapshot and exit
+  --shutdown submit: ask the daemon to drain and exit
+  --quiet    serve: suppress per-connection log lines
+  --max-bytes  store gc: evict LRU records beyond this size";
 
-const KNOWN: [&str; 20] = [
+const KNOWN: [&str; 22] = [
     "all", "tab1", "tab2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
-    "ablate", "model", "fig6", "perf", "observe", "analyze", "scale", "store",
+    "ablate", "model", "fig6", "perf", "observe", "analyze", "scale", "store", "serve", "submit",
 ];
 
 const STORE_ACTIONS: [&str; 3] = ["stats", "gc", "verify"];
@@ -155,6 +189,16 @@ fn parse_args() -> Opts {
     let mut dir = ".".to_string();
     let mut check = false;
     let mut store = None;
+    let mut addr = None;
+    let mut port_file = None;
+    let mut figure = "fig4".to_string();
+    let mut job_id = format!("job-{}", std::process::id());
+    let mut apps = None;
+    let mut mechs = None;
+    let mut stats = false;
+    let mut shutdown = false;
+    let mut quiet = false;
+    let mut max_bytes = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -198,6 +242,57 @@ fn parse_args() -> Opts {
                 }))
             }
             "--latency-sweep" => latency_sweep = true,
+            "--addr" => {
+                addr = next();
+                if addr.is_none() {
+                    eprintln!("--addr needs HOST:PORT\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+            "--port-file" => {
+                port_file = next();
+                if port_file.is_none() {
+                    eprintln!("--port-file needs a file path\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+            "--figure" => match next() {
+                Some(f) if ["fig4", "fig8", "fig10"].contains(&f.as_str()) => figure = f,
+                _ => {
+                    eprintln!("--figure needs fig4|fig8|fig10\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
+            "--id" => {
+                job_id = next().unwrap_or_else(|| {
+                    eprintln!("--id needs a job id\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--apps" => {
+                apps = next();
+                if apps.is_none() {
+                    eprintln!("--apps needs a comma-separated list\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+            "--mechs" => {
+                mechs = next();
+                if mechs.is_none() {
+                    eprintln!("--mechs needs a comma-separated list\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            "--quiet" => quiet = true,
+            "--max-bytes" => match next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => max_bytes = Some(n),
+                None => {
+                    eprintln!("--max-bytes needs a byte count\n{USAGE}");
+                    std::process::exit(2);
+                }
+            },
             "--dir" => {
                 dir = next().unwrap_or_else(|| {
                     eprintln!("--dir needs a directory\n{USAGE}");
@@ -323,6 +418,16 @@ fn parse_args() -> Opts {
         dir,
         check,
         store,
+        addr,
+        port_file,
+        figure,
+        job_id,
+        apps,
+        mechs,
+        stats,
+        shutdown,
+        quiet,
+        max_bytes,
     }
 }
 
@@ -373,8 +478,160 @@ fn run_store_admin(opts: &Opts) {
     );
     if action == "gc" {
         println!("  removed: {}", report.removed);
+        if let Some(max) = opts.max_bytes {
+            let ev = store.gc_max_bytes(max).unwrap_or_else(|e| {
+                eprintln!("store eviction failed: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "  evicted: {} records ({} bytes); kept {} ({} bytes, cap {max})",
+                ev.removed, ev.removed_bytes, ev.kept, ev.kept_bytes
+            );
+        }
     }
     if action == "verify" && report.corrupt > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// `repro serve`: the resident sweep daemon (see `commsense-service`).
+fn run_serve(opts: &Opts) {
+    let store = open_store(opts);
+    if let Some(s) = &store {
+        println!("(persistent store: {})", s.root().display());
+    }
+    let workers = opts.jobs.unwrap_or_else(|| Runner::from_env().jobs());
+    let cfg = commsense_service::shell::ServeConfig {
+        addr: opts
+            .addr
+            .clone()
+            .unwrap_or_else(|| "127.0.0.1:7171".to_string()),
+        workers,
+        store,
+        retries: 1,
+        quiet: opts.quiet,
+    };
+    let server = commsense_service::shell::Server::bind(cfg).unwrap_or_else(|e| {
+        eprintln!("cannot bind: {e}");
+        std::process::exit(2);
+    });
+    let addr = server.local_addr().expect("bound socket has an address");
+    println!("listening on {addr} ({workers} workers)");
+    if let Some(path) = &opts.port_file {
+        // Write-then-rename so a watcher never reads a half-written file.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, format!("{addr}\n")).expect("write port file");
+        std::fs::rename(&tmp, path).expect("publish port file");
+    }
+    if let Err(e) = server.run() {
+        eprintln!("serve failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// `repro submit`: the reference client — submit a plan, stream progress,
+/// fetch the CSV artifacts (or query/stop the daemon).
+fn run_submit(opts: &Opts) {
+    use commsense_service::client;
+    use commsense_service::protocol::{Figure, PlanSpec, ServerMsg};
+    let addr = match (&opts.addr, &opts.port_file) {
+        (Some(a), _) => a.clone(),
+        (None, Some(f)) => std::fs::read_to_string(f)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot read port file {f}: {e}");
+                std::process::exit(2);
+            })
+            .trim()
+            .to_string(),
+        (None, None) => "127.0.0.1:7171".to_string(),
+    };
+    let fail = |message: String| -> ! {
+        eprintln!("submit: {message}");
+        std::process::exit(1);
+    };
+    if opts.stats {
+        match client::fetch_stats(&addr) {
+            Ok(st) => println!(
+                "daemon {addr}: clients={} jobs_active={} jobs_done={} unique_runs={} \
+                 running={} simulated={} store_hits={} inflight_hits={}",
+                st.clients,
+                st.jobs_active,
+                st.jobs_done,
+                st.unique_runs,
+                st.runs_running,
+                st.simulated,
+                st.store_hits,
+                st.inflight_hits
+            ),
+            Err(e) => fail(e),
+        }
+        return;
+    }
+    if opts.shutdown {
+        match client::request_shutdown(&addr) {
+            Ok(()) => println!("daemon {addr} draining"),
+            Err(e) => fail(e),
+        }
+        return;
+    }
+    let split = |s: &Option<String>| -> Vec<String> {
+        s.as_deref()
+            .map(|v| {
+                v.split(',')
+                    .map(str::trim)
+                    .filter(|p| !p.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let plan = PlanSpec {
+        figure: Figure::from_label(&opts.figure).expect("figure validated in parse_args"),
+        scale: opts.scale,
+        apps: split(&opts.apps),
+        mechanisms: split(&opts.mechs),
+    };
+    let outcome = client::submit(&addr, &opts.job_id, &plan, |msg| match msg {
+        ServerMsg::Accepted { id, total } => println!("accepted {id}: {total} points"),
+        ServerMsg::Progress {
+            done,
+            total,
+            app,
+            mech,
+            x,
+            runtime_cycles,
+            source,
+            ..
+        } => println!(
+            "[{done}/{total}] {app} {mech} x={x}: {runtime_cycles} cycles ({})",
+            source.label()
+        ),
+        ServerMsg::PointFailed {
+            done,
+            total,
+            app,
+            mech,
+            x,
+            message,
+            ..
+        } => eprintln!("[{done}/{total}] {app} {mech} x={x}: FAILED: {message}"),
+        _ => {}
+    })
+    .unwrap_or_else(|e| fail(e));
+    let st = outcome.stats;
+    println!(
+        "done: {} points ({} simulated, {} store hits, {} inflight hits, {} failed)",
+        st.total, st.simulated, st.store_hits, st.inflight_hits, st.failed
+    );
+    if let Some(dir) = &opts.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        for (name, data) in &outcome.csvs {
+            let path = format!("{dir}/{name}");
+            std::fs::write(&path, data).expect("write csv");
+            println!("  (wrote {path})");
+        }
+    }
+    if st.failed > 0 {
         std::process::exit(1);
     }
 }
@@ -1027,6 +1284,14 @@ fn main() {
     }
     if opts.what == "store" {
         run_store_admin(&opts);
+        return;
+    }
+    if opts.what == "serve" {
+        run_serve(&opts);
+        return;
+    }
+    if opts.what == "submit" {
+        run_submit(&opts);
         return;
     }
     if opts.what == "scale" {

@@ -15,66 +15,13 @@ use commsense_core::engine::{RunRequest, Runner};
 use commsense_machine::program::{HandlerCtx, NodeCtx, Program, Step};
 use commsense_machine::{Machine, MachineConfig, MachineSpec, Mechanism};
 use commsense_workloads::bipartite::Em3dParams;
-use commsense_workloads::moldyn::MoldynParams;
 use commsense_workloads::sparse::IccgParams;
-use commsense_workloads::unstruct::UnstrucParams;
 
-/// Workload scale for the regeneration harness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Seconds-per-figure profiles (default for `repro` and `cargo bench`).
-    Bench,
-    /// The paper's workload sizes (minutes for the full set).
-    Paper,
-    /// Unit-test sizes (used by the harness's own tests).
-    Small,
-}
-
-/// The four applications at the chosen scale.
-pub fn suite(scale: Scale) -> Vec<AppSpec> {
-    match scale {
-        Scale::Paper => AppSpec::paper_suite(),
-        Scale::Small => AppSpec::small_suite(),
-        Scale::Bench => vec![
-            AppSpec::Em3d(Em3dParams {
-                nodes: 2000,
-                degree: 10,
-                pct_nonlocal: 0.2,
-                span: 3,
-                iterations: 5,
-                seed: 0x3d,
-            }),
-            AppSpec::Unstruc(UnstrucParams {
-                nodes: 1500,
-                avg_degree: 7,
-                flops_per_edge: 75,
-                iterations: 5,
-                seed: 0x05,
-            }),
-            AppSpec::Iccg(IccgParams {
-                rows: 3000,
-                avg_band: 8,
-                far_fraction: 0.08,
-                chunk_rows: 48,
-                seed: 0x1cc6,
-            }),
-            AppSpec::Moldyn(MoldynParams {
-                molecules: 1024,
-                box_size: 16.0,
-                cutoff: 1.2,
-                iterations: 5,
-                rebuild_every: 20,
-                seed: 0x01d,
-            }),
-        ],
-    }
-}
-
-/// The EM3D spec of a suite (the paper's running example for the
-/// sensitivity sweeps).
-pub fn em3d_spec(scale: Scale) -> AppSpec {
-    suite(scale).remove(0)
-}
+// The suite definitions moved to `commsense-apps` (the service daemon
+// resolves sweep plans from protocol labels and must not depend on the
+// bench harness); re-exported here so harness call sites keep reading
+// `commsense_bench::{suite, Scale}`.
+pub use commsense_apps::{em3d_spec, suite, Scale};
 
 // ---------------------------------------------------------------------
 // Figure 3: shared-memory miss penalties

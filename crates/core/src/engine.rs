@@ -303,6 +303,16 @@ impl Runner {
             .collect()
     }
 
+    /// Executes a single prepared request with the runner's full policy —
+    /// store read-through, bounded-retry `catch_unwind` isolation,
+    /// write-through, quarantine on exhaustion. This is the unit the
+    /// sweep service's shared worker pool executes: the service machine
+    /// schedules requests one at a time (deduplicating in flight), so it
+    /// needs per-request execution rather than the batch interfaces.
+    pub fn run_one(&self, req: &RunRequest, w: &PreparedWorkload) -> RunOutcome {
+        self.execute_one(req, w)
+    }
+
     /// Executes one request: store lookup, bounded-retry simulation,
     /// write-through, quarantine on exhaustion.
     fn execute_one(&self, req: &RunRequest, w: &PreparedWorkload) -> RunOutcome {
@@ -437,6 +447,17 @@ impl ExperimentPlan {
     /// The requests, in index order.
     pub fn requests(&self) -> &[RunRequest] {
         &self.requests
+    }
+
+    /// The plan's curve structure: per mechanism (in first-added order),
+    /// the `(x, request index)` pairs of its points. This is the recipe
+    /// external executors (the sweep service) need to fold per-request
+    /// outcomes back into [`Sweep`]s without re-deriving the plan.
+    pub fn curves(&self) -> Vec<(Mechanism, Vec<(f64, usize)>)> {
+        self.curves
+            .iter()
+            .map(|(m, points)| (*m, points.iter().map(|p| (p.x, p.request)).collect()))
+            .collect()
     }
 
     /// Whether the plan contains no requests.

@@ -194,6 +194,14 @@ impl ResultStore {
                 self.stats
                     .bytes_read
                     .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                // Refresh the record's mtime so [`ResultStore::gc_max_bytes`]
+                // evicts least-recently-*used* records, not merely
+                // least-recently-written ones. Best effort: a failed touch
+                // (e.g. a concurrent gc won the race) costs LRU accuracy,
+                // never correctness.
+                if let Ok(f) = std::fs::File::options().write(true).open(&path) {
+                    let _ = f.set_modified(std::time::SystemTime::now());
+                }
                 Some(result)
             }
             None => {
@@ -297,6 +305,51 @@ impl ResultStore {
         self.scan(true)
     }
 
+    /// Size-capped LRU eviction: if the records exceed `max_bytes` in
+    /// total, deletes least-recently-used records (by mtime, which
+    /// [`ResultStore::load`] refreshes on every hit) until the remainder
+    /// fits. Returns what was kept and what was evicted.
+    ///
+    /// Concurrency: eviction races benignly with readers and writers. A
+    /// reader of an evicted key sees a miss and recomputes; a writer that
+    /// lands after the scan simply isn't counted this round. A record
+    /// that disappears mid-scan (another gc, a corruption eviction) is
+    /// skipped.
+    pub fn gc_max_bytes(&self, max_bytes: u64) -> std::io::Result<EvictionReport> {
+        let mut entries: Vec<(PathBuf, std::time::SystemTime, u64)> = Vec::new();
+        for path in self.record_files()? {
+            let Ok(meta) = std::fs::metadata(&path) else {
+                continue;
+            };
+            let mtime = meta.modified().unwrap_or(std::time::UNIX_EPOCH);
+            entries.push((path, mtime, meta.len()));
+        }
+        // Oldest first; ties broken by path so the pass is deterministic.
+        entries.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        let mut total: u64 = entries.iter().map(|e| e.2).sum();
+        let mut report = EvictionReport {
+            kept: entries.len() as u64,
+            kept_bytes: total,
+            ..Default::default()
+        };
+        for (path, _, len) in &entries {
+            if total <= max_bytes {
+                break;
+            }
+            if std::fs::remove_file(path).is_ok() {
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                report.removed += 1;
+                report.removed_bytes += len;
+                report.kept -= 1;
+                report.kept_bytes -= len;
+            }
+            // Whether or not the delete landed (a concurrent gc may have
+            // beaten us to it), the bytes are gone from this round's total.
+            total -= len;
+        }
+        Ok(report)
+    }
+
     fn scan(&self, remove_bad: bool) -> std::io::Result<ScanReport> {
         let mut report = ScanReport::default();
         for path in self.record_files()? {
@@ -331,6 +384,19 @@ impl ResultStore {
         }
         Ok(report)
     }
+}
+
+/// What a size-capped [`ResultStore::gc_max_bytes`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictionReport {
+    /// Records surviving the pass.
+    pub kept: u64,
+    /// Bytes surviving the pass.
+    pub kept_bytes: u64,
+    /// Records evicted to meet the cap.
+    pub removed: u64,
+    /// Bytes reclaimed.
+    pub removed_bytes: u64,
 }
 
 /// What a [`ResultStore::verify`]/[`ResultStore::gc`] scan found.

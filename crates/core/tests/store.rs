@@ -327,6 +327,152 @@ fn request_keys_are_stable_and_exactly_model_sensitive() {
     );
 }
 
+/// The on-disk path of `req`'s record (reconstructed from the public
+/// key, the way the store shards records).
+fn record_path_of(store: &ResultStore, req: &RunRequest) -> std::path::PathBuf {
+    let hex = format!("{:032x}", ResultStore::request_key(req));
+    store
+        .root()
+        .join("records")
+        .join(&hex[..2])
+        .join(format!("{hex}.rec"))
+}
+
+/// Size-capped gc evicts in least-recently-used order, where "used"
+/// includes loads: a hit refreshes the record's mtime, so a record that
+/// keeps getting asked for survives caps that evict colder ones.
+#[test]
+fn gc_max_bytes_evicts_least_recently_used_first() {
+    let store = temp_store("lru");
+    let cfg = MachineConfig::alewife();
+    let mut cache = WorkloadCache::new();
+    let reqs: Vec<RunRequest> = Mechanism::ALL
+        .iter()
+        .map(|&m| em3d_request(&cfg, m))
+        .collect();
+    let results = Runner::serial().run_cached(&reqs, &mut cache);
+    for (req, r) in reqs.iter().zip(&results) {
+        store.save(req, r).expect("save record");
+    }
+    let paths: Vec<std::path::PathBuf> = reqs.iter().map(|r| record_path_of(&store, r)).collect();
+    let sizes: Vec<u64> = paths
+        .iter()
+        .map(|p| std::fs::metadata(p).expect("record exists").len())
+        .collect();
+    let total: u64 = sizes.iter().sum();
+
+    // Pin an explicit age order: record 0 is the coldest, 4 the hottest.
+    let base = std::time::SystemTime::UNIX_EPOCH + Duration::from_secs(1_000_000);
+    for (i, p) in paths.iter().enumerate() {
+        let f = std::fs::File::options().write(true).open(p).expect("open");
+        f.set_modified(base + Duration::from_secs(i as u64))
+            .expect("set mtime");
+    }
+
+    // A cap the store already fits leaves everything alone.
+    let noop = store.gc_max_bytes(total).expect("noop gc");
+    assert_eq!((noop.removed, noop.kept), (0, 5));
+    assert_eq!(noop.kept_bytes, total);
+
+    // A cap that requires shedding the two coldest sheds exactly those.
+    let cap = total - sizes[0] - sizes[1];
+    let shed = store.gc_max_bytes(cap).expect("capped gc");
+    assert_eq!((shed.removed, shed.kept), (2, 3));
+    assert_eq!(shed.removed_bytes, sizes[0] + sizes[1]);
+    assert!(store.load(&reqs[0]).is_none(), "coldest record evicted");
+    assert!(store.load(&reqs[1]).is_none(), "second-coldest evicted");
+    for req in &reqs[2..] {
+        assert!(store.load(req).is_some(), "hot records survive");
+    }
+    assert_eq!(store.stats().evictions, 2);
+
+    // A load refreshes recency: re-age the survivors so record 2 is the
+    // coldest again, then *use* it — the next capped gc must evict the
+    // untouched record 3 instead.
+    for (i, p) in paths.iter().enumerate().skip(2) {
+        let f = std::fs::File::options().write(true).open(p).expect("open");
+        f.set_modified(base + Duration::from_secs(i as u64))
+            .expect("set mtime");
+    }
+    assert!(store.load(&reqs[2]).is_some(), "touch the cold record");
+    let shed = store
+        .gc_max_bytes(sizes[2] + sizes[3] + sizes[4] - 1)
+        .expect("capped gc after touch");
+    assert_eq!(shed.removed, 1);
+    assert!(
+        store.load(&reqs[2]).is_some(),
+        "the touched record survives"
+    );
+    assert!(
+        store.load(&reqs[3]).is_none(),
+        "the untouched record is the LRU victim"
+    );
+}
+
+/// Readers, writers, and a size-capped evictor hammering one store
+/// concurrently never observe a torn record: every load is either a miss
+/// or the exact expected result, and the surviving records all validate.
+#[test]
+fn concurrent_readers_writers_and_gc_never_tear() {
+    let store = Arc::new(temp_store("gc-stress"));
+    let cfg = MachineConfig::alewife();
+    let mut cache = WorkloadCache::new();
+    let reqs: Vec<RunRequest> = [Mechanism::SharedMem, Mechanism::MsgPoll, Mechanism::Bulk]
+        .iter()
+        .map(|&m| em3d_request(&cfg, m))
+        .collect();
+    let results = Runner::serial().run_cached(&reqs, &mut cache);
+    let expected: Vec<String> = results.iter().map(|r| format!("{r:?}")).collect();
+    for (req, r) in reqs.iter().zip(&results) {
+        store.save(req, r).expect("seed record");
+    }
+    let one_record = std::fs::metadata(record_path_of(&store, &reqs[0]))
+        .expect("record exists")
+        .len();
+
+    std::thread::scope(|scope| {
+        // Writers continuously re-save every key.
+        for _ in 0..2 {
+            let (store, reqs, results) = (store.clone(), reqs.clone(), results.clone());
+            scope.spawn(move || {
+                for _ in 0..40 {
+                    for (req, r) in reqs.iter().zip(&results) {
+                        store.save(req, r).expect("concurrent save");
+                    }
+                }
+            });
+        }
+        // An evictor keeps squeezing the store below two records, so
+        // loads race against both rename-overwrites and deletions.
+        {
+            let store = store.clone();
+            scope.spawn(move || {
+                for _ in 0..60 {
+                    store
+                        .gc_max_bytes(one_record.saturating_mul(2))
+                        .expect("concurrent capped gc");
+                }
+            });
+        }
+        // Readers: a load may miss (evicted) but never tears.
+        for _ in 0..2 {
+            let (store, reqs, expected) = (store.clone(), reqs.clone(), expected.clone());
+            scope.spawn(move || {
+                for _ in 0..120 {
+                    for (req, want) in reqs.iter().zip(&expected) {
+                        if let Some(got) = store.load(req) {
+                            assert_eq!(&format!("{got:?}"), want, "torn concurrent read");
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(store.stats().corrupt, 0, "no read ever saw a torn record");
+    let report = store.verify().expect("verify");
+    assert_eq!(report.corrupt, 0, "every surviving record validates");
+}
+
 /// `verify` and `gc` agree with the stats counters and leave valid
 /// records alone.
 #[test]

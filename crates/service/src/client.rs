@@ -1,0 +1,127 @@
+//! Reference client helpers — what `repro submit` is built from.
+//!
+//! Each helper opens its own connection, performs one protocol exchange,
+//! and returns typed results; callers stream progress through a callback
+//! so a CLI can print lines as they arrive.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use crate::protocol::{ClientMsg, JobStats, PlanSpec, ServerMsg, ServiceStats};
+
+/// What a completed submission returned.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// Total points in the resolved plan (from the `accepted` line).
+    pub total: usize,
+    /// Progress lines received (successful and failed points).
+    pub progress: usize,
+    /// The job's completion statistics.
+    pub stats: JobStats,
+    /// `(file name, contents)` CSV artifacts.
+    pub csvs: Vec<(String, String)>,
+    /// Messages of failed points, in arrival order.
+    pub failures: Vec<String>,
+}
+
+fn connect(addr: &str) -> Result<(TcpStream, BufReader<TcpStream>), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream.set_nodelay(true).ok();
+    let reader = stream
+        .try_clone()
+        .map_err(|e| format!("cannot clone stream: {e}"))?;
+    Ok((stream, BufReader::new(reader)))
+}
+
+fn send(stream: &mut TcpStream, msg: &ClientMsg) -> Result<(), String> {
+    writeln!(stream, "{}", msg.line()).map_err(|e| format!("write failed: {e}"))
+}
+
+fn next_msg(reader: &mut BufReader<TcpStream>) -> Result<Option<ServerMsg>, String> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(None),
+            Err(e) => return Err(format!("read failed: {e}")),
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                return ServerMsg::parse(trimmed).map(Some);
+            }
+        }
+    }
+}
+
+/// Submits `plan` under `id` and blocks until the job finishes, invoking
+/// `on_msg` for every server line (acceptance, each progress line, the
+/// final result) as it arrives.
+pub fn submit(
+    addr: &str,
+    id: &str,
+    plan: &PlanSpec,
+    mut on_msg: impl FnMut(&ServerMsg),
+) -> Result<SubmitOutcome, String> {
+    let (mut stream, mut reader) = connect(addr)?;
+    send(
+        &mut stream,
+        &ClientMsg::Submit {
+            id: id.to_string(),
+            plan: plan.clone(),
+        },
+    )?;
+    let mut out = SubmitOutcome {
+        total: 0,
+        progress: 0,
+        stats: JobStats::default(),
+        csvs: Vec::new(),
+        failures: Vec::new(),
+    };
+    loop {
+        let Some(msg) = next_msg(&mut reader)? else {
+            return Err("connection closed before the job completed".to_string());
+        };
+        on_msg(&msg);
+        match msg {
+            ServerMsg::Accepted { total, .. } => out.total = total,
+            ServerMsg::Progress { .. } => out.progress += 1,
+            ServerMsg::PointFailed { message, .. } => {
+                out.progress += 1;
+                out.failures.push(message);
+            }
+            ServerMsg::Done { stats, csvs, .. } => {
+                out.stats = stats;
+                out.csvs = csvs;
+                return Ok(out);
+            }
+            ServerMsg::Error { message, .. } => return Err(message),
+            ServerMsg::Cancelled { .. } => return Err("job was cancelled".to_string()),
+            ServerMsg::Stopping => return Err("daemon is shutting down; job abandoned".to_string()),
+            ServerMsg::Stats(_) => {}
+        }
+    }
+}
+
+/// Fetches a daemon statistics snapshot.
+pub fn fetch_stats(addr: &str) -> Result<ServiceStats, String> {
+    let (mut stream, mut reader) = connect(addr)?;
+    send(&mut stream, &ClientMsg::Stats)?;
+    match next_msg(&mut reader)? {
+        Some(ServerMsg::Stats(st)) => Ok(st),
+        Some(other) => Err(format!("unexpected reply: {other:?}")),
+        None => Err("connection closed".to_string()),
+    }
+}
+
+/// Asks the daemon to drain and exit. Returns once the daemon
+/// acknowledges with `stopping` (in-flight runs may still be finishing).
+pub fn request_shutdown(addr: &str) -> Result<(), String> {
+    let (mut stream, mut reader) = connect(addr)?;
+    send(&mut stream, &ClientMsg::Shutdown)?;
+    match next_msg(&mut reader)? {
+        Some(ServerMsg::Stopping) | None => Ok(()),
+        Some(other) => Err(format!("unexpected reply: {other:?}")),
+    }
+}

@@ -1,0 +1,418 @@
+//! The pure service state machine: protocol events in, IO actions out.
+//!
+//! All policy lives here — submission validation, request-level
+//! deduplication (including in-flight dedup across concurrent clients),
+//! progress fan-out, cancellation, drain-on-shutdown — with no sockets,
+//! no threads, and no clocks, so every behaviour is table-testable (see
+//! `tests/machine.rs`). The TCP shell ([`crate::shell`]) only moves bytes
+//! and runs simulations; it makes no decisions.
+//!
+//! Deduplication is keyed on [`ResultStore::request_key`], the same
+//! 128-bit canonical-encoding hash the persistent store shards records
+//! by. A request is scheduled at most once per daemon lifetime: a second
+//! job (from any client) wanting a point that is already running simply
+//! subscribes to the existing run and is reported `inflight` when it
+//! completes.
+
+use std::collections::HashMap;
+
+use commsense_core::engine::{RunOutcome, RunRequest};
+use commsense_core::store::ResultStore;
+
+use crate::plan::{self, JobPlan};
+use crate::protocol::{ClientMsg, JobStats, ServerMsg, ServiceStats, Source};
+
+/// Identifies a client connection (assigned by the shell).
+pub type ClientId = u64;
+/// Identifies a scheduled run (an index into the machine's run table).
+pub type RunId = usize;
+
+/// An input to the machine, produced by the shell's IO threads.
+#[derive(Debug)]
+pub enum Event {
+    /// A client connected.
+    Connected(ClientId),
+    /// A client sent one protocol line.
+    Line(ClientId, String),
+    /// A client's connection closed (EOF or error). Duplicate
+    /// disconnects for the same client are tolerated.
+    Disconnected(ClientId),
+    /// A worker finished executing a run.
+    RunDone {
+        /// The run that completed.
+        run: RunId,
+        /// How it ended.
+        outcome: RunOutcome,
+    },
+}
+
+/// An output of the machine, executed by the shell.
+#[derive(Debug)]
+pub enum Action {
+    /// Write one protocol line to a client.
+    Send(ClientId, String),
+    /// Hand a request to the worker pool; the shell must eventually feed
+    /// back a matching [`Event::RunDone`].
+    Start {
+        /// The run id to echo back.
+        run: RunId,
+        /// The request to execute.
+        request: RunRequest,
+    },
+    /// Close a client connection.
+    Close(ClientId),
+    /// Stop the daemon: every in-flight run has finished and the drain
+    /// requested by a `shutdown` message is complete.
+    Stop,
+}
+
+#[derive(Debug)]
+enum RunState {
+    Running,
+    Done(RunOutcome),
+}
+
+#[derive(Debug)]
+struct RunSlot {
+    state: RunState,
+}
+
+#[derive(Debug)]
+struct Job {
+    client: ClientId,
+    id: String,
+    plan: JobPlan,
+    /// Per-request run ids, parallel to `plan.requests`.
+    runs: Vec<RunId>,
+    /// Whether this job created the run (false = in-flight dedup hit).
+    started_here: Vec<bool>,
+    outcomes: Vec<Option<RunOutcome>>,
+    done: usize,
+    cancelled: bool,
+    finished: bool,
+}
+
+impl Job {
+    fn stats(&self) -> JobStats {
+        let mut s = JobStats {
+            total: self.plan.requests.len(),
+            ..JobStats::default()
+        };
+        for i in 0..self.plan.requests.len() {
+            match (&self.outcomes[i], self.started_here[i]) {
+                (Some(RunOutcome::Failed { .. }), _) | (None, _) => s.failed += 1,
+                (Some(_), false) => s.inflight_hits += 1,
+                (Some(o), true) if o.is_cached() => s.store_hits += 1,
+                (Some(_), true) => s.simulated += 1,
+            }
+        }
+        s
+    }
+}
+
+/// The pure sweep-service state machine. Feed it [`Event`]s, execute the
+/// [`Action`]s it returns; it never blocks and never performs IO.
+#[derive(Debug, Default)]
+pub struct ServiceMachine {
+    clients: Vec<ClientId>,
+    runs: Vec<RunSlot>,
+    by_key: HashMap<u128, RunId>,
+    jobs: Vec<Job>,
+    draining: bool,
+    stopped: bool,
+    jobs_done: usize,
+    simulated: usize,
+    store_hits: usize,
+    inflight_hits: usize,
+}
+
+impl ServiceMachine {
+    /// A fresh machine with no clients, runs, or jobs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a `shutdown` has been requested and the machine is
+    /// refusing new submissions while in-flight runs drain.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// A statistics snapshot (what a `stats` request reports).
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            clients: self.clients.len(),
+            jobs_active: self.jobs.iter().filter(|j| !j.finished).count(),
+            jobs_done: self.jobs_done,
+            unique_runs: self.runs.len(),
+            runs_running: self
+                .runs
+                .iter()
+                .filter(|r| matches!(r.state, RunState::Running))
+                .count(),
+            simulated: self.simulated,
+            store_hits: self.store_hits,
+            inflight_hits: self.inflight_hits,
+        }
+    }
+
+    /// Processes one event, returning the actions the shell must execute
+    /// (in order).
+    pub fn handle(&mut self, event: Event) -> Vec<Action> {
+        let mut actions = Vec::new();
+        match event {
+            Event::Connected(c) => {
+                if !self.clients.contains(&c) {
+                    self.clients.push(c);
+                }
+            }
+            Event::Disconnected(c) => {
+                self.clients.retain(|&x| x != c);
+                // A vanished client can't receive progress or results:
+                // cancel its jobs. Runs it started keep executing — other
+                // jobs may be subscribed, and the store keeps the result.
+                for j in self.jobs.iter_mut().filter(|j| j.client == c) {
+                    if !j.finished {
+                        j.cancelled = true;
+                        j.finished = true;
+                    }
+                }
+            }
+            Event::Line(c, line) => match ClientMsg::parse(&line) {
+                Ok(msg) => self.handle_msg(c, msg, &mut actions),
+                Err(message) => actions.push(Action::Send(
+                    c,
+                    ServerMsg::Error { id: None, message }.line(),
+                )),
+            },
+            Event::RunDone { run, outcome } => self.handle_run_done(run, outcome, &mut actions),
+        }
+        self.maybe_stop(&mut actions);
+        actions
+    }
+
+    fn handle_msg(&mut self, c: ClientId, msg: ClientMsg, actions: &mut Vec<Action>) {
+        match msg {
+            ClientMsg::Submit { id, plan } => {
+                let reject = |message: String| {
+                    Action::Send(
+                        c,
+                        ServerMsg::Error {
+                            id: Some(id.clone()),
+                            message,
+                        }
+                        .line(),
+                    )
+                };
+                if self.draining {
+                    actions.push(reject("daemon is shutting down".to_string()));
+                    return;
+                }
+                if self
+                    .jobs
+                    .iter()
+                    .any(|j| j.client == c && j.id == id && !j.finished)
+                {
+                    actions.push(reject(format!("job id {id:?} is already active")));
+                    return;
+                }
+                let plan = match plan::resolve(&plan) {
+                    Ok(p) => p,
+                    Err(message) => {
+                        actions.push(reject(message));
+                        return;
+                    }
+                };
+                let total = plan.requests.len();
+                let mut runs = Vec::with_capacity(total);
+                let mut started_here = Vec::with_capacity(total);
+                for req in &plan.requests {
+                    let key = ResultStore::request_key(req);
+                    match self.by_key.get(&key) {
+                        Some(&run) => {
+                            self.inflight_hits += 1;
+                            runs.push(run);
+                            started_here.push(false);
+                        }
+                        None => {
+                            let run = self.runs.len();
+                            self.runs.push(RunSlot {
+                                state: RunState::Running,
+                            });
+                            self.by_key.insert(key, run);
+                            actions.push(Action::Start {
+                                run,
+                                request: req.clone(),
+                            });
+                            runs.push(run);
+                            started_here.push(true);
+                        }
+                    }
+                }
+                self.jobs.push(Job {
+                    client: c,
+                    id: id.clone(),
+                    plan,
+                    runs,
+                    started_here,
+                    outcomes: vec![None; total],
+                    done: 0,
+                    cancelled: false,
+                    finished: false,
+                });
+                actions.push(Action::Send(c, ServerMsg::Accepted { id, total }.line()));
+                // Points whose run already completed (an earlier job ran
+                // them) resolve immediately, in plan order.
+                let job = self.jobs.len() - 1;
+                for i in 0..total {
+                    let run = self.jobs[job].runs[i];
+                    if self.jobs[job].outcomes[i].is_none() {
+                        if let RunState::Done(outcome) = &self.runs[run].state {
+                            let outcome = outcome.clone();
+                            self.record_outcome(job, i, outcome, actions);
+                        }
+                    }
+                }
+            }
+            ClientMsg::Cancel { id } => {
+                match self
+                    .jobs
+                    .iter_mut()
+                    .find(|j| j.client == c && j.id == id && !j.finished)
+                {
+                    Some(j) => {
+                        // The job stops reporting immediately; runs it
+                        // started keep executing and stay sharable.
+                        j.cancelled = true;
+                        j.finished = true;
+                        actions.push(Action::Send(c, ServerMsg::Cancelled { id }.line()));
+                    }
+                    None => actions.push(Action::Send(
+                        c,
+                        ServerMsg::Error {
+                            id: Some(id.clone()),
+                            message: format!("no active job {id:?}"),
+                        }
+                        .line(),
+                    )),
+                }
+            }
+            ClientMsg::Stats => {
+                actions.push(Action::Send(c, ServerMsg::Stats(self.stats()).line()));
+            }
+            ClientMsg::Shutdown => {
+                self.draining = true;
+                for &client in &self.clients {
+                    actions.push(Action::Send(client, ServerMsg::Stopping.line()));
+                }
+            }
+        }
+    }
+
+    fn handle_run_done(&mut self, run: RunId, outcome: RunOutcome, actions: &mut Vec<Action>) {
+        assert!(
+            matches!(self.runs[run].state, RunState::Running),
+            "run {run} completed twice"
+        );
+        match &outcome {
+            RunOutcome::Done { cached: true, .. } => self.store_hits += 1,
+            RunOutcome::Done { cached: false, .. } => self.simulated += 1,
+            RunOutcome::Failed { .. } => {}
+        }
+        self.runs[run].state = RunState::Done(outcome.clone());
+        for job in 0..self.jobs.len() {
+            for i in 0..self.jobs[job].runs.len() {
+                if self.jobs[job].runs[i] == run && self.jobs[job].outcomes[i].is_none() {
+                    self.record_outcome(job, i, outcome.clone(), actions);
+                }
+            }
+        }
+    }
+
+    /// Records `outcome` for point `i` of `job`, emitting its progress
+    /// line and, when it was the last point, the job's `done` line.
+    fn record_outcome(
+        &mut self,
+        job: usize,
+        i: usize,
+        outcome: RunOutcome,
+        actions: &mut Vec<Action>,
+    ) {
+        let j = &mut self.jobs[job];
+        j.outcomes[i] = Some(outcome);
+        j.done += 1;
+        let total = j.plan.requests.len();
+        let last = j.done == total;
+        // A cancelled (or disconnected) job still tracks completion so
+        // its bookkeeping stays consistent, but reports nothing.
+        if !j.cancelled {
+            let meta = &j.plan.meta[i];
+            let source = if !j.started_here[i] {
+                Source::Inflight
+            } else if j.outcomes[i].as_ref().is_some_and(|o| o.is_cached()) {
+                Source::Store
+            } else {
+                Source::Simulated
+            };
+            let msg = match j.outcomes[i].as_ref().expect("just recorded") {
+                RunOutcome::Done { result, .. } => ServerMsg::Progress {
+                    id: j.id.clone(),
+                    done: j.done,
+                    total,
+                    app: meta.app.to_string(),
+                    mech: meta.mechanism.label().to_string(),
+                    x: meta.x,
+                    runtime_cycles: result.runtime_cycles,
+                    source,
+                },
+                RunOutcome::Failed { message, .. } => ServerMsg::PointFailed {
+                    id: j.id.clone(),
+                    done: j.done,
+                    total,
+                    app: meta.app.to_string(),
+                    mech: meta.mechanism.label().to_string(),
+                    x: meta.x,
+                    message: message.clone(),
+                },
+            };
+            actions.push(Action::Send(j.client, msg.line()));
+            if last {
+                let csvs = plan::assemble_csvs(&j.plan, &j.outcomes);
+                actions.push(Action::Send(
+                    j.client,
+                    ServerMsg::Done {
+                        id: j.id.clone(),
+                        stats: j.stats(),
+                        csvs,
+                    }
+                    .line(),
+                ));
+            }
+        }
+        if last && !self.jobs[job].finished {
+            self.jobs[job].finished = true;
+            if !self.jobs[job].cancelled {
+                self.jobs_done += 1;
+            }
+        }
+    }
+
+    fn maybe_stop(&mut self, actions: &mut Vec<Action>) {
+        if self.stopped || !self.draining {
+            return;
+        }
+        let running = self
+            .runs
+            .iter()
+            .any(|r| matches!(r.state, RunState::Running));
+        if running {
+            return;
+        }
+        self.stopped = true;
+        for &c in &self.clients {
+            actions.push(Action::Close(c));
+        }
+        self.clients.clear();
+        actions.push(Action::Stop);
+    }
+}

@@ -1,0 +1,642 @@
+//! The wire protocol: line-delimited JSON over a local TCP socket.
+//!
+//! Every message is a single line holding one `type`-tagged JSON object.
+//! Parsing reuses the repo's hand-rolled [`commsense_core::json`] parser;
+//! emission builds each line by hand around [`push_escaped`], so the
+//! protocol has no dependency beyond `commsense-core`. Both directions
+//! live here — [`ClientMsg`] is what the daemon parses, [`ServerMsg`] is
+//! what the reference client parses — which keeps the codec symmetric and
+//! testable without a socket.
+
+use commsense_apps::Scale;
+use commsense_core::json::{push_escaped, Json};
+
+/// The figure whose sweep plan a submission requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Figure {
+    /// Figure 4: per-application mechanism breakdown on the base machine.
+    Fig4,
+    /// Figure 8: execution time vs consumed bisection bandwidth.
+    Fig8,
+    /// Figure 10: latency emulation via context switching.
+    Fig10,
+}
+
+impl Figure {
+    /// The wire label (`fig4`, `fig8`, `fig10`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Figure::Fig4 => "fig4",
+            Figure::Fig8 => "fig8",
+            Figure::Fig10 => "fig10",
+        }
+    }
+
+    /// Parses a wire label.
+    pub fn from_label(label: &str) -> Option<Figure> {
+        match label {
+            "fig4" => Some(Figure::Fig4),
+            "fig8" => Some(Figure::Fig8),
+            "fig10" => Some(Figure::Fig10),
+            _ => None,
+        }
+    }
+}
+
+/// Where a completed point's result came from, as reported in progress
+/// lines: freshly simulated by this job, replayed from the persistent
+/// store, or deduplicated against a run another in-process job already
+/// started (or finished).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Simulated by a worker on behalf of this job.
+    Simulated,
+    /// Read through from the persistent result store.
+    Store,
+    /// Shared with a run some other job in this daemon owns.
+    Inflight,
+}
+
+impl Source {
+    /// The wire label (`simulated`, `store`, `inflight`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Source::Simulated => "simulated",
+            Source::Store => "store",
+            Source::Inflight => "inflight",
+        }
+    }
+
+    /// Parses a wire label.
+    pub fn from_label(label: &str) -> Option<Source> {
+        match label {
+            "simulated" => Some(Source::Simulated),
+            "store" => Some(Source::Store),
+            "inflight" => Some(Source::Inflight),
+            _ => None,
+        }
+    }
+}
+
+/// A sweep-plan specification as sent on the wire: everything is a name,
+/// resolved (and validated) by the daemon against the same suite and plan
+/// builders the `repro` binary uses directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanSpec {
+    /// Which figure's plan to run.
+    pub figure: Figure,
+    /// Workload sizing.
+    pub scale: Scale,
+    /// Application names (`EM3D`, `UNSTRUC`, `ICCG`, `MOLDYN`,
+    /// case-insensitive); empty means the whole suite.
+    pub apps: Vec<String>,
+    /// Mechanism labels (`sm`, `sm+pf`, `mp-int`, `mp-poll`, `bulk`);
+    /// empty means every mechanism.
+    pub mechanisms: Vec<String>,
+}
+
+/// A message from a client to the daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientMsg {
+    /// Submit a sweep plan under a client-chosen job id.
+    Submit {
+        /// Client-chosen job id, echoed in every response line.
+        id: String,
+        /// The plan to resolve and run.
+        plan: PlanSpec,
+    },
+    /// Cancel a previously submitted job (runs already started keep
+    /// running — their results stay sharable — but the job stops
+    /// reporting).
+    Cancel {
+        /// The job id to cancel.
+        id: String,
+    },
+    /// Ask for a one-line daemon statistics snapshot.
+    Stats,
+    /// Ask the daemon to drain: no new submissions, finish in-flight
+    /// runs, then exit.
+    Shutdown,
+}
+
+impl ClientMsg {
+    /// Serializes the message as one protocol line (no trailing newline).
+    pub fn line(&self) -> String {
+        let mut s = String::new();
+        match self {
+            ClientMsg::Submit { id, plan } => {
+                s.push_str("{\"type\":\"submit\",\"id\":");
+                push_escaped(&mut s, id);
+                s.push_str(",\"figure\":");
+                push_escaped(&mut s, plan.figure.label());
+                s.push_str(",\"scale\":");
+                push_escaped(&mut s, plan.scale.label());
+                s.push_str(",\"apps\":[");
+                for (i, a) in plan.apps.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    push_escaped(&mut s, a);
+                }
+                s.push_str("],\"mechanisms\":[");
+                for (i, m) in plan.mechanisms.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    push_escaped(&mut s, m);
+                }
+                s.push_str("]}");
+            }
+            ClientMsg::Cancel { id } => {
+                s.push_str("{\"type\":\"cancel\",\"id\":");
+                push_escaped(&mut s, id);
+                s.push('}');
+            }
+            ClientMsg::Stats => s.push_str("{\"type\":\"stats\"}"),
+            ClientMsg::Shutdown => s.push_str("{\"type\":\"shutdown\"}"),
+        }
+        s
+    }
+
+    /// Parses one protocol line.
+    pub fn parse(line: &str) -> Result<ClientMsg, String> {
+        let v = Json::parse(line)?;
+        let ty = str_field(&v, "type")?;
+        match ty.as_str() {
+            "submit" => {
+                let id = str_field(&v, "id")?;
+                let figure = str_field(&v, "figure")?;
+                let figure = Figure::from_label(&figure)
+                    .ok_or_else(|| format!("unknown figure {figure:?} (fig4|fig8|fig10)"))?;
+                let scale = match v.get("scale") {
+                    None => Scale::Bench,
+                    Some(s) => {
+                        let s = s.as_str().ok_or("field 'scale' must be a string")?;
+                        Scale::from_label(s)
+                            .ok_or_else(|| format!("unknown scale {s:?} (bench|paper|small)"))?
+                    }
+                };
+                Ok(ClientMsg::Submit {
+                    id,
+                    plan: PlanSpec {
+                        figure,
+                        scale,
+                        apps: str_list(&v, "apps")?,
+                        mechanisms: str_list(&v, "mechanisms")?,
+                    },
+                })
+            }
+            "cancel" => Ok(ClientMsg::Cancel {
+                id: str_field(&v, "id")?,
+            }),
+            "stats" => Ok(ClientMsg::Stats),
+            "shutdown" => Ok(ClientMsg::Shutdown),
+            other => Err(format!("unknown client message type {other:?}")),
+        }
+    }
+}
+
+/// Per-job completion statistics, carried on the final `done` line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Points in the job.
+    pub total: usize,
+    /// Points simulated by workers on behalf of this job.
+    pub simulated: usize,
+    /// Points replayed from the persistent store.
+    pub store_hits: usize,
+    /// Points deduplicated against runs other jobs own.
+    pub inflight_hits: usize,
+    /// Points that failed (quarantined or exhausted retries).
+    pub failed: usize,
+}
+
+/// A daemon-wide statistics snapshot, carried on a `stats` line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Currently connected clients.
+    pub clients: usize,
+    /// Jobs accepted and not yet finished.
+    pub jobs_active: usize,
+    /// Jobs completed (cancelled jobs are not counted).
+    pub jobs_done: usize,
+    /// Distinct requests ever scheduled (the dedup denominator).
+    pub unique_runs: usize,
+    /// Requests currently executing or queued on the worker pool.
+    pub runs_running: usize,
+    /// Unique runs that were freshly simulated.
+    pub simulated: usize,
+    /// Unique runs replayed from the persistent store.
+    pub store_hits: usize,
+    /// Point-level dedup hits: a job referenced a run another job owns.
+    pub inflight_hits: usize,
+}
+
+/// A message from the daemon to a client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerMsg {
+    /// A submission was validated and enqueued.
+    Accepted {
+        /// The job id.
+        id: String,
+        /// Total points in the resolved plan.
+        total: usize,
+    },
+    /// One point of a job completed successfully.
+    Progress {
+        /// The job id.
+        id: String,
+        /// Points completed so far (including failed ones).
+        done: usize,
+        /// Total points in the job.
+        total: usize,
+        /// Application name.
+        app: String,
+        /// Mechanism label.
+        mech: String,
+        /// The point's swept x value (0 for Figure 4).
+        x: f64,
+        /// Measured runtime in processor cycles.
+        runtime_cycles: u64,
+        /// Where the result came from.
+        source: Source,
+    },
+    /// One point of a job failed (quarantined or exhausted retries).
+    PointFailed {
+        /// The job id.
+        id: String,
+        /// Points completed so far (including this one).
+        done: usize,
+        /// Total points in the job.
+        total: usize,
+        /// Application name.
+        app: String,
+        /// Mechanism label.
+        mech: String,
+        /// The point's swept x value.
+        x: f64,
+        /// The failure message.
+        message: String,
+    },
+    /// A job finished: statistics plus the assembled CSV artifacts
+    /// (byte-identical to what a direct `repro` run writes).
+    Done {
+        /// The job id.
+        id: String,
+        /// Per-job completion statistics.
+        stats: JobStats,
+        /// `(file name, contents)` pairs for each CSV of the plan.
+        csvs: Vec<(String, String)>,
+    },
+    /// A job was cancelled.
+    Cancelled {
+        /// The job id.
+        id: String,
+    },
+    /// A daemon statistics snapshot (response to a `stats` request).
+    Stats(ServiceStats),
+    /// A request was rejected, or a mid-job error occurred.
+    Error {
+        /// The job id, when the error concerns a specific job.
+        id: Option<String>,
+        /// What went wrong.
+        message: String,
+    },
+    /// The daemon is draining and will exit once in-flight runs finish.
+    Stopping,
+}
+
+impl ServerMsg {
+    /// Serializes the message as one protocol line (no trailing newline).
+    pub fn line(&self) -> String {
+        let mut s = String::new();
+        match self {
+            ServerMsg::Accepted { id, total } => {
+                s.push_str("{\"type\":\"accepted\",\"id\":");
+                push_escaped(&mut s, id);
+                s.push_str(&format!(",\"total\":{total}}}"));
+            }
+            ServerMsg::Progress {
+                id,
+                done,
+                total,
+                app,
+                mech,
+                x,
+                runtime_cycles,
+                source,
+            } => {
+                s.push_str("{\"type\":\"progress\",\"id\":");
+                push_escaped(&mut s, id);
+                s.push_str(&format!(",\"done\":{done},\"total\":{total},\"app\":"));
+                push_escaped(&mut s, app);
+                s.push_str(",\"mech\":");
+                push_escaped(&mut s, mech);
+                s.push_str(&format!(
+                    ",\"x\":{x},\"runtime_cycles\":{runtime_cycles},\"source\":"
+                ));
+                push_escaped(&mut s, source.label());
+                s.push('}');
+            }
+            ServerMsg::PointFailed {
+                id,
+                done,
+                total,
+                app,
+                mech,
+                x,
+                message,
+            } => {
+                s.push_str("{\"type\":\"point-failed\",\"id\":");
+                push_escaped(&mut s, id);
+                s.push_str(&format!(",\"done\":{done},\"total\":{total},\"app\":"));
+                push_escaped(&mut s, app);
+                s.push_str(",\"mech\":");
+                push_escaped(&mut s, mech);
+                s.push_str(&format!(",\"x\":{x},\"message\":"));
+                push_escaped(&mut s, message);
+                s.push('}');
+            }
+            ServerMsg::Done { id, stats, csvs } => {
+                s.push_str("{\"type\":\"done\",\"id\":");
+                push_escaped(&mut s, id);
+                s.push_str(&format!(
+                    ",\"total\":{},\"simulated\":{},\"store_hits\":{},\
+                     \"inflight_hits\":{},\"failed\":{},\"csv\":[",
+                    stats.total,
+                    stats.simulated,
+                    stats.store_hits,
+                    stats.inflight_hits,
+                    stats.failed
+                ));
+                for (i, (name, data)) in csvs.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str("{\"name\":");
+                    push_escaped(&mut s, name);
+                    s.push_str(",\"data\":");
+                    push_escaped(&mut s, data);
+                    s.push('}');
+                }
+                s.push_str("]}");
+            }
+            ServerMsg::Cancelled { id } => {
+                s.push_str("{\"type\":\"cancelled\",\"id\":");
+                push_escaped(&mut s, id);
+                s.push('}');
+            }
+            ServerMsg::Stats(st) => {
+                s.push_str(&format!(
+                    "{{\"type\":\"stats\",\"clients\":{},\"jobs_active\":{},\
+                     \"jobs_done\":{},\"unique_runs\":{},\"runs_running\":{},\
+                     \"simulated\":{},\"store_hits\":{},\"inflight_hits\":{}}}",
+                    st.clients,
+                    st.jobs_active,
+                    st.jobs_done,
+                    st.unique_runs,
+                    st.runs_running,
+                    st.simulated,
+                    st.store_hits,
+                    st.inflight_hits
+                ));
+            }
+            ServerMsg::Error { id, message } => {
+                s.push_str("{\"type\":\"error\"");
+                if let Some(id) = id {
+                    s.push_str(",\"id\":");
+                    push_escaped(&mut s, id);
+                }
+                s.push_str(",\"message\":");
+                push_escaped(&mut s, message);
+                s.push('}');
+            }
+            ServerMsg::Stopping => s.push_str("{\"type\":\"stopping\"}"),
+        }
+        s
+    }
+
+    /// Parses one protocol line.
+    pub fn parse(line: &str) -> Result<ServerMsg, String> {
+        let v = Json::parse(line)?;
+        let ty = str_field(&v, "type")?;
+        match ty.as_str() {
+            "accepted" => Ok(ServerMsg::Accepted {
+                id: str_field(&v, "id")?,
+                total: usize_field(&v, "total")?,
+            }),
+            "progress" => {
+                let source = str_field(&v, "source")?;
+                Ok(ServerMsg::Progress {
+                    id: str_field(&v, "id")?,
+                    done: usize_field(&v, "done")?,
+                    total: usize_field(&v, "total")?,
+                    app: str_field(&v, "app")?,
+                    mech: str_field(&v, "mech")?,
+                    x: f64_field(&v, "x")?,
+                    runtime_cycles: u64_field(&v, "runtime_cycles")?,
+                    source: Source::from_label(&source)
+                        .ok_or_else(|| format!("unknown source {source:?}"))?,
+                })
+            }
+            "point-failed" => Ok(ServerMsg::PointFailed {
+                id: str_field(&v, "id")?,
+                done: usize_field(&v, "done")?,
+                total: usize_field(&v, "total")?,
+                app: str_field(&v, "app")?,
+                mech: str_field(&v, "mech")?,
+                x: f64_field(&v, "x")?,
+                message: str_field(&v, "message")?,
+            }),
+            "done" => {
+                let stats = JobStats {
+                    total: usize_field(&v, "total")?,
+                    simulated: usize_field(&v, "simulated")?,
+                    store_hits: usize_field(&v, "store_hits")?,
+                    inflight_hits: usize_field(&v, "inflight_hits")?,
+                    failed: usize_field(&v, "failed")?,
+                };
+                let arr = v.get("csv").and_then(Json::as_arr).ok_or("missing 'csv'")?;
+                let mut csvs = Vec::with_capacity(arr.len());
+                for item in arr {
+                    csvs.push((str_field(item, "name")?, str_field(item, "data")?));
+                }
+                Ok(ServerMsg::Done {
+                    id: str_field(&v, "id")?,
+                    stats,
+                    csvs,
+                })
+            }
+            "cancelled" => Ok(ServerMsg::Cancelled {
+                id: str_field(&v, "id")?,
+            }),
+            "stats" => Ok(ServerMsg::Stats(ServiceStats {
+                clients: usize_field(&v, "clients")?,
+                jobs_active: usize_field(&v, "jobs_active")?,
+                jobs_done: usize_field(&v, "jobs_done")?,
+                unique_runs: usize_field(&v, "unique_runs")?,
+                runs_running: usize_field(&v, "runs_running")?,
+                simulated: usize_field(&v, "simulated")?,
+                store_hits: usize_field(&v, "store_hits")?,
+                inflight_hits: usize_field(&v, "inflight_hits")?,
+            })),
+            "error" => Ok(ServerMsg::Error {
+                id: v.get("id").and_then(Json::as_str).map(str::to_string),
+                message: str_field(&v, "message")?,
+            }),
+            "stopping" => Ok(ServerMsg::Stopping),
+            other => Err(format!("unknown server message type {other:?}")),
+        }
+    }
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn usize_field(v: &Json, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .map(|n| n as usize)
+        .ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+fn f64_field(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing number field '{key}'"))
+}
+
+fn str_list(v: &Json, key: &str) -> Result<Vec<String>, String> {
+    match v.get(key) {
+        None => Ok(Vec::new()),
+        Some(arr) => {
+            let arr = arr
+                .as_arr()
+                .ok_or_else(|| format!("field '{key}' must be an array"))?;
+            arr.iter()
+                .map(|e| {
+                    e.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("field '{key}' must hold strings"))
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_messages_round_trip() {
+        let msgs = [
+            ClientMsg::Submit {
+                id: "job-1".into(),
+                plan: PlanSpec {
+                    figure: Figure::Fig8,
+                    scale: Scale::Small,
+                    apps: vec!["EM3D".into()],
+                    mechanisms: vec!["sm".into(), "mp-poll".into()],
+                },
+            },
+            ClientMsg::Cancel {
+                id: "j\"x\"".into(),
+            },
+            ClientMsg::Stats,
+            ClientMsg::Shutdown,
+        ];
+        for m in msgs {
+            assert_eq!(ClientMsg::parse(&m.line()).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn server_messages_round_trip() {
+        let msgs = [
+            ServerMsg::Accepted {
+                id: "j".into(),
+                total: 20,
+            },
+            ServerMsg::Progress {
+                id: "j".into(),
+                done: 3,
+                total: 20,
+                app: "EM3D".into(),
+                mech: "sm+pf".into(),
+                x: 11.43,
+                runtime_cycles: 123_456,
+                source: Source::Inflight,
+            },
+            ServerMsg::PointFailed {
+                id: "j".into(),
+                done: 4,
+                total: 20,
+                app: "ICCG".into(),
+                mech: "bulk".into(),
+                x: 0.0,
+                message: "panicked:\n\"deadline\"".into(),
+            },
+            ServerMsg::Done {
+                id: "j".into(),
+                stats: JobStats {
+                    total: 20,
+                    simulated: 10,
+                    store_hits: 5,
+                    inflight_hits: 5,
+                    failed: 0,
+                },
+                csvs: vec![("fig4_em3d.csv".into(), "a,b\n1,2\n".into())],
+            },
+            ServerMsg::Cancelled { id: "j".into() },
+            ServerMsg::Stats(ServiceStats {
+                clients: 2,
+                jobs_active: 1,
+                jobs_done: 3,
+                unique_runs: 40,
+                runs_running: 2,
+                simulated: 30,
+                store_hits: 10,
+                inflight_hits: 20,
+            }),
+            ServerMsg::Error {
+                id: None,
+                message: "bad line".into(),
+            },
+            ServerMsg::Error {
+                id: Some("j".into()),
+                message: "unknown app".into(),
+            },
+            ServerMsg::Stopping,
+        ];
+        for m in msgs {
+            assert_eq!(
+                ServerMsg::parse(&m.line()).unwrap(),
+                m,
+                "line: {}",
+                m.line()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(ClientMsg::parse("not json").is_err());
+        assert!(ClientMsg::parse("{\"type\":\"warp\"}").is_err());
+        assert!(ClientMsg::parse("{\"type\":\"submit\",\"id\":\"x\"}").is_err());
+        assert!(
+            ClientMsg::parse("{\"type\":\"submit\",\"id\":\"x\",\"figure\":\"fig99\"}").is_err()
+        );
+        assert!(ServerMsg::parse("{\"type\":\"accepted\"}").is_err());
+    }
+}

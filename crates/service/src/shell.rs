@@ -1,0 +1,239 @@
+//! The IO shell around [`ServiceMachine`]: a TCP accept loop, one reader
+//! thread per client, and a worker pool, all funnelled into a single
+//! event queue the machine consumes.
+//!
+//! The shell makes no decisions: it translates socket activity into
+//! [`Event`]s, executes the [`Action`]s the machine returns, and runs
+//! simulations on the worker pool with the engine's full per-request
+//! policy ([`Runner::run_one`]: store read/write-through, bounded-retry
+//! panic isolation, quarantine). Everything here is plain `std` —
+//! blocking reads on reader threads, a non-blocking accept loop polled at
+//! a coarse interval, `mpsc` channels — so the daemon needs no runtime.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use commsense_core::engine::{RunRequest, Runner, WorkloadCache};
+use commsense_core::store::ResultStore;
+
+use crate::machine::{Action, ClientId, Event, RunId, ServiceMachine};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port; read it
+    /// back with [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads executing simulations (minimum 1).
+    pub workers: usize,
+    /// Persistent result store shared by all workers (read-through,
+    /// write-through, quarantine), or `None` for in-memory dedup only.
+    pub store: Option<Arc<ResultStore>>,
+    /// Retries per panicking run (as `Runner::with_retries`).
+    pub retries: usize,
+    /// Suppress the daemon's stderr log lines.
+    pub quiet: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            store: None,
+            retries: 1,
+            quiet: false,
+        }
+    }
+}
+
+/// A bound (but not yet running) daemon.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServeConfig,
+}
+
+impl Server {
+    /// Binds the listening socket. The port is allocated here, so
+    /// callers can read [`Server::local_addr`] (and publish it) before
+    /// the blocking [`Server::run`] starts.
+    pub fn bind(cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        Ok(Server { listener, cfg })
+    }
+
+    /// The bound address (resolves `:0` to the allocated port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the daemon until a `shutdown` request drains it. Returns
+    /// after every in-flight run has finished and all clients are
+    /// closed; the listening port is released on return.
+    pub fn run(self) -> io::Result<()> {
+        let Server { listener, cfg } = self;
+        let (events_tx, events_rx) = channel::<Event>();
+        let (work_tx, work_rx) = channel::<(RunId, RunRequest)>();
+        let work_rx = Arc::new(Mutex::new(work_rx));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Arc<Mutex<HashMap<ClientId, TcpStream>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let log = |line: String| {
+            if !cfg.quiet {
+                eprintln!("[serve] {line}");
+            }
+        };
+
+        // Worker pool: each worker owns a serial Runner (the pool is the
+        // parallelism) and shares one workload cache, so a workload is
+        // prepared once per daemon lifetime however many jobs need it.
+        let mut runner = Runner::serial().with_retries(cfg.retries);
+        if let Some(store) = &cfg.store {
+            runner = runner.with_store(store.clone());
+        }
+        let wcache = Arc::new(Mutex::new(WorkloadCache::new()));
+        for _ in 0..cfg.workers.max(1) {
+            let work_rx = work_rx.clone();
+            let events_tx = events_tx.clone();
+            let runner = runner.clone();
+            let wcache = wcache.clone();
+            thread::spawn(move || loop {
+                let next = work_rx.lock().expect("work queue poisoned").recv();
+                let Ok((run, req)) = next else { break };
+                // Preparation holds the cache lock (it is a &mut
+                // structure); simulations dominate, and a prepared
+                // workload is returned as a cheap Arc-backed clone.
+                let w = wcache
+                    .lock()
+                    .expect("workload cache poisoned")
+                    .get(&req.spec, req.cfg.nodes);
+                let outcome = runner.run_one(&req, &w);
+                if events_tx.send(Event::RunDone { run, outcome }).is_err() {
+                    break;
+                }
+            });
+        }
+
+        // Accept loop: non-blocking so it can observe the stop flag and
+        // release the port promptly after drain.
+        listener.set_nonblocking(true)?;
+        {
+            let events_tx = events_tx.clone();
+            let writers = writers.clone();
+            let stop = stop.clone();
+            thread::spawn(move || {
+                let mut next_id: ClientId = 1;
+                loop {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            let id = next_id;
+                            next_id += 1;
+                            stream.set_nodelay(true).ok();
+                            let Ok(write_half) = stream.try_clone() else {
+                                continue;
+                            };
+                            writers
+                                .lock()
+                                .expect("writer table poisoned")
+                                .insert(id, write_half);
+                            if events_tx.send(Event::Connected(id)).is_err() {
+                                break;
+                            }
+                            spawn_reader(id, stream, events_tx.clone());
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(25));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            });
+        }
+
+        // The machine loop: single-threaded, so action execution is
+        // totally ordered and per-client line order is preserved.
+        let mut machine = ServiceMachine::new();
+        loop {
+            let Ok(event) = events_rx.recv() else { break };
+            match &event {
+                Event::Connected(c) => log(format!("client {c} connected")),
+                Event::Disconnected(c) => log(format!("client {c} disconnected")),
+                _ => {}
+            }
+            let mut stop_now = false;
+            for action in machine.handle(event) {
+                match action {
+                    Action::Send(c, line) => {
+                        let failed = {
+                            let mut writers = writers.lock().expect("writer table poisoned");
+                            match writers.get_mut(&c) {
+                                Some(s) => writeln!(s, "{line}").is_err(),
+                                None => false,
+                            }
+                        };
+                        if failed {
+                            // The reader thread will also notice, but the
+                            // machine tolerates duplicate disconnects and
+                            // a dead writer should stop receiving now.
+                            writers.lock().expect("writer table poisoned").remove(&c);
+                            events_tx.send(Event::Disconnected(c)).ok();
+                        }
+                    }
+                    Action::Start { run, request } => {
+                        work_tx.send((run, request)).ok();
+                    }
+                    Action::Close(c) => {
+                        if let Some(s) = writers.lock().expect("writer table poisoned").remove(&c) {
+                            s.shutdown(Shutdown::Both).ok();
+                        }
+                    }
+                    Action::Stop => stop_now = true,
+                }
+            }
+            if stop_now {
+                break;
+            }
+        }
+        log("drained, stopping".to_string());
+        stop.store(true, Ordering::SeqCst);
+        // Dropping the work sender ends idle workers; the accept thread
+        // exits on its next poll and releases the listener.
+        drop(work_tx);
+        Ok(())
+    }
+}
+
+/// Reads protocol lines from one client until EOF/error, forwarding each
+/// as an event; always ends with a `Disconnected` event.
+fn spawn_reader(id: ClientId, stream: TcpStream, events: Sender<Event>) {
+    thread::spawn(move || {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    if events.send(Event::Line(id, trimmed.to_string())).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+        events.send(Event::Disconnected(id)).ok();
+    });
+}

@@ -26,7 +26,7 @@
 
 use commsense_bench::harness::json_str;
 use commsense_machine::Mechanism;
-use commsense_workloads::litmus::{self, Extreme, FailureClass, FuzzFailure, Litmus};
+use commsense_workloads::litmus::{self, Extreme, FailureClass, Fault, FuzzFailure, Litmus};
 
 struct Opts {
     seed: u64,
@@ -47,11 +47,13 @@ usage: litmus [--programs N] [--seed S] [--mech LABEL|all] [--config NAME|all]
   --programs  number of generated programs to fuzz (default 64)
   --seed      base seed; every program derives from (seed, index) (default 1)
   --mech      mechanism label (sm|sm+pf|mp-int|mp-poll|bulk) or all (default all)
-  --config    sweep extreme (base|tinycache|cross|lat|relaxed) or all (default all)
+  --config    sweep extreme (base|tinycache|cross|lat|relaxed|crit|hotspot|bursty|
+              incast) or all (default all)
   --nodes     machine size; must keep the 2x2 mesh of the tiny config (default 4)
   --out       write one reproducer file per failure into DIR (for CI artifacts)
   --program   replay a single program index instead of fuzzing
-  --mutation-smoke  verify the checker catches a seeded dropped invalidation
+  --mutation-smoke  verify the checker catches both seeded faults (a dropped
+              invalidation and a smuggled high-priority ack)
 exit status: 0 clean, 1 failures found (each preceded by a LITMUS-FAIL line), 2 bad usage";
 
 fn parse_args() -> Opts {
@@ -127,7 +129,10 @@ fn extremes_for(label: &str) -> Vec<Extreme> {
     match Extreme::from_label(label) {
         Some(e) => vec![e],
         None => {
-            eprintln!("unknown --config {label:?} (base|tinycache|cross|lat|relaxed|all)");
+            eprintln!(
+                "unknown --config {label:?} \
+                 (base|tinycache|cross|lat|relaxed|crit|hotspot|bursty|incast|all)"
+            );
             std::process::exit(2);
         }
     }
@@ -181,22 +186,26 @@ fn report_failure(f: &FuzzFailure, out: Option<&str>) {
     }
 }
 
-/// End-to-end detection gate: the seeded dropped-invalidation mutation
-/// must be caught as an invariant violation, and the same program must
-/// pass unmutated.
-fn mutation_smoke() {
+/// One leg of the detection gate: under `extreme`, the unmutated witness
+/// program must pass and the armed `fault` must die as an invariant
+/// violation.
+fn mutation_gate(extreme: Extreme, fault: Fault, what: &str) {
     let lit = Litmus::directed_invalidation(4);
-    if let Err(f) = litmus::run_litmus(&lit, Mechanism::SharedMem, Extreme::Base) {
+    if let Err(f) = litmus::run_litmus(&lit, Mechanism::SharedMem, extreme) {
         eprintln!(
             "LITMUS-FAIL {{\"class\":{},\"detail\":{}}}",
             json_str("mutation-smoke"),
-            json_str(&format!("unmutated program failed: {}", f.detail))
+            json_str(&format!(
+                "unmutated program failed under {}: {}",
+                extreme.label(),
+                f.detail
+            ))
         );
         std::process::exit(1);
     }
-    match litmus::run_litmus_with(&lit, Mechanism::SharedMem, Extreme::Base, true) {
+    match litmus::run_litmus_with(&lit, Mechanism::SharedMem, extreme, fault) {
         Err(f) if f.class == FailureClass::Invariant => {
-            println!("mutation-smoke: dropped invalidation caught by the checker");
+            println!("mutation-smoke: {what} caught by the checker");
             println!("  {}", f.detail.lines().next().unwrap_or(""));
         }
         Err(f) => {
@@ -204,7 +213,7 @@ fn mutation_smoke() {
                 "LITMUS-FAIL {{\"class\":{},\"detail\":{}}}",
                 json_str("mutation-smoke"),
                 json_str(&format!(
-                    "fault died as {} instead of invariant: {}",
+                    "{what} died as {} instead of invariant: {}",
                     f.class, f.detail
                 ))
             );
@@ -214,11 +223,29 @@ fn mutation_smoke() {
             eprintln!(
                 "LITMUS-FAIL {{\"class\":{},\"detail\":{}}}",
                 json_str("mutation-smoke"),
-                json_str("checker MISSED the seeded dropped invalidation")
+                json_str(&format!("checker MISSED the seeded {what}"))
             );
             std::process::exit(1);
         }
     }
+}
+
+/// End-to-end detection gate: both seeded mutations must be caught as
+/// invariant violations, and the witness program must pass unmutated.
+/// The dropped invalidation exercises the directory/cache consistency
+/// check under the baseline variant; the smuggled high-priority ack
+/// exercises message conservation under the criticality-aware variant.
+fn mutation_smoke() {
+    mutation_gate(
+        Extreme::Base,
+        Fault::DropInvalidation,
+        "dropped invalidation",
+    );
+    mutation_gate(
+        Extreme::Critical,
+        Fault::SmugglePriorityAck,
+        "smuggled priority ack",
+    );
 }
 
 fn main() {

@@ -77,6 +77,9 @@ struct Opts {
     shutdown: bool,
     quiet: bool,
     max_bytes: Option<u64>,
+    /// `repro hostile` only: run at the selected (bench/paper) scale
+    /// instead of the small default.
+    full: bool,
 }
 
 const USAGE: &str = "\
@@ -95,9 +98,11 @@ usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check] [--store 
        repro analyze [--app NAME] [--mech LABEL] [--latency CYCLES]
                      [--latency-sweep] [--gate PCT] [--small|--paper] [--dir DIR]
        repro scale [--small] [--csv DIR] [--jobs N] [--store [DIR]] [--dir DIR]
+       repro hostile [--full] [--csv DIR] [--jobs N] [--check] [--store [DIR]]
+                     [--dir DIR]
   WHAT: all (default) | tab1 | tab2 | fig1 | fig2 | fig3 | fig4 | fig5 |
         fig7 | fig8 | fig9 | fig10 | ablate | model | perf | observe |
-        analyze | scale | store | serve | submit
+        analyze | scale | hostile | store | serve | submit
   --paper    use the paper's workload sizes (minutes)
   --small    use unit-test sizes (seconds)
   --csv      also write each sweep as CSV into DIR
@@ -138,6 +143,13 @@ usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check] [--store 
              mesh+torus at 64/256); the fig10 shape runs under the
              correctness harness. Writes per-sweep CSVs, scale_summary.csv
              and scale_manifest.json into --csv DIR (default --dir)
+  hostile    sweep protocol variant (baseline, criticality-aware) x hostile
+             traffic pattern (uniform, hotspot, bursty, incast) x mechanism
+             on EM3D: fig4-shaped base runs plus fig10-shaped latency
+             sweeps, per-combination CSVs, hostile_summary.csv and
+             hostile_manifest.json into --csv DIR (default --dir). Runs at
+             the small scale unless --full: baseline-variant runs under
+             hotspot/incast are intentionally pathological at full scale
   store stats   print store record/quarantine counts and sizes
   store verify  validate every record's framing and checksum (read-only)
   store gc      delete corrupt and stale-model-version records; with
@@ -160,9 +172,10 @@ usage: repro [WHAT] [--paper|--small] [--csv DIR] [--jobs N] [--check] [--store 
   --quiet    serve: suppress per-connection log lines
   --max-bytes  store gc: evict LRU records beyond this size";
 
-const KNOWN: [&str; 22] = [
+const KNOWN: [&str; 23] = [
     "all", "tab1", "tab2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "fig10",
-    "ablate", "model", "fig6", "perf", "observe", "analyze", "scale", "store", "serve", "submit",
+    "ablate", "model", "fig6", "perf", "observe", "analyze", "scale", "hostile", "store", "serve",
+    "submit",
 ];
 
 const STORE_ACTIONS: [&str; 3] = ["stats", "gc", "verify"];
@@ -199,6 +212,7 @@ fn parse_args() -> Opts {
     let mut shutdown = false;
     let mut quiet = false;
     let mut max_bytes = None;
+    let mut full = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -211,6 +225,7 @@ fn parse_args() -> Opts {
         };
         match a.as_str() {
             "--paper" => scale = Scale::Paper,
+            "--full" => full = true,
             "--small" => scale = Scale::Small,
             "--check" => check = true,
             "--csv" => csv_dir = next(),
@@ -428,6 +443,7 @@ fn parse_args() -> Opts {
         shutdown,
         quiet,
         max_bytes,
+        full,
     }
 }
 
@@ -1239,6 +1255,261 @@ fn run_scale(opts: &Opts) {
     }
 }
 
+/// One (variant, pattern) combination's summary measurements.
+struct HostileRow {
+    variant: commsense_machine::ProtoVariant,
+    pattern: commsense_mesh::TrafficPattern,
+    sm_runtime: u64,
+    mp_runtime: u64,
+    fig10_growth: f64,
+    priority_bypasses: u64,
+    low_bypassed: u64,
+}
+
+/// `repro hostile`: sweeps protocol variant × hostile traffic pattern ×
+/// mechanism on EM3D. Each combination gets a fig4-shaped base-machine
+/// comparison (the real network carries the hostile streams) and a
+/// fig10-shaped latency sweep; the summary table shows where the
+/// criticality-aware variant recovers the baseline's performance under
+/// hostile load.
+fn run_hostile(opts: &Opts) {
+    use commsense_machine::ProtoVariant;
+    use commsense_mesh::{CrossTrafficConfig, TrafficPattern};
+
+    let out_dir = opts.csv_dir.clone().unwrap_or_else(|| opts.dir.clone());
+    std::fs::create_dir_all(&out_dir).expect("create hostile output dir");
+    let store = open_store(opts);
+    let mut runner = Runner::from_env();
+    if let Some(s) = &store {
+        println!("(persistent store: {})", s.root().display());
+        runner = runner.with_store(s.clone());
+    }
+    let mut cache = WorkloadCache::new();
+
+    // Hostile sweeps default to the small workload scale: the *baseline*
+    // variant under hotspot/incast is intentionally pathological, and at
+    // the bench scale the victim's backlog grows into tens of gigabytes
+    // of in-flight packets before the app finishes. `--full` opts into
+    // that grind deliberately (combine with `--paper` for paper scale).
+    let scale = if opts.full { opts.scale } else { Scale::Small };
+    let spec = commsense_bench::em3d_spec(scale);
+    let mechs: Vec<Mechanism> = match scale {
+        Scale::Small => vec![Mechanism::SharedMem, Mechanism::MsgPoll],
+        _ => Mechanism::ALL.to_vec(),
+    };
+    let lats: &[u64] = match scale {
+        Scale::Small => &[30, 800],
+        _ => &[30, 200, 800],
+    };
+    let base_cfg = cfg(opts.check);
+    let nodes = base_cfg.nodes as u16;
+    let patterns = [
+        TrafficPattern::Uniform,
+        TrafficPattern::Hotspot {
+            node: 0,
+            fraction: 0.5,
+        },
+        TrafficPattern::Bursty { on: 2, off: 6 },
+        TrafficPattern::Incast {
+            targets: nodes.min(2),
+        },
+    ];
+    let variants = [ProtoVariant::Baseline, ProtoVariant::CriticalityAware];
+
+    println!("== hostile: protocol variant x traffic pattern x mechanism ==");
+    println!(
+        "({} at {} scale, {} mechanisms, 8 B/cycle hostile consumption)",
+        spec.name(),
+        scale.label(),
+        mechs.len()
+    );
+    let mut rows: Vec<HostileRow> = Vec::new();
+    for &variant in &variants {
+        for &pattern in &patterns {
+            let mut hcfg = base_cfg.clone();
+            hcfg.variant = variant;
+            hcfg.cross_traffic = Some(
+                CrossTrafficConfig::consuming(
+                    8.0,
+                    hcfg.clock(),
+                    64,
+                    hcfg.net.topo.build().io_streams(),
+                )
+                .with_pattern(pattern, nodes, 7),
+            );
+            let tag = format!("{}_{}", variant.label(), pattern.label());
+            println!(
+                "-- {} variant, {} traffic --",
+                variant.label(),
+                pattern.label()
+            );
+
+            // Fig4 shape: every mechanism once on the base machine, the
+            // hostile streams flowing through the real mesh.
+            let requests: Vec<RunRequest> = mechs
+                .iter()
+                .map(|&mech| RunRequest {
+                    spec: spec.clone(),
+                    mechanism: mech,
+                    cfg: hcfg.clone().with_mechanism(mech),
+                })
+                .collect();
+            let results = runner.run_cached(&requests, &mut cache);
+            let mut fig4_csv = String::from("app,mech,runtime_cycles,priority_bypasses,verified\n");
+            for r in &results {
+                println!(
+                    "  {:<8} {:>12} cycles  ({} bypasses{})",
+                    r.mechanism.label(),
+                    r.runtime_cycles,
+                    r.stats.priority_bypasses,
+                    if r.verified { "" } else { ", UNVERIFIED" }
+                );
+                fig4_csv.push_str(&format!(
+                    "{},{},{},{},{}\n",
+                    r.app,
+                    r.mechanism.label(),
+                    r.runtime_cycles,
+                    r.stats.priority_bypasses,
+                    r.verified
+                ));
+            }
+            std::fs::write(format!("{out_dir}/hostile_fig4_{tag}.csv"), fig4_csv)
+                .expect("write hostile fig4-shape csv");
+
+            // Fig10 shape: sm sweeps the emulated miss latency; mp-poll
+            // rides along flat as the paper plots it.
+            let sweep_mechs = [Mechanism::SharedMem, Mechanism::MsgPoll];
+            let run10 =
+                ctx_switch_plan(&spec, &sweep_mechs, &hcfg, lats).run_reported(&runner, &mut cache);
+            warn_failed(spec.name(), &run10);
+            print!(
+                "{}",
+                report::sweep_table(
+                    "fig10 shape (vs emulated miss latency)",
+                    "miss (cyc)",
+                    &run10.sweeps
+                )
+            );
+            std::fs::write(
+                format!("{out_dir}/hostile_fig10_{tag}.csv"),
+                report::sweep_csv("miss_cycles", &run10.sweeps),
+            )
+            .expect("write hostile fig10-shape csv");
+
+            let sm = results
+                .iter()
+                .find(|r| r.mechanism == Mechanism::SharedMem)
+                .expect("sm measured");
+            let mp = results
+                .iter()
+                .find(|r| r.mechanism == Mechanism::MsgPoll)
+                .expect("mp-poll measured");
+            let r10 = run10.sweeps[0].runtimes();
+            rows.push(HostileRow {
+                variant,
+                pattern,
+                sm_runtime: sm.runtime_cycles,
+                mp_runtime: mp.runtime_cycles,
+                fig10_growth: *r10.last().unwrap() as f64 / r10[0] as f64,
+                priority_bypasses: sm.stats.priority_bypasses,
+                low_bypassed: sm.stats.low_bypassed,
+            });
+        }
+    }
+
+    // Summary: per combination, then the baseline-recovery headline.
+    println!("== hostile summary ({}) ==", spec.name());
+    println!(
+        "{:<10} {:>8} {:>12} {:>12} {:>7} {:>10} {:>10}",
+        "variant", "pattern", "sm (cyc)", "mp-poll", "sm/mp", "x10 slope", "bypasses"
+    );
+    let mut summary = String::from(
+        "variant,pattern,app,sm_runtime_cycles,mp_poll_runtime_cycles,sm_over_mp,\
+         fig10_sm_growth,priority_bypasses,low_bypassed\n",
+    );
+    let mut manifest = String::from(
+        "{\n  \"kind\": \"commsense-hostile-manifest\",\n  \"schema_version\": 1,\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let ratio = r.sm_runtime as f64 / r.mp_runtime as f64;
+        println!(
+            "{:<10} {:>8} {:>12} {:>12} {:>7.2} {:>10.2} {:>10}",
+            r.variant.label(),
+            r.pattern.label(),
+            r.sm_runtime,
+            r.mp_runtime,
+            ratio,
+            r.fig10_growth,
+            r.priority_bypasses,
+        );
+        summary.push_str(&format!(
+            "{},{},{},{},{},{:.3},{:.3},{},{}\n",
+            r.variant.label(),
+            r.pattern.label(),
+            spec.name(),
+            r.sm_runtime,
+            r.mp_runtime,
+            ratio,
+            r.fig10_growth,
+            r.priority_bypasses,
+            r.low_bypassed,
+        ));
+        manifest.push_str(&format!(
+            "    {{\"variant\": \"{}\", \"pattern\": \"{}\", \"app\": \"{}\", \
+             \"sm_runtime_cycles\": {}, \"mp_poll_runtime_cycles\": {}, \
+             \"sm_over_mp\": {:.3}, \"fig10_sm_growth\": {:.3}, \
+             \"priority_bypasses\": {}, \"low_bypassed\": {}}}{}\n",
+            r.variant.label(),
+            r.pattern.label(),
+            spec.name(),
+            r.sm_runtime,
+            r.mp_runtime,
+            ratio,
+            r.fig10_growth,
+            r.priority_bypasses,
+            r.low_bypassed,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    manifest.push_str("  ]\n}\n");
+
+    // The headline: how much of the baseline's clean-traffic shared-memory
+    // runtime the criticality-aware variant recovers under each pattern.
+    println!("== criticality-aware recovery vs baseline ==");
+    for &pattern in &patterns {
+        let of = |v: ProtoVariant| rows.iter().find(|r| r.variant == v && r.pattern == pattern);
+        if let (Some(base), Some(crit)) = (
+            of(ProtoVariant::Baseline),
+            of(ProtoVariant::CriticalityAware),
+        ) {
+            println!(
+                "  {:<8} sm {} -> {} cycles ({:.2}x{}), {} bypasses",
+                pattern.label(),
+                base.sm_runtime,
+                crit.sm_runtime,
+                base.sm_runtime as f64 / crit.sm_runtime as f64,
+                if crit.sm_runtime <= base.sm_runtime {
+                    " faster"
+                } else {
+                    ""
+                },
+                crit.priority_bypasses,
+            );
+        }
+    }
+
+    let summary_path = format!("{out_dir}/hostile_summary.csv");
+    std::fs::write(&summary_path, summary).expect("write hostile summary");
+    let manifest_path = format!("{out_dir}/hostile_manifest.json");
+    std::fs::write(&manifest_path, manifest).expect("write hostile manifest");
+    println!("(wrote {summary_path})");
+    println!("(wrote {manifest_path})");
+    if let Some(s) = &store {
+        let st = s.stats();
+        println!("store summary: hits={} misses={}", st.hits, st.misses);
+    }
+}
+
 fn cfg(check: bool) -> MachineConfig {
     let mut cfg = MachineConfig::alewife();
     if check {
@@ -1292,6 +1563,10 @@ fn main() {
     }
     if opts.what == "submit" {
         run_submit(&opts);
+        return;
+    }
+    if opts.what == "hostile" {
+        run_hostile(&opts);
         return;
     }
     if opts.what == "scale" {

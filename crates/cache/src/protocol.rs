@@ -150,6 +150,14 @@ impl ProtoMsg {
         }
     }
 
+    /// Whether this is a sharer's invalidation acknowledgement (`InvAck`).
+    /// The criticality-aware machine variant's fault-injection hooks key on
+    /// this: the ack closes a writer's invalidation round, so losing or
+    /// smuggling one breaks message conservation in a detectable way.
+    pub fn is_invalidation_ack(self) -> bool {
+        matches!(self, ProtoMsg::InvAck { .. })
+    }
+
     /// The line this message concerns.
     pub fn line(self) -> LineId {
         match self {

@@ -491,6 +491,8 @@ fn encode_payload(key: u128, req: &RunRequest, r: &RunResult) -> String {
     }
     push_u64(&mut out, "useless_prefetches", s.useless_prefetches);
     push_u64(&mut out, "useful_prefetches", s.useful_prefetches);
+    push_u64(&mut out, "priority_bypasses", s.priority_bypasses);
+    push_u64(&mut out, "low_bypassed", s.low_bypassed);
     push_u64(&mut out, "cache_hits", s.cache_hit_miss.0);
     push_u64(&mut out, "cache_misses", s.cache_hit_miss.1);
     push_volume(&mut out, "volume", &s.volume);
@@ -650,6 +652,10 @@ fn decode_record(bytes: &[u8], key: u128, req: &RunRequest) -> Option<RunResult>
         mean_packet_latency,
         useless_prefetches: str_u64(s, "useless_prefetches")?,
         useful_prefetches: str_u64(s, "useful_prefetches")?,
+        // Absent in records written before the priority channel existed;
+        // those runs could not have bypassed anything.
+        priority_bypasses: str_u64(s, "priority_bypasses").unwrap_or(0),
+        low_bypassed: str_u64(s, "low_bypassed").unwrap_or(0),
         cache_hit_miss: (str_u64(s, "cache_hits")?, str_u64(s, "cache_misses")?),
         miss_latency: LatencyHistogram {
             buckets,

@@ -148,6 +148,8 @@ proptest! {
             useful_prefetches: rng.next_u64(),
             cache_hit_miss: (rng.next_u64(), rng.next_u64()),
             miss_latency: hist,
+            priority_bypasses: rng.next_u64(),
+            low_bypassed: rng.next_u64(),
         };
         let max_abs_err = match rng.index(4) {
             0 => f64::from_bits(rng.next_u64()), // arbitrary, possibly NaN

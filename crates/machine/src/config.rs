@@ -79,6 +79,51 @@ impl std::fmt::Display for Mechanism {
     }
 }
 
+/// Coherence-protocol personality: how the machine maps traffic onto the
+/// network's priority virtual channels.
+///
+/// Under [`ProtoVariant::Baseline`] every packet rides the low-priority
+/// channel — byte-identical to the pre-variant machine. Under
+/// [`ProtoVariant::CriticalityAware`] (after *Criticality Aware
+/// Multiprocessors*), traffic on the demand path — demand-miss requests,
+/// everything sent while servicing a demand-tagged protocol message
+/// (grants, invalidations, acks), barrier traffic, and system active
+/// messages — is tagged high priority and bypasses queued low-priority
+/// packets (prefetches, posted writes, background cross-traffic) at every
+/// link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProtoVariant {
+    /// One FIFO per link; every packet low priority (the paper's machine).
+    #[default]
+    Baseline,
+    /// Demand-path traffic jumps queues via the priority virtual channel.
+    CriticalityAware,
+}
+
+impl ProtoVariant {
+    /// Both variants, baseline first.
+    pub const ALL: [ProtoVariant; 2] = [ProtoVariant::Baseline, ProtoVariant::CriticalityAware];
+
+    /// Short label used in tables and CSV columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtoVariant::Baseline => "base",
+            ProtoVariant::CriticalityAware => "crit",
+        }
+    }
+
+    /// Inverse of [`ProtoVariant::label`].
+    pub fn from_label(label: &str) -> Option<ProtoVariant> {
+        ProtoVariant::ALL.into_iter().find(|v| v.label() == label)
+    }
+}
+
+impl std::fmt::Display for ProtoVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// How arriving user-level messages reach their handler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReceiveMode {
@@ -332,6 +377,9 @@ pub struct MachineConfig {
     pub msg: MsgCosts,
     /// Coherence protocol parameters.
     pub proto: ProtoConfig,
+    /// Protocol personality: baseline or criticality-aware request
+    /// prioritization over the network's priority virtual channel.
+    pub variant: ProtoVariant,
     /// How user messages are received.
     pub receive: ReceiveMode,
     /// Barrier implementation.
@@ -379,6 +427,7 @@ impl MachineConfig {
             costs: CostModel::alewife(),
             msg: MsgCosts::alewife(),
             proto: ProtoConfig::default(),
+            variant: ProtoVariant::Baseline,
             receive: ReceiveMode::Interrupt,
             barrier: BarrierStyle::SharedMemory,
             cross_traffic: None,
@@ -447,6 +496,12 @@ impl MachineConfig {
         enc.put("cfg.barrier", format!("{:?}", self.barrier));
         enc.put("cfg.write_buffer", self.write_buffer);
         enc.put("cfg.inject_panic", self.inject_panic);
+        // Encoded only when non-baseline so every pre-variant config keeps
+        // its store key (baseline is pinned bit-identical to the
+        // pre-variant machine).
+        if self.variant != ProtoVariant::Baseline {
+            enc.put("cfg.variant", self.variant.label());
+        }
         self.net.stable_encode(enc, "cfg.net");
         self.costs.stable_encode(enc, "cfg.costs");
         self.msg.stable_encode(enc, "cfg.msg");
@@ -630,5 +685,65 @@ mod tests {
         assert_ne!(cfg_hash(&c), h);
         let with_mech = base.clone().with_mechanism(Mechanism::MsgPoll);
         assert_ne!(cfg_hash(&with_mech), h);
+    }
+
+    #[test]
+    fn variant_labels_round_trip() {
+        for v in ProtoVariant::ALL {
+            assert_eq!(ProtoVariant::from_label(v.label()), Some(v));
+        }
+        assert_eq!(ProtoVariant::from_label("nope"), None);
+        assert_eq!(ProtoVariant::default(), ProtoVariant::Baseline);
+        assert_eq!(format!("{}", ProtoVariant::CriticalityAware), "crit");
+    }
+
+    #[test]
+    fn stable_encode_sees_variant_and_pattern_only_when_hostile() {
+        use commsense_mesh::TrafficPattern;
+        let base = MachineConfig::alewife();
+        let h = cfg_hash(&base);
+        // An explicit baseline variant is the default: same key.
+        let mut c = base.clone();
+        c.variant = ProtoVariant::Baseline;
+        assert_eq!(cfg_hash(&c), h);
+        // Criticality-aware is a different machine: different key.
+        let mut c = base.clone();
+        c.variant = ProtoVariant::CriticalityAware;
+        assert_ne!(cfg_hash(&c), h);
+        // A uniform-pattern cross-traffic config keys exactly as before the
+        // pattern fields existed (the fields are skipped when uniform)...
+        let ct = CrossTrafficConfig::consuming(8.0, base.clock(), 64, 4);
+        let mut uniform = base.clone();
+        uniform.cross_traffic = Some(ct.clone());
+        let hu = cfg_hash(&uniform);
+        assert_ne!(hu, h);
+        let mut explicit = base.clone();
+        explicit.cross_traffic = Some(ct.clone().with_pattern(TrafficPattern::Uniform, 32, 7));
+        assert_eq!(cfg_hash(&explicit), hu);
+        // ...while each hostile pattern (and its parameters) changes it.
+        let hot = |frac| {
+            let mut c = base.clone();
+            c.cross_traffic = Some(ct.clone().with_pattern(
+                TrafficPattern::Hotspot {
+                    node: 0,
+                    fraction: frac,
+                },
+                32,
+                7,
+            ));
+            cfg_hash(&c)
+        };
+        assert_ne!(hot(0.5), hu);
+        assert_ne!(hot(0.5), hot(0.25));
+        let mut c = base.clone();
+        c.cross_traffic = Some(ct.clone().with_pattern(
+            TrafficPattern::Bursty { on: 2, off: 6 },
+            32,
+            7,
+        ));
+        assert_ne!(cfg_hash(&c), hu);
+        let mut c = base.clone();
+        c.cross_traffic = Some(ct.with_pattern(TrafficPattern::Incast { targets: 4 }, 32, 7));
+        assert_ne!(cfg_hash(&c), hu);
     }
 }

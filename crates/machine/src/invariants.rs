@@ -27,7 +27,7 @@
 //! binaries turn into machine-readable failure summaries.
 
 use commsense_cache::{LineId, Protocol};
-use commsense_mesh::{Endpoint, PacketRecord, NO_RECORD};
+use commsense_mesh::{Endpoint, PacketClass, PacketRecord, NO_RECORD};
 
 use crate::config::CheckConfig;
 
@@ -131,7 +131,10 @@ impl Checker {
         let tracked_consumed = self.consumed - self.untracked_consumed;
         let mut recorded_delivered = 0u64;
         for (id, r) in records.iter().enumerate() {
-            if !matches!(r.dst, Endpoint::Node(_)) {
+            // Cross-traffic is outside conservation even when a hostile
+            // pattern aims it at a compute node: the machine absorbs it at
+            // the ejection port without consuming it.
+            if !matches!(r.dst, Endpoint::Node(_)) || r.class == PacketClass::CrossTraffic {
                 continue;
             }
             let machine_saw = self.delivered.get(id).copied().unwrap_or(false);

@@ -49,7 +49,8 @@ pub mod stats;
 pub mod trace;
 
 pub use config::{
-    CheckConfig, CostModel, LatencyEmulation, MachineConfig, Mechanism, ObserveConfig, ReceiveMode,
+    CheckConfig, CostModel, LatencyEmulation, MachineConfig, Mechanism, ObserveConfig,
+    ProtoVariant, ReceiveMode,
 };
 pub use critpath::{analyze, CritPath, Stage};
 pub use invariants::{INVARIANT_MARKER, ORACLE_MARKER};

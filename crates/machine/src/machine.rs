@@ -6,10 +6,12 @@ use commsense_cache::{
     AccessKind, AccessOutcome, Heap, LineId, MsgClass, ProtoMsg, ProtoOut, Protocol, TxnToken, Word,
 };
 use commsense_des::{Clock, EventQueue, Time};
-use commsense_mesh::{CrossTraffic, Endpoint, NetEvent, Network, Packet, PacketClass, NO_RECORD};
+use commsense_mesh::{
+    CrossTraffic, Endpoint, NetEvent, Network, Packet, PacketClass, Priority, NO_RECORD,
+};
 use commsense_msgpass::{ActiveMessage, BarrierTree, HandlerId, RemoteQueue};
 
-use crate::config::{BarrierStyle, MachineConfig, ReceiveMode};
+use crate::config::{BarrierStyle, MachineConfig, ProtoVariant, ReceiveMode};
 use crate::invariants::{Checker, INVARIANT_MARKER, ORACLE_MARKER};
 use crate::metrics::{MetricsSeries, Observation, RunState};
 use crate::oracle::{OracleLog, OracleOp};
@@ -381,6 +383,10 @@ struct BarrierCtl {
 #[derive(Debug, Clone, Copy)]
 struct PEnv {
     from: u32,
+    /// Network priority the message travelled (or would travel) at; protocol
+    /// messages emitted while handling this one inherit it, so criticality
+    /// propagates through forwarded invalidations, acks, and grants.
+    pri: Priority,
     msg: ProtoMsg,
 }
 
@@ -542,6 +548,20 @@ pub struct Machine {
     outs_pool: Vec<Vec<ProtoOut>>,
     barrier: BarrierCtl,
     cross: Option<CrossTraffic>,
+    /// Scratch buffer for cross-traffic tick packet batches (reused so the
+    /// stateful generators allocate nothing per tick).
+    cross_buf: Vec<Packet>,
+    /// Criticality of the transaction currently being advanced: set when a
+    /// processor issues an access ([`Machine::try_access`]) and when a
+    /// controller picks up a message ([`Machine::ev_proto`]), read by
+    /// [`Machine::dispatch_proto`] under the criticality-aware variant.
+    /// Dead state (always `Low`) under the baseline variant.
+    cur_pri: Priority,
+    /// Armed priority-inversion fault: the next high-priority invalidation
+    /// acknowledgement delivered over the network bypasses the checker's
+    /// consumption accounting (see
+    /// [`Machine::fault_smuggle_next_priority_ack`]).
+    fault_smuggle_ack: bool,
     finished: usize,
     events: u64,
     messages_sent: u64,
@@ -680,6 +700,9 @@ impl Machine {
                 mp_counts: vec![[0, 0]; n],
             },
             cross,
+            cross_buf: Vec::new(),
+            cur_pri: Priority::Low,
+            fault_smuggle_ack: false,
             finished: 0,
             events: 0,
             messages_sent: 0,
@@ -1087,6 +1110,8 @@ impl Machine {
                 (h + nh, m + nm)
             }),
             miss_latency: self.miss_latency,
+            priority_bypasses: self.net.stats().priority_bypasses,
+            low_bypassed: self.net.stats().low_bypassed,
         }
     }
 
@@ -1163,9 +1188,11 @@ impl Machine {
             self.queue.schedule(t, Ev::proto(at, slot));
             return;
         }
-        let PEnv { from, msg } = self.penvs[slot as usize];
+        let PEnv { from, pri, msg } = self.penvs[slot as usize];
         self.free_penvs.push(slot);
         let from = from as usize;
+        // Messages sent while this one is handled inherit its criticality.
+        self.cur_pri = pri;
         let occ = self.proto_msg_occupancy(at, from, &msg);
         let line = msg.line();
         let mut outs = self.take_outs();
@@ -1179,12 +1206,15 @@ impl Machine {
         // Move the injector out for the duration of the tick so its
         // packet stream can be drained while `self` is mutably borrowed
         // (no per-tick clone).
-        let Some(cross) = self.cross.take() else {
+        let Some(mut cross) = self.cross.take() else {
             return;
         };
-        for pkt in cross.tick_packets() {
+        let mut buf = std::mem::take(&mut self.cross_buf);
+        cross.tick_packets_into(&mut buf);
+        for pkt in buf.drain(..) {
             self.inject(pkt, self.now);
         }
+        self.cross_buf = buf;
         if self.finished < self.cfg.nodes {
             if let Some(iv) = cross.interval() {
                 self.queue.schedule(self.now + iv, Ev::CROSS_TICK);
@@ -1272,15 +1302,21 @@ impl Machine {
     }
 
     fn dispatch_proto(&mut self, from: usize, to: usize, msg: ProtoMsg, t: Time) {
+        // The baseline variant sends everything low: the network's priority
+        // channel degenerates to the original single FIFO bit-identically.
+        let pri = match self.cfg.variant {
+            ProtoVariant::Baseline => Priority::Low,
+            ProtoVariant::CriticalityAware => self.cur_pri,
+        };
         if self.cfg.latency_emulation.is_some() {
             let at = t + self.cycles(self.cfg.costs.emu_ideal_msg);
-            let slot = self.push_penv(from, msg);
+            let slot = self.push_penv(from, pri, msg);
             self.queue.schedule(at, Ev::proto(to, slot));
             return;
         }
         if from == to {
             let at = t + self.cycles(self.cfg.costs.local_msg);
-            let slot = self.push_penv(from, msg);
+            let slot = self.push_penv(from, pri, msg);
             self.queue.schedule(at, Ev::proto(to, slot));
             return;
         }
@@ -1292,21 +1328,23 @@ impl Machine {
         // The packet tag *is* the penv slot: the payload is written to
         // the arena once here and read once at the destination
         // controller — nothing is copied through the network layer.
-        let slot = self.push_penv(from, msg);
+        let slot = self.push_penv(from, pri, msg);
         let pkt = Packet::protocol(
             Endpoint::node(from),
             Endpoint::node(to),
             msg.bytes(),
             class,
             slot as u64,
-        );
+        )
+        .with_priority(pri);
         self.net_live += 1;
         self.inject(pkt, t);
     }
 
-    fn push_penv(&mut self, from: usize, msg: ProtoMsg) -> u32 {
+    fn push_penv(&mut self, from: usize, pri: Priority, msg: ProtoMsg) -> u32 {
         let env = PEnv {
             from: from as u32,
+            pri,
             msg,
         };
         match self.free_penvs.pop() {
@@ -1336,9 +1374,11 @@ impl Machine {
 
     fn inject(&mut self, pkt: Packet, t: Time) {
         // Conservation accounting covers machine traffic only: packets
-        // destined for a compute node (cross-traffic is absorbed at the
-        // mesh edge and never consumed by the machine layer).
-        let node_dst = matches!(pkt.dst, Endpoint::Node(_));
+        // destined for a compute node (cross-traffic — whether absorbed at
+        // the mesh edge or aimed at a compute node by a hostile pattern —
+        // is never consumed by the machine layer).
+        let node_dst =
+            matches!(pkt.dst, Endpoint::Node(_)) && pkt.class != PacketClass::CrossTraffic;
         let queue = &mut self.queue;
         self.net
             .inject(t, pkt, &mut |t2, e| queue.schedule(t2, Ev::net(e)));
@@ -1351,10 +1391,25 @@ impl Machine {
     }
 
     fn deliver(&mut self, pkt: Packet, rec: u32) {
+        if pkt.class == PacketClass::CrossTraffic {
+            // Hostile background traffic addressed at a compute node: it
+            // loaded the victim's links and ejection port (that is its
+            // job), but carries no machine payload — absorbed here.
+            return;
+        }
         let Endpoint::Node(dst) = pkt.dst else { return };
         let dst = dst as usize;
         self.net_live -= 1;
-        if let Some(ch) = self.checker.as_mut() {
+        let smuggled = self.fault_smuggle_ack
+            && pkt.priority == Priority::High
+            && pkt.tag & TAG_AM == 0
+            && self.penvs[pkt.tag as usize].msg.is_invalidation_ack();
+        if smuggled {
+            // Armed fault: the ack slips past the tracked consumption path
+            // (the protocol still processes it, so the run completes); the
+            // checker's end-of-run conservation must flag the discrepancy.
+            self.fault_smuggle_ack = false;
+        } else if let Some(ch) = self.checker.as_mut() {
             ch.on_deliver(rec);
         }
         if pkt.tag & TAG_AM == 0 {
@@ -1469,6 +1524,15 @@ impl Machine {
         self.messages_sent += 1;
         let bytes = am.wire_bytes();
         let dst = am.dst;
+        // Criticality-aware: system messages (barrier arrivals/releases)
+        // ride the priority channel — everything stalls until they land.
+        // User-level sends stay low: promoting all of them would promote
+        // the entire message-passing workload and prioritize nothing.
+        let pri = if self.cfg.variant == ProtoVariant::CriticalityAware && am.handler.is_system() {
+            Priority::High
+        } else {
+            Priority::Low
+        };
         let slot = self.push_am(am);
         let pkt = Packet::protocol(
             Endpoint::node(from),
@@ -1476,7 +1540,8 @@ impl Machine {
             bytes,
             PacketClass::Data,
             slot as u64 | TAG_AM,
-        );
+        )
+        .with_priority(pri);
         self.net_live += 1;
         // Inject first so the trace event can carry the packet's record id
         // (assigned at injection); the event time is unchanged.
@@ -1609,6 +1674,19 @@ impl Machine {
         self.proto.fault_ignore_next_invalidation();
     }
 
+    /// Test hook: the next high-priority invalidation acknowledgement
+    /// delivered over the network bypasses the checker's consumption
+    /// accounting — a priority-inversion bug where the fast channel
+    /// smuggles a message past the tracked queue. The protocol still
+    /// processes the ack (the run completes normally); the
+    /// message-conservation final check must then fail loudly. Only
+    /// meaningful under [`ProtoVariant::CriticalityAware`] — the baseline
+    /// variant sends no high-priority packets, so the fault stays dormant.
+    #[doc(hidden)]
+    pub fn fault_smuggle_next_priority_ack(&mut self) {
+        self.fault_smuggle_ack = true;
+    }
+
     fn hit_cost(&self, op: MemOp) -> u64 {
         match op {
             MemOp::Rmw { .. } => self.cfg.costs.rmw_hit,
@@ -1620,6 +1698,14 @@ impl Machine {
     /// completed inline (value already applied), `None` if the node must
     /// block for a transaction.
     fn try_access(&mut self, node: usize, op: MemOp, purpose: Purpose, t: Time) -> Option<u64> {
+        // Criticality at the source: a demand miss (or a barrier access —
+        // every participant waits on it) stalls the processor, so its
+        // request chain is critical; prefetches and posted stores overlap
+        // computation and ride the low channel.
+        self.cur_pri = match purpose {
+            Purpose::Demand { .. } | Purpose::Bar { .. } => Priority::High,
+            Purpose::Prefetch { .. } | Purpose::Posted { .. } => Priority::Low,
+        };
         let line = op.line();
         if let Some(entry) = self.outstanding.get(node, line.0) {
             match entry.kind {

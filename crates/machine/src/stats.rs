@@ -174,6 +174,12 @@ pub struct RunStats {
     pub cache_hit_miss: (u64, u64),
     /// Histogram of remote demand-miss latencies.
     pub miss_latency: LatencyHistogram,
+    /// High-priority packets that bypassed queued low-priority traffic at
+    /// a link (zero unless the criticality-aware variant sent any
+    /// high-priority packets into a contended mesh).
+    pub priority_bypasses: u64,
+    /// Low-priority packets overtaken by at least one bypass.
+    pub low_bypassed: u64,
 }
 
 impl RunStats {

@@ -1,8 +1,67 @@
-//! Cross-traffic generation for the bisection-bandwidth emulation (§5.2).
+//! Cross-traffic generation for the bisection-bandwidth emulation (§5.2)
+//! and the adversarial traffic patterns layered on top of it.
 
-use commsense_des::Time;
+use commsense_des::{Rng, Time};
 
 use crate::packet::{Endpoint, Packet};
+
+/// Spatial/temporal shape of the background cross-traffic.
+///
+/// [`TrafficPattern::Uniform`] is the paper's §5.2 bisection emulation:
+/// fixed-rate streams crossing the cut in both directions. The hostile
+/// patterns reuse the same aggregate injection rate (the generators conserve
+/// the configured rate to within one message over any long window) but
+/// reshape where and when it lands:
+///
+/// * `Hotspot` redirects a fraction of the stream slots at one victim
+///   compute node, loading its ejection port and the links around it.
+/// * `Bursty` gates the uniform streams through a deterministic on/off duty
+///   cycle; the off-phase backlog drains at burst start, so the average
+///   rate is conserved exactly and the duty cycle tiles time with no drift.
+/// * `Incast` aims every message at a small set of victim nodes from
+///   pseudo-random sources — the many-to-few collapse pattern.
+///
+/// All generators are deterministic functions of the config (including
+/// `seed`), so replay is bit-exact.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum TrafficPattern {
+    /// The §5.2 bisection streams (the default; byte-identical to the
+    /// pre-pattern generator).
+    #[default]
+    Uniform,
+    /// Redirect `fraction` of the traffic at compute node `node`.
+    Hotspot {
+        /// Victim compute node.
+        node: u16,
+        /// Fraction of message slots redirected (0.0..=1.0), honored
+        /// exactly via an error-diffusion accumulator.
+        fraction: f64,
+    },
+    /// Deterministic on/off duty cycle over the uniform streams.
+    Bursty {
+        /// Ticks per period spent bursting.
+        on: u32,
+        /// Ticks per period spent silent.
+        off: u32,
+    },
+    /// Every message targets one of the first `targets` compute nodes.
+    Incast {
+        /// Number of victim nodes (node ids `0..targets`).
+        targets: u16,
+    },
+}
+
+impl TrafficPattern {
+    /// Short label used in sweep tables and CSV columns.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficPattern::Uniform => "uniform",
+            TrafficPattern::Hotspot { .. } => "hotspot",
+            TrafficPattern::Bursty { .. } => "bursty",
+            TrafficPattern::Incast { .. } => "incast",
+        }
+    }
+}
 
 /// Configuration of the background cross-traffic streams.
 ///
@@ -23,6 +82,16 @@ pub struct CrossTrafficConfig {
     /// Number of stream pairs (each contributes one stream per direction);
     /// the topology's `io_streams` — mesh rows on the Alewife machine.
     pub streams: u16,
+    /// Spatial/temporal traffic shape (defaults to the uniform §5.2
+    /// streams).
+    pub pattern: TrafficPattern,
+    /// Compute-node count, needed by the hostile patterns to pick sources
+    /// and victims (ignored — and canonically not encoded — under
+    /// [`TrafficPattern::Uniform`]).
+    pub nodes: u16,
+    /// Seed for the deterministic source-picking RNG of the hostile
+    /// patterns (ignored under [`TrafficPattern::Uniform`]).
+    pub seed: u64,
 }
 
 impl CrossTrafficConfig {
@@ -39,7 +108,20 @@ impl CrossTrafficConfig {
             message_bytes,
             bytes_per_ns,
             streams,
+            pattern: TrafficPattern::Uniform,
+            nodes: 0,
+            seed: 0,
         }
+    }
+
+    /// Reshapes the config into a hostile traffic pattern at the same
+    /// aggregate rate. `nodes` is the machine's compute-node count and
+    /// `seed` drives the deterministic source-picking RNG.
+    pub fn with_pattern(mut self, pattern: TrafficPattern, nodes: u16, seed: u64) -> Self {
+        self.pattern = pattern;
+        self.nodes = nodes;
+        self.seed = seed;
+        self
     }
 
     /// Per-stream injection interval. There are `2 * streams` streams.
@@ -56,11 +138,38 @@ impl CrossTrafficConfig {
     }
 
     /// Canonical field encoding for content-addressed result caching (see
-    /// `commsense_des::stable`).
+    /// `commsense_des::stable`). The pattern fields are encoded only when a
+    /// non-uniform pattern is configured, so every pre-existing uniform
+    /// config keeps its store key.
     pub fn stable_encode(&self, enc: &mut commsense_des::StableEncoder, prefix: &str) {
         enc.put(&format!("{prefix}.message_bytes"), self.message_bytes);
         enc.put_f64(&format!("{prefix}.bytes_per_ns"), self.bytes_per_ns);
         enc.put(&format!("{prefix}.streams"), self.streams);
+        match self.pattern {
+            TrafficPattern::Uniform => {}
+            TrafficPattern::Hotspot { node, fraction } => {
+                enc.put(&format!("{prefix}.pattern"), "hotspot");
+                enc.put(&format!("{prefix}.hotspot_node"), node);
+                enc.put_f64(&format!("{prefix}.hotspot_fraction"), fraction);
+                self.encode_pattern_common(enc, prefix);
+            }
+            TrafficPattern::Bursty { on, off } => {
+                enc.put(&format!("{prefix}.pattern"), "bursty");
+                enc.put(&format!("{prefix}.bursty_on"), on);
+                enc.put(&format!("{prefix}.bursty_off"), off);
+                self.encode_pattern_common(enc, prefix);
+            }
+            TrafficPattern::Incast { targets } => {
+                enc.put(&format!("{prefix}.pattern"), "incast");
+                enc.put(&format!("{prefix}.incast_targets"), targets);
+                self.encode_pattern_common(enc, prefix);
+            }
+        }
+    }
+
+    fn encode_pattern_common(&self, enc: &mut commsense_des::StableEncoder, prefix: &str) {
+        enc.put(&format!("{prefix}.nodes"), self.nodes);
+        enc.put(&format!("{prefix}.seed"), self.seed);
     }
 }
 
@@ -85,12 +194,65 @@ impl CrossTrafficConfig {
 #[derive(Debug, Clone)]
 pub struct CrossTraffic {
     cfg: CrossTrafficConfig,
+    /// Tick counter (drives the bursty phase).
+    tick: u64,
+    /// Bursty backlog, in whole messages owed but not yet emitted.
+    owed: u64,
+    /// Hotspot error-diffusion accumulator: `fraction` accrues per slot and
+    /// a slot is redirected exactly when it reaches 1.0.
+    hot_acc: f64,
+    /// Round-robin cursor over the `2 * streams` uniform slots (bursty
+    /// drain order) and over incast victims.
+    cursor: u64,
+    /// Deterministic source picker for the hostile patterns.
+    rng: Rng,
 }
 
 impl CrossTraffic {
     /// Creates an injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hostile pattern is configured with an inconsistent node
+    /// count (hotspot victim out of range, or incast with no non-victim
+    /// source nodes).
     pub fn new(cfg: CrossTrafficConfig) -> Self {
-        CrossTraffic { cfg }
+        match cfg.pattern {
+            TrafficPattern::Uniform => {}
+            TrafficPattern::Hotspot { node, fraction } => {
+                assert!(
+                    node < cfg.nodes,
+                    "hotspot node {node} out of range (nodes {})",
+                    cfg.nodes
+                );
+                assert!(cfg.nodes >= 2, "hotspot needs at least 2 nodes");
+                assert!(
+                    (0.0..=1.0).contains(&fraction),
+                    "hotspot fraction {fraction} outside 0..=1"
+                );
+            }
+            TrafficPattern::Bursty { on, off } => {
+                assert!(on > 0, "bursty duty cycle needs on > 0");
+                let _ = off;
+            }
+            TrafficPattern::Incast { targets } => {
+                assert!(targets > 0, "incast needs at least one target");
+                assert!(
+                    targets < cfg.nodes,
+                    "incast targets {targets} leave no source nodes (nodes {})",
+                    cfg.nodes
+                );
+            }
+        }
+        let rng = Rng::new(cfg.seed ^ 0xC805_5E77_7261_FF1C);
+        CrossTraffic {
+            cfg,
+            tick: 0,
+            owed: 0,
+            hot_acc: 0.0,
+            cursor: 0,
+            rng,
+        }
     }
 
     /// The configuration.
@@ -103,7 +265,10 @@ impl CrossTraffic {
         self.cfg.interval()
     }
 
-    /// The packets to inject at each tick: one per stream.
+    /// The uniform packets injected at each tick: one per stream, west→east
+    /// then east→west per stream pair. This is the pattern-free §5.2
+    /// generator; the pattern-aware entry point is
+    /// [`CrossTraffic::tick_packets_into`].
     pub fn tick_packets(&self) -> impl Iterator<Item = Packet> + '_ {
         let bytes = self.cfg.message_bytes;
         (0..self.cfg.streams).flat_map(move |s| {
@@ -114,7 +279,97 @@ impl CrossTraffic {
         })
     }
 
-    /// Bytes injected per tick across all streams.
+    /// The uniform packet of slot index `slot` (of `2 * streams` per tick):
+    /// stream `slot / 2`, west→east for even slots.
+    fn uniform_slot(&self, slot: u64) -> Packet {
+        let bytes = self.cfg.message_bytes;
+        let s = (slot / 2) as u16;
+        if slot.is_multiple_of(2) {
+            Packet::cross_traffic(Endpoint::IoWest(s), Endpoint::IoEast(s), bytes)
+        } else {
+            Packet::cross_traffic(Endpoint::IoEast(s), Endpoint::IoWest(s), bytes)
+        }
+    }
+
+    /// A deterministic pseudo-random source node, excluding `not` when
+    /// `not < nodes` (so a victim never sends to itself).
+    fn pick_source(&mut self, lo: u16, not: u16) -> u16 {
+        let nodes = self.cfg.nodes;
+        debug_assert!(lo < nodes);
+        if not >= lo && not < nodes {
+            let span = (nodes - lo - 1) as usize;
+            let mut src = lo + self.rng.index(span.max(1)) as u16;
+            if src >= not {
+                src += 1;
+            }
+            src
+        } else {
+            lo + self.rng.index((nodes - lo) as usize) as u16
+        }
+    }
+
+    /// Appends this tick's packets to `out` and advances the generator
+    /// state. Under [`TrafficPattern::Uniform`] the emitted sequence is
+    /// byte-identical to [`CrossTraffic::tick_packets`]; the hostile
+    /// patterns conserve the same aggregate rate (exactly per tick for
+    /// hotspot/incast, exactly per duty period for bursty).
+    pub fn tick_packets_into(&mut self, out: &mut Vec<Packet>) {
+        let slots = 2 * self.cfg.streams as u64;
+        match self.cfg.pattern {
+            TrafficPattern::Uniform => {
+                for slot in 0..slots {
+                    out.push(self.uniform_slot(slot));
+                }
+            }
+            TrafficPattern::Hotspot { node, fraction } => {
+                let bytes = self.cfg.message_bytes;
+                for slot in 0..slots {
+                    self.hot_acc += fraction;
+                    if self.hot_acc >= 1.0 {
+                        self.hot_acc -= 1.0;
+                        let src = self.pick_source(0, node);
+                        out.push(Packet::cross_traffic(
+                            Endpoint::Node(src),
+                            Endpoint::Node(node),
+                            bytes,
+                        ));
+                    } else {
+                        out.push(self.uniform_slot(slot));
+                    }
+                }
+            }
+            TrafficPattern::Bursty { on, off } => {
+                let period = on as u64 + off as u64;
+                let phase = self.tick % period;
+                self.owed += slots;
+                if phase < on as u64 {
+                    while self.owed > 0 {
+                        let pkt = self.uniform_slot(self.cursor % slots);
+                        self.cursor += 1;
+                        self.owed -= 1;
+                        out.push(pkt);
+                    }
+                }
+            }
+            TrafficPattern::Incast { targets } => {
+                let bytes = self.cfg.message_bytes;
+                for _ in 0..slots {
+                    let dst = (self.cursor % targets as u64) as u16;
+                    self.cursor += 1;
+                    let src = self.pick_source(targets, dst);
+                    out.push(Packet::cross_traffic(
+                        Endpoint::Node(src),
+                        Endpoint::Node(dst),
+                        bytes,
+                    ));
+                }
+            }
+        }
+        self.tick += 1;
+    }
+
+    /// Bytes injected per tick across all streams (the long-run average for
+    /// bursty traffic).
     pub fn bytes_per_tick(&self) -> u64 {
         2 * self.cfg.streams as u64 * self.cfg.message_bytes as u64
     }

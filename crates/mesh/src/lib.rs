@@ -60,9 +60,9 @@ mod recorder;
 mod stats;
 mod topology;
 
-pub use crosstraffic::{CrossTraffic, CrossTrafficConfig};
+pub use crosstraffic::{CrossTraffic, CrossTrafficConfig, TrafficPattern};
 pub use network::{Delivery, NetConfig, NetEvent, Network};
-pub use packet::{Endpoint, Packet, PacketClass};
+pub use packet::{Endpoint, Packet, PacketClass, Priority};
 pub use recorder::{HopRecord, NetRecording, PacketRecord, NO_RECORD};
 pub use stats::{NetStats, VolumeBreakdown};
 pub use topology::{

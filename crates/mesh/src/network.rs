@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 
 use commsense_des::Time;
 
-use crate::packet::{Endpoint, Packet};
+use crate::packet::{Endpoint, Packet, Priority};
 use crate::recorder::{NetRecorder, NetRecording, NO_RECORD};
 use crate::stats::NetStats;
 use crate::topology::{Topo, TopoSpec};
@@ -122,10 +122,20 @@ struct InFlight {
     rec: u32,
 }
 
+/// Per-link state with a 2-class priority virtual channel.
+///
+/// Waiters are kept in two FIFOs by [`Priority`]; when the link frees, the
+/// high-priority queue is served first (non-preemptively — a packet already
+/// serializing always finishes). With no high-priority traffic this is
+/// exactly the original single FIFO, so the baseline protocol variant is
+/// byte-identical to the pre-variant network.
 #[derive(Debug, Default)]
 struct LinkState {
     busy_until: Time,
+    /// Low-priority waiters (every packet under the baseline variant).
     waiters: VecDeque<u32>,
+    /// High-priority waiters, served before `waiters`.
+    hi_waiters: VecDeque<u32>,
 }
 
 /// The interconnect network simulator.
@@ -149,6 +159,9 @@ pub struct Network {
     crosses: Box<[bool]>,
     inject_free: Vec<Time>,
     eject_free: Vec<Time>,
+    /// Per-link starvation counters: how many queued low-priority packets
+    /// were bypassed by a high-priority packet on each link.
+    starved: Vec<u64>,
     stats: NetStats,
     /// Optional packet-lifecycle recorder (boxed: the common case is off,
     /// and the network struct stays small). Pure bookkeeping — never
@@ -164,9 +177,8 @@ impl Network {
             .map(|_| LinkState::default())
             .collect();
         let n = topo.num_nodes();
-        let crosses = (0..topo.num_links())
-            .map(|l| topo.crosses_bisection(l))
-            .collect();
+        let num_links = topo.num_links();
+        let crosses = (0..num_links).map(|l| topo.crosses_bisection(l)).collect();
         Network {
             cfg,
             topo,
@@ -177,6 +189,7 @@ impl Network {
             crosses,
             inject_free: vec![Time::ZERO; n],
             eject_free: vec![Time::ZERO; n],
+            starved: vec![0; num_links],
             stats: NetStats::new(),
             recorder: None,
         }
@@ -216,9 +229,17 @@ impl Network {
         self.links.len()
     }
 
-    /// Packets currently queued waiting for link `id`.
+    /// Packets currently queued waiting for link `id` (both priority
+    /// classes).
     pub fn link_queue_len(&self, id: usize) -> usize {
-        self.links[id].waiters.len()
+        self.links[id].waiters.len() + self.links[id].hi_waiters.len()
+    }
+
+    /// How many queued low-priority packets have been bypassed by
+    /// high-priority packets on link `id` so far (the per-link starvation
+    /// counter of the priority virtual channel).
+    pub fn link_starvation(&self, id: usize) -> u64 {
+        self.starved[id]
     }
 
     /// Cumulative serialization time on link `id` so far (requires
@@ -341,7 +362,22 @@ impl Network {
             }
             NetEvent::LinkFree { link } => {
                 let link = link as usize;
-                if let Some(pkt) = self.links[link].waiters.pop_front() {
+                let state = &mut self.links[link];
+                let next = match state.hi_waiters.pop_front() {
+                    Some(pkt) => {
+                        // A high-priority packet jumps every queued
+                        // low-priority packet: count the bypasses.
+                        let bypassed = state.waiters.len() as u64;
+                        if bypassed > 0 {
+                            self.starved[link] += bypassed;
+                            self.stats.priority_bypasses += 1;
+                            self.stats.low_bypassed += bypassed;
+                        }
+                        Some(pkt)
+                    }
+                    None => state.waiters.pop_front(),
+                };
+                if let Some(pkt) = next {
                     let flight = self.flights[pkt as usize].as_ref().expect("waiter exists");
                     let waited = now.saturating_sub(flight.head_ready_at);
                     self.stats.link_wait_sum += waited;
@@ -362,7 +398,10 @@ impl Network {
         );
         let link = flight.route[flight.hop as usize] as usize;
         if self.links[link].busy_until > now {
-            self.links[link].waiters.push_back(pkt);
+            match flight.packet.priority {
+                Priority::High => self.links[link].hi_waiters.push_back(pkt),
+                Priority::Low => self.links[link].waiters.push_back(pkt),
+            }
         } else {
             self.start_hop(now, pkt, sched);
         }

@@ -66,6 +66,26 @@ impl PacketClass {
     ];
 }
 
+/// Virtual-channel priority class of a packet.
+///
+/// The criticality-aware protocol variant tags demand-path traffic
+/// [`Priority::High`]; everything else (prefetches, posted writes,
+/// cross-traffic) rides [`Priority::Low`]. At each link the network serves
+/// queued high-priority packets before queued low-priority ones
+/// (non-preemptively: a packet already on the wire always finishes), so a
+/// high-priority packet waits behind at most the single packet in service —
+/// the `vc_depth = 1` bound the property tests pin. Under the baseline
+/// variant every packet is `Low` and the discipline degenerates to the
+/// original single FIFO, byte-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Background / latency-tolerant traffic (the default).
+    #[default]
+    Low,
+    /// Demand-critical traffic: bypasses queued low-priority packets.
+    High,
+}
+
 /// A packet in flight through the mesh.
 ///
 /// `header_bytes` + `payload_bytes` is the wire size used for link
@@ -88,6 +108,8 @@ pub struct Packet {
     /// Opaque correlation tag for the machine layer (e.g. a protocol
     /// transaction id or message id).
     pub tag: u64,
+    /// Virtual-channel priority class (defaults to [`Priority::Low`]).
+    pub priority: Priority,
 }
 
 impl Packet {
@@ -112,6 +134,7 @@ impl Packet {
             payload_bytes: total_bytes - 8,
             class,
             tag,
+            priority: Priority::Low,
         }
     }
 
@@ -124,7 +147,14 @@ impl Packet {
             payload_bytes: total_bytes.saturating_sub(8),
             class: PacketClass::CrossTraffic,
             tag: 0,
+            priority: Priority::Low,
         }
+    }
+
+    /// Returns the packet re-tagged with the given virtual-channel priority.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
     }
 
     /// Total bytes on the wire.

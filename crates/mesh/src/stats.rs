@@ -71,6 +71,13 @@ pub struct NetStats {
     pub latency_max: Time,
     /// Total time packets spent queued waiting for busy links.
     pub link_wait_sum: Time,
+    /// Times a high-priority packet was served ahead of at least one queued
+    /// low-priority packet (priority virtual channel; always 0 under the
+    /// baseline variant).
+    pub priority_bypasses: u64,
+    /// Total queued low-priority packets bypassed across all those events
+    /// (the sum of the per-link starvation counters).
+    pub low_bypassed: u64,
 }
 
 impl NetStats {

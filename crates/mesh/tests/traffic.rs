@@ -1,0 +1,322 @@
+//! Property tests for the hostile cross-traffic generators and the
+//! 2-class priority virtual channel.
+//!
+//! The generators must be deterministic replay-exact functions of their
+//! config (the litmus fuzzer and the result store both depend on it), must
+//! conserve the configured aggregate injection rate, and must honor their
+//! pattern parameters exactly — the hotspot fraction via error diffusion,
+//! the bursty duty cycle with a drift-free backlog. The priority channel
+//! must never let a high-priority packet queue behind low-priority traffic
+//! that arrived at a link after it.
+
+use commsense_des::{Clock, EventQueue, Time};
+use commsense_mesh::{
+    CrossTraffic, CrossTrafficConfig, Endpoint, NetConfig, NetEvent, Network, Packet, PacketClass,
+    Priority, TrafficPattern,
+};
+use proptest::prelude::*;
+
+/// A 32-node hostile config at the paper's 8 bytes/cycle consumption.
+fn cfg_with(pattern: TrafficPattern, seed: u64) -> CrossTrafficConfig {
+    CrossTrafficConfig::consuming(8.0, Clock::from_mhz(20.0), 64, 4).with_pattern(pattern, 32, seed)
+}
+
+/// Runs `ticks` generator ticks, returning each tick's packet batch.
+fn emit(ct: &mut CrossTraffic, ticks: usize) -> Vec<Vec<Packet>> {
+    (0..ticks)
+        .map(|_| {
+            let mut out = Vec::new();
+            ct.tick_packets_into(&mut out);
+            out
+        })
+        .collect()
+}
+
+/// Drives a network to quiescence, returning delivered `(arrival, tag)`.
+fn drain(net: &mut Network, mut q: EventQueue<NetEvent>) -> Vec<(Time, u64)> {
+    let mut out = Vec::new();
+    while let Some((t, ev)) = q.pop() {
+        let mut sched = Vec::new();
+        if let Some(d) = net.handle(t, ev, &mut |t2, e2| sched.push((t2, e2))) {
+            out.push((t, d.packet.tag));
+        }
+        for (t2, e2) in sched {
+            q.schedule(t2, e2);
+        }
+    }
+    out
+}
+
+const PATTERNS: [TrafficPattern; 4] = [
+    TrafficPattern::Uniform,
+    TrafficPattern::Hotspot {
+        node: 3,
+        fraction: 0.37,
+    },
+    TrafficPattern::Bursty { on: 3, off: 5 },
+    TrafficPattern::Incast { targets: 4 },
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every pattern replays bit-exactly from its config: same seed, same
+    /// packet sequence, tick for tick.
+    #[test]
+    fn generators_replay_deterministically(seed in 0u64..1_000, ticks in 1usize..64) {
+        for pattern in PATTERNS {
+            let mut a = CrossTraffic::new(cfg_with(pattern, seed));
+            let mut b = CrossTraffic::new(cfg_with(pattern, seed));
+            prop_assert_eq!(emit(&mut a, ticks), emit(&mut b, ticks));
+        }
+    }
+
+    /// Hotspot and incast emit exactly the uniform slot count every tick;
+    /// bursty conserves it exactly at every duty-period boundary and never
+    /// accumulates more backlog than one off-phase (no drift).
+    #[test]
+    fn injection_rate_is_conserved(seed in 0u64..1_000, periods in 1usize..12) {
+        let slots = 2 * 4usize; // 4 stream pairs
+        for pattern in PATTERNS {
+            let mut ct = CrossTraffic::new(cfg_with(pattern, seed));
+            match pattern {
+                TrafficPattern::Bursty { on, off } => {
+                    let period = (on + off) as usize;
+                    let batches = emit(&mut ct, periods * period);
+                    let mut cum = 0usize;
+                    for (t, batch) in batches.iter().enumerate() {
+                        cum += batch.len();
+                        // Backlog never exceeds one off-phase worth, and
+                        // the generator never runs ahead of the rate.
+                        prop_assert!(cum <= (t + 1) * slots);
+                        prop_assert!(cum + off as usize * slots >= (t + 1) * slots);
+                        if t % period == on as usize - 1 {
+                            // End of each burst: the whole backlog (this
+                            // period's off-phase debt) has drained — the
+                            // average rate is conserved exactly, no drift.
+                            prop_assert_eq!(cum, (t + 1) * slots, "drift at end of burst");
+                        }
+                    }
+                }
+                _ => {
+                    for batch in emit(&mut ct, periods * 8) {
+                        prop_assert_eq!(batch.len(), slots);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The error-diffusion accumulator redirects exactly `round(n * f)`
+    /// (within one) of the first `n` slots at the victim, for any fraction.
+    #[test]
+    fn hotspot_fraction_is_honored_exactly(
+        seed in 0u64..1_000,
+        pct in 0u32..101,
+        ticks in 1usize..96,
+    ) {
+        let fraction = pct as f64 / 100.0;
+        let pattern = TrafficPattern::Hotspot { node: 5, fraction };
+        let mut ct = CrossTraffic::new(cfg_with(pattern, seed));
+        let batches = emit(&mut ct, ticks);
+        let slots = (ticks * 8) as f64;
+        let redirected = batches
+            .iter()
+            .flatten()
+            .filter(|p| p.dst == Endpoint::Node(5))
+            .count();
+        prop_assert!(
+            (redirected as f64 - slots * fraction).abs() < 1.0,
+            "redirected {redirected} of {slots} slots at fraction {fraction}"
+        );
+        // No redirected packet is ever sourced at the victim itself.
+        for p in batches.iter().flatten() {
+            if p.dst == Endpoint::Node(5) {
+                prop_assert!(p.src != Endpoint::Node(5));
+            }
+        }
+    }
+
+    /// Bursty emits only during the on-phase and is silent for the whole
+    /// off-phase, tiling time exactly with the configured duty cycle.
+    #[test]
+    fn bursty_duty_cycle_tiles_time(
+        seed in 0u64..1_000,
+        on in 1u32..6,
+        off in 0u32..6,
+        periods in 1usize..8,
+    ) {
+        let pattern = TrafficPattern::Bursty { on, off };
+        let mut ct = CrossTraffic::new(cfg_with(pattern, seed));
+        let period = (on + off) as usize;
+        let batches = emit(&mut ct, periods * period);
+        for (t, batch) in batches.iter().enumerate() {
+            let in_burst = t % period < on as usize;
+            prop_assert_eq!(
+                !batch.is_empty(),
+                in_burst,
+                "tick {} (phase {}) emitted {} packets",
+                t,
+                t % period,
+                batch.len()
+            );
+        }
+    }
+
+    /// Incast aims every packet at one of the first `targets` nodes,
+    /// round-robin, and never sources a packet from a victim aimed at
+    /// itself.
+    #[test]
+    fn incast_targets_only_victims(seed in 0u64..1_000, targets in 1u16..8, ticks in 1usize..32) {
+        let pattern = TrafficPattern::Incast { targets };
+        let mut ct = CrossTraffic::new(cfg_with(pattern, seed));
+        for p in emit(&mut ct, ticks).iter().flatten() {
+            let Endpoint::Node(dst) = p.dst else {
+                prop_assert!(false, "incast packet with non-node dst");
+                return Ok(());
+            };
+            prop_assert!(dst < targets);
+            prop_assert!(p.src != p.dst);
+        }
+    }
+
+    /// The priority virtual channel never lets a high-priority packet
+    /// queue behind low-priority traffic that requested the link after it:
+    /// once a high packet is enqueued on a link, no low packet starts
+    /// service on that link before it does (non-preemptive vc_depth=1 —
+    /// the packet already on the wire finishes).
+    #[test]
+    fn high_priority_never_queues_behind_later_low(
+        pairs in proptest::collection::vec((0usize..32, 0usize..32, 0u8..4), 8..48)
+    ) {
+        let mut net = Network::new(NetConfig::alewife());
+        net.enable_recording(4096);
+        let mut q = EventQueue::new();
+        let mut pris = Vec::new();
+        for (tag, &(src, dst, kind)) in pairs.iter().enumerate() {
+            if src == dst {
+                continue;
+            }
+            let pri = if kind == 0 { Priority::High } else { Priority::Low };
+            let pkt = Packet::protocol(
+                Endpoint::node(src),
+                Endpoint::node(dst),
+                64,
+                PacketClass::Data,
+                tag as u64,
+            )
+            .with_priority(pri);
+            let mut sched = Vec::new();
+            net.inject(Time::ZERO, pkt, &mut |t, e| sched.push((t, e)));
+            for (t, e) in sched {
+                q.schedule(t, e);
+            }
+            // Record ids are assigned in injection order.
+            pris.push(pri);
+        }
+        let delivered = drain(&mut net, q);
+        prop_assert_eq!(delivered.len(), pris.len());
+        let rec = net.take_recording().expect("recording enabled");
+        prop_assert_eq!(rec.packets.len(), pris.len());
+        for hi in rec.hops.iter().filter(|h| pris[h.packet as usize] == Priority::High) {
+            for low in rec
+                .hops
+                .iter()
+                .filter(|h| h.link == hi.link && pris[h.packet as usize] == Priority::Low)
+            {
+                prop_assert!(
+                    low.start <= hi.enqueued || low.start >= hi.start,
+                    "low packet {} started on link {} at {} while high packet {} \
+                     waited (enqueued {}, started {})",
+                    low.packet,
+                    hi.link,
+                    low.start,
+                    hi.packet,
+                    hi.enqueued,
+                    hi.start
+                );
+            }
+        }
+    }
+
+    /// An all-low workload (the baseline variant's traffic) never touches
+    /// the priority machinery: no bypasses, no starvation on any link.
+    #[test]
+    fn baseline_traffic_never_triggers_priority_channel(
+        pairs in proptest::collection::vec((0usize..32, 0usize..32), 8..48)
+    ) {
+        let mut net = Network::new(NetConfig::alewife());
+        let mut q = EventQueue::new();
+        let mut injected = 0;
+        for (tag, &(src, dst)) in pairs.iter().enumerate() {
+            if src == dst {
+                continue;
+            }
+            let pkt = Packet::protocol(
+                Endpoint::node(src),
+                Endpoint::node(dst),
+                64,
+                PacketClass::Data,
+                tag as u64,
+            );
+            let mut sched = Vec::new();
+            net.inject(Time::ZERO, pkt, &mut |t, e| sched.push((t, e)));
+            for (t, e) in sched {
+                q.schedule(t, e);
+            }
+            injected += 1;
+        }
+        let delivered = drain(&mut net, q);
+        prop_assert_eq!(delivered.len(), injected);
+        prop_assert_eq!(net.stats().priority_bypasses, 0);
+        prop_assert_eq!(net.stats().low_bypassed, 0);
+        for link in 0..net.num_links() {
+            prop_assert_eq!(net.link_starvation(link), 0);
+        }
+    }
+}
+
+/// Directed witness: a high-priority packet overtakes an already-queued
+/// low-priority packet on a contended link, and the starvation counters
+/// see it.
+#[test]
+fn high_priority_bypasses_queued_low() {
+    let mut net = Network::new(NetConfig::alewife());
+    net.enable_recording(64);
+    let mut q = EventQueue::new();
+    // Nodes 0 and 1 both route through the 1->2 link to reach node 2 in
+    // the 8x4 dimension-order mesh. A huge low packet from node 1 holds
+    // the link long enough for node 0's two small packets to arrive and
+    // queue behind it — the high one must go first when the link frees.
+    let inject = |net: &mut Network, q: &mut EventQueue<NetEvent>, src, tag, bytes, pri| {
+        let pkt = Packet::protocol(
+            Endpoint::node(src),
+            Endpoint::node(2),
+            bytes,
+            PacketClass::Data,
+            tag,
+        )
+        .with_priority(pri);
+        let mut sched = Vec::new();
+        net.inject(Time::ZERO, pkt, &mut |t, e| sched.push((t, e)));
+        for (t, e) in sched {
+            q.schedule(t, e);
+        }
+    };
+    inject(&mut net, &mut q, 1, 0, 16_384, Priority::Low);
+    inject(&mut net, &mut q, 0, 1, 64, Priority::Low);
+    inject(&mut net, &mut q, 0, 2, 64, Priority::High);
+    let delivered = drain(&mut net, q);
+    assert_eq!(delivered.len(), 3);
+    let arrival = |tag: u64| delivered.iter().find(|&&(_, t)| t == tag).unwrap().0;
+    assert!(
+        arrival(2) < arrival(1),
+        "high packet (tag 2) must arrive before the low packet (tag 1) queued ahead of it: \
+         high at {}, low at {}",
+        arrival(2),
+        arrival(1)
+    );
+    assert!(net.stats().priority_bypasses >= 1);
+    assert!(net.stats().low_bypassed >= 1);
+    assert!((0..net.num_links()).any(|l| net.link_starvation(l) > 0));
+}

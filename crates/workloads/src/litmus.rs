@@ -30,9 +30,9 @@ use commsense_cache::Heap;
 use commsense_des::Rng;
 use commsense_machine::{
     CheckConfig, HandlerCtx, LatencyEmulation, Machine, MachineConfig, MachineSpec, Mechanism,
-    NodeCtx, Program, RmwOp, Step, INVARIANT_MARKER, ORACLE_MARKER,
+    NodeCtx, Program, ProtoVariant, RmwOp, Step, INVARIANT_MARKER, ORACLE_MARKER,
 };
-use commsense_mesh::CrossTrafficConfig;
+use commsense_mesh::{CrossTrafficConfig, TrafficPattern};
 use commsense_msgpass::{ActiveMessage, HandlerId};
 
 /// Application handler id used by litmus messages (any non-system id).
@@ -430,16 +430,33 @@ pub enum Extreme {
     HighLatency,
     /// A 4-entry write buffer (release-consistent stores).
     Relaxed,
+    /// The criticality-aware protocol variant under uniform cross-traffic:
+    /// demand chains ride the priority channel while background bandwidth
+    /// is being consumed.
+    Critical,
+    /// Criticality-aware variant with hotspot cross-traffic concentrated
+    /// on node 0 — the home of the most-contended litmus line.
+    Hotspot,
+    /// Baseline variant with bursty cross-traffic (congestion arrives in
+    /// phases, so protocol timing swings between idle and saturated).
+    Bursty,
+    /// Criticality-aware variant with incast cross-traffic: several
+    /// senders converge on the low-numbered nodes' ejection ports.
+    Incast,
 }
 
 impl Extreme {
     /// Every extreme, in sweep order.
-    pub const ALL: [Extreme; 5] = [
+    pub const ALL: [Extreme; 9] = [
         Extreme::Base,
         Extreme::TinyCache,
         Extreme::CrossTraffic,
         Extreme::HighLatency,
         Extreme::Relaxed,
+        Extreme::Critical,
+        Extreme::Hotspot,
+        Extreme::Bursty,
+        Extreme::Incast,
     ];
 
     /// Short label used on the command line and in failure summaries.
@@ -450,6 +467,10 @@ impl Extreme {
             Extreme::CrossTraffic => "cross",
             Extreme::HighLatency => "lat",
             Extreme::Relaxed => "relaxed",
+            Extreme::Critical => "crit",
+            Extreme::Hotspot => "hotspot",
+            Extreme::Bursty => "bursty",
+            Extreme::Incast => "incast",
         }
     }
 
@@ -458,23 +479,68 @@ impl Extreme {
         Extreme::ALL.into_iter().find(|e| e.label() == s)
     }
 
+    /// How the fuzzer thins the program stream under this extreme: a
+    /// stride of `k` runs every `k`-th program. The hostile-traffic
+    /// extremes cost several times a base run (the mesh carries the
+    /// background load for the whole run), so they take a sparser sample
+    /// to hold fuzzing wall-clock; every program still runs under every
+    /// original extreme.
+    pub fn stride(self) -> usize {
+        match self {
+            Extreme::Base
+            | Extreme::TinyCache
+            | Extreme::CrossTraffic
+            | Extreme::HighLatency
+            | Extreme::Relaxed => 1,
+            Extreme::Critical => 2,
+            Extreme::Hotspot | Extreme::Bursty | Extreme::Incast => 3,
+        }
+    }
+
     /// The machine configuration for this extreme under `mech` (checking
     /// not yet enabled; the runner adds it).
     pub fn config(self, mech: Mechanism) -> MachineConfig {
         let mut cfg = MachineConfig::tiny().with_mechanism(mech);
+        let consuming = |cfg: &MachineConfig| {
+            CrossTrafficConfig::consuming(0.1, cfg.clock(), 64, cfg.net.topo.build().io_streams())
+        };
+        let nodes = cfg.nodes as u16;
         match self {
             Extreme::Base => {}
             Extreme::TinyCache => cfg.proto.cache_lines = 8,
-            Extreme::CrossTraffic => {
-                cfg.cross_traffic = Some(CrossTrafficConfig::consuming(
-                    0.1,
-                    cfg.clock(),
-                    64,
-                    cfg.net.topo.build().io_streams(),
-                ));
-            }
+            Extreme::CrossTraffic => cfg.cross_traffic = Some(consuming(&cfg)),
             Extreme::HighLatency => cfg.latency_emulation = Some(LatencyEmulation::uniform(400)),
             Extreme::Relaxed => cfg.write_buffer = 4,
+            Extreme::Critical => {
+                cfg.variant = ProtoVariant::CriticalityAware;
+                cfg.cross_traffic = Some(consuming(&cfg));
+            }
+            Extreme::Hotspot => {
+                cfg.variant = ProtoVariant::CriticalityAware;
+                cfg.cross_traffic = Some(consuming(&cfg).with_pattern(
+                    TrafficPattern::Hotspot {
+                        node: 0,
+                        fraction: 0.5,
+                    },
+                    nodes,
+                    11,
+                ));
+            }
+            Extreme::Bursty => {
+                cfg.cross_traffic = Some(consuming(&cfg).with_pattern(
+                    TrafficPattern::Bursty { on: 2, off: 6 },
+                    nodes,
+                    11,
+                ));
+            }
+            Extreme::Incast => {
+                cfg.variant = ProtoVariant::CriticalityAware;
+                cfg.cross_traffic = Some(consuming(&cfg).with_pattern(
+                    TrafficPattern::Incast { targets: 2 },
+                    nodes,
+                    11,
+                ));
+            }
         }
         cfg
     }
@@ -541,22 +607,38 @@ pub struct Failure {
     pub detail: String,
 }
 
+/// A seeded protocol mutation for the harness's own mutation tests: each
+/// arms a deliberate bug the correctness harness must catch loudly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fault {
+    /// No mutation: the run must pass.
+    #[default]
+    None,
+    /// Silently drop the next cache invalidation (while still
+    /// acknowledging it) — the stale copy trips the directory/cache
+    /// consistency invariant when the write completes.
+    DropInvalidation,
+    /// Smuggle the next high-priority invalidation ack past the tracked
+    /// consumption path (a priority-inversion bug in the fast channel) —
+    /// end-of-run message conservation must flag it. Dormant under the
+    /// baseline variant, which sends no high-priority packets.
+    SmugglePriorityAck,
+}
+
 /// Runs one litmus program on one mechanism under one extreme with the
 /// full correctness harness. Returns the classified failure if the run
 /// panicked (invariant/oracle violation, deadlock, or any other panic).
 pub fn run_litmus(lit: &Litmus, mech: Mechanism, extreme: Extreme) -> Result<(), Failure> {
-    run_litmus_with(lit, mech, extreme, false)
+    run_litmus_with(lit, mech, extreme, Fault::None)
 }
 
-/// [`run_litmus`] with an optional seeded protocol mutation: when `fault`
-/// is set, the machine silently drops the first cache invalidation (while
-/// still acknowledging it) — the checker must catch the resulting stale
-/// copy. Used by the harness's own mutation tests.
+/// [`run_litmus`] with an optional seeded protocol mutation (see
+/// [`Fault`]); the checker must catch every armed fault.
 pub fn run_litmus_with(
     lit: &Litmus,
     mech: Mechanism,
     extreme: Extreme,
-    fault: bool,
+    fault: Fault,
 ) -> Result<(), Failure> {
     let mut cfg = extreme.config(mech);
     assert_eq!(lit.nodes, cfg.nodes, "litmus node count must match machine");
@@ -564,8 +646,10 @@ pub fn run_litmus_with(
     let spec = lit.materialize();
     match catch_unwind(AssertUnwindSafe(move || {
         let mut m = Machine::new(cfg, spec);
-        if fault {
-            m.fault_ignore_next_invalidation();
+        match fault {
+            Fault::None => {}
+            Fault::DropInvalidation => m.fault_ignore_next_invalidation(),
+            Fault::SmugglePriorityAck => m.fault_smuggle_next_priority_ack(),
         }
         m.run();
     })) {
@@ -720,6 +804,9 @@ pub fn fuzz(
         report.programs += 1;
         for &mech in mechs {
             for &extreme in extremes {
+                if p % extreme.stride() != 0 {
+                    continue;
+                }
                 report.runs += 1;
                 if let Err(fail) = run_litmus(&lit, mech, extreme) {
                     let minimized = shrink(&lit, fail.class, |cand| {
@@ -759,7 +846,12 @@ mod tests {
     fn generated_programs_pass_on_every_mechanism_and_extreme() {
         let report = fuzz(7, 4, 4, &Mechanism::ALL, &Extreme::ALL);
         assert_eq!(report.programs, 4);
-        assert_eq!(report.runs, 4 * 5 * 5);
+        let expected_runs: u64 = Extreme::ALL
+            .iter()
+            .map(|e| (0..4).filter(|p| p % e.stride() == 0).count() as u64)
+            .sum::<u64>()
+            * Mechanism::ALL.len() as u64;
+        assert_eq!(report.runs, expected_runs);
         assert!(
             report.failures.is_empty(),
             "unexpected failures: {:?}",
@@ -775,22 +867,66 @@ mod tests {
     fn seeded_mutation_is_caught_and_classified() {
         let lit = Litmus::directed_invalidation(4);
         assert!(run_litmus(&lit, Mechanism::SharedMem, Extreme::Base).is_ok());
-        let fail = run_litmus_with(&lit, Mechanism::SharedMem, Extreme::Base, true)
-            .expect_err("dropped invalidation must be caught");
+        let fail = run_litmus_with(
+            &lit,
+            Mechanism::SharedMem,
+            Extreme::Base,
+            Fault::DropInvalidation,
+        )
+        .expect_err("dropped invalidation must be caught");
         assert_eq!(fail.class, FailureClass::Invariant, "{}", fail.detail);
         assert!(fail.detail.contains(INVARIANT_MARKER));
+    }
+
+    #[test]
+    fn smuggled_priority_ack_is_caught_by_conservation() {
+        let lit = Litmus::directed_invalidation(4);
+        // Unmutated, the criticality-aware extreme passes the full harness.
+        assert!(run_litmus(&lit, Mechanism::SharedMem, Extreme::Critical).is_ok());
+        let fail = run_litmus_with(
+            &lit,
+            Mechanism::SharedMem,
+            Extreme::Critical,
+            Fault::SmugglePriorityAck,
+        )
+        .expect_err("smuggled priority ack must be caught");
+        assert_eq!(fail.class, FailureClass::Invariant, "{}", fail.detail);
+        assert!(
+            fail.detail.contains("conservation") || fail.detail.contains("cross-check"),
+            "expected a message-conservation violation, got: {}",
+            fail.detail
+        );
+        // The same fault stays dormant under the baseline variant: no
+        // high-priority packets exist for it to trigger on.
+        assert!(run_litmus_with(
+            &lit,
+            Mechanism::SharedMem,
+            Extreme::Base,
+            Fault::SmugglePriorityAck,
+        )
+        .is_ok());
     }
 
     #[test]
     fn shrink_preserves_failure_class_and_reduces() {
         let lit = Litmus::directed_invalidation(4);
         let runner = |cand: &Litmus| {
-            run_litmus_with(cand, Mechanism::SharedMem, Extreme::Base, true)
-                .err()
-                .map(|f| f.class)
+            run_litmus_with(
+                cand,
+                Mechanism::SharedMem,
+                Extreme::Base,
+                Fault::DropInvalidation,
+            )
+            .err()
+            .map(|f| f.class)
         };
-        let fail = run_litmus_with(&lit, Mechanism::SharedMem, Extreme::Base, true)
-            .expect_err("must fail");
+        let fail = run_litmus_with(
+            &lit,
+            Mechanism::SharedMem,
+            Extreme::Base,
+            Fault::DropInvalidation,
+        )
+        .expect_err("must fail");
         let min = shrink(&lit, fail.class, runner);
         assert!(
             min.total_ops() <= lit.total_ops(),

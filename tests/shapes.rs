@@ -9,12 +9,13 @@
 //! small-scale numbers (see EXPERIMENTS.md for the bench-scale
 //! versions of each claim).
 
-use commsense::apps::{AppSpec, RunResult};
+use commsense::apps::{run_app, AppSpec, RunResult};
 use commsense::core::engine::{Runner, WorkloadCache};
 use commsense::core::experiment::{
     base_comparison_requests, bisection_plan, ctx_switch_plan, Sweep,
 };
-use commsense::machine::{MachineConfig, Mechanism};
+use commsense::machine::{MachineConfig, Mechanism, ProtoVariant};
+use commsense::mesh::{CrossTrafficConfig, TrafficPattern};
 
 fn runtime(results: &[RunResult], mech: Mechanism) -> f64 {
     let r = results
@@ -170,6 +171,127 @@ fn fig8_bisection_extremes() {
             assert!(
                 sm.runtimes().last() > mp.runtimes().last(),
                 "ICCG: sm must cross above mp-int at 2 B/cycle"
+            );
+        }
+    }
+}
+
+/// Hostile traffic at the paper's 8 B/cycle consumption, reshaped by
+/// `pattern` across this machine's nodes.
+fn hostile(cfg: &MachineConfig, pattern: TrafficPattern) -> CrossTrafficConfig {
+    CrossTrafficConfig::consuming(8.0, cfg.clock(), 64, cfg.net.topo.build().io_streams())
+        .with_pattern(pattern, cfg.nodes as u16, 7)
+}
+
+/// Incast under the Figure 10 extremes: shared memory still degrades
+/// strictly faster with remote-miss latency than message passing on every
+/// app — the adversarial pattern does not rescue shared memory, and the
+/// message-passing base points absorb the incast without the mechanism
+/// ordering collapsing.
+#[test]
+fn hostile_incast_latency_orderings() {
+    let runner = Runner::serial();
+    let mut cache = WorkloadCache::new();
+    for spec in AppSpec::small_suite() {
+        let app = spec.name();
+        let mut cfg = MachineConfig::alewife();
+        cfg.cross_traffic = Some(hostile(&cfg, TrafficPattern::Incast { targets: 2 }));
+        let sweeps = ctx_switch_plan(&spec, &[SharedMem, MsgPoll, MsgInterrupt], &cfg, &[30, 800])
+            .run_with(&runner, &mut cache);
+        for s in &sweeps {
+            s.assert_verified();
+        }
+
+        // sm degrades strictly faster with latency than both mp flavors
+        // (which never see the emulated miss latency: their curves stay
+        // exactly flat even with the incast saturating their links).
+        let sm = growth(&sweeps, SharedMem);
+        for &m in &[MsgPoll, MsgInterrupt] {
+            let mp = growth(&sweeps, m);
+            assert!(
+                (mp - 1.0).abs() < 1e-9,
+                "{app}: {} must stay flat under incast, moved {mp:.3}x",
+                m.label()
+            );
+            assert!(
+                sm > mp,
+                "{app}: sm growth {sm:.2}x must strictly exceed {}'s {mp:.2}x",
+                m.label()
+            );
+        }
+        assert!(
+            sm > 1.5,
+            "{app}: sm grew only {sm:.2}x from 30 to 800 cycles under incast"
+        );
+    }
+}
+
+/// Hotspot under the criticality-aware variant. At the Figure 10
+/// extremes the emulation's ideal network makes both variants' slopes
+/// coincide, so criticality-aware is never steeper (the issue's "slope
+/// <= baseline" bound, tight). On the real network the variant is where
+/// the action is: demand misses jump the queued hotspot traffic, so
+/// criticality-aware shared memory beats baseline outright on the
+/// communication-bound apps and never loses more than noise elsewhere.
+/// (MOLDYN is excluded from the real-network half: a 0.5-fraction
+/// hotspot drives baseline sm there to ~107M cycles — the near-livelock
+/// that motivates the variant, but far too slow for a debug-mode tier-1
+/// test.)
+#[test]
+fn hostile_hotspot_criticality_slopes() {
+    let runner = Runner::serial();
+    let mut cache = WorkloadCache::new();
+    let pattern = TrafficPattern::Hotspot {
+        node: 0,
+        fraction: 0.5,
+    };
+    for spec in AppSpec::small_suite() {
+        let app = spec.name();
+        let growth_of = |variant: ProtoVariant, cache: &mut WorkloadCache| {
+            let mut cfg = MachineConfig::alewife();
+            cfg.variant = variant;
+            cfg.cross_traffic = Some(hostile(&cfg, pattern));
+            let sweeps =
+                ctx_switch_plan(&spec, &[SharedMem], &cfg, &[30, 800]).run_with(&runner, cache);
+            sweeps[0].assert_verified();
+            growth(&sweeps, SharedMem)
+        };
+        let base = growth_of(ProtoVariant::Baseline, &mut cache);
+        let crit = growth_of(ProtoVariant::CriticalityAware, &mut cache);
+        assert!(
+            crit <= base + 1e-9,
+            "{app}: criticality-aware sm slope {crit:.3}x exceeds baseline's {base:.3}x"
+        );
+    }
+
+    // Real network, same hotspot: the priority channel must pay for
+    // itself where shared memory is communication-bound and cost at most
+    // noise where it is not (measured +0.3% on UNSTRUC).
+    for spec in AppSpec::small_suite() {
+        let app = spec.name();
+        if app == "MOLDYN" {
+            continue;
+        }
+        let runtime_of = |variant: ProtoVariant| {
+            let mut cfg = MachineConfig::alewife();
+            cfg.variant = variant;
+            cfg.cross_traffic = Some(hostile(&cfg, pattern));
+            let r = run_app(&spec, SharedMem, &cfg);
+            assert!(r.verified, "{app} sm failed under hotspot ({variant:?})");
+            r.runtime_cycles as f64
+        };
+        let base = runtime_of(ProtoVariant::Baseline);
+        let crit = runtime_of(ProtoVariant::CriticalityAware);
+        assert!(
+            crit <= 1.02 * base,
+            "{app}: criticality-aware sm {crit} worse than baseline {base} under hotspot"
+        );
+        // EM3D and ICCG are hotspot-bound: the bypass must win big
+        // (measured 7.7x and 5.1x respectively).
+        if app == "EM3D" || app == "ICCG" {
+            assert!(
+                crit < 0.5 * base,
+                "{app}: criticality-aware sm {crit} must at least halve baseline {base}"
             );
         }
     }
